@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the hot kernels in the BlissCam pipeline:
+//! sensor eventification, SRAM-metastability sampling, run-length coding,
+//! and the procedural renderer.
+
+use bliss_eye::{render_sequence, EyeModel, EyeModelConfig, Gaze, GazeState, MovementPhase,
+                SequenceConfig};
+use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_eventify(c: &mut Criterion) {
+    let mut sensor = DigitalPixelSensor::new(SensorConfig::miniature(160, 100));
+    let img_a = vec![0.5f32; 16_000];
+    let img_b: Vec<f32> = (0..16_000).map(|i| if i % 7 == 0 { 0.8 } else { 0.5 }).collect();
+    sensor.expose(&img_a);
+    let _ = sensor.eventify();
+    c.bench_function("sensor_eventify_160x100", |b| {
+        b.iter(|| {
+            sensor.expose(std::hint::black_box(&img_b));
+            std::hint::black_box(sensor.eventify())
+        })
+    });
+}
+
+fn bench_sparse_readout(c: &mut Criterion) {
+    let mut sensor = DigitalPixelSensor::new(SensorConfig::miniature(160, 100));
+    let img = vec![0.5f32; 16_000];
+    sensor.expose(&img);
+    let roi = RoiBox::new(40, 25, 120, 75);
+    c.bench_function("sensor_sparse_readout_20pct", |b| {
+        b.iter(|| std::hint::black_box(sensor.sparse_readout(roi, 0.2)))
+    });
+}
+
+fn bench_rle(c: &mut Criterion) {
+    // A realistic sparse stream: ~20% occupancy.
+    let stream: Vec<u16> = (0..40_000u32)
+        .map(|i| if i % 5 == 0 { 500 + (i % 300) as u16 } else { 0 })
+        .collect();
+    let encoded = rle::encode(&stream);
+    c.bench_function("rle_encode_40k", |b| {
+        b.iter(|| std::hint::black_box(rle::encode(std::hint::black_box(&stream))))
+    });
+    c.bench_function("rle_decode_40k", |b| {
+        b.iter(|| std::hint::black_box(rle::decode(std::hint::black_box(&encoded), 40_000).unwrap()))
+    });
+}
+
+fn bench_renderer(c: &mut Criterion) {
+    let model = EyeModel::new(EyeModelConfig::for_resolution(160, 100), 1);
+    let state = GazeState {
+        gaze: Gaze::new(5.0, -3.0),
+        openness: 1.0,
+        pupil_dilation: 1.0,
+        phase: MovementPhase::Fixation,
+    };
+    c.bench_function("render_frame_160x100", |b| {
+        b.iter(|| std::hint::black_box(model.render(std::hint::black_box(&state))))
+    });
+    c.bench_function("render_sequence_8_frames", |b| {
+        b.iter_batched(
+            || SequenceConfig::miniature(8, 3),
+            |cfg| std::hint::black_box(render_sequence(&cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_eventify, bench_sparse_readout, bench_rle, bench_renderer
+}
+criterion_main!(kernels);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the learned pipeline and the analytic hardware
+//! models: sparse-ViT inference at several occupancies, ROI prediction,
+//! systolic-array evaluation, and the per-variant energy/latency models.
+
+use bliss_energy::EnergyParams;
+use bliss_npu::SystolicArray;
+use bliss_track::{RoiNetConfig, RoiPredictionNet, SparseViT, ViTConfig};
+use blisscam_core::{energy_breakdown, simulate_pipeline, SystemConfig, SystemVariant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_vit_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let vit = SparseViT::new(&mut rng, ViTConfig::miniature(160, 100));
+    let image = vec![0.4f32; 16_000];
+    // dense mask and a ~5% sparse mask — compute should differ sharply
+    let dense = vec![1.0f32; 16_000];
+    let sparse: Vec<f32> = (0..16_000)
+        .map(|i| {
+            let (x, y) = (i % 160, i / 160);
+            if (40..120).contains(&x) && (25..75).contains(&y) && i % 5 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    c.bench_function("sparse_vit_forward_dense_mask", |b| {
+        b.iter(|| std::hint::black_box(vit.forward(&image, &dense).unwrap()))
+    });
+    c.bench_function("sparse_vit_forward_sparse_mask", |b| {
+        b.iter(|| std::hint::black_box(vit.forward(&image, &sparse).unwrap()))
+    });
+}
+
+fn bench_roi_net(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = RoiPredictionNet::new(&mut rng, RoiNetConfig::miniature(160, 100));
+    let events = vec![0.0f32; 16_000];
+    let seg = vec![0u8; 16_000];
+    let input = net.make_input(&events, &seg);
+    c.bench_function("roi_net_forward", |b| {
+        b.iter(|| std::hint::black_box(net.forward(std::hint::black_box(&input)).unwrap()))
+    });
+}
+
+fn bench_hardware_models(c: &mut Criterion) {
+    let cfg = SystemConfig::paper();
+    c.bench_function("energy_breakdown_all_variants", |b| {
+        b.iter(|| {
+            for v in SystemVariant::ALL {
+                std::hint::black_box(energy_breakdown(&cfg, v));
+            }
+        })
+    });
+    c.bench_function("pipeline_simulation_32_frames", |b| {
+        b.iter(|| std::hint::black_box(simulate_pipeline(&cfg, SystemVariant::BlissCam, 32)))
+    });
+    let host = SystolicArray::host();
+    let wl = SystemConfig::paper().vit.workload(134, 6_867);
+    let params = EnergyParams::default();
+    c.bench_function("systolic_run_sparse_vit", |b| {
+        b.iter(|| std::hint::black_box(host.run(&wl, &params, true)))
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(15);
+    targets = bench_vit_forward, bench_roi_net, bench_hardware_models
+}
+criterion_main!(pipeline);

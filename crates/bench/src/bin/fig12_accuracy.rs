@@ -1,0 +1,39 @@
+//! Fig. 12 — end-to-end gaze error vs compression rate for NPU-Full,
+//! NPU-ROI and ours (NPU-ROI-Sample). Trains miniature pipelines per point;
+//! pass `--quick` for a fast run.
+
+use bliss_bench::{print_table, scale_from_args};
+use blisscam_core::experiments::fig12_accuracy;
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "training {} frames x {} epochs per point, evaluating {} frames...",
+        scale.train_frames, scale.epochs, scale.eval_frames
+    );
+    let result = fig12_accuracy(&scale).expect("fig12 experiment");
+    for series in &result.series {
+        let rows: Vec<Vec<String>> = series
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.1}x", p.compression),
+                    format!("{:.2} ± {:.2}", p.vertical.mean, p.vertical.std),
+                    format!("{:.2} ± {:.2}", p.horizontal.mean, p.horizontal.std),
+                    format!("{:.1} %", p.seg_accuracy * 100.0),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 12: {}", series.label),
+            &["compression", "vertical err (deg)", "horizontal err (deg)", "seg acc"],
+            &rows,
+        );
+    }
+    println!(
+        "\nsparse ViT MAC reduction vs RITnet-class baseline: {:.1}x (paper §VI-A: 4x)",
+        result.mac_reduction_vs_ritnet
+    );
+    println!("Paper reference point: 20.6x data reduction at 0.8°/0.7° (v/h) error.");
+}

@@ -1,0 +1,99 @@
+//! Benchmark harness regenerating every table and figure of the BlissCam
+//! paper's evaluation (§VI).
+//!
+//! One binary per figure/table (see `src/bin/`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig02_gflops_trend` | Fig. 2 — GPU capability vs algorithm demand |
+//! | `fig03_mipi_latency` | Fig. 3 — MIPI latency vs resolution |
+//! | `fig04_readout_power` | Fig. 4 — readout share of sensor power |
+//! | `fig12_accuracy` | Fig. 12 — gaze error vs compression rate |
+//! | `fig13_energy` | Fig. 13 — per-variant energy breakdown |
+//! | `fig14_latency` | Fig. 14 — per-variant end-to-end latency |
+//! | `fig15_sampling` | Fig. 15 — sampling-strategy comparison |
+//! | `fig16_framerate` | Fig. 16 — frame-rate sensitivity |
+//! | `fig17_process_node` | Fig. 17 — process-node sensitivity |
+//! | `tab1_roi_reuse` | Tbl. I — ROI reuse window |
+//! | `tab_area` | §VI-D — area estimation |
+//!
+//! Accuracy binaries accept `--quick` for a fast, smaller-workload run; the
+//! default matches `ExperimentScale::standard()`.
+//!
+//! Criterion micro-benchmarks for the hot kernels (eventification, RLE,
+//! SRAM sampling, ViT forward, systolic model, renderer) live in `benches/`.
+
+use blisscam_core::experiments::ExperimentScale;
+
+/// Prints a fixed-width ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    println!("{line}");
+    let header: Vec<String> = headers
+        .iter()
+        .zip(widths.iter())
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    println!("{}", header.join("|"));
+    println!("{line}");
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
+        println!("{}", cells.join("|"));
+    }
+    println!("{line}");
+}
+
+/// Parses the common `--quick` flag into an [`ExperimentScale`].
+pub fn scale_from_args() -> ExperimentScale {
+    if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::standard()
+    }
+}
+
+/// Formats seconds as adaptive ms/us text.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} us", seconds * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2e-3), "2.00 ms");
+        assert_eq!(fmt_time(5e-6), "5.0 us");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,206 @@
+use bliss_energy::{EnergyParams, ProcessNode};
+use bliss_track::{CnnSegConfig, RoiNetConfig, TrainConfig, ViTConfig};
+use serde::{Deserialize, Serialize};
+
+/// The four system organisations compared throughout the paper's evaluation
+/// (§V "System Variants").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemVariant {
+    /// Conventional system: dumb sensor, full-frame readout and transfer,
+    /// dense segmentation on the host NPU.
+    NpuFull,
+    /// Like `NpuFull`, but the host first predicts an ROI and segments only
+    /// the ROI.
+    NpuRoi,
+    /// BlissCam's sampling pipeline executed in the *digital* domain inside
+    /// the sensor — pays for a digital frame buffer that cannot be
+    /// power-gated.
+    SNpu,
+    /// The full proposal: analog eventification + in-sensor ROI prediction +
+    /// SRAM-metastability sampling + sparse readout.
+    BlissCam,
+}
+
+impl SystemVariant {
+    /// All variants in the paper's presentation order.
+    pub const ALL: [SystemVariant; 4] = [
+        SystemVariant::NpuFull,
+        SystemVariant::NpuRoi,
+        SystemVariant::SNpu,
+        SystemVariant::BlissCam,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemVariant::NpuFull => "NPU-Full",
+            SystemVariant::NpuRoi => "NPU-ROI",
+            SystemVariant::SNpu => "S+NPU",
+            SystemVariant::BlissCam => "BlissCam",
+        }
+    }
+
+    /// Whether the sensor performs eventification/ROI/sampling in-sensor.
+    pub fn in_sensor_sampling(&self) -> bool {
+        matches!(self, SystemVariant::SNpu | SystemVariant::BlissCam)
+    }
+
+    /// Whether ROI prediction executes on the host SoC.
+    pub fn host_roi(&self) -> bool {
+        matches!(self, SystemVariant::NpuRoi)
+    }
+}
+
+/// Full configuration of an eye-tracking system instance.
+///
+/// Carries both the hardware profile (geometry, process nodes, energy
+/// constants) and the network architectures, so the *same* configuration
+/// drives the analytic energy/latency models and the executable
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Sensor width in pixels.
+    pub width: usize,
+    /// Sensor height in pixels.
+    pub height: usize,
+    /// Tracking rate in frames/second.
+    pub fps: f64,
+    /// In-ROI random sampling rate (paper default ≈ 0.2).
+    pub sample_rate: f32,
+    /// Expected ROI area as a fraction of the frame (paper: mean ROI
+    /// 34 257.8 px on 640x400 ≈ 0.134). Used by the analytic models; the
+    /// executable simulation measures it.
+    pub roi_fraction: f64,
+    /// Process node of the sensor's analog layers (paper: 65 nm).
+    pub analog_node: ProcessNode,
+    /// Process node of the sensor's digital logic layer (paper: 22 nm).
+    pub sensor_logic_node: ProcessNode,
+    /// Process node of the host SoC (paper: 7 nm).
+    pub host_node: ProcessNode,
+    /// Energy constants.
+    pub energy: EnergyParams,
+    /// Sparse ViT architecture.
+    pub vit: ViTConfig,
+    /// ROI-prediction network architecture.
+    pub roi_net: RoiNetConfig,
+    /// Dense CNN baseline architecture (NPU-Full / NPU-ROI segmentation).
+    pub cnn: CnnSegConfig,
+    /// Frames rendered for training the executable system.
+    pub train_frames: usize,
+    /// Training epochs for the executable system.
+    pub train_epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's hardware point: 640x400 @ 120 FPS, 65/22/7 nm, paper-scale
+    /// networks. Intended for the analytic energy/latency models — training
+    /// the paper-scale networks on a CPU is not practical.
+    pub fn paper() -> Self {
+        SystemConfig {
+            width: 640,
+            height: 400,
+            fps: 120.0,
+            sample_rate: 0.2,
+            roi_fraction: 0.134,
+            analog_node: ProcessNode::NM65,
+            sensor_logic_node: ProcessNode::NM22,
+            host_node: ProcessNode::NM7,
+            energy: EnergyParams::default(),
+            vit: ViTConfig::paper(),
+            roi_net: RoiNetConfig::paper(),
+            cnn: CnnSegConfig::paper(),
+            train_frames: 0,
+            train_epochs: 0,
+            seed: 0xB1155,
+        }
+    }
+
+    /// A 160x100 miniature whose networks train on a laptop CPU in seconds;
+    /// the default for the executable simulation and accuracy experiments.
+    pub fn miniature() -> Self {
+        SystemConfig {
+            width: 160,
+            height: 100,
+            fps: 120.0,
+            sample_rate: 0.2,
+            roi_fraction: 0.134,
+            analog_node: ProcessNode::NM65,
+            sensor_logic_node: ProcessNode::NM22,
+            host_node: ProcessNode::NM7,
+            energy: EnergyParams::default(),
+            vit: ViTConfig::miniature(160, 100),
+            roi_net: RoiNetConfig::miniature(160, 100),
+            cnn: CnnSegConfig::miniature(160, 100),
+            train_frames: 140,
+            train_epochs: 1,
+            seed: 0xB1155,
+        }
+    }
+
+    /// Total pixel count.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Frame period in seconds.
+    pub fn frame_period_s(&self) -> f64 {
+        1.0 / self.fps
+    }
+
+    /// Expected ROI pixel count under `roi_fraction`.
+    pub fn expected_roi_pixels(&self) -> u64 {
+        (self.pixels() as f64 * self.roi_fraction).round() as u64
+    }
+
+    /// Expected sampled pixel count (ROI x in-ROI rate).
+    pub fn expected_sampled_pixels(&self) -> u64 {
+        (self.expected_roi_pixels() as f64 * self.sample_rate as f64).round() as u64
+    }
+
+    /// The training configuration used by the executable system.
+    pub fn train_config(&self) -> TrainConfig {
+        let mut cfg = TrainConfig::miniature(self.width, self.height);
+        cfg.vit = self.vit;
+        cfg.roi = self.roi_net;
+        cfg.sample_rate = self.sample_rate;
+        cfg.epochs = self.train_epochs.max(1);
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_quoted_numbers() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.pixels(), 256_000);
+        // Mean ROI ≈ 34 258 px (paper §VI-C).
+        assert!((c.expected_roi_pixels() as f64 - 34_304.0).abs() < 500.0);
+        // ~5 % of pixels survive: 20.6x data reduction (paper §VI-A).
+        let kept = c.expected_sampled_pixels() as f64 / c.pixels() as f64;
+        assert!((0.02..0.07).contains(&kept), "kept fraction {kept}");
+    }
+
+    #[test]
+    fn variant_labels_and_flags() {
+        assert_eq!(SystemVariant::BlissCam.label(), "BlissCam");
+        assert!(SystemVariant::BlissCam.in_sensor_sampling());
+        assert!(!SystemVariant::NpuFull.in_sensor_sampling());
+        assert!(SystemVariant::NpuRoi.host_roi());
+        assert_eq!(SystemVariant::ALL.len(), 4);
+    }
+
+    #[test]
+    fn miniature_train_config_inherits_dims() {
+        let c = SystemConfig::miniature();
+        let t = c.train_config();
+        assert_eq!(t.vit.frame_width, 160);
+        assert_eq!(t.roi.frame_width, 160);
+        assert_eq!(t.sample_rate, c.sample_rate);
+    }
+}

@@ -1,0 +1,106 @@
+use crate::scaling::ProcessNode;
+use serde::{Deserialize, Serialize};
+
+/// Silicon area model for the BlissCam sensor (paper §VI-D).
+///
+/// The paper estimates area from comparable published DPS designs (Meta's
+/// 4.6 µm pixel at 65 nm, Samsung's 4.95 µm at 28 nm) and settles on a
+/// 5 µm x 5 µm pixel pitch, yielding:
+///
+/// * pixel array (640x400): **6.4 mm²**
+/// * in-sensor NPU (8x8 MACs + 512 KB SRAM): **0.4 mm²**
+/// * output buffer incl. run-length encoder: **0.1 mm²**
+///
+/// and a host-side run-length decoder below 0.1 % of host area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Pixel pitch in micrometres (square pixels).
+    pub pixel_pitch_um: f64,
+    /// SRAM macro area per KB at 16 nm, in mm².
+    pub sram_mm2_per_kb_16nm: f64,
+    /// Logic area of one 8-bit MAC unit at 16 nm, in mm².
+    pub mac_mm2_16nm: f64,
+    /// Output buffer + run-length encoder area at the sensor logic node,
+    /// in mm² at 16 nm.
+    pub output_buffer_mm2_16nm: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            pixel_pitch_um: 5.0,
+            sram_mm2_per_kb_16nm: 4.2e-4,
+            mac_mm2_16nm: 6.0e-5,
+            output_buffer_mm2_16nm: 0.054,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Pixel-array area for a `width x height` sensor, in mm².
+    pub fn pixel_array_mm2(&self, width: usize, height: usize) -> f64 {
+        width as f64 * height as f64 * self.pixel_pitch_um * self.pixel_pitch_um / 1e6
+    }
+
+    /// In-sensor NPU area (MAC array + weight/activation SRAM) at `node`.
+    pub fn npu_mm2(&self, mac_rows: usize, mac_cols: usize, sram_kb: f64, node: ProcessNode) -> f64 {
+        let factor = node.area_factor() as f64 / ProcessNode::NM16.area_factor() as f64;
+        let macs = (mac_rows * mac_cols) as f64 * self.mac_mm2_16nm;
+        let sram = sram_kb * self.sram_mm2_per_kb_16nm;
+        (macs + sram) * factor
+    }
+
+    /// Output buffer (+RLE) area at `node`, in mm².
+    pub fn output_buffer_mm2(&self, node: ProcessNode) -> f64 {
+        self.output_buffer_mm2_16nm * node.area_factor() as f64
+            / ProcessNode::NM16.area_factor() as f64
+    }
+
+    /// NPU area overhead relative to the pixel array, as a fraction.
+    pub fn npu_overhead_fraction(
+        &self,
+        width: usize,
+        height: usize,
+        mac_rows: usize,
+        mac_cols: usize,
+        sram_kb: f64,
+        node: ProcessNode,
+    ) -> f64 {
+        self.npu_mm2(mac_rows, mac_cols, sram_kb, node) / self.pixel_array_mm2(width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_array_matches_paper() {
+        let m = AreaModel::default();
+        let a = m.pixel_array_mm2(640, 400);
+        assert!((a - 6.4).abs() < 1e-9, "array area {a} mm²");
+    }
+
+    #[test]
+    fn npu_area_matches_paper() {
+        // 8x8 MACs + 512 KB SRAM at 22 nm should be ≈ 0.4 mm².
+        let m = AreaModel::default();
+        let a = m.npu_mm2(8, 8, 512.0, ProcessNode::NM22);
+        assert!((a - 0.4).abs() < 0.05, "npu area {a} mm²");
+    }
+
+    #[test]
+    fn output_buffer_matches_paper() {
+        let m = AreaModel::default();
+        let a = m.output_buffer_mm2(ProcessNode::NM22);
+        assert!((a - 0.1).abs() < 0.02, "output buffer {a} mm²");
+    }
+
+    #[test]
+    fn npu_overhead_is_small() {
+        // Paper §II-B: integrating the DNN processor adds ~5.8 % area.
+        let m = AreaModel::default();
+        let f = m.npu_overhead_fraction(640, 400, 8, 8, 512.0, ProcessNode::NM22);
+        assert!(f > 0.03 && f < 0.09, "overhead {f}");
+    }
+}

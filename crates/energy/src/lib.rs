@@ -1,0 +1,38 @@
+//! Energy, latency-primitive, area and technology-scaling models.
+//!
+//! The paper's hardware evaluation rests on a handful of published constants
+//! and a technology-scaling methodology:
+//!
+//! * synthesis results at TSMC 16 nm FinFET scaled to other nodes with
+//!   **DeepScaleTool** (Sarangi & Baas 2021; Stillmaker & Baas 2017) —
+//!   reproduced here as [`ProcessNode`] scaling factors;
+//! * **MIPI CSI-2** transfer energy of ~100 pJ/byte (Liu et al., ISSCC'22)
+//!   and resolution-dependent transfer latency (paper Fig. 3) — [`MipiLink`];
+//! * **LPDDR3-1600** DRAM energy from Micron's power calculators —
+//!   [`DramModel`];
+//! * per-pixel **readout chain** (single-slope ADC) energy, the dominant
+//!   sensor power (66 % on average across recent sensors, paper Fig. 4) —
+//!   [`ReadoutModel`];
+//! * an **area model** for the DPS pixel array, in-sensor NPU and output
+//!   buffer (paper §VI-D) — [`AreaModel`];
+//! * the embedded **survey/trend datasets** behind motivational Figs. 2–4 —
+//!   [`trends`].
+//!
+//! All defaults are chosen so that the four system variants reproduce the
+//! paper's energy *ratios* (see `blisscam-core`); absolute Joule values are
+//! sensitivity-checked rather than claimed.
+
+mod area;
+mod dram;
+mod mipi;
+mod params;
+mod readout;
+mod scaling;
+pub mod trends;
+
+pub use area::AreaModel;
+pub use dram::DramModel;
+pub use mipi::{MipiLink, Resolution};
+pub use params::EnergyParams;
+pub use readout::ReadoutModel;
+pub use scaling::{ProcessNode, ProcessNodeError};

@@ -1,0 +1,164 @@
+use serde::{Deserialize, Serialize};
+
+/// Standard video resolutions used by the paper's MIPI latency study (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resolution {
+    /// 1280 x 720.
+    R720p,
+    /// 1920 x 1080.
+    R1080p,
+    /// 2560 x 1440.
+    R2k,
+    /// 3840 x 2160.
+    R4k,
+    /// 7680 x 4320.
+    R8k,
+}
+
+impl Resolution {
+    /// All resolutions in ascending pixel count (the Fig. 3 x-axis).
+    pub const ALL: [Resolution; 5] = [
+        Resolution::R720p,
+        Resolution::R1080p,
+        Resolution::R2k,
+        Resolution::R4k,
+        Resolution::R8k,
+    ];
+
+    /// Width and height in pixels.
+    pub fn dimensions(&self) -> (usize, usize) {
+        match self {
+            Resolution::R720p => (1280, 720),
+            Resolution::R1080p => (1920, 1080),
+            Resolution::R2k => (2560, 1440),
+            Resolution::R4k => (3840, 2160),
+            Resolution::R8k => (7680, 4320),
+        }
+    }
+
+    /// Total pixel count.
+    pub fn pixels(&self) -> usize {
+        let (w, h) = self.dimensions();
+        w * h
+    }
+
+    /// Conventional label ("720P", "4K", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Resolution::R720p => "720P",
+            Resolution::R1080p => "1080P",
+            Resolution::R2k => "2K",
+            Resolution::R4k => "4K",
+            Resolution::R8k => "8K",
+        }
+    }
+}
+
+/// A MIPI CSI-2 sensor-to-host link.
+///
+/// Two constants drive the paper's analysis:
+///
+/// * **energy**: ~100 pJ per byte transmitted (Liu et al., ISSCC'22), which
+///   turns data-volume reduction directly into energy reduction;
+/// * **bandwidth**: the effective link rate determines transfer latency,
+///   which at 4K already exceeds the 15 ms end-to-end budget (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MipiLink {
+    /// Effective payload bandwidth in bytes/second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Transfer energy per byte, in joules.
+    pub energy_per_byte_j: f64,
+    /// Bits per pixel on the wire (RAW10 by default).
+    pub bits_per_pixel: u32,
+}
+
+impl Default for MipiLink {
+    fn default() -> Self {
+        MipiLink {
+            // ~3.8 Gbps effective (2-lane D-PHY with protocol overhead):
+            // calibrated so a 4K RAW10 frame takes ~22 ms as in Fig. 3.
+            bandwidth_bytes_per_s: 0.47e9,
+            energy_per_byte_j: 100e-12,
+            bits_per_pixel: 10,
+        }
+    }
+}
+
+impl MipiLink {
+    /// Creates a link with explicit parameters.
+    pub fn new(bandwidth_bytes_per_s: f64, energy_per_byte_j: f64, bits_per_pixel: u32) -> Self {
+        MipiLink {
+            bandwidth_bytes_per_s,
+            energy_per_byte_j,
+            bits_per_pixel,
+        }
+    }
+
+    /// Bytes on the wire for `pixels` raw pixels.
+    pub fn frame_bytes(&self, pixels: usize) -> u64 {
+        (pixels as u64 * self.bits_per_pixel as u64).div_ceil(8)
+    }
+
+    /// Transfer time for `bytes` payload bytes, in seconds.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Transfer time for a full frame at `resolution`, in seconds.
+    pub fn frame_transfer_time_s(&self, resolution: Resolution) -> f64 {
+        self.transfer_time_s(self.frame_bytes(resolution.pixels()))
+    }
+
+    /// Transfer energy for `bytes` payload bytes, in joules.
+    pub fn transfer_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_per_byte_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolutions_ascend() {
+        for w in Resolution::ALL.windows(2) {
+            assert!(w[0].pixels() < w[1].pixels());
+        }
+    }
+
+    #[test]
+    fn frame_bytes_raw10() {
+        let link = MipiLink::default();
+        // 640x400 x 10 bit = 320 000 bytes
+        assert_eq!(link.frame_bytes(640 * 400), 320_000);
+    }
+
+    #[test]
+    fn four_k_exceeds_latency_budget() {
+        // Fig. 3: at 4K the MIPI transfer alone (~22 ms) exceeds the 15 ms
+        // end-to-end requirement.
+        let link = MipiLink::default();
+        let t_4k = link.frame_transfer_time_s(Resolution::R4k);
+        assert!(t_4k > 15e-3, "4K transfer {t_4k}s should exceed 15 ms");
+        assert!((t_4k - 22e-3).abs() < 5e-3, "4K transfer should be ~22 ms");
+        let t_720 = link.frame_transfer_time_s(Resolution::R720p);
+        assert!(t_720 < 15e-3, "720P should fit the budget");
+    }
+
+    #[test]
+    fn energy_is_linear_in_bytes() {
+        let link = MipiLink::default();
+        assert_eq!(
+            link.transfer_energy_j(2_000),
+            2.0 * link.transfer_energy_j(1_000)
+        );
+        // 100 pJ/byte reference point
+        assert!((link.transfer_energy_j(1) - 100e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Resolution::R4k.label(), "4K");
+        assert_eq!(Resolution::R720p.label(), "720P");
+    }
+}

@@ -1,0 +1,138 @@
+use crate::scaling::ProcessNode;
+use serde::{Deserialize, Serialize};
+
+/// Energy model of the pixel readout chain and its BlissCam extensions.
+///
+/// In a conventional sensor the readout circuitry (per-pixel single-slope
+/// ADC plus column chain) consumes on average 66 % of total sensor power
+/// (paper Fig. 4). BlissCam time-multiplexes the same comparator between
+/// three analog modes (Fig. 10): holding the previous frame, eventification
+/// (switched-capacitor subtraction + threshold compare), and normal ADC.
+/// Only *sampled* pixels pay the full conversion energy; skipped pixels
+/// output constant zero.
+///
+/// Analog circuits scale far more weakly with process than digital logic;
+/// we model analog energy scaling as the square root of the digital factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadoutModel {
+    /// Full 10-bit single-slope conversion energy per pixel at the
+    /// reference analog node, in joules.
+    pub adc_conversion_j: f64,
+    /// Analog eventification energy per pixel (two threshold compares on the
+    /// existing comparator), in joules at the reference node.
+    pub analog_event_j: f64,
+    /// Analog memory retention: per-pixel bias power while the previous
+    /// frame is held on the auto-zero capacitor, in watts at the reference
+    /// node. Scales with the frame interval — shorter exposures at high
+    /// frame rates cut this term, the effect behind the paper's Fig. 16
+    /// energy trend.
+    pub analog_hold_w_per_pixel: f64,
+    /// Digital eventification (S+NPU variant): subtract + compare in logic
+    /// plus SRAM read/write per pixel, in joules at 16 nm.
+    pub digital_event_j: f64,
+    /// Reference analog node for the analog constants above.
+    pub reference_analog_node: ProcessNode,
+}
+
+impl Default for ReadoutModel {
+    fn default() -> Self {
+        ReadoutModel {
+            // 10-bit SS ADC + full column/ramp readout chain overhead:
+            // ~1 nJ/conversion (at the 65 nm analog reference), calibrated
+            // so the readout chain dominates conventional sensor power as in
+            // Fig. 4 and the variant ratios of Fig. 13 hold.
+            adc_conversion_j: 1.0e-9,
+            // Eventification re-uses the comparator for 2 compares only.
+            analog_event_j: 15e-12,
+            // Comparator-as-buffer bias current during the hold interval.
+            analog_hold_w_per_pixel: 20e-9,
+            // Digital: 10-bit subtract+compare + SRAM RW at 16 nm.
+            digital_event_j: 12e-12,
+            reference_analog_node: ProcessNode::NM65,
+        }
+    }
+}
+
+impl ReadoutModel {
+    /// Analog scaling factor between the reference node and `node`
+    /// (square root of the digital dynamic-energy ratio).
+    fn analog_factor(&self, node: ProcessNode) -> f64 {
+        let ratio =
+            node.energy_factor() as f64 / self.reference_analog_node.energy_factor() as f64;
+        ratio.sqrt()
+    }
+
+    /// Energy to convert `conversions` pixels through the ADC at `node`.
+    pub fn adc_energy_j(&self, conversions: u64, node: ProcessNode) -> f64 {
+        conversions as f64 * self.adc_conversion_j * self.analog_factor(node)
+    }
+
+    /// Energy to eventify `pixels` pixels in the analog domain at `node`.
+    pub fn analog_event_energy_j(&self, pixels: u64, node: ProcessNode) -> f64 {
+        pixels as f64 * self.analog_event_j * self.analog_factor(node)
+    }
+
+    /// Energy to hold `pixels` previous-frame values in analog memory for
+    /// `duration_s` seconds at `node`.
+    pub fn analog_hold_energy_j(&self, pixels: u64, duration_s: f64, node: ProcessNode) -> f64 {
+        pixels as f64 * self.analog_hold_w_per_pixel * duration_s * self.analog_factor(node)
+    }
+
+    /// Energy to eventify `pixels` pixels digitally at `node` (used by the
+    /// S+NPU variant, which lacks the analog extensions).
+    pub fn digital_event_energy_j(&self, pixels: u64, node: ProcessNode) -> f64 {
+        pixels as f64 * self.digital_event_j * node.energy_factor() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_fraction_scales_adc_energy() {
+        let m = ReadoutModel::default();
+        let full = m.adc_energy_j(256_000, ProcessNode::NM22);
+        let sparse = m.adc_energy_j(256_000 / 20, ProcessNode::NM22);
+        assert!((full / sparse - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn analog_scales_weaker_than_digital() {
+        let m = ReadoutModel::default();
+        let e65 = m.adc_energy_j(1, ProcessNode::NM65);
+        let e22 = m.adc_energy_j(1, ProcessNode::NM22);
+        let analog_ratio = e65 / e22;
+        let digital_ratio =
+            (ProcessNode::NM65.energy_factor() / ProcessNode::NM22.energy_factor()) as f64;
+        assert!(analog_ratio > 1.0);
+        assert!(analog_ratio < digital_ratio);
+    }
+
+    #[test]
+    fn hold_energy_scales_with_frame_interval() {
+        // The Fig. 16 mechanism: halving the frame period halves retention.
+        let m = ReadoutModel::default();
+        let slow = m.analog_hold_energy_j(256_000, 33e-3, ProcessNode::NM22);
+        let fast = m.analog_hold_energy_j(256_000, 2e-3, ProcessNode::NM22);
+        assert!((slow / fast - 16.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn eventification_is_much_cheaper_than_conversion() {
+        let m = ReadoutModel::default();
+        let ev = m.analog_event_energy_j(1, ProcessNode::NM22);
+        let adc = m.adc_energy_j(1, ProcessNode::NM22);
+        assert!(ev * 5.0 < adc, "eventify {ev} vs adc {adc}");
+    }
+
+    #[test]
+    fn analog_eventification_beats_digital_at_reference() {
+        // The core Fig. 13 argument: analog eventification avoids the digital
+        // frame-buffer path.
+        let m = ReadoutModel::default();
+        let analog = m.analog_event_energy_j(1, ProcessNode::NM22);
+        let digital = m.digital_event_energy_j(1, ProcessNode::NM22);
+        assert!(analog < digital);
+    }
+}

@@ -1,0 +1,138 @@
+//! Embedded survey datasets behind the paper's motivational figures.
+//!
+//! * Fig. 2 — compute capability of Nvidia Jetson GPUs vs the compute demand
+//!   of eye-tracking algorithms at a 120 Hz tracking rate;
+//! * Fig. 4 — the fraction of image-sensor power consumed by the readout
+//!   circuitry across six recent sensor publications (average ≈ 66 %).
+//!
+//! Values are approximate, compiled from the public spec sheets and papers
+//! the original figure cites; they reproduce the *trend* (GPU capability
+//! outpacing algorithm demand; readout dominating sensor power).
+
+use serde::{Deserialize, Serialize};
+
+/// One mobile GPU data point for Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuEntry {
+    /// Device name.
+    pub name: &'static str,
+    /// Release year (Fig. 2 x-axis position).
+    pub year: u32,
+    /// Peak sustained compute in GFLOPS.
+    pub gflops: f64,
+}
+
+/// Nvidia Jetson series capability over time (paper Fig. 2, upper series).
+pub const JETSON_GPUS: &[GpuEntry] = &[
+    GpuEntry { name: "TX1", year: 2015, gflops: 512.0 },
+    GpuEntry { name: "TX2", year: 2017, gflops: 665.0 },
+    GpuEntry { name: "Xavier", year: 2018, gflops: 1_410.0 },
+    GpuEntry { name: "Xavier-NX", year: 2020, gflops: 845.0 },
+    GpuEntry { name: "Orin-NX", year: 2022, gflops: 1_880.0 },
+    GpuEntry { name: "Orin", year: 2023, gflops: 5_320.0 },
+];
+
+/// One eye-tracking algorithm data point for Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmEntry {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Publication year.
+    pub year: u32,
+    /// Compute per frame in GFLOPs.
+    pub gflop_per_frame: f64,
+}
+
+impl AlgorithmEntry {
+    /// Compute demand in GFLOPS when tracking at `fps` frames per second.
+    pub fn demand_gflops(&self, fps: f64) -> f64 {
+        self.gflop_per_frame * fps
+    }
+}
+
+/// Eye-tracking algorithm demands (paper Fig. 2, lower series).
+pub const EYE_TRACKING_ALGORITHMS: &[AlgorithmEntry] = &[
+    AlgorithmEntry { name: "SegNet", year: 2015, gflop_per_frame: 30.7 },
+    AlgorithmEntry { name: "DeepVoG", year: 2019, gflop_per_frame: 4.5 },
+    AlgorithmEntry { name: "RITnet", year: 2019, gflop_per_frame: 2.5 },
+    AlgorithmEntry { name: "Eye-MS", year: 2019, gflop_per_frame: 1.2 },
+    AlgorithmEntry { name: "Kim et al.", year: 2019, gflop_per_frame: 0.8 },
+    AlgorithmEntry { name: "DenseElNet", year: 2021, gflop_per_frame: 3.5 },
+    AlgorithmEntry { name: "EdGaze", year: 2022, gflop_per_frame: 0.25 },
+];
+
+/// One sensor data point for Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorSurveyEntry {
+    /// Publication venue and year label as used in the figure.
+    pub venue: &'static str,
+    /// Publication year.
+    pub year: u32,
+    /// Percentage of total sensor power attributed to the readout chain.
+    pub readout_power_pct: f64,
+}
+
+/// Readout power share across six recent sensors (paper Fig. 4).
+pub const READOUT_POWER_SURVEY: &[SensorSurveyEntry] = &[
+    SensorSurveyEntry { venue: "JSSC'19", year: 2019, readout_power_pct: 72.0 },
+    SensorSurveyEntry { venue: "TCAS-1'20", year: 2020, readout_power_pct: 60.0 },
+    SensorSurveyEntry { venue: "TCAS-2'21", year: 2021, readout_power_pct: 71.0 },
+    SensorSurveyEntry { venue: "ISSCC'21", year: 2021, readout_power_pct: 55.0 },
+    SensorSurveyEntry { venue: "JSSC'22", year: 2022, readout_power_pct: 66.0 },
+    SensorSurveyEntry { venue: "IISW'23", year: 2023, readout_power_pct: 72.0 },
+];
+
+/// Mean readout power share across the survey (the paper quotes 66 %).
+pub fn mean_readout_power_pct() -> f64 {
+    let total: f64 = READOUT_POWER_SURVEY
+        .iter()
+        .map(|e| e.readout_power_pct)
+        .sum();
+    total / READOUT_POWER_SURVEY.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_average_is_66_percent() {
+        let avg = mean_readout_power_pct();
+        assert!((avg - 66.0).abs() < 1.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn recent_gpus_meet_recent_algorithm_demand_at_120hz() {
+        // Fig. 2's argument: tracking *rate* is not the bottleneck — modern
+        // GPUs exceed modern algorithms' 120 Hz demand.
+        let newest_gpu = JETSON_GPUS.last().unwrap();
+        for alg in EYE_TRACKING_ALGORITHMS.iter().filter(|a| a.year >= 2019) {
+            assert!(
+                newest_gpu.gflops > alg.demand_gflops(120.0),
+                "{} demand exceeds {}",
+                alg.name,
+                newest_gpu.name
+            );
+        }
+    }
+
+    #[test]
+    fn early_algorithms_exceeded_early_gpus() {
+        // SegNet at 120 Hz was infeasible on a TX1 — algorithms have become
+        // more efficient over time, the other half of the Fig. 2 trend.
+        let segnet = &EYE_TRACKING_ALGORITHMS[0];
+        let tx1 = &JETSON_GPUS[0];
+        assert!(segnet.demand_gflops(120.0) > tx1.gflops);
+    }
+
+    #[test]
+    fn algorithms_get_cheaper_over_time() {
+        let early: f64 = EYE_TRACKING_ALGORITHMS
+            .iter()
+            .filter(|a| a.year <= 2019)
+            .map(|a| a.gflop_per_frame)
+            .fold(f64::INFINITY, f64::min);
+        let edgaze = EYE_TRACKING_ALGORITHMS.last().unwrap();
+        assert!(edgaze.gflop_per_frame < early);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests of the energy models.
+
+use bliss_energy::{DramModel, EnergyParams, MipiLink, ProcessNode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn node_factors_monotone(a in 7u32..180, b in 7u32..180) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assume!(lo != hi);
+        let n_lo = ProcessNode::new(lo).unwrap();
+        let n_hi = ProcessNode::new(hi).unwrap();
+        prop_assert!(n_lo.energy_factor() <= n_hi.energy_factor());
+        prop_assert!(n_lo.delay_factor() <= n_hi.delay_factor());
+        prop_assert!(n_lo.area_factor() <= n_hi.area_factor());
+    }
+
+    #[test]
+    fn mipi_energy_and_time_linear(bytes in 1u64..10_000_000) {
+        let link = MipiLink::default();
+        let e1 = link.transfer_energy_j(bytes);
+        let e2 = link.transfer_energy_j(2 * bytes);
+        prop_assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        let t1 = link.transfer_time_s(bytes);
+        prop_assert!(t1 > 0.0 && t1.is_finite());
+    }
+
+    #[test]
+    fn dram_energy_additive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let d = DramModel::default();
+        let sum = d.traffic_energy_j(a) + d.traffic_energy_j(b);
+        prop_assert!((d.traffic_energy_j(a + b) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_proportional_to_time_and_capacity(
+        kb in 1u64..2_000, t in 1e-4f64..0.1
+    ) {
+        let p = EnergyParams::default();
+        let e1 = p.sram_leakage_energy_j(kb * 1024, t, ProcessNode::NM22);
+        let e2 = p.sram_leakage_energy_j(kb * 1024, 2.0 * t, ProcessNode::NM22);
+        let e3 = p.sram_leakage_energy_j(2 * kb * 1024, t, ProcessNode::NM22);
+        prop_assert!((e2 / e1 - 2.0).abs() < 1e-6);
+        prop_assert!((e3 / e1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adc_energy_nonnegative_and_monotone(
+        conv in 0u64..1_000_000, nm in 7u32..180
+    ) {
+        let p = EnergyParams::default();
+        let node = ProcessNode::new(nm).unwrap();
+        let e = p.readout.adc_energy_j(conv, node);
+        prop_assert!(e >= 0.0);
+        prop_assert!(p.readout.adc_energy_j(conv + 1, node) >= e);
+    }
+}

@@ -1,0 +1,208 @@
+use crate::gaze::{Gaze, MovementPhase, TrajectoryConfig, TrajectoryGenerator};
+use crate::model::{EyeModel, EyeModelConfig, RoiBox};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for rendering a synthetic eye-tracking sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SequenceConfig {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of frames to render.
+    pub frames: usize,
+    /// Capture frame rate (drives trajectory sampling).
+    pub fps: f32,
+    /// RNG seed: fixes the skin texture, the gaze trajectory and (through
+    /// derived seeds) any downstream noise.
+    pub seed: u64,
+}
+
+impl SequenceConfig {
+    /// Paper-scale sensor resolution (640x400) at 120 FPS.
+    pub fn paper(frames: usize, seed: u64) -> Self {
+        SequenceConfig {
+            width: 640,
+            height: 400,
+            frames,
+            fps: 120.0,
+            seed,
+        }
+    }
+
+    /// Miniature resolution (160x100) used for CPU-scale training runs.
+    pub fn miniature(frames: usize, seed: u64) -> Self {
+        SequenceConfig {
+            width: 160,
+            height: 100,
+            frames,
+            fps: 120.0,
+            seed,
+        }
+    }
+}
+
+/// One rendered frame with full ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyeFrame {
+    /// Clean (noise-free) radiance image in `[0, 1]`, row-major.
+    pub clean: Vec<f32>,
+    /// Per-pixel class mask (see [`crate::EyeClass`]).
+    pub mask: Vec<u8>,
+    /// True gaze direction.
+    pub gaze: Gaze,
+    /// Eyelid aperture in `[0, 1]`.
+    pub openness: f32,
+    /// Movement phase (fixation/saccade/pursuit/blink).
+    pub phase: MovementPhase,
+    /// Ground-truth region of interest (bounding box of the eye).
+    pub roi: RoiBox,
+}
+
+/// A rendered sequence plus the geometry used to produce it.
+#[derive(Debug, Clone)]
+pub struct EyeSequence {
+    /// Width of every frame in pixels.
+    pub width: usize,
+    /// Height of every frame in pixels.
+    pub height: usize,
+    /// Frame rate the trajectory was sampled at.
+    pub fps: f32,
+    /// The rendered frames in temporal order.
+    pub frames: Vec<EyeFrame>,
+    /// The renderer (kept so consumers can invert the gaze projection).
+    pub model: EyeModel,
+}
+
+impl EyeSequence {
+    /// Pixels per frame.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Mean ground-truth ROI area across frames, in pixels. The paper
+    /// reports an average ROI of 34 257.8 pixels on 640x400 OpenEDS frames
+    /// (~13 % of the frame), a useful calibration target.
+    pub fn mean_roi_area(&self) -> f32 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.roi.area() as f32).sum::<f32>() / self.frames.len() as f32
+    }
+}
+
+/// Renders a full sequence with ground truth.
+///
+/// Deterministic for a given [`SequenceConfig`] (including seed).
+pub fn render_sequence(config: &SequenceConfig) -> EyeSequence {
+    let model_config = EyeModelConfig::for_resolution(config.width, config.height);
+    let model = EyeModel::new(model_config, config.seed ^ 0xEE71);
+    let traj_config = TrajectoryConfig {
+        fps: config.fps,
+        ..TrajectoryConfig::default()
+    };
+    let mut gen = TrajectoryGenerator::new(traj_config, StdRng::seed_from_u64(config.seed));
+    let mut frames = Vec::with_capacity(config.frames);
+    for _ in 0..config.frames {
+        let state = gen.step();
+        let (clean, mask) = model.render(&state);
+        let roi = model.ground_truth_roi(&mask);
+        frames.push(EyeFrame {
+            clean,
+            mask,
+            gaze: state.gaze,
+            openness: state.openness,
+            phase: state.phase,
+            roi,
+        });
+    }
+    EyeSequence {
+        width: config.width,
+        height: config.height,
+        fps: config.fps,
+        frames,
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EyeClass;
+
+    #[test]
+    fn sequence_has_requested_length_and_size() {
+        let cfg = SequenceConfig::miniature(10, 1);
+        let seq = render_sequence(&cfg);
+        assert_eq!(seq.frames.len(), 10);
+        assert_eq!(seq.pixels(), 160 * 100);
+        for f in &seq.frames {
+            assert_eq!(f.clean.len(), seq.pixels());
+            assert_eq!(f.mask.len(), seq.pixels());
+        }
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let cfg = SequenceConfig::miniature(5, 33);
+        let a = render_sequence(&cfg);
+        let b = render_sequence(&cfg);
+        for (fa, fb) in a.frames.iter().zip(b.frames.iter()) {
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = render_sequence(&SequenceConfig::miniature(5, 1));
+        let b = render_sequence(&SequenceConfig::miniature(5, 2));
+        assert_ne!(a.frames[4].gaze, b.frames[4].gaze);
+    }
+
+    #[test]
+    fn consecutive_frames_share_background() {
+        let seq = render_sequence(&SequenceConfig::miniature(6, 9));
+        for w in seq.frames.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let mut changed_skin = 0usize;
+            for i in 0..a.clean.len() {
+                if a.mask[i] == EyeClass::Skin as u8
+                    && b.mask[i] == EyeClass::Skin as u8
+                    && (a.clean[i] - b.clean[i]).abs() > 1e-6
+                {
+                    changed_skin += 1;
+                }
+            }
+            assert_eq!(changed_skin, 0);
+        }
+    }
+
+    #[test]
+    fn mean_roi_is_minority_of_frame() {
+        let seq = render_sequence(&SequenceConfig::miniature(30, 5));
+        let frac = seq.mean_roi_area() / seq.pixels() as f32;
+        // Paper: ROI ≈ 13% of a 640x400 frame; allow a generous band.
+        assert!(frac > 0.05 && frac < 0.6, "roi fraction {frac}");
+    }
+
+    #[test]
+    fn paper_scale_roi_fraction_close_to_reported() {
+        let seq = render_sequence(&SequenceConfig::paper(6, 11));
+        let frac = seq.mean_roi_area() / seq.pixels() as f32;
+        // 34257.8 / 256000 = 13.4%
+        assert!(frac > 0.06 && frac < 0.45, "roi fraction {frac}");
+    }
+
+    #[test]
+    fn gaze_moves_over_time() {
+        let seq = render_sequence(&SequenceConfig::miniature(240, 3));
+        let first = seq.frames[0].gaze;
+        let moved = seq
+            .frames
+            .iter()
+            .any(|f| f.gaze.angular_distance(&first) > 3.0);
+        assert!(moved, "gaze never moved in 2 s of simulation");
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic near-eye imagery for the BlissCam reproduction.
+//!
+//! The paper trains and evaluates on OpenEDS, a proprietary dataset of real
+//! IR near-eye videos with segmentation labels. This crate substitutes a
+//! **procedural near-eye renderer** that preserves the statistical structure
+//! the BlissCam algorithms exploit:
+//!
+//! * a **static background** (skin texture) — the premise behind
+//!   eventification (paper §III-A): only foreground eye parts move;
+//! * a moving **pupil/iris/sclera** foreground driven by physiologically
+//!   plausible gaze trajectories (fixations, saccades up to 700°/s, blinks);
+//! * **exposure-dependent noise** (Poisson photon shot noise + Gaussian read
+//!   noise), so shorter exposures at high frame rates degrade SNR exactly as
+//!   the paper's sensitivity study requires (§VI-F).
+//!
+//! Every frame carries dense ground truth: a 4-class segmentation mask
+//! (skin / sclera / iris / pupil, mirroring OpenEDS), the gaze direction in
+//! degrees, and the ROI bounding box of the eye region.
+//!
+//! # Example
+//!
+//! ```
+//! use bliss_eye::{SequenceConfig, render_sequence};
+//!
+//! let config = SequenceConfig::miniature(24, 7);
+//! let seq = render_sequence(&config);
+//! assert_eq!(seq.frames.len(), 24);
+//! let frame = &seq.frames[0];
+//! assert_eq!(frame.clean.len(), config.width * config.height);
+//! println!("gaze: {:+.1}° / {:+.1}°", frame.gaze.horizontal_deg, frame.gaze.vertical_deg);
+//! ```
+
+mod dataset;
+mod gaze;
+mod model;
+mod noise;
+
+pub use dataset::{render_sequence, EyeFrame, EyeSequence, SequenceConfig};
+pub use gaze::{Gaze, GazeState, MovementPhase, TrajectoryConfig, TrajectoryGenerator};
+pub use model::{EyeClass, EyeModel, EyeModelConfig, RoiBox, NUM_CLASSES};
+pub use noise::{ImagingNoise, NoiseConfig};

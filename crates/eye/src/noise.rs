@@ -1,0 +1,200 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of the imaging noise model.
+///
+/// The paper models photon shot noise "using the classic method (drawing from
+/// a Poisson distribution)" and designs the readout so its noise does not
+/// corrupt eventification (§V). SNR drops as exposure shrinks, which drives
+/// the accuracy loss at high frame rates in Fig. 16.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Electrons collected by a white (radiance 1.0) pixel at the reference
+    /// exposure (8.3 ms, i.e. 120 FPS).
+    pub full_scale_electrons: f32,
+    /// Gaussian read noise of the readout chain, in electrons RMS.
+    pub read_noise_electrons: f32,
+    /// ADC quantisation depth in bits (the DPS uses a 10-bit SS ADC).
+    pub adc_bits: u32,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            full_scale_electrons: 8_000.0,
+            read_noise_electrons: 2.45, // Seo et al. 2022: 2.45 e- RMS
+            adc_bits: 10,
+        }
+    }
+}
+
+/// Applies exposure-dependent shot noise, read noise and quantisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImagingNoise {
+    config: NoiseConfig,
+}
+
+impl ImagingNoise {
+    /// Creates a noise model.
+    pub fn new(config: NoiseConfig) -> Self {
+        ImagingNoise { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Corrupts a clean radiance image (`[0, 1]` per pixel).
+    ///
+    /// `exposure_scale` is the exposure time relative to the 8.3 ms
+    /// reference; e.g. 0.25 models a 480 FPS capture. Returns the noisy
+    /// image normalised back to `[0, 1]`.
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        clean: &[f32],
+        exposure_scale: f32,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let full = self.config.full_scale_electrons * exposure_scale.max(1e-6);
+        let levels = (1u32 << self.config.adc_bits) as f32;
+        clean
+            .iter()
+            .map(|&v| {
+                let mean_e = (v.clamp(0.0, 1.0) * full).max(0.0);
+                let shot = poisson_sample(rng, mean_e);
+                let read = gauss(rng) * self.config.read_noise_electrons;
+                let electrons = (shot + read).max(0.0);
+                // Quantise with the ADC, then renormalise.
+                let code = (electrons / full * levels).round().min(levels - 1.0);
+                code / (levels - 1.0)
+            })
+            .collect()
+    }
+
+    /// Expected signal-to-noise ratio (in dB) of a pixel with radiance `v`
+    /// at the given exposure scale. SNR grows with sqrt(exposure), matching
+    /// the quadratic sensitivity the paper cites (§II-C).
+    pub fn snr_db(&self, v: f32, exposure_scale: f32) -> f32 {
+        let signal = (v.clamp(0.0, 1.0) * self.config.full_scale_electrons * exposure_scale)
+            .max(1e-9);
+        let noise = (signal + self.config.read_noise_electrons.powi(2)).sqrt();
+        20.0 * (signal / noise).log10()
+    }
+}
+
+impl Default for ImagingNoise {
+    fn default() -> Self {
+        ImagingNoise::new(NoiseConfig::default())
+    }
+}
+
+/// Samples a Poisson random variable with the given mean.
+///
+/// Uses Knuth's method for small means and a Gaussian approximation above 50
+/// (the regime of all realistic pixel intensities here), keeping the renderer
+/// fast without a `rand_distr` dependency.
+pub fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, mean: f32) -> f32 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    if mean > 50.0 {
+        return (mean + gauss(rng) * mean.sqrt()).max(0.0);
+    }
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f32;
+    loop {
+        p *= rng.gen_range(0.0f32..1.0);
+        if p <= l || k > 10_000 {
+            return k as f32;
+        }
+        k += 1;
+    }
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_matches_small_lambda() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let mean: f32 = (0..n).map(|_| poisson_sample(&mut rng, 3.0)).sum::<f32>() / n as f32;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_variance_matches_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| poisson_sample(&mut rng, 400.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 400.0).abs() < 3.0);
+        assert!((var - 400.0).abs() < 40.0, "var={var}");
+    }
+
+    #[test]
+    fn noise_increases_as_exposure_drops() {
+        let noise = ImagingNoise::default();
+        let clean = vec![0.5f32; 4096];
+        let mut rng = StdRng::seed_from_u64(2);
+        let long = noise.apply(&clean, 1.0, &mut rng);
+        let short = noise.apply(&clean, 0.1, &mut rng);
+        let rms = |v: &[f32]| {
+            (v.iter().map(|&x| (x - 0.5) * (x - 0.5)).sum::<f32>() / v.len() as f32).sqrt()
+        };
+        assert!(
+            rms(&short) > 2.0 * rms(&long),
+            "short rms {} vs long rms {}",
+            rms(&short),
+            rms(&long)
+        );
+    }
+
+    #[test]
+    fn snr_grows_with_sqrt_exposure() {
+        let noise = ImagingNoise::default();
+        let s1 = noise.snr_db(0.5, 1.0);
+        let s4 = noise.snr_db(0.5, 4.0);
+        // 4x photons in shot-noise limit => +10 log10(4)/... ~ +3 dB per 2x
+        assert!((s4 - s1 - 6.02).abs() < 0.5, "s1={s1} s4={s4}");
+    }
+
+    #[test]
+    fn output_stays_normalised() {
+        let noise = ImagingNoise::default();
+        let clean: Vec<f32> = (0..256).map(|i| i as f32 / 255.0).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = noise.apply(&clean, 0.5, &mut rng);
+        for &v in &out {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn quantisation_produces_discrete_levels() {
+        let cfg = NoiseConfig {
+            full_scale_electrons: 1e9, // effectively noiseless
+            read_noise_electrons: 0.0,
+            adc_bits: 2,
+        };
+        let noise = ImagingNoise::new(cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = noise.apply(&[0.0, 0.34, 0.67, 1.0], 1.0, &mut rng);
+        for &v in &out {
+            let scaled = v * 3.0;
+            assert!((scaled - scaled.round()).abs() < 1e-4, "level {v}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the synthetic eye substrate.
+
+use bliss_eye::{
+    EyeClass, EyeModel, EyeModelConfig, Gaze, GazeState, ImagingNoise, MovementPhase,
+    TrajectoryConfig, TrajectoryGenerator,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn state(h: f32, v: f32, openness: f32) -> GazeState {
+    GazeState {
+        gaze: Gaze::new(h, v),
+        openness,
+        pupil_dilation: 1.0,
+        phase: MovementPhase::Fixation,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rendered_values_and_classes_are_valid(
+        h in -15.0f32..15.0, v in -9.0f32..9.0, open in 0.0f32..1.0
+    ) {
+        let model = EyeModel::new(EyeModelConfig::for_resolution(80, 50), 3);
+        let (img, mask) = model.render(&state(h, v, open));
+        prop_assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        prop_assert!(mask.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn gt_roi_contains_every_foreground_pixel(
+        h in -12.0f32..12.0, v in -8.0f32..8.0
+    ) {
+        let model = EyeModel::new(EyeModelConfig::for_resolution(80, 50), 5);
+        let (_, mask) = model.render(&state(h, v, 1.0));
+        let roi = model.ground_truth_roi(&mask);
+        for y in 0..50 {
+            for x in 0..80 {
+                if mask[y * 80 + x] != EyeClass::Skin as u8 {
+                    prop_assert!(roi.contains(x, y), "({x},{y}) outside {roi:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaze_projection_roundtrip(h in -15.0f32..15.0, v in -9.0f32..9.0) {
+        let model = EyeModel::new(EyeModelConfig::for_resolution(160, 100), 7);
+        let g = Gaze::new(h, v);
+        let (x, y) = model.pupil_center(&g);
+        let back = model.gaze_from_pupil_center(x, y);
+        prop_assert!(back.angular_distance(&g) < 0.1);
+    }
+
+    #[test]
+    fn trajectory_states_always_valid(seed in 0u64..1000) {
+        let mut gen = TrajectoryGenerator::new(
+            TrajectoryConfig::default(),
+            StdRng::seed_from_u64(seed),
+        );
+        for _ in 0..400 {
+            let s = gen.step();
+            prop_assert!((0.0..=1.0).contains(&s.openness));
+            prop_assert!(s.gaze.horizontal_deg.is_finite());
+            prop_assert!(s.gaze.vertical_deg.is_finite());
+        }
+    }
+
+    #[test]
+    fn noise_output_normalised_at_any_exposure(
+        exposure in 0.01f32..4.0, seed in 0u64..100
+    ) {
+        let noise = ImagingNoise::default();
+        let clean: Vec<f32> = (0..128).map(|i| i as f32 / 127.0).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = noise.apply(&clean, exposure, &mut rng);
+        prop_assert!(out.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

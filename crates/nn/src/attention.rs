@@ -1,0 +1,253 @@
+use crate::layers::{LayerNormLayer, Linear, Mlp};
+use crate::Module;
+use bliss_tensor::{Tensor, TensorError};
+use rand::Rng;
+
+/// Multi-head self-attention over `[tokens, dim]` inputs.
+///
+/// Each head owns its own query/key/value projections of size
+/// `dim -> dim/heads`; head outputs are concatenated and passed through an
+/// output projection. This mirrors the paper's MHA modules (3 heads,
+/// channel size 192 at paper scale, §III-B).
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    query: Vec<Linear>,
+    key: Vec<Linear>,
+    value: Vec<Linear>,
+    proj: Linear,
+    dim: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an MHA module with `heads` heads over `dim` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, dim: usize, heads: usize) -> Self {
+        assert!(heads > 0 && dim.is_multiple_of(heads), "dim must divide by heads");
+        let head_dim = dim / heads;
+        let mk = |rng: &mut R| -> Vec<Linear> {
+            (0..heads).map(|_| Linear::new(rng, dim, head_dim)).collect()
+        };
+        MultiHeadAttention {
+            query: mk(rng),
+            key: mk(rng),
+            value: mk(rng),
+            proj: Linear::new(rng, dim, dim),
+            dim,
+            head_dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.query.len()
+    }
+
+    /// Channel dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Applies self-attention to a `[tokens, dim]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input's channel dimension is not `dim`.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads());
+        for h in 0..self.heads() {
+            let q = self.query[h].forward(x)?;
+            let k = self.key[h].forward(x)?;
+            let v = self.value[h].forward(x)?;
+            let scores = q.matmul(&k.transpose()?)?.scale(scale);
+            let attn = scores.softmax_rows()?;
+            head_outputs.push(attn.matmul(&v)?);
+        }
+        let concat = Tensor::concat_cols(&head_outputs)?;
+        self.proj.forward(&concat)
+    }
+
+    /// Multiply-accumulate operations for `tokens` input rows.
+    ///
+    /// Counts QKV projections, the two attention GEMMs (`QK^T`, `AV`) and the
+    /// output projection. The quadratic `tokens^2` terms are why dropping
+    /// empty patches under sparse sampling reduces compute super-linearly.
+    pub fn macs(&self, tokens: usize) -> u64 {
+        let t = tokens as u64;
+        let d = self.dim as u64;
+        let hd = self.head_dim as u64;
+        let heads = self.heads() as u64;
+        let qkv = 3 * heads * t * d * hd;
+        let attn = 2 * heads * t * t * hd;
+        let proj = t * d * d;
+        qkv + attn + proj
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = Vec::new();
+        for h in 0..self.heads() {
+            p.extend(self.query[h].parameters());
+            p.extend(self.key[h].parameters());
+            p.extend(self.value[h].parameters());
+        }
+        p.extend(self.proj.parameters());
+        p
+    }
+}
+
+/// A pre-norm transformer block: `x + MHA(LN(x))` then `x + MLP(LN(x))`.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    norm1: LayerNormLayer,
+    attn: MultiHeadAttention,
+    norm2: LayerNormLayer,
+    mlp: Mlp,
+}
+
+impl TransformerBlock {
+    /// Creates a block with `dim` channels, `heads` attention heads and a
+    /// 4x MLP expansion (the Segmenter default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, dim: usize, heads: usize) -> Self {
+        Self::with_mlp_ratio(rng, dim, heads, 4)
+    }
+
+    /// Creates a block with an explicit MLP expansion ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads` or `mlp_ratio == 0`.
+    pub fn with_mlp_ratio<R: Rng + ?Sized>(
+        rng: &mut R,
+        dim: usize,
+        heads: usize,
+        mlp_ratio: usize,
+    ) -> Self {
+        assert!(mlp_ratio > 0, "mlp_ratio must be positive");
+        TransformerBlock {
+            norm1: LayerNormLayer::new(dim),
+            attn: MultiHeadAttention::new(rng, dim, heads),
+            norm2: LayerNormLayer::new(dim),
+            mlp: Mlp::new(rng, dim, dim * mlp_ratio),
+        }
+    }
+
+    /// Applies the block to a `[tokens, dim]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the channel dimension differs.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let attn_out = self.attn.forward(&self.norm1.forward(x)?)?;
+        let x = x.add(&attn_out)?;
+        let mlp_out = self.mlp.forward(&self.norm2.forward(&x)?)?;
+        x.add(&mlp_out)
+    }
+
+    /// Multiply-accumulate operations for `tokens` input rows.
+    pub fn macs(&self, tokens: usize) -> u64 {
+        self.attn.macs(tokens) + self.mlp.macs(tokens)
+    }
+
+    /// The attention module (for inspection).
+    pub fn attention(&self) -> &MultiHeadAttention {
+        &self.attn
+    }
+}
+
+impl Module for TransformerBlock {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.norm1.parameters();
+        p.extend(self.attn.parameters());
+        p.extend(self.norm2.parameters());
+        p.extend(self.mlp.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bliss_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mha_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mha = MultiHeadAttention::new(&mut rng, 12, 3);
+        let x = Tensor::constant(NdArray::ones(&[7, 12]));
+        let y = mha.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![7, 12]);
+    }
+
+    #[test]
+    fn mha_macs_grow_quadratically_in_tokens() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mha = MultiHeadAttention::new(&mut rng, 12, 3);
+        let m1 = mha.macs(10);
+        let m2 = mha.macs(20);
+        // Superlinear growth: more than 2x for 2x tokens.
+        assert!(m2 > 2 * m1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must divide")]
+    fn mha_requires_divisible_heads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = MultiHeadAttention::new(&mut rng, 10, 3);
+    }
+
+    #[test]
+    fn transformer_block_trains() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let block = TransformerBlock::new(&mut rng, 8, 2);
+        let x = Tensor::constant(NdArray::randn(&mut rng, &[5, 8], 1.0));
+        let y = block.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![5, 8]);
+        y.mean_all().backward().unwrap();
+        let grads_present = block
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().is_some())
+            .count();
+        assert_eq!(grads_present, block.parameters().len());
+    }
+
+    #[test]
+    fn attention_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mha = MultiHeadAttention::new(&mut rng, 4, 2);
+        let x = NdArray::randn(&mut rng, &[3, 4], 1.0);
+        let params = mha.parameters();
+        let report = bliss_tensor::check_gradients(
+            &params,
+            || {
+                let xin = Tensor::constant(x.clone());
+                Ok(mha.forward(&xin)?.mul(&mha.forward(&xin)?)?.mean_all())
+            },
+            1e-2,
+            4,
+        )
+        .unwrap();
+        assert!(report.passes(5e-2), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn parameter_count_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mha = MultiHeadAttention::new(&mut rng, 12, 3);
+        // 3 heads * 3 projections * (12*4 + 4) + proj (12*12 + 12)
+        let expected = 3 * 3 * (12 * 4 + 4) + 12 * 12 + 12;
+        assert_eq!(mha.num_parameters(), expected);
+    }
+}

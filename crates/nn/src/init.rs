@@ -1,0 +1,43 @@
+use bliss_tensor::NdArray;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Suited to tanh/sigmoid/linear layers and attention projections.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> NdArray {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    NdArray::uniform(rng, shape, -a, a)
+}
+
+/// Kaiming/He normal initialisation: `N(0, sqrt(2 / fan_in))`.
+///
+/// Suited to ReLU-activated convolutions.
+pub fn kaiming_normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize) -> NdArray {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    NdArray::randn(rng, shape, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = xavier_uniform(&mut rng, &[100, 100], 100, 100);
+        let a = (6.0f32 / 200.0).sqrt();
+        assert!(w.max() <= a);
+        assert!(w.min() >= -a);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = kaiming_normal(&mut rng, &[20_000], 8);
+        let var = w.map(|x| x * x).mean();
+        assert!((var - 0.25).abs() < 0.02, "var={var}");
+    }
+}

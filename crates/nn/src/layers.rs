@@ -1,0 +1,347 @@
+use crate::init::{kaiming_normal, xavier_uniform};
+use crate::Module;
+use bliss_tensor::{NdArray, Tensor, TensorError};
+use rand::Rng;
+
+/// A fully-connected layer: `y = x W + b` with `W: [in, out]`, `b: [out]`.
+///
+/// Inputs are `[tokens, in]`; outputs `[tokens, out]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Linear {
+            weight: Tensor::parameter(xavier_uniform(
+                rng,
+                &[in_features, out_features],
+                in_features,
+                out_features,
+            )),
+            bias: Tensor::parameter(NdArray::zeros(&[out_features])),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Applies the layer to a `[tokens, in]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input's last dimension is not `in`.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        x.matmul(&self.weight)?.add_row(&self.bias)
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Multiply-accumulate operations for `tokens` input rows.
+    pub fn macs(&self, tokens: usize) -> u64 {
+        tokens as u64 * self.in_features as u64 * self.out_features as u64
+    }
+}
+
+impl Module for Linear {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// A 2-D convolution layer over single-sample `[c, h, w]` images.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Creates a square-kernel convolution with Kaiming-normal weights.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Tensor::parameter(kaiming_normal(
+                rng,
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+            )),
+            bias: Tensor::parameter(NdArray::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Applies the convolution to a `[c, h, w]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if channel counts disagree or the kernel does
+    /// not fit the padded input.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        x.conv2d(&self.weight, Some(&self.bias), self.stride, self.pad)
+    }
+
+    /// Output spatial dimensions for an `h x w` input.
+    pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Multiply-accumulate operations for an `h x w` input.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_dims(h, w);
+        (self.out_channels * self.in_channels * self.kernel * self.kernel) as u64
+            * (oh * ow) as u64
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Module for Conv2d {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// A depthwise-separable convolution (depthwise `k x k` then pointwise 1x1),
+/// the building block of the EdGaze-style baseline (paper §V).
+#[derive(Debug, Clone)]
+pub struct DepthwiseSeparableConv2d {
+    dw_weight: Tensor,
+    dw_bias: Tensor,
+    pointwise: Conv2d,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl DepthwiseSeparableConv2d {
+    /// Creates the pair of depthwise and pointwise convolutions.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        DepthwiseSeparableConv2d {
+            dw_weight: Tensor::parameter(kaiming_normal(
+                rng,
+                &[in_channels, kernel, kernel],
+                kernel * kernel,
+            )),
+            dw_bias: Tensor::parameter(NdArray::zeros(&[in_channels])),
+            pointwise: Conv2d::new(rng, in_channels, out_channels, 1, 1, 0),
+            channels: in_channels,
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Applies depthwise then pointwise convolution with a ReLU in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input channel count differs.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let dw = x
+            .depthwise_conv2d(&self.dw_weight, Some(&self.dw_bias), self.stride, self.pad)?
+            .relu();
+        self.pointwise.forward(&dw)
+    }
+
+    /// Multiply-accumulate operations for an `h x w` input.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
+        let dw = (self.channels * self.kernel * self.kernel) as u64 * (oh * ow) as u64;
+        dw + self.pointwise.macs(oh, ow)
+    }
+}
+
+impl Module for DepthwiseSeparableConv2d {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = vec![self.dw_weight.clone(), self.dw_bias.clone()];
+        p.extend(self.pointwise.parameters());
+        p
+    }
+}
+
+/// Layer normalisation with learnable scale/shift over the last dimension of
+/// `[tokens, features]` tensors.
+#[derive(Debug, Clone)]
+pub struct LayerNormLayer {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNormLayer {
+    /// Creates an identity-initialised layer norm over `features`.
+    pub fn new(features: usize) -> Self {
+        LayerNormLayer {
+            gamma: Tensor::parameter(NdArray::ones(&[features])),
+            beta: Tensor::parameter(NdArray::zeros(&[features])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises each row of a `[tokens, features]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the feature dimension differs.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        x.layer_norm(&self.gamma, &self.beta, self.eps)
+    }
+}
+
+impl Module for LayerNormLayer {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// The two-layer GELU MLP used inside transformer blocks.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl Mlp {
+    /// Creates an MLP `features -> hidden -> features`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, features: usize, hidden: usize) -> Self {
+        Mlp {
+            fc1: Linear::new(rng, features, hidden),
+            fc2: Linear::new(rng, hidden, features),
+        }
+    }
+
+    /// Applies `fc2(gelu(fc1(x)))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input feature dimension differs.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        self.fc2.forward(&self.fc1.forward(x)?.gelu())
+    }
+
+    /// Multiply-accumulate operations for `tokens` input rows.
+    pub fn macs(&self, tokens: usize) -> u64 {
+        self.fc1.macs(tokens) + self.fc2.macs(tokens)
+    }
+}
+
+impl Module for Mlp {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.fc1.parameters();
+        p.extend(self.fc2.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_macs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(&mut rng, 8, 3);
+        let x = Tensor::constant(NdArray::ones(&[5, 8]));
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![5, 3]);
+        assert_eq!(l.macs(5), 5 * 8 * 3);
+        assert_eq!(l.num_parameters(), 8 * 3 + 3);
+    }
+
+    #[test]
+    fn linear_rejects_bad_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(&mut rng, 8, 3);
+        let x = Tensor::constant(NdArray::ones(&[5, 7]));
+        assert!(l.forward(&x).is_err());
+    }
+
+    #[test]
+    fn conv_shapes_and_macs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = Conv2d::new(&mut rng, 2, 4, 3, 2, 1);
+        let x = Tensor::constant(NdArray::ones(&[2, 8, 8]));
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![4, 4, 4]);
+        assert_eq!(c.out_dims(8, 8), (4, 4));
+        assert_eq!(c.macs(8, 8), (4 * 2 * 3 * 3) as u64 * 16);
+    }
+
+    #[test]
+    fn depthwise_separable_runs_and_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = DepthwiseSeparableConv2d::new(&mut rng, 3, 6, 3, 1, 1);
+        let x = Tensor::constant(NdArray::ones(&[3, 5, 5]));
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![6, 5, 5]);
+        // Depthwise-separable should use far fewer MACs than a full conv.
+        let full = Conv2d::new(&mut rng, 3, 6, 3, 1, 1);
+        assert!(c.macs(5, 5) < full.macs(5, 5));
+    }
+
+    #[test]
+    fn layer_norm_trains() {
+        let ln = LayerNormLayer::new(4);
+        let x = Tensor::constant(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap());
+        let y = ln.forward(&x).unwrap();
+        y.sum_all().backward().unwrap();
+        // beta grad is all ones; gamma grad is xhat (zero-mean)
+        let params = ln.parameters();
+        assert!(params[1].grad().is_some());
+        assert_eq!(params[1].grad().unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn mlp_round_trip_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&mut rng, 6, 24);
+        let x = Tensor::constant(NdArray::ones(&[2, 6]));
+        assert_eq!(mlp.forward(&x).unwrap().shape(), vec![2, 6]);
+        assert_eq!(mlp.macs(2), 2 * 6 * 24 * 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Analytical systolic-array NPU simulator.
+//!
+//! The paper assumes "a standard systolic array architecture to execute any
+//! DNNs and claims no novelty for the neural processing unit design" (§II):
+//! a 32x32 MAC array at 1 GHz with a 2 MB global buffer on the host SoC, and
+//! an 8x8 MAC array at 0.5 GHz with 512 KB of SRAM on the sensor's logic
+//! layer. This crate reproduces that methodology with an analytical
+//! loop-nest model in the style of SCALE-Sim: networks are lowered to GEMMs
+//! ([`WorkloadDesc`]), and per-GEMM cycle counts, utilisation, SRAM/DRAM
+//! traffic and energy are computed in closed form.
+//!
+//! # Example
+//!
+//! ```
+//! use bliss_npu::{SystolicArray, WorkloadDesc};
+//! use bliss_energy::EnergyParams;
+//!
+//! let host = SystolicArray::host();
+//! let mut seg = WorkloadDesc::new("vit-tiny");
+//! seg.push_transformer_block(196, 192, 3);
+//! let report = host.run(&seg, &EnergyParams::default(), true);
+//! assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+//! println!("{:.3} ms, {:.1} uJ", report.time_s * 1e3, report.total_energy_j() * 1e6);
+//! ```
+
+mod systolic;
+mod workload;
+
+pub use systolic::{RunReport, SystolicArray};
+pub use workload::{GemmShape, WorkloadDesc};

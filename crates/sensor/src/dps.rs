@@ -1,0 +1,567 @@
+use crate::event::EventMap;
+use crate::rle;
+use crate::rng::{CalibrationLut, SramRng, SramRngConfig};
+use crate::roi::RoiBox;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the BlissCam digital pixel sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Pixel-array width.
+    pub width: usize,
+    /// Pixel-array height.
+    pub height: usize,
+    /// Eventification threshold σ on the normalised `[0, 1]` scale. The
+    /// paper uses σ = 15 on 8-bit pixels, i.e. ≈ 0.059.
+    pub event_threshold: f32,
+    /// ADC resolution in bits (the DPS uses a per-pixel 10-bit SS ADC).
+    pub adc_bits: u32,
+    /// RMS conversion noise in LSB (read noise referred to the ADC output).
+    pub read_noise_lsb: f32,
+    /// Fixed-pattern comparator offset (1 sigma) on the normalised scale,
+    /// affecting the eventification threshold per pixel.
+    pub comparator_offset_sigma: f32,
+    /// SRAM entropy-source configuration.
+    pub sram_rng: SramRngConfig,
+    /// Seed for process variation, power-up entropy and conversion noise.
+    pub seed: u64,
+}
+
+impl SensorConfig {
+    /// The paper's 640x400 sensor with σ=15/255 and a 10-bit ADC.
+    pub fn paper() -> Self {
+        Self::miniature(640, 400)
+    }
+
+    /// A sensor of arbitrary resolution with paper-default analog settings.
+    pub fn miniature(width: usize, height: usize) -> Self {
+        SensorConfig {
+            width,
+            height,
+            event_threshold: 15.0 / 255.0,
+            adc_bits: 10,
+            read_noise_lsb: 0.6,
+            comparator_offset_sigma: 0.004,
+            sram_rng: SramRngConfig::default(),
+            seed: 0x0B11_55CA,
+        }
+    }
+
+    /// Total pixel count.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// The result of one (sparse or dense) readout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadoutResult {
+    /// The region that was activated by the row/column decoders.
+    pub roi: RoiBox,
+    /// Sampling threshold θ used by the "If Skip ADC" logic (0 = dense).
+    pub theta: u8,
+    /// The output-buffer stream, column-major within the ROI; zeros mark
+    /// skipped pixels (paper Fig. 11).
+    pub stream: Vec<u16>,
+    /// Number of actual ADC conversions performed (only sampled pixels pay
+    /// conversion energy).
+    pub conversions: u64,
+    /// Number of sampled (non-zero) entries in the stream.
+    pub sampled: usize,
+}
+
+impl ReadoutResult {
+    /// Run-length encodes the stream for MIPI transfer.
+    pub fn encode(&self) -> Bytes {
+        rle::encode(&self.stream)
+    }
+
+    /// Size of the run-length-encoded stream in bytes.
+    pub fn encoded_bytes(&self) -> u64 {
+        rle::encoded_len(&self.stream) as u64
+    }
+
+    /// Size of the raw (un-encoded) stream in bytes at 10 bits/pixel packed
+    /// into 2-byte words.
+    pub fn raw_bytes(&self) -> u64 {
+        self.stream.len() as u64 * 2
+    }
+
+    /// Reconstructs the sparse image on the host after run-length decoding:
+    /// a full-frame normalised image (zeros outside ROI / unsampled) plus the
+    /// sampled-pixel mask. `adc_bits` must match the sensor configuration.
+    pub fn sparse_image(
+        &self,
+        width: usize,
+        height: usize,
+        adc_bits: u32,
+    ) -> (Vec<f32>, Vec<bool>) {
+        let max_code = ((1u32 << adc_bits) - 1) as f32;
+        let mut image = vec![0.0f32; width * height];
+        let mut mask = vec![false; width * height];
+        let roi = self.roi.clamp_to(width, height);
+        let mut i = 0usize;
+        for x in roi.x1..roi.x2 {
+            for y in roi.y1..roi.y2 {
+                if let Some(&code) = self.stream.get(i) {
+                    if code != 0 {
+                        image[y * width + x] = code as f32 / max_code;
+                        mask[y * width + x] = true;
+                    }
+                }
+                i += 1;
+            }
+        }
+        (image, mask)
+    }
+
+    /// Pixel-volume compression rate versus a dense full-frame readout:
+    /// total pixels over transmitted (sampled) pixels. This is the paper's
+    /// Fig. 12/15 x-axis ("uncompressed size over compressed size"); the
+    /// quoted 20.6x data reduction corresponds to keeping ~4.9 % of pixels.
+    pub fn compression_rate(&self, full_pixels: usize) -> f32 {
+        full_pixels as f32 / self.sampled.max(1) as f32
+    }
+
+    /// Byte-level compression rate of the run-length-encoded stream versus
+    /// the raw full-frame RAW10 size. Lower than [`Self::compression_rate`]
+    /// because of run-token overhead; this is what the MIPI link sees.
+    pub fn byte_compression_rate(&self, full_pixels: usize) -> f32 {
+        let full_bytes = (full_pixels as u64 * 10).div_ceil(8);
+        let enc = self.encoded_bytes().max(1);
+        full_bytes as f32 / enc as f32
+    }
+}
+
+/// Behavioural model of the BlissCam stacked DPS.
+///
+/// See the [crate-level docs](crate) for the mode/time-multiplexing scheme.
+/// The sensor is deterministic for a given [`SensorConfig`] (including seed).
+#[derive(Debug, Clone)]
+pub struct DigitalPixelSensor {
+    config: SensorConfig,
+    /// Previous frame held on the auto-zero capacitors (analog memory mode).
+    held: Option<Vec<f32>>,
+    /// Current exposure awaiting eventification/readout.
+    current: Option<Vec<f32>>,
+    /// Fixed-pattern comparator offsets (process variation, set at tape-out).
+    comparator_offset: Vec<f32>,
+    sram_rng: SramRng,
+    lut: CalibrationLut,
+    conv_rng: StdRng,
+}
+
+impl DigitalPixelSensor {
+    /// Builds the sensor and runs the one-time offline θ-LUT calibration.
+    pub fn new(config: SensorConfig) -> Self {
+        let mut seed_rng = StdRng::seed_from_u64(config.seed);
+        let pixels = config.pixels();
+        let comparator_offset = (0..pixels)
+            .map(|_| gauss(&mut seed_rng) * config.comparator_offset_sigma)
+            .collect();
+        let mut sram_rng = SramRng::new(pixels, config.sram_rng, config.seed ^ 0x5EED);
+        let lut = sram_rng.calibrate();
+        DigitalPixelSensor {
+            config,
+            held: None,
+            current: None,
+            comparator_offset,
+            sram_rng,
+            lut,
+            conv_rng: StdRng::seed_from_u64(config.seed ^ 0xADC0),
+        }
+    }
+
+    /// The sensor configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// The calibrated sampling-rate lookup table.
+    pub fn calibration(&self) -> &CalibrationLut {
+        &self.lut
+    }
+
+    /// Latches a new exposure onto the pixel array.
+    ///
+    /// `image` is the incident radiance after optics and photon noise,
+    /// normalised to `[0, 1]` (see `bliss_eye::ImagingNoise`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len()` differs from the pixel count.
+    pub fn expose(&mut self, image: &[f32]) {
+        assert_eq!(
+            image.len(),
+            self.config.pixels(),
+            "exposure size must match the pixel array"
+        );
+        self.current = Some(image.to_vec());
+    }
+
+    /// Analog eventification (Eqn. 1): compares the current exposure against
+    /// the held previous frame with thresholds ±σ (applied sequentially via
+    /// Vth1/Vth2 as in Fig. 9), then moves the current frame into the analog
+    /// hold for the next interval.
+    ///
+    /// The first frame after reset has nothing to difference against and
+    /// returns an all-events map (bootstrapping a full ROI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DigitalPixelSensor::expose`].
+    pub fn eventify(&mut self) -> EventMap {
+        let current = self
+            .current
+            .as_ref()
+            .expect("eventify requires a prior expose()")
+            .clone();
+        let map = match &self.held {
+            None => EventMap::new(
+                self.config.width,
+                self.config.height,
+                vec![true; self.config.pixels()],
+            ),
+            Some(prev) => {
+                let sigma = self.config.event_threshold;
+                let bits = current
+                    .iter()
+                    .zip(prev.iter())
+                    .zip(self.comparator_offset.iter())
+                    .map(|((&c, &p), &off)| {
+                        let diff = c - p;
+                        // Two sequential compares against +σ and -σ; the
+                        // comparator offset shifts both thresholds.
+                        diff > sigma + off || -diff > sigma - off
+                    })
+                    .collect();
+                EventMap::new(self.config.width, self.config.height, bits)
+            }
+        };
+        self.held = Some(current);
+        map
+    }
+
+    fn quantize(&mut self, value: f32) -> u16 {
+        let max_code = (1u32 << self.config.adc_bits) - 1;
+        let noisy = value * max_code as f32 + gauss(&mut self.conv_rng) * self.config.read_noise_lsb;
+        // Sampled pixels clamp to a minimum code of 1 so that zero codes
+        // unambiguously mark skipped pixels in the output stream.
+        (noisy.round().clamp(1.0, max_code as f32)) as u16
+    }
+
+    /// Sparse readout: activates `roi`, draws a fresh SRAM power-up sampling
+    /// mask at the rate's calibrated θ, converts only sampled pixels and
+    /// streams the ROI column-by-column with zeros elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DigitalPixelSensor::expose`].
+    pub fn sparse_readout(&mut self, roi: RoiBox, rate: f32) -> ReadoutResult {
+        let theta = self.lut.theta_for_rate(rate);
+        let mask = self.sram_rng.sample_mask(theta);
+        self.readout_with_mask(roi, Some(&mask), theta)
+    }
+
+    /// Dense readout of a region (rate = 1, every pixel converted). With
+    /// `RoiBox::full` this is the conventional NPU-Full sensor path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DigitalPixelSensor::expose`].
+    pub fn dense_readout(&mut self, roi: RoiBox) -> ReadoutResult {
+        self.readout_with_mask(roi, None, 0)
+    }
+
+    /// Uniform (grid) downsampled readout within a region: converts pixels
+    /// where `(x - x1) % stride == 0 && (y - y1) % stride == 0`. Implements
+    /// the Full+DS and ROI+DS baselines (paper §VI-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or before [`DigitalPixelSensor::expose`].
+    pub fn uniform_readout(&mut self, roi: RoiBox, stride: usize) -> ReadoutResult {
+        assert!(stride > 0, "stride must be positive");
+        let roi = roi.clamp_to(self.config.width, self.config.height);
+        let w = self.config.width;
+        let mut mask = vec![false; self.config.pixels()];
+        for x in roi.x1..roi.x2 {
+            for y in roi.y1..roi.y2 {
+                if (x - roi.x1).is_multiple_of(stride) && (y - roi.y1).is_multiple_of(stride) {
+                    mask[y * w + x] = true;
+                }
+            }
+        }
+        self.readout_with_mask(roi, Some(&mask), 0)
+    }
+
+    /// Readout with an arbitrary caller-provided full-frame mask (used by
+    /// the ROI+Fixed and ROI+Learned baselines, whose masks come from
+    /// dataset statistics or an auxiliary network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len()` differs from the pixel count or before
+    /// [`DigitalPixelSensor::expose`].
+    pub fn masked_readout(&mut self, roi: RoiBox, mask: &[bool]) -> ReadoutResult {
+        assert_eq!(mask.len(), self.config.pixels(), "mask size mismatch");
+        self.readout_with_mask(roi, Some(mask), 0)
+    }
+
+    fn readout_with_mask(
+        &mut self,
+        roi: RoiBox,
+        mask: Option<&[bool]>,
+        theta: u8,
+    ) -> ReadoutResult {
+        let current = self
+            .current
+            .as_ref()
+            .expect("readout requires a prior expose()")
+            .clone();
+        let roi = roi.clamp_to(self.config.width, self.config.height);
+        let w = self.config.width;
+        let mut stream = Vec::with_capacity(roi.area());
+        let mut conversions = 0u64;
+        let mut sampled = 0usize;
+        // Column-major: the column decoder walks x1..x2 sequentially while
+        // all rows y1..y2 are active (Fig. 11).
+        for x in roi.x1..roi.x2 {
+            for y in roi.y1..roi.y2 {
+                let idx = y * w + x;
+                let take = mask.is_none_or(|m| m[idx]);
+                if take {
+                    let code = self.quantize(current[idx]);
+                    stream.push(code);
+                    conversions += 1;
+                    sampled += 1;
+                } else {
+                    stream.push(0);
+                }
+            }
+        }
+        ReadoutResult {
+            roi,
+            theta,
+            stream,
+            conversions,
+            sampled,
+        }
+    }
+}
+
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor(w: usize, h: usize) -> DigitalPixelSensor {
+        DigitalPixelSensor::new(SensorConfig::miniature(w, h))
+    }
+
+    fn gradient(w: usize, h: usize) -> Vec<f32> {
+        (0..w * h).map(|i| (i % w) as f32 / w as f32).collect()
+    }
+
+    #[test]
+    fn first_eventify_is_all_events() {
+        let mut s = sensor(8, 4);
+        s.expose(&vec![0.5; 32]);
+        assert_eq!(s.eventify().count(), 32);
+    }
+
+    #[test]
+    fn static_scene_produces_no_events() {
+        let mut s = sensor(8, 4);
+        s.expose(&vec![0.5; 32]);
+        let _ = s.eventify();
+        s.expose(&vec![0.5; 32]);
+        assert_eq!(s.eventify().count(), 0);
+    }
+
+    #[test]
+    fn moving_pixels_trigger_events() {
+        let mut s = sensor(8, 4);
+        let mut img = vec![0.5; 32];
+        s.expose(&img);
+        let _ = s.eventify();
+        img[5] = 0.9; // change > sigma
+        img[6] = 0.52; // change < sigma
+        s.expose(&img);
+        let ev = s.eventify();
+        assert!(ev.bit(5, 0));
+        assert!(!ev.bit(6, 0));
+        assert_eq!(ev.count(), 1);
+    }
+
+    #[test]
+    fn eventification_is_bipolar() {
+        let mut s = sensor(4, 1);
+        s.expose(&[0.8, 0.8, 0.8, 0.8]);
+        let _ = s.eventify();
+        s.expose(&[0.2, 0.8, 0.8, 0.8]); // darkening change
+        let ev = s.eventify();
+        assert!(ev.bit(0, 0), "negative-going change must also fire");
+    }
+
+    #[test]
+    fn dense_readout_converts_every_pixel() {
+        let mut s = sensor(10, 6);
+        s.expose(&gradient(10, 6));
+        let r = s.dense_readout(RoiBox::full(10, 6));
+        assert_eq!(r.stream.len(), 60);
+        assert_eq!(r.conversions, 60);
+        assert_eq!(r.sampled, 60);
+    }
+
+    #[test]
+    fn sparse_readout_respects_rate() {
+        let mut s = sensor(64, 64);
+        s.expose(&gradient(64, 64));
+        let roi = RoiBox::new(8, 8, 56, 56);
+        let r = s.sparse_readout(roi, 0.2);
+        let achieved = r.sampled as f32 / roi.area() as f32;
+        let promised = s.calibration().rate_for_theta(r.theta);
+        assert!(
+            (achieved - promised).abs() < 0.05,
+            "achieved {achieved} promised {promised}"
+        );
+        assert_eq!(r.conversions, r.sampled as u64);
+        assert!(r.conversions < roi.area() as u64);
+    }
+
+    #[test]
+    fn stream_is_column_major() {
+        let mut s = sensor(4, 3);
+        // pixel value encodes its x coordinate
+        let img: Vec<f32> = (0..12).map(|i| ((i % 4) as f32 + 1.0) / 8.0).collect();
+        s.expose(&img);
+        let r = s.dense_readout(RoiBox::full(4, 3));
+        // First three entries are column x=0 (rows 0..3): equal values.
+        let c0: Vec<u16> = r.stream[0..3].to_vec();
+        assert!(c0.windows(2).all(|w| w[0].abs_diff(w[1]) <= 2));
+        // Columns increase in value.
+        assert!(r.stream[0] < r.stream[11]);
+    }
+
+    #[test]
+    fn sparse_image_round_trips_positions() {
+        let mut s = sensor(16, 12);
+        s.expose(&vec![0.7; 192]);
+        let roi = RoiBox::new(2, 3, 10, 9);
+        let r = s.sparse_readout(roi, 0.5);
+        let (img, mask) = r.sparse_image(16, 12, 10);
+        let sampled = mask.iter().filter(|&&b| b).count();
+        assert_eq!(sampled, r.sampled);
+        for y in 0..12 {
+            for x in 0..16 {
+                if !roi.contains(x, y) {
+                    assert_eq!(img[y * 16 + x], 0.0);
+                    assert!(!mask[y * 16 + x]);
+                }
+            }
+        }
+        // sampled values near 0.7
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                assert!((img[i] - 0.7).abs() < 0.05, "value {}", img[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn rle_roundtrip_through_encode() {
+        let mut s = sensor(32, 32);
+        s.expose(&gradient(32, 32));
+        let r = s.sparse_readout(RoiBox::new(4, 4, 28, 28), 0.2);
+        let enc = r.encode();
+        let dec = crate::rle::decode(&enc, r.stream.len()).unwrap();
+        assert_eq!(dec, r.stream);
+        assert!(enc.len() < r.raw_bytes() as usize);
+    }
+
+    #[test]
+    fn compression_rate_increases_with_sparsity() {
+        let mut s = sensor(64, 64);
+        s.expose(&gradient(64, 64));
+        let roi = RoiBox::new(16, 16, 48, 48);
+        let dense = s.dense_readout(roi).compression_rate(64 * 64);
+        let sparse_result = s.sparse_readout(roi, 0.2);
+        let sparse = sparse_result.compression_rate(64 * 64);
+        assert!(sparse > dense);
+        // 20% of a quarter-frame ROI keeps ~5% of pixels: ~20x pixel volume.
+        assert!(sparse > 10.0, "sparse pixel compression {sparse}");
+        // Byte-level compression is lower but still well above dense.
+        let sparse_bytes = sparse_result.byte_compression_rate(64 * 64);
+        let dense_bytes = s.dense_readout(roi).byte_compression_rate(64 * 64);
+        assert!(sparse_bytes > dense_bytes);
+        assert!(sparse_bytes > 2.0, "byte compression {sparse_bytes}");
+    }
+
+    #[test]
+    fn uniform_readout_grid_pattern() {
+        let mut s = sensor(8, 8);
+        s.expose(&vec![0.9; 64]);
+        let r = s.uniform_readout(RoiBox::full(8, 8), 2);
+        assert_eq!(r.sampled, 16);
+        let (_, mask) = r.sparse_image(8, 8, 10);
+        assert!(mask[0]);
+        assert!(!mask[1]);
+        assert!(mask[2]);
+    }
+
+    #[test]
+    fn masked_readout_honours_mask() {
+        let mut s = sensor(4, 4);
+        s.expose(&vec![0.5; 16]);
+        let mut mask = vec![false; 16];
+        mask[5] = true;
+        mask[10] = true;
+        let r = s.masked_readout(RoiBox::full(4, 4), &mask);
+        assert_eq!(r.sampled, 2);
+        assert_eq!(r.conversions, 2);
+    }
+
+    #[test]
+    fn sampled_codes_are_never_zero() {
+        let mut s = sensor(16, 16);
+        s.expose(&vec![0.0; 256]); // black frame
+        let r = s.dense_readout(RoiBox::full(16, 16));
+        assert!(r.stream.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn roi_clamps_to_frame() {
+        let mut s = sensor(8, 8);
+        s.expose(&vec![0.5; 64]);
+        let r = s.dense_readout(RoiBox::new(4, 4, 100, 100));
+        assert_eq!(r.roi, RoiBox::new(4, 4, 8, 8));
+        assert_eq!(r.stream.len(), 16);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            let mut s = sensor(16, 16);
+            s.expose(&gradient(16, 16));
+            let _ = s.eventify();
+            s.sparse_readout(RoiBox::new(2, 2, 14, 14), 0.3)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "exposure size")]
+    fn expose_validates_length() {
+        let mut s = sensor(4, 4);
+        s.expose(&[0.5; 3]);
+    }
+}

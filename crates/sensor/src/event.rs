@@ -1,0 +1,149 @@
+use serde::{Deserialize, Serialize};
+
+/// A binary event map produced by in-sensor eventification (paper Eqn. 1).
+///
+/// `bit(x, y)` is set when the corresponding pixel changed by more than ±σ
+/// between consecutive frames — i.e. it likely belongs to the moving
+/// foreground eye parts. The map is the input to the ROI-prediction DNN and
+/// also drives the `Skip` baseline strategy (reuse previous segmentation
+/// when event density is low).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventMap {
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl EventMap {
+    /// Wraps a row-major bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != width * height`.
+    pub fn new(width: usize, height: usize, bits: Vec<bool>) -> Self {
+        assert_eq!(bits.len(), width * height, "event map size mismatch");
+        EventMap {
+            width,
+            height,
+            bits,
+        }
+    }
+
+    /// An all-clear map.
+    pub fn empty(width: usize, height: usize) -> Self {
+        EventMap {
+            width,
+            height,
+            bits: vec![false; width * height],
+        }
+    }
+
+    /// Map width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Map height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The raw row-major bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Event state of pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn bit(&self, x: usize, y: usize) -> bool {
+        self.bits[y * self.width + x]
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of pixels with events, in `[0, 1]`.
+    pub fn density(&self) -> f32 {
+        if self.bits.is_empty() {
+            0.0
+        } else {
+            self.count() as f32 / self.bits.len() as f32
+        }
+    }
+
+    /// The map as an `f32` image (1.0 = event), the input format of the
+    /// ROI-prediction network.
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Tight bounding box of all events, if any:
+    /// `(x1, y1, x2, y2)` inclusive-exclusive.
+    pub fn bounding_box(&self) -> Option<(usize, usize, usize, usize)> {
+        let mut x1 = self.width;
+        let mut y1 = self.height;
+        let mut x2 = 0usize;
+        let mut y2 = 0usize;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.bits[y * self.width + x] {
+                    x1 = x1.min(x);
+                    y1 = y1.min(y);
+                    x2 = x2.max(x + 1);
+                    y2 = y2.max(y + 1);
+                }
+            }
+        }
+        if x2 > x1 && y2 > y1 {
+            Some((x1, y1, x2, y2))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_and_count() {
+        let mut bits = vec![false; 16];
+        bits[3] = true;
+        bits[7] = true;
+        let m = EventMap::new(4, 4, bits);
+        assert_eq!(m.count(), 2);
+        assert!((m.density() - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_map_has_no_bbox() {
+        assert_eq!(EventMap::empty(8, 8).bounding_box(), None);
+    }
+
+    #[test]
+    fn bbox_is_tight() {
+        let mut bits = vec![false; 25];
+        bits[1 * 5 + 2] = true;
+        bits[3 * 5 + 4] = true;
+        let m = EventMap::new(5, 5, bits);
+        assert_eq!(m.bounding_box(), Some((2, 1, 5, 4)));
+    }
+
+    #[test]
+    fn to_f32_maps_bits() {
+        let m = EventMap::new(2, 1, vec![true, false]);
+        assert_eq!(m.to_f32(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let _ = EventMap::new(3, 3, vec![false; 8]);
+    }
+}

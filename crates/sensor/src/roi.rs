@@ -1,0 +1,140 @@
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned, inclusive-exclusive pixel rectangle `[x1, x2) x [y1, y2)`.
+///
+/// This is the unit of the sensor's sparse readout: the in-sensor NPU emits
+/// the two corners `(x1, y1)`/`(x2, y2)`, the row decoder activates rows
+/// `y1..y2` simultaneously and the column decoder walks columns `x1..x2`
+/// sequentially (paper Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RoiBox {
+    /// Left column (inclusive).
+    pub x1: usize,
+    /// Top row (inclusive).
+    pub y1: usize,
+    /// Right column (exclusive).
+    pub x2: usize,
+    /// Bottom row (exclusive).
+    pub y2: usize,
+}
+
+impl RoiBox {
+    /// Creates a box, normalising so `x1 <= x2` and `y1 <= y2`.
+    pub fn new(x1: usize, y1: usize, x2: usize, y2: usize) -> Self {
+        RoiBox {
+            x1: x1.min(x2),
+            y1: y1.min(y2),
+            x2: x2.max(x1),
+            y2: y2.max(y1),
+        }
+    }
+
+    /// The full-frame box for a `width x height` sensor.
+    pub fn full(width: usize, height: usize) -> Self {
+        RoiBox {
+            x1: 0,
+            y1: 0,
+            x2: width,
+            y2: height,
+        }
+    }
+
+    /// Clamps the box to a `width x height` frame.
+    pub fn clamp_to(&self, width: usize, height: usize) -> RoiBox {
+        RoiBox {
+            x1: self.x1.min(width),
+            y1: self.y1.min(height),
+            x2: self.x2.min(width),
+            y2: self.y2.min(height),
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.x2 - self.x1
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.y2 - self.y1
+    }
+
+    /// Pixel count covered by the box.
+    pub fn area(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Whether `(x, y)` lies inside the box.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x1 && x < self.x2 && y >= self.y1 && y < self.y2
+    }
+
+    /// Expands by `margin` on every side, clamped to `width x height`.
+    pub fn expand(&self, margin: usize, width: usize, height: usize) -> RoiBox {
+        RoiBox {
+            x1: self.x1.saturating_sub(margin),
+            y1: self.y1.saturating_sub(margin),
+            x2: (self.x2 + margin).min(width),
+            y2: (self.y2 + margin).min(height),
+        }
+    }
+
+    /// Intersection-over-union with another box (0 when disjoint).
+    pub fn iou(&self, other: &RoiBox) -> f32 {
+        let ix1 = self.x1.max(other.x1);
+        let iy1 = self.y1.max(other.y1);
+        let ix2 = self.x2.min(other.x2);
+        let iy2 = self.y2.min(other.y2);
+        if ix2 <= ix1 || iy2 <= iy1 {
+            return 0.0;
+        }
+        let inter = ((ix2 - ix1) * (iy2 - iy1)) as f32;
+        let union = (self.area() + other.area()) as f32 - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalises_corners() {
+        let b = RoiBox::new(10, 8, 2, 3);
+        assert!(b.x1 <= b.x2 && b.y1 <= b.y2);
+    }
+
+    #[test]
+    fn area_and_contains() {
+        let b = RoiBox::new(2, 3, 6, 8);
+        assert_eq!(b.area(), 20);
+        assert!(b.contains(2, 3));
+        assert!(!b.contains(6, 3));
+        assert!(!b.contains(1, 5));
+    }
+
+    #[test]
+    fn clamp_restricts_to_frame() {
+        let b = RoiBox::new(5, 5, 50, 50).clamp_to(20, 10);
+        assert_eq!(b, RoiBox::new(5, 5, 20, 10));
+    }
+
+    #[test]
+    fn expand_saturates_at_borders() {
+        let b = RoiBox::new(1, 1, 4, 4).expand(3, 10, 10);
+        assert_eq!(b, RoiBox::new(0, 0, 7, 7));
+    }
+
+    #[test]
+    fn iou_identity_and_symmetry() {
+        let a = RoiBox::new(0, 0, 4, 4);
+        let b = RoiBox::new(2, 2, 6, 6);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-6);
+        assert!(a.iou(&b) > 0.0);
+    }
+}

@@ -1,0 +1,1149 @@
+use crate::TensorError;
+use rand::Rng;
+use std::fmt;
+
+/// A dense, row-major, `f32` n-dimensional array.
+///
+/// `NdArray` is the plain (non-differentiable) numeric workhorse of the
+/// BlissCam reproduction. All shape handling is validated at runtime and
+/// reported through [`TensorError`].
+///
+/// # Example
+///
+/// ```
+/// use bliss_tensor::NdArray;
+///
+/// # fn main() -> Result<(), bliss_tensor::TensorError> {
+/// let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = NdArray::eye(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.data(), a.data());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct NdArray {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for NdArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NdArray(shape={:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(f, ", data=[{:?}, ...])", &self.data[..8])
+        }
+    }
+}
+
+impl Default for NdArray {
+    fn default() -> Self {
+        NdArray {
+            shape: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
+impl NdArray {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates an array from raw data in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` does not
+    /// equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                data_len: data.len(),
+            });
+        }
+        Ok(NdArray {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a zero-filled array.
+    pub fn zeros(shape: &[usize]) -> Self {
+        NdArray {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a one-filled array.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates an array filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        NdArray {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
+    }
+
+    /// Creates a square identity matrix of side `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut a = Self::zeros(&[n, n]);
+        for i in 0..n {
+            a.data[i * n + i] = 1.0;
+        }
+        a
+    }
+
+    /// Creates an array by calling `f` with the flat (row-major) index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n: usize = shape.iter().product();
+        NdArray {
+            shape: shape.to_vec(),
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// Creates an array of i.i.d. standard-normal samples scaled by `std`.
+    pub fn randn<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], std: f32) -> Self {
+        // Box-Muller transform: avoids a rand_distr dependency.
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        NdArray {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Creates an array of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Self {
+        let n: usize = shape.iter().product();
+        NdArray {
+            shape: shape.to_vec(),
+            data: (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Shape of the array (length of each dimension).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the array, returning its raw buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(row, col)` of a rank-2 array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is not rank 2 or the indices are out of bounds.
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.ndim(), 2, "at() requires a rank-2 array");
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Sets the element at `(row, col)` of a rank-2 array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is not rank 2 or the indices are out of bounds.
+    pub fn set_at(&mut self, row: usize, col: usize, value: f32) {
+        assert_eq!(self.ndim(), 2, "set_at() requires a rank-2 array");
+        self.data[row * self.shape[1] + col] = value;
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a reshaped copy sharing the same element order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                data_len: self.data.len(),
+            });
+        }
+        Ok(NdArray {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Transpose of a rank-2 array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn transpose(&self) -> Result<Self, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: self.ndim(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Ok(NdArray {
+            shape: vec![n, m],
+            data: out,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ------------------------------------------------------------------
+
+    fn check_same_shape(&self, other: &Self, op: &'static str) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum of two same-shape arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self, TensorError> {
+        self.check_same_shape(other, "add")?;
+        Ok(self.zip_with(other, |a, b| a + b))
+    }
+
+    /// Elementwise difference of two same-shape arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self, TensorError> {
+        self.check_same_shape(other, "sub")?;
+        Ok(self.zip_with(other, |a, b| a - b))
+    }
+
+    /// Elementwise product of two same-shape arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Self) -> Result<Self, TensorError> {
+        self.check_same_shape(other, "mul")?;
+        Ok(self.zip_with(other, |a, b| a * b))
+    }
+
+    /// Elementwise quotient of two same-shape arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn div(&self, other: &Self) -> Result<Self, TensorError> {
+        self.check_same_shape(other, "div")?;
+        Ok(self.zip_with(other, |a, b| a / b))
+    }
+
+    /// Adds `value` to every element.
+    pub fn add_scalar(&self, value: f32) -> Self {
+        self.map(|x| x + value)
+    }
+
+    /// Multiplies every element by `value`.
+    pub fn scale(&self, value: f32) -> Self {
+        self.map(|x| x * value)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Self {
+        self.map(|x| -x)
+    }
+
+    /// Applies `f` to every element, producing a new array.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        NdArray {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Combines two same-shape arrays elementwise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the shapes differ; prefer the checked
+    /// arithmetic methods in user code.
+    pub fn zip_with(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        debug_assert_eq!(self.shape, other.shape);
+        NdArray {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Accumulates `other` into `self` elementwise (`self += other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Self) -> Result<(), TensorError> {
+        self.check_same_shape(other, "add_assign")?;
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Adds a length-`n` row vector to every row of an `[m, n]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self` is not rank 2 or the
+    /// row length differs from `row.len()`.
+    pub fn add_row(&self, row: &Self) -> Result<Self, TensorError> {
+        if self.ndim() != 2 || row.ndim() != 1 || self.shape[1] != row.shape[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row",
+                lhs: self.shape.clone(),
+                rhs: row.shape.clone(),
+            });
+        }
+        let n = self.shape[1];
+        let mut out = self.clone();
+        for (i, v) in out.data.iter_mut().enumerate() {
+            *v += row.data[i % n];
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product of `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix operands and
+    /// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.ndim(),
+            });
+        }
+        if other.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: other.ndim(),
+            });
+        }
+        if self.shape[1] != other.shape[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let (m, k, n) = (self.shape[0], self.shape[1], other.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j loop order keeps the innermost accesses sequential in memory.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(NdArray {
+            shape: vec![m, n],
+            data: out,
+        })
+    }
+
+    /// Frobenius dot product (sum of elementwise products).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn dot(&self, other: &Self) -> Result<f32, TensorError> {
+        self.check_same_shape(other, "dot")?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty array).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for an empty array).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for an empty array).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Column sums of an `[m, n]` matrix, producing `[n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn sum_rows(&self) -> Result<Self, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "sum_rows",
+                expected: 2,
+                actual: self.ndim(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j] += self.data[i * n + j];
+            }
+        }
+        Ok(NdArray {
+            shape: vec![n],
+            data: out,
+        })
+    }
+
+    /// Per-row argmax of an `[m, n]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "argmax_rows",
+                expected: 2,
+                actual: self.ndim(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Row-wise softmax of an `[m, n]` matrix (numerically stabilised).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn softmax_rows(&self) -> Result<Self, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "softmax_rows",
+                expected: 2,
+                actual: self.ndim(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - mx).exp();
+                out[i * n + j] = e;
+                denom += e;
+            }
+            for v in &mut out[i * n..(i + 1) * n] {
+                *v /= denom;
+            }
+        }
+        Ok(NdArray {
+            shape: vec![m, n],
+            data: out,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Concatenation / slicing / gathering (rank-2, row axis)
+    // ------------------------------------------------------------------
+
+    /// Concatenates rank-2 arrays along the row axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] if column counts differ.
+    pub fn concat_rows(parts: &[&Self]) -> Result<Self, TensorError> {
+        if parts.is_empty() {
+            return Err(TensorError::InvalidArgument {
+                op: "concat_rows",
+                message: "no arrays to concatenate".into(),
+            });
+        }
+        let cols = parts[0].shape.get(1).copied().unwrap_or(0);
+        let mut rows = 0;
+        for p in parts {
+            if p.ndim() != 2 || p.shape[1] != cols {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_rows",
+                    lhs: parts[0].shape.clone(),
+                    rhs: p.shape.clone(),
+                });
+            }
+            rows += p.shape[0];
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(NdArray {
+            shape: vec![rows, cols],
+            data,
+        })
+    }
+
+    /// Concatenates rank-2 arrays along the column axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] if row counts differ.
+    pub fn concat_cols(parts: &[&Self]) -> Result<Self, TensorError> {
+        if parts.is_empty() {
+            return Err(TensorError::InvalidArgument {
+                op: "concat_cols",
+                message: "no arrays to concatenate".into(),
+            });
+        }
+        let rows = parts[0].shape.first().copied().unwrap_or(0);
+        let mut cols = 0;
+        for p in parts {
+            if p.ndim() != 2 || p.shape[0] != rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_cols",
+                    lhs: parts[0].shape.clone(),
+                    rhs: p.shape.clone(),
+                });
+            }
+            cols += p.shape[1];
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for p in parts {
+                let w = p.shape[1];
+                data.extend_from_slice(&p.data[r * w..(r + 1) * w]);
+            }
+        }
+        Ok(NdArray {
+            shape: vec![rows, cols],
+            data,
+        })
+    }
+
+    /// Copies rows `[start, end)` of a rank-2 array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the range exceeds the row
+    /// count or is reversed.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Self, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "slice_rows",
+                expected: 2,
+                actual: self.ndim(),
+            });
+        }
+        if end > self.shape[0] || start > end {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "slice_rows",
+                index: end.max(start),
+                bound: self.shape[0] + 1,
+            });
+        }
+        let n = self.shape[1];
+        Ok(NdArray {
+            shape: vec![end - start, n],
+            data: self.data[start * n..end * n].to_vec(),
+        })
+    }
+
+    /// Gathers the given rows of a rank-2 array in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if any index exceeds the row
+    /// count.
+    pub fn gather_rows(&self, indices: &[usize]) -> Result<Self, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "gather_rows",
+                expected: 2,
+                actual: self.ndim(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut data = Vec::with_capacity(indices.len() * n);
+        for &i in indices {
+            if i >= m {
+                return Err(TensorError::IndexOutOfBounds {
+                    op: "gather_rows",
+                    index: i,
+                    bound: m,
+                });
+            }
+            data.extend_from_slice(&self.data[i * n..(i + 1) * n]);
+        }
+        Ok(NdArray {
+            shape: vec![indices.len(), n],
+            data,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Convolution helpers (single sample, CHW layout)
+    // ------------------------------------------------------------------
+
+    /// Rearranges a `[C, H, W]` image into convolution columns.
+    ///
+    /// Output shape is `[C*kh*kw, oh*ow]` where
+    /// `oh = (H + 2*pad - kh)/stride + 1` (and likewise for `ow`), matching a
+    /// GEMM-based convolution `weight[oc, C*kh*kw] x cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-CHW inputs and
+    /// [`TensorError::InvalidArgument`] if the kernel/stride configuration
+    /// yields no output pixels.
+    pub fn im2col(
+        &self,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        if self.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "im2col",
+                expected: 3,
+                actual: self.ndim(),
+            });
+        }
+        let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (oh, ow) = conv_out_dims(h, w, kh, kw, stride, pad)?;
+        let mut out = vec![0.0f32; c * kh * kw * oh * ow];
+        let ow_total = oh * ow;
+        for ci in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ci * kh + ki) * kw + kj;
+                    for oi in 0..oh {
+                        let ii = (oi * stride + ki) as isize - pad as isize;
+                        for oj in 0..ow {
+                            let jj = (oj * stride + kj) as isize - pad as isize;
+                            let v = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w
+                            {
+                                self.data[(ci * h + ii as usize) * w + jj as usize]
+                            } else {
+                                0.0
+                            };
+                            out[row * ow_total + oi * ow + oj] = v;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(NdArray {
+            shape: vec![c * kh * kw, oh * ow],
+            data: out,
+        })
+    }
+
+    /// Inverse of [`NdArray::im2col`]: scatter-adds columns back into a
+    /// `[C, H, W]` image. Used for convolution input gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self` is not the column
+    /// matrix produced by `im2col` with the same geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn col2im(
+        &self,
+        c: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        let (oh, ow) = conv_out_dims(h, w, kh, kw, stride, pad)?;
+        if self.shape != [c * kh * kw, oh * ow] {
+            return Err(TensorError::ShapeMismatch {
+                op: "col2im",
+                lhs: self.shape.clone(),
+                rhs: vec![c * kh * kw, oh * ow],
+            });
+        }
+        let mut out = vec![0.0f32; c * h * w];
+        let ow_total = oh * ow;
+        for ci in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ci * kh + ki) * kw + kj;
+                    for oi in 0..oh {
+                        let ii = (oi * stride + ki) as isize - pad as isize;
+                        if ii < 0 || ii as usize >= h {
+                            continue;
+                        }
+                        for oj in 0..ow {
+                            let jj = (oj * stride + kj) as isize - pad as isize;
+                            if jj < 0 || jj as usize >= w {
+                                continue;
+                            }
+                            out[(ci * h + ii as usize) * w + jj as usize] +=
+                                self.data[row * ow_total + oi * ow + oj];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(NdArray {
+            shape: vec![c, h, w],
+            data: out,
+        })
+    }
+
+    /// Nearest-neighbour 2x upsampling of a `[C, H, W]` image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-CHW inputs.
+    pub fn upsample2x(&self) -> Result<Self, TensorError> {
+        if self.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "upsample2x",
+                expected: 3,
+                actual: self.ndim(),
+            });
+        }
+        let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        let mut out = vec![0.0f32; c * 4 * h * w];
+        let (oh, ow) = (2 * h, 2 * w);
+        for ci in 0..c {
+            for i in 0..oh {
+                for j in 0..ow {
+                    out[(ci * oh + i) * ow + j] = self.data[(ci * h + i / 2) * w + j / 2];
+                }
+            }
+        }
+        Ok(NdArray {
+            shape: vec![c, oh, ow],
+            data: out,
+        })
+    }
+
+    /// 2x2 block-sum pooling of a `[C, H, W]` image (the adjoint of
+    /// [`NdArray::upsample2x`]). `H` and `W` must be even.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on odd spatial dimensions.
+    pub fn block_sum2x(&self) -> Result<Self, TensorError> {
+        if self.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "block_sum2x",
+                expected: 3,
+                actual: self.ndim(),
+            });
+        }
+        let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        if h % 2 != 0 || w % 2 != 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "block_sum2x",
+                message: format!("spatial dims must be even, got {h}x{w}"),
+            });
+        }
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; c * oh * ow];
+        for ci in 0..c {
+            for i in 0..h {
+                for j in 0..w {
+                    out[(ci * oh + i / 2) * ow + j / 2] += self.data[(ci * h + i) * w + j];
+                }
+            }
+        }
+        Ok(NdArray {
+            shape: vec![c, oh, ow],
+            data: out,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Comparison helpers
+    // ------------------------------------------------------------------
+
+    /// Returns `true` if every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Largest absolute difference against `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> Result<f32, TensorError> {
+        self.check_same_shape(other, "max_abs_diff")?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+}
+
+/// Output spatial dimensions of a convolution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the kernel is larger than the
+/// padded input or any parameter is zero where it must not be.
+pub(crate) fn conv_out_dims(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<(usize, usize), TensorError> {
+    if kh == 0 || kw == 0 || stride == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv",
+            message: "kernel and stride must be non-zero".into(),
+        });
+    }
+    let ph = h + 2 * pad;
+    let pw = w + 2 * pad;
+    if kh > ph || kw > pw {
+        return Err(TensorError::InvalidArgument {
+            op: "conv",
+            message: format!("kernel {kh}x{kw} larger than padded input {ph}x{pw}"),
+        });
+    }
+    Ok(((ph - kh) / stride + 1, (pw - kw) / stride + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(NdArray::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(NdArray::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(NdArray::zeros(&[2, 2]).sum(), 0.0);
+        assert_eq!(NdArray::ones(&[2, 2]).sum(), 4.0);
+        assert_eq!(NdArray::full(&[3], 2.5).sum(), 7.5);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i = NdArray::eye(3);
+        assert_eq!(a.matmul(&i).unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = NdArray::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = NdArray::zeros(&[2, 3]);
+        let b = NdArray::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(0, 1), 4.0);
+        assert_eq!(t.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = NdArray::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = NdArray::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+        assert_eq!(b.div(&a).unwrap().data(), &[3.0, 2.5]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0]);
+        assert_eq!(a.neg().data(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn add_row_broadcasts() {
+        let a = NdArray::zeros(&[2, 3]);
+        let r = NdArray::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let out = a.add_row(&r).unwrap();
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sum_rows_and_argmax() {
+        let a = NdArray::from_vec(vec![1.0, 5.0, 2.0, 4.0, 0.0, 3.0], &[2, 3]).unwrap();
+        assert_eq!(a.sum_rows().unwrap().data(), &[5.0, 5.0, 5.0]);
+        assert_eq!(a.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_is_normalised_and_stable() {
+        let a = NdArray::from_vec(vec![1000.0, 1001.0, -50.0, -50.0], &[2, 2]).unwrap();
+        let s = a.softmax_rows().unwrap();
+        let row0: f32 = s.data()[..2].iter().sum();
+        let row1: f32 = s.data()[2..].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        assert!((row1 - 1.0).abs() < 1e-6);
+        assert!(s.data()[1] > s.data()[0]);
+        assert!((s.data()[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_and_slice_rows() {
+        let a = NdArray::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = NdArray::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = NdArray::concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.slice_rows(1, 3).unwrap(), b);
+    }
+
+    #[test]
+    fn concat_cols_interleaves() {
+        let a = NdArray::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap();
+        let b = NdArray::from_vec(vec![3.0, 4.0], &[2, 1]).unwrap();
+        let c = NdArray::concat_cols(&[&a, &b]).unwrap();
+        assert_eq!(c.data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = NdArray::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], &[3, 2]).unwrap();
+        let g = a.gather_rows(&[2, 0]).unwrap();
+        assert_eq!(g.data(), &[4.0, 5.0, 0.0, 1.0]);
+        assert!(a.gather_rows(&[3]).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: columns are just the image pixels.
+        let img = NdArray::from_vec((0..12).map(|x| x as f32).collect(), &[1, 3, 4]).unwrap();
+        let cols = img.im2col(1, 1, 1, 0).unwrap();
+        assert_eq!(cols.shape(), &[1, 12]);
+        assert_eq!(cols.data(), img.data());
+    }
+
+    #[test]
+    fn im2col_matches_manual_patch() {
+        let img = NdArray::from_vec((0..9).map(|x| x as f32).collect(), &[1, 3, 3]).unwrap();
+        let cols = img.im2col(2, 2, 1, 0).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First column = top-left 2x2 patch flattened kernel-major.
+        assert_eq!(cols.at(0, 0), 0.0);
+        assert_eq!(cols.at(1, 0), 1.0);
+        assert_eq!(cols.at(2, 0), 3.0);
+        assert_eq!(cols.at(3, 0), 4.0);
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test).
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = NdArray::randn(&mut rng, &[2, 5, 4], 1.0);
+        let cols = x.im2col(3, 3, 2, 1).unwrap();
+        let y = NdArray::randn(&mut rng, cols.shape(), 1.0);
+        let lhs = cols.dot(&y).unwrap();
+        let back = y.col2im(2, 5, 4, 3, 3, 2, 1).unwrap();
+        let rhs = x.dot(&back).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn upsample_blocksum_adjoint() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = NdArray::randn(&mut rng, &[1, 3, 2], 1.0);
+        let up = x.upsample2x().unwrap();
+        assert_eq!(up.shape(), &[1, 6, 4]);
+        let y = NdArray::randn(&mut rng, up.shape(), 1.0);
+        let lhs = up.dot(&y).unwrap();
+        let rhs = x.dot(&y.block_sum2x().unwrap()).unwrap();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn randn_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = NdArray::randn(&mut rng, &[10_000], 2.0);
+        assert!(a.mean().abs() < 0.1);
+        let var = a.map(|x| x * x).mean() - a.mean() * a.mean();
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = NdArray::uniform(&mut rng, &[1000], -1.0, 3.0);
+        assert!(a.min() >= -1.0);
+        assert!(a.max() < 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_order() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let r = a.reshape(&[4]).unwrap();
+        assert_eq!(r.data(), a.data());
+        assert!(a.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn conv_out_dims_rejects_oversized_kernel() {
+        assert!(conv_out_dims(2, 2, 5, 5, 1, 0).is_err());
+        assert_eq!(conv_out_dims(5, 5, 3, 3, 1, 1).unwrap(), (5, 5));
+        assert_eq!(conv_out_dims(8, 8, 2, 2, 2, 0).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let s = format!("{:?}", NdArray::zeros(&[2]));
+        assert!(s.contains("NdArray"));
+        let s = format!("{:?}", NdArray::zeros(&[100]));
+        assert!(s.contains("..."));
+    }
+}

@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied for it.
+    ShapeDataMismatch {
+        /// Shape that was requested.
+        shape: Vec<usize>,
+        /// Number of elements actually supplied.
+        data_len: usize,
+    },
+    /// Two operands have shapes that the operation cannot combine.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// An operation required a different rank (number of dimensions).
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank it received.
+        actual: usize,
+    },
+    /// An index or axis was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Offending index value.
+        index: usize,
+        /// Exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// A configuration value was invalid (e.g. zero-sized kernel).
+    InvalidArgument {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "shape {shape:?} implies {} elements but {data_len} were supplied",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds (must be < {bound})")
+            }
+            TensorError::InvalidArgument { op, message } => write!(f, "{op}: {message}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_data_mismatch() {
+        let e = TensorError::ShapeDataMismatch {
+            shape: vec![2, 3],
+            data_len: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape [2, 3] implies 6 elements but 5 were supplied"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! N-dimensional tensors and reverse-mode automatic differentiation.
+//!
+//! This crate is the numerical substrate of the BlissCam reproduction. It
+//! provides two layers:
+//!
+//! * [`NdArray`] — a plain row-major `f32` array with shape-checked linear
+//!   algebra (matmul, im2col convolution helpers, reductions, softmax…). This
+//!   is used directly by the non-learned parts of the system (sensor
+//!   simulation, renderer).
+//! * [`Tensor`] — a define-by-run autograd wrapper around [`NdArray`]. Every
+//!   operation records a backward closure; [`Tensor::backward`] walks the tape
+//!   in reverse topological order and accumulates gradients. This powers the
+//!   joint training of the ROI-prediction network and the sparse ViT
+//!   segmenter (paper §III-C).
+//!
+//! # Example
+//!
+//! ```
+//! use bliss_tensor::{NdArray, Tensor};
+//!
+//! # fn main() -> Result<(), bliss_tensor::TensorError> {
+//! let w = Tensor::parameter(NdArray::from_vec(vec![2.0, -1.0], &[1, 2])?);
+//! let x = Tensor::constant(NdArray::from_vec(vec![3.0, 4.0], &[2, 1])?);
+//! let y = w.matmul(&x)?; // 2*3 - 1*4 = 2
+//! y.backward()?;
+//! assert_eq!(y.value().data()[0], 2.0);
+//! assert_eq!(w.grad().unwrap().data(), &[3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod array;
+mod autograd;
+mod error;
+mod gradcheck;
+
+pub use array::NdArray;
+pub use autograd::Tensor;
+pub use error::TensorError;
+pub use gradcheck::{check_gradients, GradCheckReport};

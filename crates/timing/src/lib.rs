@@ -1,0 +1,522 @@
+//! Frame-pipeline timing simulator (paper Figs. 1 and 8).
+//!
+//! An eye-tracking frame passes through up to nine stages spread over three
+//! shared resources:
+//!
+//! * **sensor** — exposure, (BlissCam only:) eventification, ROI prediction,
+//!   sampling, then readout;
+//! * **MIPI link** — pixel transfer to the host and (BlissCam only:) the
+//!   previous segmentation map fed back to the sensor;
+//! * **host NPU** — run-length decode, (NPU-ROI only:) ROI prediction,
+//!   eye segmentation, gaze prediction.
+//!
+//! Stages serialise *within* a frame but overlap *across* frames; the
+//! tracking rate is set by the busiest resource while the tracking latency is
+//! the exposure-start→gaze-end span. BlissCam adds one cross-frame
+//! dependency: frame *t*'s ROI prediction needs frame *t−1*'s segmentation
+//! map back from the host (paper §IV-A).
+//!
+//! # Example
+//!
+//! ```
+//! use bliss_timing::{PipelineConfig, StageDurations, simulate};
+//!
+//! let config = PipelineConfig::conventional(120.0, StageDurations::paper_npu_full());
+//! let report = simulate(&config, 32);
+//! assert!(report.achieved_fps > 100.0);
+//! println!("latency: {:.2} ms", report.mean_latency_s * 1e3);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// The pipeline stages, in per-frame execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Photodiode integration.
+    Exposure,
+    /// In-sensor analog/digital frame differencing.
+    Eventification,
+    /// ROI-prediction DNN (in-sensor or host depending on variant).
+    RoiPrediction,
+    /// SRAM power-up random sampling.
+    Sampling,
+    /// Column-wise ADC readout into the output buffer.
+    Readout,
+    /// MIPI CSI-2 transfer of (possibly RLE-compressed) pixels.
+    Mipi,
+    /// Eye segmentation DNN on the host NPU.
+    Segmentation,
+    /// Geometric gaze regression.
+    GazePrediction,
+    /// Segmentation-map feedback to the sensor over MIPI.
+    Feedback,
+}
+
+/// Wall-clock duration of each stage, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageDurations {
+    /// Photodiode integration time.
+    pub exposure_s: f64,
+    /// Eventification (0 when not performed).
+    pub eventify_s: f64,
+    /// ROI prediction (0 when not performed).
+    pub roi_pred_s: f64,
+    /// Random sampling power-up (0 when not performed).
+    pub sampling_s: f64,
+    /// ADC readout.
+    pub readout_s: f64,
+    /// Forward MIPI transfer.
+    pub mipi_s: f64,
+    /// Host segmentation.
+    pub segmentation_s: f64,
+    /// Gaze regression.
+    pub gaze_s: f64,
+    /// Segmentation-map feedback transfer (0 when not performed).
+    pub feedback_s: f64,
+}
+
+impl StageDurations {
+    /// Paper-typical durations for the conventional NPU-Full pipeline at
+    /// 120 FPS (8.3 ms exposure; readout tens of µs; dense MIPI; full-frame
+    /// segmentation).
+    pub fn paper_npu_full() -> Self {
+        StageDurations {
+            exposure_s: 8.3e-3,
+            eventify_s: 0.0,
+            roi_pred_s: 0.0,
+            sampling_s: 0.0,
+            readout_s: 30e-6,
+            mipi_s: 680e-6,
+            segmentation_s: 6.7e-3,
+            gaze_s: 100e-6,
+            feedback_s: 0.0,
+        }
+    }
+
+    /// Paper-typical durations for the BlissCam pipeline at 120 FPS
+    /// (eventification ≈ 5 µs, ROI prediction ≈ 150 µs, sparse MIPI, sparse
+    /// segmentation ≈ 0.87 ms).
+    pub fn paper_blisscam() -> Self {
+        StageDurations {
+            exposure_s: 8.3e-3,
+            eventify_s: 5e-6,
+            roi_pred_s: 150e-6,
+            sampling_s: 2e-6,
+            readout_s: 10e-6,
+            mipi_s: 35e-6,
+            segmentation_s: 0.87e-3,
+            gaze_s: 100e-6,
+            feedback_s: 18e-6,
+        }
+    }
+
+    /// Total sensor-side occupancy per frame (everything before MIPI).
+    pub fn sensor_busy_s(&self) -> f64 {
+        self.exposure_s + self.eventify_s + self.roi_pred_s + self.sampling_s + self.readout_s
+    }
+}
+
+/// A pipeline variant's structural flags plus its stage durations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Target tracking rate.
+    pub fps: f64,
+    /// Stage durations.
+    pub stages: StageDurations,
+    /// ROI prediction executes on the host (NPU-ROI) instead of in-sensor.
+    pub host_roi_prediction: bool,
+    /// Frame t's in-sensor ROI prediction waits for frame t−1's segmentation
+    /// map feedback (BlissCam and S+NPU).
+    pub needs_feedback: bool,
+}
+
+impl PipelineConfig {
+    /// A conventional sensor + host pipeline (no in-sensor computation).
+    pub fn conventional(fps: f64, stages: StageDurations) -> Self {
+        PipelineConfig {
+            fps,
+            stages,
+            host_roi_prediction: false,
+            needs_feedback: false,
+        }
+    }
+
+    /// A host-side-ROI pipeline (NPU-ROI variant).
+    pub fn host_roi(fps: f64, stages: StageDurations) -> Self {
+        PipelineConfig {
+            fps,
+            stages,
+            host_roi_prediction: true,
+            needs_feedback: false,
+        }
+    }
+
+    /// An in-sensor sampling pipeline (BlissCam / S+NPU variants).
+    pub fn in_sensor(fps: f64, stages: StageDurations) -> Self {
+        PipelineConfig {
+            fps,
+            stages,
+            host_roi_prediction: false,
+            needs_feedback: true,
+        }
+    }
+}
+
+/// One scheduled stage interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageSpan {
+    /// Which stage.
+    pub kind: StageKind,
+    /// Start time in seconds from simulation origin.
+    pub start_s: f64,
+    /// End time in seconds.
+    pub end_s: f64,
+}
+
+impl StageSpan {
+    /// Stage duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// The schedule of a single frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameTiming {
+    /// Frame index.
+    pub index: usize,
+    /// All stage intervals of this frame in execution order.
+    pub spans: Vec<StageSpan>,
+}
+
+impl FrameTiming {
+    /// Start of exposure.
+    pub fn start_s(&self) -> f64 {
+        self.spans.first().map_or(0.0, |s| s.start_s)
+    }
+
+    /// End of gaze prediction (tracking output ready).
+    pub fn gaze_end_s(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == StageKind::GazePrediction)
+            .map(|s| s.end_s)
+            .next_back()
+            .unwrap_or(0.0)
+    }
+
+    /// End-to-end tracking latency: exposure start to gaze output.
+    pub fn latency_s(&self) -> f64 {
+        self.gaze_end_s() - self.start_s()
+    }
+
+    /// The interval of a given stage, if scheduled.
+    pub fn span(&self, kind: StageKind) -> Option<StageSpan> {
+        self.spans.iter().copied().find(|s| s.kind == kind)
+    }
+}
+
+/// Aggregate results of a pipeline simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Per-frame schedules.
+    pub frames: Vec<FrameTiming>,
+    /// Achieved tracking rate (gaze outputs per second) in steady state.
+    pub achieved_fps: f64,
+    /// Mean end-to-end tracking latency in seconds.
+    pub mean_latency_s: f64,
+}
+
+impl PipelineReport {
+    /// Mean duration spent in `kind` across frames (0 if never scheduled).
+    pub fn mean_stage_s(&self, kind: StageKind) -> f64 {
+        let durations: Vec<f64> = self
+            .frames
+            .iter()
+            .filter_map(|f| f.span(kind))
+            .map(|s| s.duration_s())
+            .collect();
+        if durations.is_empty() {
+            0.0
+        } else {
+            durations.iter().sum::<f64>() / durations.len() as f64
+        }
+    }
+}
+
+/// Simulates `n_frames` through the pipeline, honouring resource exclusivity
+/// (sensor, MIPI link, host NPU) and the feedback dependency.
+pub fn simulate(config: &PipelineConfig, n_frames: usize) -> PipelineReport {
+    let s = &config.stages;
+    let period = 1.0 / config.fps;
+
+    let mut sensor_free = 0.0f64;
+    let mut mipi_free = 0.0f64;
+    let mut host_free = 0.0f64;
+    // Time at which frame i-1's segmentation map is back at the sensor.
+    let mut feedback_done = 0.0f64;
+
+    let mut frames = Vec::with_capacity(n_frames);
+    for index in 0..n_frames {
+        let mut spans = Vec::new();
+        // Exposure: next frame can start integrating as soon as the sensor's
+        // previous in-sensor work finished, paced to the frame period.
+        let nominal_start = index as f64 * period;
+        let exp_start = sensor_free.max(nominal_start);
+        let exp_end = exp_start + s.exposure_s;
+        spans.push(StageSpan {
+            kind: StageKind::Exposure,
+            start_s: exp_start,
+            end_s: exp_end,
+        });
+        let mut t = exp_end;
+
+        if s.eventify_s > 0.0 {
+            spans.push(StageSpan {
+                kind: StageKind::Eventification,
+                start_s: t,
+                end_s: t + s.eventify_s,
+            });
+            t += s.eventify_s;
+        }
+        if !config.host_roi_prediction && s.roi_pred_s > 0.0 {
+            // In-sensor ROI prediction; may wait on the feedback of the
+            // previous frame's segmentation map (paper Fig. 8 arrows).
+            let start = if config.needs_feedback {
+                t.max(feedback_done)
+            } else {
+                t
+            };
+            spans.push(StageSpan {
+                kind: StageKind::RoiPrediction,
+                start_s: start,
+                end_s: start + s.roi_pred_s,
+            });
+            t = start + s.roi_pred_s;
+        }
+        if s.sampling_s > 0.0 {
+            spans.push(StageSpan {
+                kind: StageKind::Sampling,
+                start_s: t,
+                end_s: t + s.sampling_s,
+            });
+            t += s.sampling_s;
+        }
+        spans.push(StageSpan {
+            kind: StageKind::Readout,
+            start_s: t,
+            end_s: t + s.readout_s,
+        });
+        t += s.readout_s;
+        sensor_free = t;
+
+        // Forward MIPI transfer.
+        let mipi_start = t.max(mipi_free);
+        let mipi_end = mipi_start + s.mipi_s;
+        spans.push(StageSpan {
+            kind: StageKind::Mipi,
+            start_s: mipi_start,
+            end_s: mipi_end,
+        });
+        mipi_free = mipi_end;
+
+        // Host: optional ROI prediction, then segmentation, then gaze.
+        let mut h = mipi_end.max(host_free);
+        if config.host_roi_prediction && s.roi_pred_s > 0.0 {
+            spans.push(StageSpan {
+                kind: StageKind::RoiPrediction,
+                start_s: h,
+                end_s: h + s.roi_pred_s,
+            });
+            h += s.roi_pred_s;
+        }
+        spans.push(StageSpan {
+            kind: StageKind::Segmentation,
+            start_s: h,
+            end_s: h + s.segmentation_s,
+        });
+        h += s.segmentation_s;
+        spans.push(StageSpan {
+            kind: StageKind::GazePrediction,
+            start_s: h,
+            end_s: h + s.gaze_s,
+        });
+        h += s.gaze_s;
+        host_free = h;
+
+        // Feedback of the segmentation map to the sensor.
+        if config.needs_feedback && s.feedback_s > 0.0 {
+            let fb_start = h.max(mipi_free);
+            spans.push(StageSpan {
+                kind: StageKind::Feedback,
+                start_s: fb_start,
+                end_s: fb_start + s.feedback_s,
+            });
+            mipi_free = fb_start + s.feedback_s;
+            feedback_done = fb_start + s.feedback_s;
+        } else {
+            feedback_done = h;
+        }
+
+        frames.push(FrameTiming { index, spans });
+    }
+
+    let achieved_fps = if frames.len() >= 2 {
+        let first = frames[frames.len() / 2].gaze_end_s();
+        let last = frames.last().expect("non-empty").gaze_end_s();
+        let count = (frames.len() - 1 - frames.len() / 2) as f64;
+        if last > first {
+            count / (last - first)
+        } else {
+            config.fps
+        }
+    } else {
+        config.fps
+    };
+    let mean_latency_s =
+        frames.iter().map(FrameTiming::latency_s).sum::<f64>() / frames.len().max(1) as f64;
+
+    PipelineReport {
+        frames,
+        achieved_fps,
+        mean_latency_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_latency_is_sum_of_serial_stages() {
+        let stages = StageDurations::paper_npu_full();
+        let cfg = PipelineConfig::conventional(120.0, stages);
+        let report = simulate(&cfg, 8);
+        let expected = stages.exposure_s
+            + stages.readout_s
+            + stages.mipi_s
+            + stages.segmentation_s
+            + stages.gaze_s;
+        assert!(
+            (report.mean_latency_s - expected).abs() < 1e-6,
+            "latency {} vs expected {}",
+            report.mean_latency_s,
+            expected
+        );
+    }
+
+    #[test]
+    fn paper_latency_ratio_is_about_1p4x() {
+        let full = simulate(
+            &PipelineConfig::conventional(120.0, StageDurations::paper_npu_full()),
+            16,
+        );
+        let bliss = simulate(
+            &PipelineConfig::in_sensor(120.0, StageDurations::paper_blisscam()),
+            16,
+        );
+        let ratio = full.mean_latency_s / bliss.mean_latency_s;
+        assert!(
+            (1.2..=1.8).contains(&ratio),
+            "latency ratio {ratio} (full {} ms, bliss {} ms)",
+            full.mean_latency_s * 1e3,
+            bliss.mean_latency_s * 1e3
+        );
+    }
+
+    #[test]
+    fn tracking_rate_holds_at_120fps() {
+        for cfg in [
+            PipelineConfig::conventional(120.0, StageDurations::paper_npu_full()),
+            PipelineConfig::in_sensor(120.0, StageDurations::paper_blisscam()),
+        ] {
+            let report = simulate(&cfg, 64);
+            assert!(
+                (report.achieved_fps - 120.0).abs() < 2.0,
+                "fps {}",
+                report.achieved_fps
+            );
+        }
+    }
+
+    #[test]
+    fn fps_degrades_when_host_is_the_bottleneck() {
+        let mut stages = StageDurations::paper_npu_full();
+        stages.segmentation_s = 20e-3; // slower than the frame period
+        let report = simulate(&PipelineConfig::conventional(120.0, stages), 64);
+        assert!(report.achieved_fps < 60.0, "fps {}", report.achieved_fps);
+    }
+
+    #[test]
+    fn in_sensor_ops_extend_sensor_busy_time_slightly() {
+        let bliss = StageDurations::paper_blisscam();
+        let full = StageDurations::paper_npu_full();
+        let overhead = bliss.sensor_busy_s() - bliss.exposure_s;
+        // In-sensor work is ~2 orders of magnitude below the exposure time
+        // (paper: 5 us + 150 us vs 8.3 ms -> <2% of the frame).
+        assert!(overhead < 0.025 * bliss.exposure_s + 200e-6);
+        assert!(bliss.sensor_busy_s() < full.exposure_s + 1e-3);
+    }
+
+    #[test]
+    fn feedback_dependency_delays_roi_when_segmentation_is_slow() {
+        let mut stages = StageDurations::paper_blisscam();
+        stages.segmentation_s = 9e-3; // seg barely fits in the period
+        let cfg = PipelineConfig::in_sensor(120.0, stages);
+        let report = simulate(&cfg, 8);
+        // Frame 2+'s ROI prediction must start after frame 1's feedback.
+        let f2 = &report.frames[2];
+        let roi = f2.span(StageKind::RoiPrediction).unwrap();
+        let f1 = &report.frames[1];
+        let fb1 = f1.span(StageKind::Feedback).unwrap();
+        assert!(roi.start_s >= fb1.end_s - 1e-12);
+    }
+
+    #[test]
+    fn stages_never_overlap_within_a_frame() {
+        let cfg = PipelineConfig::in_sensor(120.0, StageDurations::paper_blisscam());
+        let report = simulate(&cfg, 12);
+        for f in &report.frames {
+            for w in f.spans.windows(2) {
+                assert!(
+                    w[1].start_s >= w[0].end_s - 1e-12,
+                    "frame {}: {:?} overlaps {:?}",
+                    f.index,
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn host_roi_variant_schedules_roi_on_host() {
+        let mut stages = StageDurations::paper_npu_full();
+        stages.roi_pred_s = 50e-6;
+        let cfg = PipelineConfig::host_roi(120.0, stages);
+        let report = simulate(&cfg, 4);
+        let f = &report.frames[1];
+        let roi = f.span(StageKind::RoiPrediction).unwrap();
+        let mipi = f.span(StageKind::Mipi).unwrap();
+        assert!(roi.start_s >= mipi.end_s - 1e-12, "host ROI runs after MIPI");
+    }
+
+    #[test]
+    fn latency_below_15ms_budget_for_blisscam() {
+        let report = simulate(
+            &PipelineConfig::in_sensor(120.0, StageDurations::paper_blisscam()),
+            16,
+        );
+        assert!(report.mean_latency_s < 15e-3);
+    }
+
+    #[test]
+    fn mean_stage_reports_zero_for_missing_stage() {
+        let report = simulate(
+            &PipelineConfig::conventional(120.0, StageDurations::paper_npu_full()),
+            4,
+        );
+        assert_eq!(report.mean_stage_s(StageKind::Eventification), 0.0);
+        assert!(report.mean_stage_s(StageKind::Segmentation) > 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the pipeline scheduler: physical consistency of
+//! every produced schedule.
+
+use bliss_timing::{simulate, PipelineConfig, StageDurations, StageKind};
+use proptest::prelude::*;
+
+fn arb_stages() -> impl Strategy<Value = StageDurations> {
+    (
+        1e-3f64..12e-3,   // exposure
+        0f64..50e-6,      // eventify
+        0f64..2e-3,       // roi pred
+        0f64..20e-6,      // sampling
+        1e-6f64..100e-6,  // readout
+        1e-6f64..2e-3,    // mipi
+        0.1e-3f64..9e-3,  // segmentation
+        10e-6f64..300e-6, // gaze
+        0f64..100e-6,     // feedback
+    )
+        .prop_map(
+            |(exposure_s, eventify_s, roi_pred_s, sampling_s, readout_s, mipi_s, segmentation_s, gaze_s, feedback_s)| StageDurations {
+                exposure_s,
+                eventify_s,
+                roi_pred_s,
+                sampling_s,
+                readout_s,
+                mipi_s,
+                segmentation_s,
+                gaze_s,
+                feedback_s,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedules_are_physically_consistent(stages in arb_stages(), fps in 30.0f64..240.0) {
+        for config in [
+            PipelineConfig::conventional(fps, stages),
+            PipelineConfig::host_roi(fps, stages),
+            PipelineConfig::in_sensor(fps, stages),
+        ] {
+            let report = simulate(&config, 12);
+            prop_assert_eq!(report.frames.len(), 12);
+            for frame in &report.frames {
+                // Stages within a frame never overlap and never go backward.
+                for w in frame.spans.windows(2) {
+                    prop_assert!(w[1].start_s >= w[0].end_s - 1e-12);
+                }
+                // Latency at least the serial critical path of the stages
+                // that precede the gaze output (feedback happens after it).
+                let serial: f64 = frame
+                    .spans
+                    .iter()
+                    .filter(|s| s.kind != StageKind::Feedback)
+                    .map(|s| s.duration_s())
+                    .sum();
+                prop_assert!(frame.latency_s() >= serial - 1e-9);
+            }
+            // Achieved rate can never exceed the configured rate.
+            prop_assert!(report.achieved_fps <= fps * 1.01);
+            // Latency is bounded below by exposure + segmentation.
+            prop_assert!(
+                report.mean_latency_s >= stages.exposure_s + stages.segmentation_s - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn mipi_never_carries_two_frames_at_once(stages in arb_stages()) {
+        let config = PipelineConfig::in_sensor(120.0, stages);
+        let report = simulate(&config, 10);
+        let mut mipi_spans: Vec<(f64, f64)> = report
+            .frames
+            .iter()
+            .flat_map(|f| {
+                f.spans
+                    .iter()
+                    .filter(|s| matches!(s.kind, StageKind::Mipi | StageKind::Feedback))
+                    .map(|s| (s.start_s, s.end_s))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        mipi_spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in mipi_spans.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1 - 1e-12, "MIPI overlap: {w:?}");
+        }
+    }
+}

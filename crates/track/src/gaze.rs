@@ -1,0 +1,204 @@
+use bliss_eye::{EyeClass, EyeModel, Gaze};
+
+/// Geometric gaze regression from predicted pupil pixels (paper §II-A: "the
+/// gaze prediction stage employs regression models based on the geometric
+/// model of human eyes").
+///
+/// The estimator computes the centroid of pixels classified as pupil and
+/// inverts the known camera projection of the [`EyeModel`]. When too few
+/// pupil pixels are visible (blinks, empty ROIs), it holds the last estimate
+/// — the same behaviour commercial trackers exhibit mid-blink.
+#[derive(Debug, Clone)]
+pub struct GazeEstimator {
+    model: EyeModel,
+    last: Gaze,
+    min_pixels: usize,
+    /// Exponential running mean of accepted pupil-evidence counts; frames
+    /// with far less evidence (partial blinks occluding the pupil) are
+    /// rejected because a half-visible pupil biases the centroid vertically.
+    typical_count: f32,
+}
+
+impl GazeEstimator {
+    /// Creates an estimator over the renderer's known geometry.
+    pub fn new(model: EyeModel) -> Self {
+        GazeEstimator {
+            model,
+            last: Gaze::default(),
+            min_pixels: 3,
+            typical_count: 0.0,
+        }
+    }
+
+    /// The last produced estimate.
+    pub fn last(&self) -> Gaze {
+        self.last
+    }
+
+    /// Resets the held estimate to primary gaze.
+    pub fn reset(&mut self) {
+        self.last = Gaze::default();
+    }
+
+    /// Estimates gaze from sparse per-pixel classifications
+    /// (`(frame_index, class)` pairs) at native resolution.
+    ///
+    /// Prefers the pupil centroid; when too few pupil pixels are visible
+    /// (partial occlusion, aggressive sampling) it falls back to the iris
+    /// centroid, which shares the pupil's centre in the eye model.
+    pub fn estimate_from_pairs(&mut self, classes: &[(usize, u8)], width: usize) -> Gaze {
+        for class in [EyeClass::Pupil, EyeClass::Iris] {
+            let mut sx = 0.0f64;
+            let mut sy = 0.0f64;
+            let mut n = 0usize;
+            for &(i, c) in classes {
+                if c == class as u8 {
+                    sx += (i % width) as f64 + 0.5;
+                    sy += (i / width) as f64 + 0.5;
+                    n += 1;
+                }
+            }
+            if self.accept(n) {
+                return self.finish(sx, sy, n, 1.0);
+            }
+            if n >= self.min_pixels {
+                // Enough pixels to be the right class but far below the
+                // running norm: probably a half-occluded pupil mid-blink.
+                // Do not fall through to the iris (it is occluded too).
+                return self.last;
+            }
+        }
+        self.last
+    }
+
+    /// Accepts a measurement when its evidence count is both above the hard
+    /// minimum and not collapsed relative to the running norm.
+    fn accept(&self, n: usize) -> bool {
+        n >= self.min_pixels && (self.typical_count <= 0.0 || n as f32 >= 0.3 * self.typical_count)
+    }
+
+    /// Estimates gaze from a dense class map that was produced at a
+    /// downsampled resolution; `scale` maps its coordinates back to the
+    /// native frame (e.g. 2.0 for a half-resolution baseline). Falls back to
+    /// the iris centroid when the pupil is not visible.
+    pub fn estimate_from_map(&mut self, seg: &[u8], width: usize, scale: f32) -> Gaze {
+        for class in [EyeClass::Pupil, EyeClass::Iris] {
+            let mut sx = 0.0f64;
+            let mut sy = 0.0f64;
+            let mut n = 0usize;
+            for (i, &c) in seg.iter().enumerate() {
+                if c == class as u8 {
+                    sx += (i % width) as f64 + 0.5;
+                    sy += (i / width) as f64 + 0.5;
+                    n += 1;
+                }
+            }
+            if self.accept(n) {
+                return self.finish(sx, sy, n, scale);
+            }
+            if n >= self.min_pixels {
+                return self.last;
+            }
+        }
+        self.last
+    }
+
+    fn finish(&mut self, sx: f64, sy: f64, n: usize, scale: f32) -> Gaze {
+        if n < self.min_pixels {
+            return self.last;
+        }
+        self.typical_count = if self.typical_count <= 0.0 {
+            n as f32
+        } else {
+            0.9 * self.typical_count + 0.1 * n as f32
+        };
+        let cx = (sx / n as f64) as f32 * scale;
+        let cy = (sy / n as f64) as f32 * scale;
+        let gaze = self.model.gaze_from_pupil_center(cx, cy);
+        self.last = gaze;
+        gaze
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bliss_eye::{EyeModelConfig, GazeState, MovementPhase};
+
+    fn model() -> EyeModel {
+        EyeModel::new(EyeModelConfig::for_resolution(160, 100), 7)
+    }
+
+    fn render(gaze: Gaze) -> (Vec<f32>, Vec<u8>) {
+        model().render(&GazeState {
+            gaze,
+            openness: 1.0,
+            pupil_dilation: 1.0,
+            phase: MovementPhase::Fixation,
+        })
+    }
+
+    #[test]
+    fn recovers_gaze_from_ground_truth_pupil() {
+        let g = Gaze::new(-7.0, 4.0);
+        let (_, mask) = render(g);
+        let pairs: Vec<(usize, u8)> = mask.iter().enumerate().map(|(i, &c)| (i, c)).collect();
+        let mut est = GazeEstimator::new(model());
+        let out = est.estimate_from_pairs(&pairs, 160);
+        assert!(out.angular_distance(&g) < 1.5, "{out:?} vs {g:?}");
+    }
+
+    #[test]
+    fn sparse_subset_still_recovers_gaze() {
+        let g = Gaze::new(10.0, -6.0);
+        let (_, mask) = render(g);
+        // Keep every 7th pixel only — uniform sparse classification.
+        let pairs: Vec<(usize, u8)> = mask
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 7 == 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        let mut est = GazeEstimator::new(model());
+        let out = est.estimate_from_pairs(&pairs, 160);
+        assert!(out.angular_distance(&g) < 2.0, "{out:?} vs {g:?}");
+    }
+
+    #[test]
+    fn holds_last_estimate_during_blink() {
+        let g = Gaze::new(5.0, 5.0);
+        let (_, mask) = render(g);
+        let pairs: Vec<(usize, u8)> = mask.iter().enumerate().map(|(i, &c)| (i, c)).collect();
+        let mut est = GazeEstimator::new(model());
+        let first = est.estimate_from_pairs(&pairs, 160);
+        // Blink: no pupil pixels at all.
+        let out = est.estimate_from_pairs(&[], 160);
+        assert_eq!(out, first);
+    }
+
+    #[test]
+    fn downsampled_map_scales_back() {
+        let g = Gaze::new(8.0, 0.0);
+        let (_, mask) = render(g);
+        // 2x downsample by nearest sampling.
+        let mut ds = vec![0u8; 80 * 50];
+        for y in 0..50 {
+            for x in 0..80 {
+                ds[y * 80 + x] = mask[(y * 2) * 160 + x * 2];
+            }
+        }
+        let mut est = GazeEstimator::new(model());
+        let out = est.estimate_from_map(&ds, 80, 2.0);
+        assert!(out.angular_distance(&g) < 2.0, "{out:?} vs {g:?}");
+    }
+
+    #[test]
+    fn reset_returns_to_primary() {
+        let mut est = GazeEstimator::new(model());
+        let (_, mask) = render(Gaze::new(12.0, -12.0));
+        let pairs: Vec<(usize, u8)> = mask.iter().enumerate().map(|(i, &c)| (i, c)).collect();
+        est.estimate_from_pairs(&pairs, 160);
+        est.reset();
+        assert_eq!(est.last(), Gaze::default());
+    }
+}

@@ -1,0 +1,104 @@
+use serde::{Deserialize, Serialize};
+
+/// Mean and standard deviation of an angular-error distribution, in degrees.
+///
+/// The paper's Fig. 12 reports per-axis errors with one-standard-deviation
+/// error bars; robustness shows up as a *smaller std* at equal mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AngularErrorStats {
+    /// Mean absolute error in degrees.
+    pub mean: f32,
+    /// Standard deviation of the absolute error in degrees.
+    pub std: f32,
+}
+
+impl AngularErrorStats {
+    /// Computes stats over a slice of absolute errors.
+    pub fn from_errors(errors: &[f32]) -> Self {
+        if errors.is_empty() {
+            return AngularErrorStats {
+                mean: f32::NAN,
+                std: f32::NAN,
+            };
+        }
+        let n = errors.len() as f32;
+        let mean = errors.iter().sum::<f32>() / n;
+        let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f32>() / n;
+        AngularErrorStats {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Outcome of evaluating a tracking pipeline over a sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Horizontal angular error statistics.
+    pub horizontal: AngularErrorStats,
+    /// Vertical angular error statistics.
+    pub vertical: AngularErrorStats,
+    /// Fraction of evaluated pixels whose predicted class matched ground
+    /// truth.
+    pub seg_accuracy: f32,
+    /// Mean pixel-volume compression rate achieved across frames.
+    pub mean_compression: f32,
+    /// Mean transformer token count per frame (0 for CNN baselines).
+    pub mean_tokens: f32,
+    /// Number of frames evaluated.
+    pub frames: usize,
+}
+
+/// Fraction of `(index, class)` predictions matching the ground-truth mask.
+///
+/// Returns 1.0 for an empty prediction set (nothing to get wrong).
+pub fn seg_accuracy(pred: &[(usize, u8)], gt: &[u8]) -> f32 {
+    if pred.is_empty() {
+        return 1.0;
+    }
+    let correct = pred
+        .iter()
+        .filter(|&&(i, c)| gt.get(i).copied() == Some(c))
+        .count();
+    correct as f32 / pred.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_errors() {
+        let s = AngularErrorStats::from_errors(&[0.5, 0.5, 0.5]);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn stats_of_spread_errors() {
+        let s = AngularErrorStats::from_errors(&[0.0, 2.0]);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.std, 1.0);
+    }
+
+    #[test]
+    fn empty_errors_are_nan() {
+        let s = AngularErrorStats::from_errors(&[]);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn seg_accuracy_counts_matches() {
+        let gt = vec![0u8, 1, 2, 3];
+        let pred = vec![(0usize, 0u8), (1, 1), (2, 0), (3, 3)];
+        assert_eq!(seg_accuracy(&pred, &gt), 0.75);
+        assert_eq!(seg_accuracy(&[], &gt), 1.0);
+    }
+
+    #[test]
+    fn seg_accuracy_out_of_range_counts_as_wrong() {
+        let gt = vec![0u8];
+        let pred = vec![(5usize, 0u8)];
+        assert_eq!(seg_accuracy(&pred, &gt), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+use crate::util::{block_downsample, denormalize_box, downsample_mask_max};
+use bliss_nn::{Conv2d, Linear, Module};
+use bliss_npu::WorkloadDesc;
+use bliss_sensor::RoiBox;
+use bliss_tensor::{NdArray, Tensor, TensorError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the ROI-prediction network.
+///
+/// The paper's network is intentionally tiny — "three convolution layers
+/// followed by two fully-connected layers, amounting to only 2.1e7 MAC
+/// operations" (§III-A) — so it fits the in-sensor 8x8 NPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoiNetConfig {
+    /// Sensor frame width the predictions map back onto.
+    pub frame_width: usize,
+    /// Sensor frame height.
+    pub frame_height: usize,
+    /// Downsampling factor from the frame to the network input.
+    pub input_downsample: usize,
+    /// Channel widths of the three convolutions.
+    pub channels: [usize; 3],
+    /// Hidden width of the first fully-connected layer.
+    pub hidden: usize,
+    /// Margin (in frame pixels) added around the predicted box.
+    pub margin: usize,
+    /// Minimum box side length in frame pixels.
+    pub min_box: usize,
+}
+
+impl RoiNetConfig {
+    /// Paper-scale configuration: 640x400 frames, 160x100 input
+    /// (4x downsampled event map), ≈2.1e7 MACs as quoted in §III-A. The
+    /// MACs live in the convolutions and the FCs stay small, so the
+    /// ~450 KB of weights fit the 512 KB in-sensor SRAM.
+    pub fn paper() -> Self {
+        RoiNetConfig {
+            frame_width: 640,
+            frame_height: 400,
+            input_downsample: 4,
+            channels: [24, 48, 96],
+            hidden: 16,
+            margin: 12,
+            min_box: 48,
+        }
+    }
+
+    /// Miniature configuration for CPU training at the given frame size.
+    pub fn miniature(frame_width: usize, frame_height: usize) -> Self {
+        RoiNetConfig {
+            frame_width,
+            frame_height,
+            input_downsample: 4,
+            channels: [6, 12, 24],
+            hidden: 96,
+            margin: 6,
+            min_box: 12,
+        }
+    }
+
+    /// Network input dimensions (after downsampling).
+    pub fn input_dims(&self) -> (usize, usize) {
+        (
+            self.frame_width.div_ceil(self.input_downsample),
+            self.frame_height.div_ceil(self.input_downsample),
+        )
+    }
+
+    /// Output spatial dims of a 3x3 stride-2 pad-1 convolution.
+    fn conv_s2(h: usize, w: usize) -> (usize, usize) {
+        ((h + 2 - 3) / 2 + 1, (w + 2 - 3) / 2 + 1)
+    }
+
+    /// Lowered workload of one inference (pure shape math — no parameters
+    /// are allocated), used by the NPU energy/latency model.
+    pub fn workload(&self) -> WorkloadDesc {
+        let (iw, ih) = self.input_dims();
+        let c = self.channels;
+        let mut w = WorkloadDesc::new("roi-prediction");
+        let (h1, w1) = Self::conv_s2(ih, iw);
+        let (h2, w2) = Self::conv_s2(h1, w1);
+        let (h3, w3) = Self::conv_s2(h2, w2);
+        w.push_conv(c[0], 2, 3, h1, w1);
+        w.push_conv(c[1], c[0], 3, h2, w2);
+        w.push_conv(c[2], c[1], 3, h3, w3);
+        w.push_linear(1, c[2] * h3 * w3, self.hidden);
+        w.push_linear(1, self.hidden, 4);
+        w
+    }
+}
+
+/// The lightweight ROI-prediction CNN.
+///
+/// Input: a 2-channel image — the (downsampled) binary event map and the
+/// previous frame's segmentation map as a corrective cue for blinks and
+/// saccades (§III-A). Output: a normalised `(cx, cy, w, h)` box through a
+/// sigmoid.
+#[derive(Debug, Clone)]
+pub struct RoiPredictionNet {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    conv3: Conv2d,
+    fc1: Linear,
+    fc2: Linear,
+    config: RoiNetConfig,
+}
+
+impl RoiPredictionNet {
+    /// Creates the network with random initialisation.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: RoiNetConfig) -> Self {
+        let (iw, ih) = config.input_dims();
+        let conv1 = Conv2d::new(rng, 2, config.channels[0], 3, 2, 1);
+        let (h1, w1) = conv1.out_dims(ih, iw);
+        let conv2 = Conv2d::new(rng, config.channels[0], config.channels[1], 3, 2, 1);
+        let (h2, w2) = conv2.out_dims(h1, w1);
+        let conv3 = Conv2d::new(rng, config.channels[1], config.channels[2], 3, 2, 1);
+        let (h3, w3) = conv3.out_dims(h2, w2);
+        let flat = config.channels[2] * h3 * w3;
+        RoiPredictionNet {
+            conv1,
+            conv2,
+            conv3,
+            fc1: Linear::new(rng, flat, config.hidden),
+            fc2: Linear::new(rng, config.hidden, 4),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RoiNetConfig {
+        &self.config
+    }
+
+    /// Builds the 2-channel network input from a full-resolution event map
+    /// and the previous segmentation mask.
+    pub fn make_input(&self, events: &[f32], prev_seg: &[u8]) -> NdArray {
+        let (w, h) = (self.config.frame_width, self.config.frame_height);
+        let f = self.config.input_downsample;
+        let (ev, iw, ih) = block_downsample(events, w, h, f);
+        let (seg, _, _) = downsample_mask_max(prev_seg, w, h, f);
+        let mut data = Vec::with_capacity(2 * iw * ih);
+        data.extend_from_slice(&ev);
+        // Normalise class labels to [0, 1].
+        data.extend(seg.iter().map(|&c| c as f32 / 3.0));
+        NdArray::from_vec(data, &[2, ih, iw]).expect("roi input shape")
+    }
+
+    /// Forward pass producing the normalised `(cx, cy, w, h)` box as a
+    /// `[1, 4]` tensor in `(0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `input` is not the `[2, ih, iw]` layout from
+    /// [`RoiPredictionNet::make_input`].
+    pub fn forward(&self, input: &NdArray) -> Result<Tensor, TensorError> {
+        let x = Tensor::constant(input.clone());
+        let x = self.conv1.forward(&x)?.relu();
+        let x = self.conv2.forward(&x)?.relu();
+        let x = self.conv3.forward(&x)?.relu();
+        let flat = x.reshape(&[1, self.fc1.in_features()])?;
+        let h = self.fc1.forward(&flat)?.relu();
+        Ok(self.fc2.forward(&h)?.sigmoid())
+    }
+
+    /// Hard ROI box from a forward pass: denormalised, margin-expanded and
+    /// clamped to the frame.
+    pub fn predict_box(&self, output: &Tensor) -> RoiBox {
+        let v = output.value();
+        let arr = [v.data()[0], v.data()[1], v.data()[2], v.data()[3]];
+        let b = denormalize_box(
+            &arr,
+            self.config.frame_width,
+            self.config.frame_height,
+            self.config.min_box,
+        );
+        b.expand(
+            self.config.margin,
+            self.config.frame_width,
+            self.config.frame_height,
+        )
+    }
+
+    /// Lowered workload of one inference, for the NPU simulator.
+    pub fn workload(&self) -> WorkloadDesc {
+        self.config.workload()
+    }
+}
+
+impl Module for RoiPredictionNet {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.conv1.parameters();
+        p.extend(self.conv2.parameters());
+        p.extend(self.conv3.parameters());
+        p.extend(self.fc1.parameters());
+        p.extend(self.fc2.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> RoiPredictionNet {
+        let mut rng = StdRng::seed_from_u64(0);
+        RoiPredictionNet::new(&mut rng, RoiNetConfig::miniature(160, 100))
+    }
+
+    #[test]
+    fn forward_emits_unit_box() {
+        let n = net();
+        let events = vec![0.0f32; 160 * 100];
+        let seg = vec![0u8; 160 * 100];
+        let input = n.make_input(&events, &seg);
+        let out = n.forward(&input).unwrap();
+        assert_eq!(out.shape(), vec![1, 4]);
+        for &v in out.value().data() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn predicted_box_is_valid() {
+        let n = net();
+        let input = n.make_input(&vec![1.0; 16_000], &vec![0u8; 16_000]);
+        let out = n.forward(&input).unwrap();
+        let b = n.predict_box(&out);
+        assert!(b.x2 <= 160 && b.y2 <= 100);
+        assert!(b.width() >= 12);
+        assert!(b.height() >= 12);
+    }
+
+    #[test]
+    fn paper_scale_macs_match_quote() {
+        // §III-A: "only 2.1e7 MAC operations". Accept the right magnitude.
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = RoiPredictionNet::new(&mut rng, RoiNetConfig::paper());
+        let macs = n.workload().total_macs();
+        assert!(
+            (1.0e7..4.0e7).contains(&(macs as f64)),
+            "paper-scale ROI net macs = {macs}"
+        );
+    }
+
+    #[test]
+    fn workload_matches_network_dims() {
+        let n = net();
+        let w = n.workload();
+        assert_eq!(w.gemms.len(), 5);
+        assert!(w.total_macs() > 0);
+    }
+
+    #[test]
+    fn trainable_end_to_end() {
+        let n = net();
+        let input = n.make_input(&vec![0.5; 16_000], &vec![1u8; 16_000]);
+        let out = n.forward(&input).unwrap();
+        let target = NdArray::from_vec(vec![0.5, 0.5, 0.3, 0.3], &[1, 4]).unwrap();
+        let loss = out.mse_loss(&target).unwrap();
+        loss.backward().unwrap();
+        let with_grads = n
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().is_some())
+            .count();
+        assert_eq!(with_grads, n.parameters().len());
+    }
+
+    #[test]
+    fn make_input_has_two_channels() {
+        let n = net();
+        let input = n.make_input(&vec![0.0; 16_000], &vec![3u8; 16_000]);
+        assert_eq!(input.shape()[0], 2);
+        // second channel normalised to 1.0 for pupil class
+        let ch = input.shape()[1] * input.shape()[2];
+        assert!((input.data()[ch] - 1.0).abs() < 1e-6);
+    }
+}

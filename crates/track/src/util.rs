@@ -1,0 +1,206 @@
+//! Image-space helpers shared by the tracking algorithms.
+
+use bliss_sensor::RoiBox;
+
+/// Block-average downsampling of a row-major image by an integer factor.
+///
+/// Output dimensions are `ceil(w/factor) x ceil(h/factor)`; border blocks
+/// average over the valid pixels only.
+///
+/// # Panics
+///
+/// Panics if `factor == 0` or `img.len() != w * h`.
+pub fn block_downsample(img: &[f32], w: usize, h: usize, factor: usize) -> (Vec<f32>, usize, usize) {
+    assert!(factor > 0, "factor must be positive");
+    assert_eq!(img.len(), w * h, "image size mismatch");
+    if factor == 1 {
+        return (img.to_vec(), w, h);
+    }
+    let ow = w.div_ceil(factor);
+    let oh = h.div_ceil(factor);
+    let mut out = vec![0.0f32; ow * oh];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut sum = 0.0f32;
+            let mut count = 0u32;
+            for dy in 0..factor {
+                let y = oy * factor + dy;
+                if y >= h {
+                    break;
+                }
+                for dx in 0..factor {
+                    let x = ox * factor + dx;
+                    if x >= w {
+                        break;
+                    }
+                    sum += img[y * w + x];
+                    count += 1;
+                }
+            }
+            out[oy * ow + ox] = sum / count.max(1) as f32;
+        }
+    }
+    (out, ow, oh)
+}
+
+/// Functional eventification (paper Eqn. 1): `1.0` where
+/// `|cur - prev| > sigma`, else `0.0`. This is the software twin of
+/// `bliss_sensor::DigitalPixelSensor::eventify`, used during training where
+/// the full analog path is unnecessary.
+///
+/// # Panics
+///
+/// Panics if the two frames differ in length.
+pub fn frame_difference_events(cur: &[f32], prev: &[f32], sigma: f32) -> Vec<f32> {
+    assert_eq!(cur.len(), prev.len(), "frame size mismatch");
+    cur.iter()
+        .zip(prev.iter())
+        .map(|(&c, &p)| if (c - p).abs() > sigma { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// Normalises an ROI box to `(cx, cy, w, h)` in `[0, 1]` coordinates, the
+/// regression target of the ROI-prediction network.
+pub fn normalize_box(roi: &RoiBox, width: usize, height: usize) -> [f32; 4] {
+    let w = width.max(1) as f32;
+    let h = height.max(1) as f32;
+    [
+        (roi.x1 as f32 + roi.width() as f32 / 2.0) / w,
+        (roi.y1 as f32 + roi.height() as f32 / 2.0) / h,
+        roi.width() as f32 / w,
+        roi.height() as f32 / h,
+    ]
+}
+
+/// Inverts [`normalize_box`], clamping to the frame and enforcing a minimum
+/// box size so a degenerate prediction cannot collapse the pipeline.
+pub fn denormalize_box(v: &[f32; 4], width: usize, height: usize, min_size: usize) -> RoiBox {
+    let w = width as f32;
+    let h = height as f32;
+    let bw = (v[2].clamp(0.0, 1.0) * w).max(min_size as f32);
+    let bh = (v[3].clamp(0.0, 1.0) * h).max(min_size as f32);
+    let cx = v[0].clamp(0.0, 1.0) * w;
+    let cy = v[1].clamp(0.0, 1.0) * h;
+    let x1 = (cx - bw / 2.0).max(0.0) as usize;
+    let y1 = (cy - bh / 2.0).max(0.0) as usize;
+    let x2 = ((cx + bw / 2.0) as usize).min(width).max(x1 + 1);
+    let y2 = ((cy + bh / 2.0) as usize).min(height).max(y1 + 1);
+    RoiBox::new(x1, y1, x2.min(width), y2.min(height))
+}
+
+/// Downsamples a class mask (`u8` labels) by taking the maximum label in
+/// each block — biased toward foreground classes, preserving thin pupil
+/// regions as the corrective ROI input.
+///
+/// # Panics
+///
+/// Panics if `factor == 0` or `mask.len() != w * h`.
+pub fn downsample_mask_max(mask: &[u8], w: usize, h: usize, factor: usize) -> (Vec<u8>, usize, usize) {
+    assert!(factor > 0, "factor must be positive");
+    assert_eq!(mask.len(), w * h, "mask size mismatch");
+    let ow = w.div_ceil(factor);
+    let oh = h.div_ceil(factor);
+    let mut out = vec![0u8; ow * oh];
+    for (i, &c) in mask.iter().enumerate() {
+        let x = i % w;
+        let y = i / w;
+        let o = (y / factor) * ow + x / factor;
+        out[o] = out[o].max(c);
+    }
+    (out, ow, oh)
+}
+
+/// Pads a `[1, h, w]`-style flat image to dimensions that are multiples of
+/// `align` (zero fill), returning the padded image and its new dimensions.
+pub fn pad_to_multiple(img: &[f32], w: usize, h: usize, align: usize) -> (Vec<f32>, usize, usize) {
+    let pw = w.div_ceil(align) * align;
+    let ph = h.div_ceil(align) * align;
+    if pw == w && ph == h {
+        return (img.to_vec(), w, h);
+    }
+    let mut out = vec![0.0f32; pw * ph];
+    for y in 0..h {
+        out[y * pw..y * pw + w].copy_from_slice(&img[y * w..(y + 1) * w]);
+    }
+    (out, pw, ph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let img = vec![1.0, 3.0, 5.0, 7.0]; // 2x2
+        let (out, ow, oh) = block_downsample(&img, 2, 2, 2);
+        assert_eq!((ow, oh), (1, 1));
+        assert_eq!(out, vec![4.0]);
+    }
+
+    #[test]
+    fn downsample_handles_ragged_edges() {
+        let img = vec![2.0; 5 * 3];
+        let (out, ow, oh) = block_downsample(&img, 5, 3, 2);
+        assert_eq!((ow, oh), (3, 2));
+        assert!(out.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let img = vec![1.0, 2.0, 3.0, 4.0];
+        let (out, ow, oh) = block_downsample(&img, 2, 2, 1);
+        assert_eq!(out, img);
+        assert_eq!((ow, oh), (2, 2));
+    }
+
+    #[test]
+    fn events_threshold() {
+        let prev = vec![0.5, 0.5, 0.5];
+        let cur = vec![0.5, 0.58, 0.4];
+        let e = frame_difference_events(&cur, &prev, 0.06);
+        assert_eq!(e, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn box_roundtrip() {
+        let roi = RoiBox::new(10, 20, 50, 60);
+        let n = normalize_box(&roi, 100, 100);
+        let back = denormalize_box(&n, 100, 100, 1);
+        assert_eq!(back, roi);
+    }
+
+    #[test]
+    fn denormalize_enforces_min_size() {
+        let v = [0.5, 0.5, 0.0, 0.0];
+        let b = denormalize_box(&v, 100, 100, 16);
+        assert!(b.width() >= 16);
+        assert!(b.height() >= 16);
+    }
+
+    #[test]
+    fn denormalize_clamps_to_frame() {
+        let v = [0.99, 0.99, 0.5, 0.5];
+        let b = denormalize_box(&v, 100, 80, 1);
+        assert!(b.x2 <= 100 && b.y2 <= 80);
+    }
+
+    #[test]
+    fn mask_downsample_keeps_foreground() {
+        // A single pupil pixel (3) survives max-downsampling.
+        let mut mask = vec![0u8; 16];
+        mask[5] = 3;
+        let (out, ow, oh) = downsample_mask_max(&mask, 4, 4, 2);
+        assert_eq!((ow, oh), (2, 2));
+        assert_eq!(out, vec![3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pad_to_multiple_pads_and_preserves() {
+        let img = vec![1.0; 5 * 3];
+        let (out, pw, ph) = pad_to_multiple(&img, 5, 3, 4);
+        assert_eq!((pw, ph), (8, 4));
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[5], 0.0); // padding column
+        assert_eq!(out.len(), 32);
+    }
+}

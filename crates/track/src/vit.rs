@@ -1,0 +1,465 @@
+use bliss_nn::{Linear, Module, TransformerBlock};
+use bliss_npu::{GemmShape, WorkloadDesc};
+use bliss_tensor::{NdArray, Tensor, TensorError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the sparse ViT segmenter (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViTConfig {
+    /// Frame width the model segments.
+    pub frame_width: usize,
+    /// Frame height.
+    pub frame_height: usize,
+    /// Square patch side in pixels.
+    pub patch: usize,
+    /// Token channel width.
+    pub dim: usize,
+    /// Attention heads per MHA module.
+    pub heads: usize,
+    /// Encoder depth (paper: 12 MHA modules).
+    pub enc_depth: usize,
+    /// Decoder depth (paper: 2 MHA modules).
+    pub dec_depth: usize,
+    /// MLP expansion ratio inside each block.
+    pub mlp_ratio: usize,
+    /// Segmentation classes (OpenEDS: 4).
+    pub num_classes: usize,
+}
+
+impl ViTConfig {
+    /// Paper-scale model: 640x400 frames, 16-pixel patches, 12+2 MHA blocks
+    /// with 3 heads and channel size 192 (Strudel et al. Segmenter layout).
+    pub fn paper() -> Self {
+        ViTConfig {
+            frame_width: 640,
+            frame_height: 400,
+            patch: 16,
+            dim: 192,
+            heads: 3,
+            enc_depth: 12,
+            dec_depth: 2,
+            // A 2x expansion keeps the sparse ViT ~4x below RITnet-class
+            // MACs, matching the paper's §VI-A efficiency quote.
+            mlp_ratio: 2,
+            num_classes: 4,
+        }
+    }
+
+    /// Miniature model trainable on a laptop CPU in seconds.
+    pub fn miniature(frame_width: usize, frame_height: usize) -> Self {
+        ViTConfig {
+            frame_width,
+            frame_height,
+            patch: 10,
+            dim: 48,
+            heads: 3,
+            enc_depth: 2,
+            dec_depth: 1,
+            mlp_ratio: 4,
+            num_classes: 4,
+        }
+    }
+
+    /// Patch-grid dimensions (partial border patches are zero-padded).
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (
+            self.frame_width.div_ceil(self.patch),
+            self.frame_height.div_ceil(self.patch),
+        )
+    }
+
+    /// Total patches in the grid.
+    pub fn num_patches(&self) -> usize {
+        let (gw, gh) = self.grid_dims();
+        gw * gh
+    }
+
+    /// Lowered workload for `tokens` occupied patches and `pixels`
+    /// classification queries (pure shape math — no parameters allocated).
+    pub fn workload(&self, tokens: usize, pixels: usize) -> WorkloadDesc {
+        let p2 = self.patch * self.patch;
+        let mut w = WorkloadDesc::new("sparse-vit");
+        w.push_linear(tokens, 2 * p2, self.dim);
+        for _ in 0..self.enc_depth {
+            w.push_transformer_block_ratio(tokens, self.dim, self.heads, self.mlp_ratio);
+        }
+        let dec_tokens = tokens + self.num_classes;
+        for _ in 0..self.dec_depth {
+            w.push_transformer_block_ratio(dec_tokens, self.dim, self.heads, self.mlp_ratio);
+        }
+        w.gemms
+            .push(GemmShape::activation(tokens, self.dim, self.num_classes));
+        w.push_linear(pixels, 2, self.num_classes);
+        w
+    }
+}
+
+/// Output of one sparse segmentation forward pass.
+#[derive(Debug)]
+pub struct SegPrediction {
+    /// Frame-flat pixel index of every logits row (the sampled pixels).
+    pub pixel_indices: Vec<usize>,
+    /// Per-pixel class logits, `[S, num_classes]`.
+    pub logits: Tensor,
+    /// Number of occupied patch tokens the transformer processed — the
+    /// quantity that shrinks with sparse sampling and drives compute savings.
+    pub tokens: usize,
+}
+
+impl SegPrediction {
+    /// Per-pixel argmax classes as `(frame_index, class)` pairs.
+    pub fn classes(&self) -> Vec<(usize, u8)> {
+        let arg = self
+            .logits
+            .value()
+            .argmax_rows()
+            .expect("logits are rank 2");
+        self.pixel_indices
+            .iter()
+            .zip(arg.iter())
+            .map(|(&i, &c)| (i, c as u8))
+            .collect()
+    }
+
+    /// Expands the sparse classification into a full-frame mask
+    /// (background class 0 everywhere else).
+    pub fn seg_map(&self, width: usize, height: usize) -> Vec<u8> {
+        let mut map = vec![0u8; width * height];
+        for (i, c) in self.classes() {
+            if i < map.len() {
+                map[i] = c;
+            }
+        }
+        map
+    }
+}
+
+/// The sparse-robust Vision Transformer segmenter.
+///
+/// Architecture (paper Fig. 6, Segmenter-style):
+///
+/// 1. **Patch embedding** — each occupied patch's `(values, sample-mask)`
+///    pixels are linearly projected to a token; position embeddings are
+///    gathered for the kept patches only. *Empty patches produce no token*,
+///    so attention cost falls super-linearly with pixel volume.
+/// 2. **Encoder** — `enc_depth` MHA transformer blocks.
+/// 3. **Decoder** — learnable class embeddings are appended, `dec_depth`
+///    blocks mix them with patch tokens, and patch logits are the scaled dot
+///    product between patch tokens and class tokens.
+/// 4. **Pixel head** — a tiny per-pixel refinement (`[value, 1] -> classes`)
+///    added to the patch logits recovers sub-patch detail (the dark pupil
+///    boundary inside a patch).
+#[derive(Debug, Clone)]
+pub struct SparseViT {
+    patch_embed: Linear,
+    pos_embed: Tensor,
+    encoder: Vec<TransformerBlock>,
+    decoder: Vec<TransformerBlock>,
+    class_embed: Tensor,
+    pixel_head: Linear,
+    config: ViTConfig,
+}
+
+impl SparseViT {
+    /// Creates the model with random initialisation.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: ViTConfig) -> Self {
+        let p2 = config.patch * config.patch;
+        SparseViT {
+            patch_embed: Linear::new(rng, 2 * p2, config.dim),
+            pos_embed: Tensor::parameter(NdArray::randn(
+                rng,
+                &[config.num_patches(), config.dim],
+                0.02,
+            )),
+            encoder: (0..config.enc_depth)
+                .map(|_| {
+                    TransformerBlock::with_mlp_ratio(rng, config.dim, config.heads, config.mlp_ratio)
+                })
+                .collect(),
+            decoder: (0..config.dec_depth)
+                .map(|_| {
+                    TransformerBlock::with_mlp_ratio(rng, config.dim, config.heads, config.mlp_ratio)
+                })
+                .collect(),
+            class_embed: Tensor::parameter(NdArray::randn(
+                rng,
+                &[config.num_classes, config.dim],
+                0.02,
+            )),
+            pixel_head: Linear::new(rng, 2, config.num_classes),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ViTConfig {
+        &self.config
+    }
+
+    /// Segments a sparse frame.
+    ///
+    /// `image` is the full-frame sparse image (zeros at unsampled pixels) and
+    /// `sampled` the 0/1 sampling mask, both `width*height` long. Returns
+    /// `None` when no pixel is sampled (e.g. mid-blink with an empty ROI).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the buffers do not match the configured frame.
+    pub fn forward(
+        &self,
+        image: &[f32],
+        sampled: &[f32],
+    ) -> Result<Option<SegPrediction>, TensorError> {
+        let (w, h) = (self.config.frame_width, self.config.frame_height);
+        if image.len() != w * h || sampled.len() != w * h {
+            return Err(TensorError::InvalidArgument {
+                op: "sparse_vit_forward",
+                message: format!(
+                    "expected {} pixels, got image {} / mask {}",
+                    w * h,
+                    image.len(),
+                    sampled.len()
+                ),
+            });
+        }
+        let p = self.config.patch;
+        let (gw, gh) = self.config.grid_dims();
+        let p2 = p * p;
+
+        // Collect occupied patches and their contents.
+        let mut kept: Vec<usize> = Vec::new();
+        let mut token_data: Vec<f32> = Vec::new();
+        let mut pixel_indices: Vec<usize> = Vec::new();
+        let mut pixel_token: Vec<usize> = Vec::new();
+        let mut pixel_feat: Vec<f32> = Vec::new();
+        for gy in 0..gh {
+            for gx in 0..gw {
+                let patch_idx = gy * gw + gx;
+                let mut values = vec![0.0f32; p2];
+                let mut mask = vec![0.0f32; p2];
+                let mut occupied = false;
+                for dy in 0..p {
+                    let y = gy * p + dy;
+                    if y >= h {
+                        break;
+                    }
+                    for dx in 0..p {
+                        let x = gx * p + dx;
+                        if x >= w {
+                            break;
+                        }
+                        let fi = y * w + x;
+                        values[dy * p + dx] = image[fi];
+                        mask[dy * p + dx] = sampled[fi];
+                        if sampled[fi] > 0.0 {
+                            occupied = true;
+                        }
+                    }
+                }
+                if !occupied {
+                    continue;
+                }
+                let token = kept.len();
+                kept.push(patch_idx);
+                token_data.extend_from_slice(&values);
+                token_data.extend_from_slice(&mask);
+                // Register this patch's sampled pixels as classification
+                // queries.
+                for dy in 0..p {
+                    let y = gy * p + dy;
+                    if y >= h {
+                        break;
+                    }
+                    for dx in 0..p {
+                        let x = gx * p + dx;
+                        if x >= w {
+                            break;
+                        }
+                        let fi = y * w + x;
+                        if sampled[fi] > 0.0 {
+                            pixel_indices.push(fi);
+                            pixel_token.push(token);
+                            pixel_feat.push(image[fi]);
+                            pixel_feat.push(1.0);
+                        }
+                    }
+                }
+            }
+        }
+        if kept.is_empty() {
+            return Ok(None);
+        }
+        let t = kept.len();
+
+        let tokens_in = Tensor::constant(NdArray::from_vec(token_data, &[t, 2 * p2])?);
+        let mut x = self
+            .patch_embed
+            .forward(&tokens_in)?
+            .add(&self.pos_embed.gather_rows(&kept)?)?;
+        for block in &self.encoder {
+            x = block.forward(&x)?;
+        }
+        let cat = Tensor::concat_rows(&[x, self.class_embed.clone()])?;
+        let mut d = cat;
+        for block in &self.decoder {
+            d = block.forward(&d)?;
+        }
+        let patch_tokens = d.slice_rows(0, t)?;
+        let class_tokens = d.slice_rows(t, t + self.config.num_classes)?;
+        let patch_logits = patch_tokens
+            .matmul(&class_tokens.transpose()?)?
+            .scale(1.0 / (self.config.dim as f32).sqrt());
+
+        let expanded = patch_logits.gather_rows(&pixel_token)?;
+        let s = pixel_indices.len();
+        let feats = Tensor::constant(NdArray::from_vec(pixel_feat, &[s, 2])?);
+        let refined = self.pixel_head.forward(&feats)?;
+        let logits = expanded.add(&refined)?;
+
+        Ok(Some(SegPrediction {
+            pixel_indices,
+            logits,
+            tokens: t,
+        }))
+    }
+
+    /// Lowered workload for `tokens` occupied patches and `pixels`
+    /// classification queries, for the NPU simulator.
+    pub fn workload(&self, tokens: usize, pixels: usize) -> WorkloadDesc {
+        self.config.workload(tokens, pixels)
+    }
+
+    /// MAC count for a given occupancy, convenience over [`Self::workload`].
+    pub fn macs(&self, tokens: usize, pixels: usize) -> u64 {
+        self.workload(tokens, pixels).total_macs()
+    }
+}
+
+impl Module for SparseViT {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.patch_embed.parameters();
+        p.push(self.pos_embed.clone());
+        for b in &self.encoder {
+            p.extend(b.parameters());
+        }
+        for b in &self.decoder {
+            p.extend(b.parameters());
+        }
+        p.push(self.class_embed.clone());
+        p.extend(self.pixel_head.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> SparseViT {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = ViTConfig {
+            frame_width: 40,
+            frame_height: 30,
+            patch: 10,
+            dim: 16,
+            heads: 2,
+            enc_depth: 1,
+            dec_depth: 1,
+            mlp_ratio: 4,
+            num_classes: 4,
+        };
+        SparseViT::new(&mut rng, cfg)
+    }
+
+    #[test]
+    fn dense_mask_keeps_all_patches() {
+        let vit = tiny();
+        let image = vec![0.5f32; 1200];
+        let mask = vec![1.0f32; 1200];
+        let pred = vit.forward(&image, &mask).unwrap().unwrap();
+        assert_eq!(pred.tokens, vit.config().num_patches());
+        assert_eq!(pred.pixel_indices.len(), 1200);
+        assert_eq!(pred.logits.shape(), vec![1200, 4]);
+    }
+
+    #[test]
+    fn empty_mask_returns_none() {
+        let vit = tiny();
+        let image = vec![0.0f32; 1200];
+        let mask = vec![0.0f32; 1200];
+        assert!(vit.forward(&image, &mask).unwrap().is_none());
+    }
+
+    #[test]
+    fn sparse_mask_drops_tokens() {
+        let vit = tiny();
+        let image = vec![0.5f32; 1200];
+        let mut mask = vec![0.0f32; 1200];
+        // Sample a single pixel: exactly one patch stays.
+        mask[15 * 40 + 25] = 1.0;
+        let pred = vit.forward(&image, &mask).unwrap().unwrap();
+        assert_eq!(pred.tokens, 1);
+        assert_eq!(pred.pixel_indices, vec![15 * 40 + 25]);
+    }
+
+    #[test]
+    fn macs_shrink_with_tokens() {
+        let vit = tiny();
+        let dense = vit.macs(12, 1200);
+        let sparse = vit.macs(3, 100);
+        assert!(sparse < dense / 3);
+    }
+
+    #[test]
+    fn classes_and_seg_map_agree() {
+        let vit = tiny();
+        let image = vec![0.5f32; 1200];
+        let mut mask = vec![0.0f32; 1200];
+        mask[0] = 1.0;
+        mask[700] = 1.0;
+        let pred = vit.forward(&image, &mask).unwrap().unwrap();
+        let classes = pred.classes();
+        assert_eq!(classes.len(), 2);
+        let map = pred.seg_map(40, 30);
+        for (i, c) in classes {
+            assert_eq!(map[i], c);
+        }
+    }
+
+    #[test]
+    fn trainable_gradients_flow_everywhere() {
+        let vit = tiny();
+        let image = vec![0.4f32; 1200];
+        let mask = vec![1.0f32; 1200];
+        let pred = vit.forward(&image, &mask).unwrap().unwrap();
+        let targets = vec![1usize; pred.pixel_indices.len()];
+        let loss = pred.logits.cross_entropy_rows(&targets, None).unwrap();
+        loss.backward().unwrap();
+        let with_grads = vit
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().is_some())
+            .count();
+        // Position embeddings for dropped patches get no gradient only when
+        // patches are dropped; with a dense mask everything has gradients.
+        assert_eq!(with_grads, vit.parameters().len());
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_size() {
+        let vit = tiny();
+        assert!(vit.forward(&[0.0; 10], &[0.0; 10]).is_err());
+    }
+
+    #[test]
+    fn paper_config_dimensions() {
+        let cfg = ViTConfig::paper();
+        assert_eq!(cfg.grid_dims(), (40, 25));
+        assert_eq!(cfg.num_patches(), 1000);
+        assert_eq!(cfg.enc_depth, 12);
+        assert_eq!(cfg.dec_depth, 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the tracking algorithms' pure helpers.
+
+use bliss_sensor::RoiBox;
+use bliss_track::util::{block_downsample, denormalize_box, frame_difference_events, normalize_box};
+use bliss_track::{apply_strategy, SamplingStrategy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn box_normalisation_roundtrips(
+        x1 in 0usize..100, y1 in 0usize..60, w in 2usize..60, h in 2usize..40
+    ) {
+        let roi = RoiBox::new(x1.min(98), y1.min(58), (x1 + w).min(160), (y1 + h).min(100));
+        prop_assume!(roi.area() > 0);
+        let n = normalize_box(&roi, 160, 100);
+        let back = denormalize_box(&n, 160, 100, 1);
+        // Round-trip within a pixel on each edge.
+        prop_assert!(back.x1.abs_diff(roi.x1) <= 1);
+        prop_assert!(back.y1.abs_diff(roi.y1) <= 1);
+        prop_assert!(back.x2.abs_diff(roi.x2) <= 1);
+        prop_assert!(back.y2.abs_diff(roi.y2) <= 1);
+    }
+
+    #[test]
+    fn downsample_preserves_mean(v in prop::collection::vec(0.0f32..1.0, 160)) {
+        // 16x10 image, factor 2: block means average to the global mean.
+        let (ds, dw, dh) = block_downsample(&v, 16, 10, 2);
+        prop_assert_eq!((dw, dh), (8, 5));
+        let mean_full: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        let mean_ds: f32 = ds.iter().sum::<f32>() / ds.len() as f32;
+        prop_assert!((mean_full - mean_ds).abs() < 1e-4);
+    }
+
+    #[test]
+    fn events_are_symmetric_in_frame_order(
+        a in prop::collection::vec(0.0f32..1.0, 64),
+        b in prop::collection::vec(0.0f32..1.0, 64)
+    ) {
+        let e_ab = frame_difference_events(&a, &b, 0.06);
+        let e_ba = frame_difference_events(&b, &a, 0.06);
+        prop_assert_eq!(e_ab, e_ba);
+    }
+
+    #[test]
+    fn strategies_sample_within_budget(
+        rate in 0.05f32..0.9, seed in 0u64..200
+    ) {
+        let image = vec![0.5f32; 40 * 30];
+        let roi = RoiBox::new(8, 6, 32, 24);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = apply_strategy(
+            &SamplingStrategy::RoiRandom { rate },
+            &image, 40, 30, roi, None, 0.1, &mut rng,
+        );
+        prop_assert!(s.sampled <= roi.area());
+        // Bernoulli concentration: within 5 sigma of the mean.
+        let mean = roi.area() as f32 * rate;
+        let sigma = (roi.area() as f32 * rate * (1.0 - rate)).sqrt();
+        prop_assert!((s.sampled as f32 - mean).abs() < 5.0 * sigma + 2.0);
+    }
+
+    #[test]
+    fn fixed_strategy_is_rng_independent(
+        rate in 0.1f32..0.6, s1 in 0u64..100, s2 in 100u64..200
+    ) {
+        let image = vec![0.5f32; 40 * 30];
+        let imp: Vec<f32> = (0..1200).map(|i| (i % 17) as f32).collect();
+        let roi = RoiBox::new(5, 5, 35, 25);
+        let mut r1 = StdRng::seed_from_u64(s1);
+        let mut r2 = StdRng::seed_from_u64(s2);
+        let a = apply_strategy(&SamplingStrategy::RoiFixed { rate }, &image, 40, 30, roi, Some(&imp), 0.1, &mut r1);
+        let b = apply_strategy(&SamplingStrategy::RoiFixed { rate }, &image, 40, 30, roi, Some(&imp), 0.1, &mut r2);
+        prop_assert_eq!(a.mask, b.mask);
+    }
+}

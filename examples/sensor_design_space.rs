@@ -1,0 +1,94 @@
+//! Sensor/SoC design-space exploration with the analytic hardware models.
+//!
+//! Sweeps frame rate, process nodes and sampling rate around the paper's
+//! design point and prints where BlissCam's energy advantage comes from —
+//! the kind of study an architect would run before committing to silicon.
+//!
+//! ```sh
+//! cargo run --release --example sensor_design_space
+//! ```
+
+use blisscam::core::{energy_breakdown, simulate_pipeline, SystemConfig, SystemVariant};
+use blisscam::energy::ProcessNode;
+
+fn saving(cfg: &SystemConfig) -> f64 {
+    energy_breakdown(cfg, SystemVariant::NpuFull).total_j()
+        / energy_breakdown(cfg, SystemVariant::BlissCam).total_j()
+}
+
+fn main() {
+    let base = SystemConfig::paper();
+    println!("paper design point: 640x400 @ 120 FPS, 65/22/7 nm, 20 % in-ROI sampling\n");
+
+    // 1. Frame-rate sweep (paper Fig. 16's energy axis).
+    println!("frame-rate sweep (energy saving over NPU-Full):");
+    for fps in [30.0, 60.0, 120.0, 240.0, 500.0] {
+        let mut cfg = base;
+        cfg.fps = fps;
+        let bliss = energy_breakdown(&cfg, SystemVariant::BlissCam);
+        println!(
+            "  {fps:>5.0} FPS: {:.2}x saving   (BlissCam {:.0} uJ/frame, retention {:.0} uJ)",
+            saving(&cfg),
+            bliss.total_j() * 1e6,
+            bliss.analog_hold_j * 1e6
+        );
+    }
+
+    // 2. Sampling-rate sweep: less data vs segmentation robustness.
+    println!("\nsampling-rate sweep (energy only; accuracy degrades below ~10 %):");
+    for rate in [0.4f32, 0.2, 0.1, 0.05] {
+        let mut cfg = base;
+        cfg.sample_rate = rate;
+        println!(
+            "  {:>4.0} % of ROI ({:>4.1} % of frame): {:.2}x saving",
+            rate * 100.0,
+            rate as f64 * cfg.roi_fraction * 100.0,
+            saving(&cfg)
+        );
+    }
+
+    // 3. Process-node grid (paper Fig. 17 extended).
+    println!("\nprocess-node grid (rows: sensor logic, cols: host SoC):");
+    let socs = [ProcessNode::NM7, ProcessNode::NM16, ProcessNode::NM22];
+    print!("  logic\\soc ");
+    for s in socs {
+        print!("{:>8}", s.to_string());
+    }
+    println!();
+    for logic in [ProcessNode::NM65, ProcessNode::NM40, ProcessNode::NM28, ProcessNode::NM22, ProcessNode::NM16] {
+        print!("  {:>8}  ", logic.to_string());
+        for soc in socs {
+            let mut cfg = base;
+            cfg.sensor_logic_node = logic;
+            cfg.host_node = soc;
+            print!("{:>7.2}x", saving(&cfg));
+        }
+        println!();
+    }
+
+    // 4. Where does the remaining energy go at the design point?
+    println!("\nBlissCam energy breakdown at the design point:");
+    let bliss = energy_breakdown(&base, SystemVariant::BlissCam);
+    for (label, joules) in bliss.components() {
+        if joules > 0.0 {
+            println!(
+                "  {:<18} {:>7.2} uJ  ({:>4.1} %)",
+                label,
+                joules * 1e6,
+                joules / bliss.total_j() * 100.0
+            );
+        }
+    }
+
+    // 5. Latency check: the budget must hold everywhere we'd deploy.
+    println!("\nlatency at the design point:");
+    for v in SystemVariant::ALL {
+        let r = simulate_pipeline(&base, v, 32);
+        println!(
+            "  {:<9} {:>6.2} ms end-to-end, {:>5.1} FPS achieved",
+            v.label(),
+            r.mean_latency_s * 1e3,
+            r.achieved_fps
+        );
+    }
+}

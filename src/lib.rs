@@ -1,0 +1,47 @@
+//! # BlissCam
+//!
+//! A full-system reproduction of **"BlissCam: Boosting Eye Tracking Efficiency
+//! with Learned In-Sensor Sparse Sampling"** (ISCA 2024).
+//!
+//! BlissCam co-designs a stacked digital-pixel image sensor with a sparse
+//! eye-tracking algorithm: frames are *eventified* in the analog domain, a tiny
+//! in-sensor CNN predicts an eye region-of-interest, and only ~5 % of the
+//! pixels are quantized and shipped to the host, where a sparse-robust Vision
+//! Transformer segments the eye and a geometric model regresses the gaze.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — n-d tensors with reverse-mode autograd
+//! * [`nn`] — neural-network layers, losses and optimizers
+//! * [`eye`] — synthetic near-eye renderer and gaze trajectories
+//! * [`sensor`] — behavioural digital-pixel-sensor simulator
+//! * [`npu`] — analytical systolic-array simulator
+//! * [`energy`] — process scaling, MIPI/DRAM/readout energy and area models
+//! * [`timing`] — frame-pipeline timing simulator
+//! * [`track`] — ROI prediction, sparse ViT segmentation, sampling strategies
+//! * [`core`] — the assembled system, its variants and the paper experiments
+//!
+//! # Quickstart
+//!
+//! ```
+//! use blisscam::core::{SystemConfig, SystemVariant, EyeTrackingSystem};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SystemConfig::miniature();
+//! let mut system = EyeTrackingSystem::new(SystemVariant::BlissCam, config)?;
+//! let report = system.run_frames(12)?;
+//! println!("mean gaze error: {:.2} deg", report.mean_angular_error().horizontal);
+//! println!("energy per frame: {:.1} uJ", report.mean_energy_uj());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bliss_energy as energy;
+pub use bliss_eye as eye;
+pub use bliss_nn as nn;
+pub use bliss_npu as npu;
+pub use bliss_sensor as sensor;
+pub use bliss_tensor as tensor;
+pub use bliss_timing as timing;
+pub use bliss_track as track;
+pub use blisscam_core as core;

@@ -1,0 +1,99 @@
+//! Cross-crate consistency checks: the MAC counts reported by the neural
+//! network layers (`bliss-nn`) must match the lowered GEMM workloads the
+//! NPU simulator consumes (`bliss-npu`) — otherwise the accuracy runs and
+//! the energy model would describe different networks.
+
+use blisscam::nn::{Conv2d, DepthwiseSeparableConv2d, Linear, MultiHeadAttention, Module};
+use blisscam::npu::WorkloadDesc;
+use blisscam::track::{CnnSegConfig, RoiNetConfig, ViTConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn linear_layer_macs_match_workload() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let layer = Linear::new(&mut rng, 64, 48);
+    let mut w = WorkloadDesc::new("lin");
+    w.push_linear(17, 64, 48);
+    assert_eq!(layer.macs(17), w.total_macs());
+}
+
+#[test]
+fn conv_layer_macs_match_workload() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let conv = Conv2d::new(&mut rng, 8, 16, 3, 2, 1);
+    let (oh, ow) = conv.out_dims(40, 50);
+    let mut w = WorkloadDesc::new("conv");
+    w.push_conv(16, 8, 3, oh, ow);
+    assert_eq!(conv.macs(40, 50), w.total_macs());
+}
+
+#[test]
+fn depthwise_layer_macs_match_workload() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let sep = DepthwiseSeparableConv2d::new(&mut rng, 12, 24, 3, 1, 1);
+    let mut w = WorkloadDesc::new("dw");
+    w.push_depthwise_separable(12, 24, 3, 20, 30);
+    assert_eq!(sep.macs(20, 30), w.total_macs());
+}
+
+#[test]
+fn attention_macs_match_workload() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mha = MultiHeadAttention::new(&mut rng, 48, 3);
+    let mut w = WorkloadDesc::new("attn");
+    w.push_attention(37, 48, 3);
+    assert_eq!(mha.macs(37), w.total_macs());
+}
+
+#[test]
+fn roi_net_instance_matches_config_workload() {
+    // The instantiated network and the allocation-free config lowering must
+    // agree — the energy model relies on the latter.
+    let cfg = RoiNetConfig::miniature(160, 100);
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = blisscam::track::RoiPredictionNet::new(&mut rng, cfg);
+    assert_eq!(net.workload().total_macs(), cfg.workload().total_macs());
+    // Paper §III-A: the paper-scale network is ~2.1e7 MACs.
+    let paper = RoiNetConfig::paper().workload().total_macs() as f64;
+    assert!((1.0e7..4.0e7).contains(&paper), "paper ROI net = {paper} MACs");
+}
+
+#[test]
+fn paper_roi_net_weights_fit_in_sensor_sram() {
+    // §V: the in-sensor NPU has 512 KB of SRAM; the ROI network must fit.
+    let bytes = RoiNetConfig::paper().workload().total_weight_bytes();
+    assert!(bytes <= 512 * 1024, "ROI net weights {bytes} B exceed 512 KB");
+}
+
+#[test]
+fn sparse_vit_macs_shrink_with_sampling() {
+    // §VI-A: the sparse ViT needs ~4x fewer MACs than the RITnet-class
+    // dense baseline at the paper's operating point.
+    let vit = ViTConfig::paper();
+    let cnn = CnnSegConfig::paper();
+    let sparse = vit.workload(134, 12_500).total_macs() as f64;
+    let dense_cnn = cnn.workload(false).total_macs() as f64;
+    let reduction = dense_cnn / sparse;
+    assert!(
+        (2.5..8.0).contains(&reduction),
+        "MAC reduction {reduction:.1}x (paper ~4x)"
+    );
+}
+
+#[test]
+fn vit_workload_scales_superlinearly_in_tokens() {
+    let vit = ViTConfig::paper();
+    let quarter = vit.workload(250, 60_000).total_macs();
+    let full = vit.workload(1000, 240_000).total_macs();
+    assert!(full > 4 * quarter, "attention must be superlinear in tokens");
+}
+
+#[test]
+fn module_parameter_counts_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let lin = Linear::new(&mut rng, 10, 5);
+    assert_eq!(lin.num_parameters(), 10 * 5 + 5);
+    let conv = Conv2d::new(&mut rng, 3, 7, 3, 1, 1);
+    assert_eq!(conv.num_parameters(), 7 * 3 * 9 + 7);
+}

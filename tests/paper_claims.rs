@@ -1,0 +1,90 @@
+//! Integration-level checks of the paper's headline claims through the
+//! public `blisscam` API, at the paper-scale hardware point.
+
+use blisscam::core::{energy_breakdown, simulate_pipeline, SystemConfig, SystemVariant};
+use blisscam::energy::{MipiLink, Resolution};
+
+#[test]
+fn pixel_volume_reduction_is_about_95_percent() {
+    // Abstract: "reduces pixel volume by about 95%".
+    let cfg = SystemConfig::paper();
+    let kept = cfg.expected_sampled_pixels() as f64 / cfg.pixels() as f64;
+    assert!(
+        (0.02..0.08).contains(&kept),
+        "kept pixel fraction {kept:.3} (paper ~5 %)"
+    );
+}
+
+#[test]
+fn energy_reduction_vs_conventional_pipeline() {
+    // Abstract: "up to 8.2x energy reduction" — 4.0x at the 120 FPS default
+    // (Fig. 13), growing with frame rate (Fig. 16). Check the default is in
+    // the right band and the maximum across the sweep clearly exceeds it.
+    let base = SystemConfig::paper();
+    let at = |fps: f64| {
+        let mut cfg = base;
+        cfg.fps = fps;
+        energy_breakdown(&cfg, SystemVariant::NpuFull).total_j()
+            / energy_breakdown(&cfg, SystemVariant::BlissCam).total_j()
+    };
+    let default = at(120.0);
+    assert!((3.0..5.5).contains(&default), "default saving {default:.2}");
+    let max = at(500.0);
+    assert!(max > default, "saving should grow with FPS: {default:.2} -> {max:.2}");
+}
+
+#[test]
+fn latency_reduction_and_budget() {
+    // Abstract: "1.4x latency reduction"; §II-A: sub-15 ms requirement.
+    let cfg = SystemConfig::paper();
+    let full = simulate_pipeline(&cfg, SystemVariant::NpuFull, 24);
+    let bliss = simulate_pipeline(&cfg, SystemVariant::BlissCam, 24);
+    let ratio = full.mean_latency_s / bliss.mean_latency_s;
+    assert!(ratio > 1.2, "latency reduction only {ratio:.2}x");
+    assert!(bliss.mean_latency_s < 15e-3);
+    assert!(bliss.mean_latency_s < 10e-3, "paper targets sub-10 ms");
+}
+
+#[test]
+fn tracking_rate_unaffected_by_in_sensor_computation() {
+    // §IV-A: the added in-sensor stages must not reduce the frame rate.
+    let cfg = SystemConfig::paper();
+    for v in SystemVariant::ALL {
+        let report = simulate_pipeline(&cfg, v, 48);
+        assert!(
+            report.achieved_fps > 117.0,
+            "{} dropped to {:.1} FPS",
+            v.label(),
+            report.achieved_fps
+        );
+    }
+}
+
+#[test]
+fn mipi_latency_motivation_holds() {
+    // Fig. 3: 4K transfer exceeds the 15 ms budget, 720P does not.
+    let link = MipiLink::default();
+    assert!(link.frame_transfer_time_s(Resolution::R4k) > 15e-3);
+    assert!(link.frame_transfer_time_s(Resolution::R720p) < 15e-3);
+}
+
+#[test]
+fn sensor_communication_energy_shrinks_by_an_order_of_magnitude() {
+    let cfg = SystemConfig::paper();
+    let full = energy_breakdown(&cfg, SystemVariant::NpuFull);
+    let bliss = energy_breakdown(&cfg, SystemVariant::BlissCam);
+    assert!(full.mipi_j / bliss.mipi_j > 8.0);
+    assert!(full.analog_readout_j / bliss.analog_readout_j > 15.0);
+}
+
+#[test]
+fn s_npu_ablation_shows_why_analog_matters() {
+    // Fig. 13's key ablation: moving sampling in-sensor *digitally* is not
+    // enough — the digital frame buffer's leakage gives most of the savings
+    // back. Only the analog memory path (BlissCam) keeps them.
+    let cfg = SystemConfig::paper();
+    let snpu = energy_breakdown(&cfg, SystemVariant::SNpu);
+    let bliss = energy_breakdown(&cfg, SystemVariant::BlissCam);
+    assert!(snpu.total_j() > 1.25 * bliss.total_j());
+    assert!(snpu.frame_buffer_leak_j > bliss.analog_hold_j);
+}

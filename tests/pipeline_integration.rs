@@ -1,0 +1,98 @@
+//! End-to-end integration tests across the whole workspace: renderer →
+//! sensor → networks → gaze, for every system variant.
+
+use blisscam::core::{EyeTrackingSystem, SystemConfig, SystemVariant};
+
+fn fast_config(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::miniature();
+    cfg.train_frames = 40;
+    cfg.vit.dim = 24;
+    cfg.vit.enc_depth = 1;
+    cfg.roi_net.hidden = 32;
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn every_variant_runs_end_to_end() {
+    for variant in SystemVariant::ALL {
+        let mut system =
+            EyeTrackingSystem::new(variant, fast_config(3)).expect("system builds");
+        let report = system.run_frames(6).expect("frames run");
+        assert_eq!(report.frames.len(), 6, "{}", variant.label());
+        let err = report.mean_angular_error();
+        assert!(
+            err.horizontal.is_finite() && err.vertical.is_finite(),
+            "{} produced NaN errors",
+            variant.label()
+        );
+        assert!(report.mean_energy_uj() > 0.0);
+        assert!(report.latency.mean_latency_s > 0.0);
+    }
+}
+
+#[test]
+fn energy_ordering_holds_in_executable_runs() {
+    // The executable (measured-counts) energy must preserve the paper's
+    // ordering: BlissCam < S+NPU and BlissCam < NPU-ROI < NPU-Full.
+    let mut totals = std::collections::HashMap::new();
+    for variant in SystemVariant::ALL {
+        let mut system = EyeTrackingSystem::new(variant, fast_config(7)).expect("builds");
+        let report = system.run_frames(8).expect("runs");
+        totals.insert(variant.label(), report.mean_energy_uj());
+    }
+    assert!(totals["BlissCam"] < totals["S+NPU"], "{totals:?}");
+    assert!(totals["BlissCam"] < totals["NPU-ROI"], "{totals:?}");
+    assert!(totals["NPU-ROI"] < totals["NPU-Full"], "{totals:?}");
+}
+
+#[test]
+fn sparse_variants_compress_dense_variants_do_not() {
+    let mut bliss = EyeTrackingSystem::new(SystemVariant::BlissCam, fast_config(9)).unwrap();
+    let rb = bliss.run_frames(6).unwrap();
+    assert!(rb.mean_compression() > 4.0, "compression {}", rb.mean_compression());
+
+    let mut full = EyeTrackingSystem::new(SystemVariant::NpuFull, fast_config(9)).unwrap();
+    let rf = full.run_frames(6).unwrap();
+    assert!((rf.mean_compression() - 1.0).abs() < 0.01);
+}
+
+#[test]
+fn runs_are_deterministic_for_a_seed() {
+    let run = |seed: u64| {
+        let mut sys = EyeTrackingSystem::new(SystemVariant::BlissCam, fast_config(seed)).unwrap();
+        sys.run_frames(5).unwrap()
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.frames.len(), b.frames.len());
+    for (fa, fb) in a.frames.iter().zip(b.frames.iter()) {
+        assert_eq!(fa.gaze_prediction, fb.gaze_prediction);
+        assert_eq!(fa.sampled_pixels, fb.sampled_pixels);
+        assert_eq!(fa.mipi_bytes, fb.mipi_bytes);
+    }
+    let c = run(12);
+    assert_ne!(
+        a.frames[4].sampled_pixels, c.frames[4].sampled_pixels,
+        "different seeds should sample differently"
+    );
+}
+
+#[test]
+fn blisscam_tokens_track_roi_occupancy() {
+    // The number of ViT tokens must stay well below the total patch count —
+    // that is where the compute savings come from.
+    let cfg = fast_config(13);
+    let total_patches = cfg.vit.num_patches();
+    let mut sys = EyeTrackingSystem::new(SystemVariant::BlissCam, cfg).unwrap();
+    let report = sys.run_frames(8).unwrap();
+    // The cold-start bootstrap reads the full frame, so early frames may
+    // occupy every patch; steady state must not.
+    let steady: Vec<_> = report.frames.iter().skip(3).collect();
+    let below = steady.iter().filter(|f| f.tokens < total_patches).count();
+    assert!(
+        below * 2 > steady.len(),
+        "steady-state frames mostly at full occupancy: {:?}",
+        steady.iter().map(|f| f.tokens).collect::<Vec<_>>()
+    );
+}

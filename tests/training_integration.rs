@@ -1,0 +1,108 @@
+//! Integration tests of the joint training procedure (paper §III-C): the
+//! trained pipeline must beat its untrained self on both subtasks.
+
+use blisscam::eye::{render_sequence, SequenceConfig};
+use blisscam::nn::Module;
+use blisscam::sensor::RoiBox;
+use blisscam::track::{util, JointTrainer, TrainConfig};
+
+fn config() -> TrainConfig {
+    let mut cfg = TrainConfig::miniature(160, 100);
+    cfg.epochs = 2;
+    cfg
+}
+
+#[test]
+fn training_improves_gaze_accuracy() {
+    let train = render_sequence(&SequenceConfig::miniature(110, 31));
+    let eval = render_sequence(&SequenceConfig::miniature(40, 77));
+
+    let mut untrained = JointTrainer::new(config()).unwrap();
+    let before = untrained.evaluate(&eval).unwrap();
+
+    let mut trained = JointTrainer::new(config()).unwrap();
+    trained.train_on(&train).unwrap();
+    let after = trained.evaluate(&eval).unwrap();
+
+    let before_err = before.horizontal.mean + before.vertical.mean;
+    let after_err = after.horizontal.mean + after.vertical.mean;
+    assert!(
+        after_err < before_err,
+        "training did not help: {before_err:.2} -> {after_err:.2}"
+    );
+    assert!(
+        after.seg_accuracy > before.seg_accuracy,
+        "segmentation accuracy did not improve: {:.3} -> {:.3}",
+        before.seg_accuracy,
+        after.seg_accuracy
+    );
+}
+
+#[test]
+fn trained_roi_predictor_localises_the_eye() {
+    let train = render_sequence(&SequenceConfig::miniature(80, 41));
+    let mut trainer = JointTrainer::new(config()).unwrap();
+    trainer.train_on(&train).unwrap();
+
+    // Probe the ROI net directly on a held-out frame pair.
+    let eval = render_sequence(&SequenceConfig::miniature(12, 55));
+    let events = util::frame_difference_events(
+        &eval.frames[5].clean,
+        &eval.frames[4].clean,
+        15.0 / 255.0,
+    );
+    let input = trainer.roi_net().make_input(&events, &eval.frames[4].mask);
+    let out = trainer.roi_net().forward(&input).unwrap();
+    let predicted = trainer.roi_net().predict_box(&out);
+    let truth = eval.frames[5].roi;
+    let truth = RoiBox::new(truth.x1, truth.y1, truth.x2, truth.y2);
+    let iou = predicted.iou(&truth);
+    assert!(iou > 0.2, "trained ROI IoU only {iou:.3} ({predicted:?} vs {truth:?})");
+}
+
+#[test]
+fn segmentation_loss_reaches_roi_network_through_the_gate() {
+    // With the ROI loss disabled, a training run must still move the ROI
+    // network's parameters — the differentiable gate is the only path.
+    let train = render_sequence(&SequenceConfig::miniature(20, 61));
+    let mut cfg = config();
+    cfg.lambda_roi = 0.0;
+    let mut trainer = JointTrainer::new(cfg).unwrap();
+    let before: Vec<f32> = trainer
+        .roi_net()
+        .parameters()
+        .iter()
+        .flat_map(|p| p.value().data().to_vec())
+        .collect();
+    trainer.train_on(&train).unwrap();
+    let after: Vec<f32> = trainer
+        .roi_net()
+        .parameters()
+        .iter()
+        .flat_map(|p| p.value().data().to_vec())
+        .collect();
+    let moved = before
+        .iter()
+        .zip(after.iter())
+        .filter(|(a, b)| (*a - *b).abs() > 1e-7)
+        .count();
+    // ReLU-dead units and sparse event inputs keep some convolution filters
+    // static; a solid minority of parameters moving proves the gate path.
+    assert!(
+        moved > before.len() / 10,
+        "only {moved}/{} ROI parameters moved without the ROI loss",
+        before.len()
+    );
+}
+
+#[test]
+fn losses_are_finite_and_decreasing_on_average() {
+    let train = render_sequence(&SequenceConfig::miniature(60, 71));
+    let mut trainer = JointTrainer::new(config()).unwrap();
+    let losses = trainer.train_on(&train).unwrap();
+    assert!(losses.iter().all(|l| l.is_finite()));
+    let n = losses.len();
+    let head: f32 = losses[..n / 4].iter().sum::<f32>() / (n / 4) as f32;
+    let tail: f32 = losses[3 * n / 4..].iter().sum::<f32>() / (n - 3 * n / 4) as f32;
+    assert!(tail < head, "loss head {head:.3} vs tail {tail:.3}");
+}
