@@ -2,15 +2,18 @@
 //! sensor eventification, SRAM-metastability sampling, run-length coding,
 //! and the procedural renderer.
 
-use bliss_eye::{render_sequence, EyeModel, EyeModelConfig, Gaze, GazeState, MovementPhase,
-                SequenceConfig};
+use bliss_eye::{
+    render_sequence, EyeModel, EyeModelConfig, Gaze, GazeState, MovementPhase, SequenceConfig,
+};
 use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn bench_eventify(c: &mut Criterion) {
     let mut sensor = DigitalPixelSensor::new(SensorConfig::miniature(160, 100));
     let img_a = vec![0.5f32; 16_000];
-    let img_b: Vec<f32> = (0..16_000).map(|i| if i % 7 == 0 { 0.8 } else { 0.5 }).collect();
+    let img_b: Vec<f32> = (0..16_000)
+        .map(|i| if i % 7 == 0 { 0.8 } else { 0.5 })
+        .collect();
     sensor.expose(&img_a);
     let _ = sensor.eventify();
     c.bench_function("sensor_eventify_160x100", |b| {
@@ -34,14 +37,22 @@ fn bench_sparse_readout(c: &mut Criterion) {
 fn bench_rle(c: &mut Criterion) {
     // A realistic sparse stream: ~20% occupancy.
     let stream: Vec<u16> = (0..40_000u32)
-        .map(|i| if i % 5 == 0 { 500 + (i % 300) as u16 } else { 0 })
+        .map(|i| {
+            if i % 5 == 0 {
+                500 + (i % 300) as u16
+            } else {
+                0
+            }
+        })
         .collect();
     let encoded = rle::encode(&stream);
     c.bench_function("rle_encode_40k", |b| {
         b.iter(|| std::hint::black_box(rle::encode(std::hint::black_box(&stream))))
     });
     c.bench_function("rle_decode_40k", |b| {
-        b.iter(|| std::hint::black_box(rle::decode(std::hint::black_box(&encoded), 40_000).unwrap()))
+        b.iter(|| {
+            std::hint::black_box(rle::decode(std::hint::black_box(&encoded), 40_000).unwrap())
+        })
     });
 }
 

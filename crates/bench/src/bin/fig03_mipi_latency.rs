@@ -14,7 +14,11 @@ fn main() {
                 r.label().to_string(),
                 format!("{}", r.pixels()),
                 fmt_time(t),
-                if t > 15e-3 { "EXCEEDED".into() } else { "ok".into() },
+                if t > 15e-3 {
+                    "EXCEEDED".into()
+                } else {
+                    "ok".into()
+                },
             ]
         })
         .collect();

@@ -20,5 +20,8 @@ fn main() {
         &["sensor", "year", "readout power"],
         &rows,
     );
-    println!("\nmean: {:.1} % (paper quotes 66 %)", mean_readout_power_pct());
+    println!(
+        "\nmean: {:.1} % (paper quotes 66 %)",
+        mean_readout_power_pct()
+    );
 }

@@ -27,7 +27,12 @@ fn main() {
             .collect();
         print_table(
             &format!("Fig. 12: {}", series.label),
-            &["compression", "vertical err (deg)", "horizontal err (deg)", "seg acc"],
+            &[
+                "compression",
+                "vertical err (deg)",
+                "horizontal err (deg)",
+                "seg acc",
+            ],
             &rows,
         );
     }

@@ -23,7 +23,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 13: energy per frame at 120 FPS (65/22/7 nm)",
-        &["variant", "total uJ", "sensor uJ", "comm uJ", "off-sensor uJ", "vs BlissCam"],
+        &[
+            "variant",
+            "total uJ",
+            "sensor uJ",
+            "comm uJ",
+            "off-sensor uJ",
+            "vs BlissCam",
+        ],
         &rows,
     );
 
@@ -35,7 +42,11 @@ fn main() {
             .filter(|(_, j)| *j > 0.0)
             .map(|(l, j)| vec![l.to_string(), format!("{:.2}", j * 1e6)])
             .collect();
-        print_table(&format!("{} component breakdown", r.variant), &["component", "uJ"], &comp);
+        print_table(
+            &format!("{} component breakdown", r.variant),
+            &["component", "uJ"],
+            &comp,
+        );
     }
 
     let full = &rows_data[0];

@@ -30,7 +30,11 @@ fn main() {
             .filter(|(_, s)| *s > 0.0)
             .map(|(l, s)| vec![l.clone(), fmt_time(*s)])
             .collect();
-        print_table(&format!("{} stage timing", r.variant), &["stage", "mean time"], &stages);
+        print_table(
+            &format!("{} stage timing", r.variant),
+            &["stage", "mean time"],
+            &stages,
+        );
     }
 
     let full = rows_data.iter().find(|r| r.variant == "NPU-Full").unwrap();

@@ -182,7 +182,11 @@ pub fn energy_breakdown_with_counts(
             e.analog_readout_j = p.readout.adc_energy_j(pixels, cfg.analog_node);
             e.mipi_j = p.mipi.transfer_energy_j(full_frame_bytes);
             let roi_pred = host.run(&cfg.roi_net.workload(), p, true);
-            let seg = host.run(&cnn_on_roi(&cfg.cnn, cfg.roi_fraction).workload(false), p, true);
+            let seg = host.run(
+                &cnn_on_roi(&cfg.cnn, cfg.roi_fraction).workload(false),
+                p,
+                true,
+            );
             e.host_compute_j = roi_pred.mac_energy_j
                 + roi_pred.sram_energy_j
                 + seg.mac_energy_j
@@ -194,16 +198,18 @@ pub fn energy_breakdown_with_counts(
         SystemVariant::SNpu | SystemVariant::BlissCam => {
             e.analog_readout_j = p.readout.adc_energy_j(counts.conversions, cfg.analog_node);
             if variant == SystemVariant::SNpu {
-                e.eventification_j =
-                    p.readout.digital_event_energy_j(pixels, cfg.sensor_logic_node);
+                e.eventification_j = p
+                    .readout
+                    .digital_event_energy_j(pixels, cfg.sensor_logic_node);
                 // Digital frame buffer: 10 bits/pixel retained all frame.
                 let buffer_bytes = (pixels * 10).div_ceil(8);
                 e.frame_buffer_leak_j =
                     p.sram_leakage_energy_j(buffer_bytes, period, cfg.sensor_logic_node);
             } else {
                 e.eventification_j = p.readout.analog_event_energy_j(pixels, cfg.analog_node);
-                e.analog_hold_j =
-                    p.readout.analog_hold_energy_j(pixels, period, cfg.analog_node);
+                e.analog_hold_j = p
+                    .readout
+                    .analog_hold_energy_j(pixels, period, cfg.analog_node);
             }
             let roi_pred = in_sensor.run(&cfg.roi_net.workload(), p, true);
             e.roi_prediction_j =
@@ -237,7 +243,10 @@ mod tests {
         let bliss = energy_breakdown(&cfg, SystemVariant::BlissCam).total_j();
         let ratio = full / bliss;
         // Paper Fig. 13: 4.0x at 120 FPS (we accept a band around it).
-        assert!((3.0..5.5).contains(&ratio), "NPU-Full/BlissCam = {ratio:.2}");
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "NPU-Full/BlissCam = {ratio:.2}"
+        );
     }
 
     #[test]
@@ -330,7 +339,10 @@ mod tests {
         };
         let s_lo = saving(&lo);
         let s_hi = saving(&hi);
-        assert!(s_hi > s_lo + 0.5, "saving at 30fps {s_lo:.2}, at 500fps {s_hi:.2}");
+        assert!(
+            s_hi > s_lo + 0.5,
+            "saving at 30fps {s_lo:.2}, at 500fps {s_hi:.2}"
+        );
         assert!((2.0..4.2).contains(&s_lo), "30 FPS saving {s_lo:.2}");
         assert!((3.2..8.5).contains(&s_hi), "500 FPS saving {s_hi:.2}");
     }

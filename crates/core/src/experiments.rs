@@ -242,7 +242,12 @@ pub fn fig15_sampling(scale: &ExperimentScale) -> Result<Fig15Result, TensorErro
             (SamplingStrategy::RoiRandom { rate }, None),
             (SamplingStrategy::FullRandom { rate: full_rate }, None),
             (SamplingStrategy::FullDownsample { stride }, None),
-            (SamplingStrategy::RoiDownsample { stride: (1.0 / rate).sqrt().round().max(1.0) as usize }, None),
+            (
+                SamplingStrategy::RoiDownsample {
+                    stride: (1.0 / rate).sqrt().round().max(1.0) as usize,
+                },
+                None,
+            ),
             (SamplingStrategy::RoiFixed { rate }, Some(&importance)),
             (SamplingStrategy::RoiLearned { rate }, Some(&importance)),
             (
@@ -609,7 +614,10 @@ mod tests {
                 .map(|r| r.energy_saving)
                 .collect();
             for w in series.windows(2) {
-                assert!(w[1] >= w[0] - 1e-9, "non-monotonic at soc {soc}: {series:?}");
+                assert!(
+                    w[1] >= w[0] - 1e-9,
+                    "non-monotonic at soc {soc}: {series:?}"
+                );
             }
         }
     }

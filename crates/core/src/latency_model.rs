@@ -87,10 +87,8 @@ pub fn stage_durations(cfg: &SystemConfig, variant: SystemVariant) -> StageDurat
     // The exposure fills the remainder of the frame period after the other
     // sensor-serialised stages (the paper reports BlissCam trims exposure by
     // only ~2 %).
-    let sensor_overhead = eventify_s
-        + if variant.host_roi() { 0.0 } else { roi_pred_s }
-        + sampling_s
-        + readout_s;
+    let sensor_overhead =
+        eventify_s + if variant.host_roi() { 0.0 } else { roi_pred_s } + sampling_s + readout_s;
     let exposure_s = (period - sensor_overhead).max(period * 0.5);
 
     StageDurations {

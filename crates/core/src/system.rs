@@ -3,8 +3,8 @@ use crate::energy_model::{energy_breakdown_with_counts, EnergyBreakdown, FrameCo
 use crate::latency_model::simulate_pipeline;
 use bliss_eye::{render_sequence, EyeSequence, Gaze, ImagingNoise, SequenceConfig};
 use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
-use bliss_timing::PipelineReport;
 use bliss_tensor::TensorError;
+use bliss_timing::PipelineReport;
 use bliss_track::{util::frame_difference_events, DenseTrainer, GazeEstimator, JointTrainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,8 +62,18 @@ impl SystemReport {
     pub fn mean_angular_error(&self) -> MeanAngularError {
         let n = self.frames.len().max(1) as f32;
         MeanAngularError {
-            horizontal: self.frames.iter().map(|f| f.horizontal_error_deg).sum::<f32>() / n,
-            vertical: self.frames.iter().map(|f| f.vertical_error_deg).sum::<f32>() / n,
+            horizontal: self
+                .frames
+                .iter()
+                .map(|f| f.horizontal_error_deg)
+                .sum::<f32>()
+                / n,
+            vertical: self
+                .frames
+                .iter()
+                .map(|f| f.vertical_error_deg)
+                .sum::<f32>()
+                / n,
         }
     }
 
@@ -443,7 +453,10 @@ mod tests {
         // comparing steady-state traffic.
         let bytes_b: u64 = rb.frames.iter().skip(3).map(|f| f.mipi_bytes).sum();
         let bytes_f: u64 = rf.frames.iter().skip(3).map(|f| f.mipi_bytes).sum();
-        assert!(bytes_b * 2 < bytes_f, "bliss {bytes_b} B vs full {bytes_f} B");
+        assert!(
+            bytes_b * 2 < bytes_f,
+            "bliss {bytes_b} B vs full {bytes_f} B"
+        );
         assert!(rb.latency.mean_latency_s <= rf.latency.mean_latency_s * 1.02);
     }
 }

@@ -43,7 +43,13 @@ impl AreaModel {
     }
 
     /// In-sensor NPU area (MAC array + weight/activation SRAM) at `node`.
-    pub fn npu_mm2(&self, mac_rows: usize, mac_cols: usize, sram_kb: f64, node: ProcessNode) -> f64 {
+    pub fn npu_mm2(
+        &self,
+        mac_rows: usize,
+        mac_cols: usize,
+        sram_kb: f64,
+        node: ProcessNode,
+    ) -> f64 {
         let factor = node.area_factor() as f64 / ProcessNode::NM16.area_factor() as f64;
         let macs = (mac_rows * mac_cols) as f64 * self.mac_mm2_16nm;
         let sram = sram_kb * self.sram_mm2_per_kb_16nm;

@@ -57,8 +57,7 @@ impl ReadoutModel {
     /// Analog scaling factor between the reference node and `node`
     /// (square root of the digital dynamic-energy ratio).
     fn analog_factor(&self, node: ProcessNode) -> f64 {
-        let ratio =
-            node.energy_factor() as f64 / self.reference_analog_node.energy_factor() as f64;
+        let ratio = node.energy_factor() as f64 / self.reference_analog_node.energy_factor() as f64;
         ratio.sqrt()
     }
 

@@ -24,12 +24,36 @@ pub struct GpuEntry {
 
 /// Nvidia Jetson series capability over time (paper Fig. 2, upper series).
 pub const JETSON_GPUS: &[GpuEntry] = &[
-    GpuEntry { name: "TX1", year: 2015, gflops: 512.0 },
-    GpuEntry { name: "TX2", year: 2017, gflops: 665.0 },
-    GpuEntry { name: "Xavier", year: 2018, gflops: 1_410.0 },
-    GpuEntry { name: "Xavier-NX", year: 2020, gflops: 845.0 },
-    GpuEntry { name: "Orin-NX", year: 2022, gflops: 1_880.0 },
-    GpuEntry { name: "Orin", year: 2023, gflops: 5_320.0 },
+    GpuEntry {
+        name: "TX1",
+        year: 2015,
+        gflops: 512.0,
+    },
+    GpuEntry {
+        name: "TX2",
+        year: 2017,
+        gflops: 665.0,
+    },
+    GpuEntry {
+        name: "Xavier",
+        year: 2018,
+        gflops: 1_410.0,
+    },
+    GpuEntry {
+        name: "Xavier-NX",
+        year: 2020,
+        gflops: 845.0,
+    },
+    GpuEntry {
+        name: "Orin-NX",
+        year: 2022,
+        gflops: 1_880.0,
+    },
+    GpuEntry {
+        name: "Orin",
+        year: 2023,
+        gflops: 5_320.0,
+    },
 ];
 
 /// One eye-tracking algorithm data point for Fig. 2.
@@ -52,13 +76,41 @@ impl AlgorithmEntry {
 
 /// Eye-tracking algorithm demands (paper Fig. 2, lower series).
 pub const EYE_TRACKING_ALGORITHMS: &[AlgorithmEntry] = &[
-    AlgorithmEntry { name: "SegNet", year: 2015, gflop_per_frame: 30.7 },
-    AlgorithmEntry { name: "DeepVoG", year: 2019, gflop_per_frame: 4.5 },
-    AlgorithmEntry { name: "RITnet", year: 2019, gflop_per_frame: 2.5 },
-    AlgorithmEntry { name: "Eye-MS", year: 2019, gflop_per_frame: 1.2 },
-    AlgorithmEntry { name: "Kim et al.", year: 2019, gflop_per_frame: 0.8 },
-    AlgorithmEntry { name: "DenseElNet", year: 2021, gflop_per_frame: 3.5 },
-    AlgorithmEntry { name: "EdGaze", year: 2022, gflop_per_frame: 0.25 },
+    AlgorithmEntry {
+        name: "SegNet",
+        year: 2015,
+        gflop_per_frame: 30.7,
+    },
+    AlgorithmEntry {
+        name: "DeepVoG",
+        year: 2019,
+        gflop_per_frame: 4.5,
+    },
+    AlgorithmEntry {
+        name: "RITnet",
+        year: 2019,
+        gflop_per_frame: 2.5,
+    },
+    AlgorithmEntry {
+        name: "Eye-MS",
+        year: 2019,
+        gflop_per_frame: 1.2,
+    },
+    AlgorithmEntry {
+        name: "Kim et al.",
+        year: 2019,
+        gflop_per_frame: 0.8,
+    },
+    AlgorithmEntry {
+        name: "DenseElNet",
+        year: 2021,
+        gflop_per_frame: 3.5,
+    },
+    AlgorithmEntry {
+        name: "EdGaze",
+        year: 2022,
+        gflop_per_frame: 0.25,
+    },
 ];
 
 /// One sensor data point for Fig. 4.
@@ -74,12 +126,36 @@ pub struct SensorSurveyEntry {
 
 /// Readout power share across six recent sensors (paper Fig. 4).
 pub const READOUT_POWER_SURVEY: &[SensorSurveyEntry] = &[
-    SensorSurveyEntry { venue: "JSSC'19", year: 2019, readout_power_pct: 72.0 },
-    SensorSurveyEntry { venue: "TCAS-1'20", year: 2020, readout_power_pct: 60.0 },
-    SensorSurveyEntry { venue: "TCAS-2'21", year: 2021, readout_power_pct: 71.0 },
-    SensorSurveyEntry { venue: "ISSCC'21", year: 2021, readout_power_pct: 55.0 },
-    SensorSurveyEntry { venue: "JSSC'22", year: 2022, readout_power_pct: 66.0 },
-    SensorSurveyEntry { venue: "IISW'23", year: 2023, readout_power_pct: 72.0 },
+    SensorSurveyEntry {
+        venue: "JSSC'19",
+        year: 2019,
+        readout_power_pct: 72.0,
+    },
+    SensorSurveyEntry {
+        venue: "TCAS-1'20",
+        year: 2020,
+        readout_power_pct: 60.0,
+    },
+    SensorSurveyEntry {
+        venue: "TCAS-2'21",
+        year: 2021,
+        readout_power_pct: 71.0,
+    },
+    SensorSurveyEntry {
+        venue: "ISSCC'21",
+        year: 2021,
+        readout_power_pct: 55.0,
+    },
+    SensorSurveyEntry {
+        venue: "JSSC'22",
+        year: 2022,
+        readout_power_pct: 66.0,
+    },
+    SensorSurveyEntry {
+        venue: "IISW'23",
+        year: 2023,
+        readout_power_pct: 72.0,
+    },
 ];
 
 /// Mean readout power share across the survey (the paper quotes 66 %).

@@ -299,7 +299,7 @@ impl<R: Rng> TrajectoryGenerator<R> {
 
     fn begin_movement(&mut self) {
         if self.rng.gen_bool(self.config.pursuit_probability as f64) {
-            let speed = self.rng.gen_range(5.0..30.0);
+            let speed = self.rng.gen_range(5.0f32..30.0);
             let angle = self.rng.gen_range(0.0..std::f32::consts::TAU);
             self.phase = Phase::Pursuit {
                 velocity_h: speed * angle.cos(),

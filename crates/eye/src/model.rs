@@ -293,10 +293,7 @@ mod tests {
         let m = model();
         let (_, mask) = m.render(&open_state(Gaze::default()));
         for class in 0..NUM_CLASSES as u8 {
-            assert!(
-                mask.iter().any(|&c| c == class),
-                "missing class {class} in mask"
-            );
+            assert!(mask.contains(&class), "missing class {class} in mask");
         }
     }
 

@@ -76,8 +76,8 @@ impl ImagingNoise {
     /// at the given exposure scale. SNR grows with sqrt(exposure), matching
     /// the quadratic sensitivity the paper cites (§II-C).
     pub fn snr_db(&self, v: f32, exposure_scale: f32) -> f32 {
-        let signal = (v.clamp(0.0, 1.0) * self.config.full_scale_electrons * exposure_scale)
-            .max(1e-9);
+        let signal =
+            (v.clamp(0.0, 1.0) * self.config.full_scale_electrons * exposure_scale).max(1e-9);
         let noise = (signal + self.config.read_noise_electrons.powi(2)).sqrt();
         20.0 * (signal / noise).log10()
     }
@@ -139,7 +139,11 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| poisson_sample(&mut rng, 400.0)).collect();
         let mean = samples.iter().sum::<f32>() / n as f32;
-        let var = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f32>() / n as f32;
+        let var = samples
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f32>()
+            / n as f32;
         assert!((mean - 400.0).abs() < 3.0);
         assert!((var - 400.0).abs() < 40.0, "var={var}");
     }

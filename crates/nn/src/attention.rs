@@ -26,10 +26,15 @@ impl MultiHeadAttention {
     ///
     /// Panics if `dim` is not divisible by `heads`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, dim: usize, heads: usize) -> Self {
-        assert!(heads > 0 && dim.is_multiple_of(heads), "dim must divide by heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must divide by heads"
+        );
         let head_dim = dim / heads;
         let mk = |rng: &mut R| -> Vec<Linear> {
-            (0..heads).map(|_| Linear::new(rng, dim, head_dim)).collect()
+            (0..heads)
+                .map(|_| Linear::new(rng, dim, head_dim))
+                .collect()
         };
         MultiHeadAttention {
             query: mk(rng),

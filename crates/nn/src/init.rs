@@ -5,7 +5,12 @@ use rand::Rng;
 /// `a = sqrt(6 / (fan_in + fan_out))`.
 ///
 /// Suited to tanh/sigmoid/linear layers and attention projections.
-pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> NdArray {
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> NdArray {
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     NdArray::uniform(rng, shape, -a, a)
 }

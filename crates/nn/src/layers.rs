@@ -119,8 +119,7 @@ impl Conv2d {
     /// Multiply-accumulate operations for an `h x w` input.
     pub fn macs(&self, h: usize, w: usize) -> u64 {
         let (oh, ow) = self.out_dims(h, w);
-        (self.out_channels * self.in_channels * self.kernel * self.kernel) as u64
-            * (oh * ow) as u64
+        (self.out_channels * self.in_channels * self.kernel * self.kernel) as u64 * (oh * ow) as u64
     }
 
     /// Number of output channels.

@@ -246,7 +246,7 @@ mod tests {
         // loss = sum(x * [3,4]) -> grad = [3, 4], norm 5
         let c = NdArray::from_vec(vec![3.0, 4.0], &[2]).unwrap();
         x.mul_mask(&c).unwrap().sum_all().backward().unwrap();
-        let norm = clip_global_norm(&[x.clone()], 1.0);
+        let norm = clip_global_norm(std::slice::from_ref(&x), 1.0);
         assert!((norm - 5.0).abs() < 1e-5);
         let g = x.grad().unwrap();
         let new_norm: f32 = g.data().iter().map(|&v| v * v).sum::<f32>().sqrt();
@@ -258,7 +258,7 @@ mod tests {
         let x = Tensor::parameter(NdArray::from_vec(vec![0.1], &[1]).unwrap());
         quad_loss(&x).backward().unwrap();
         let before = x.grad().unwrap();
-        clip_global_norm(&[x.clone()], 10.0);
+        clip_global_norm(std::slice::from_ref(&x), 10.0);
         assert_eq!(x.grad().unwrap().data(), before.data());
     }
 }

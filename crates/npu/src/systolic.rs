@@ -72,7 +72,12 @@ impl SystolicArray {
     /// `weights_resident` models weights pinned in the on-chip buffer across
     /// frames (true for steady-state inference when they fit); otherwise all
     /// weight bytes stream from DRAM every frame.
-    pub fn run(&self, w: &WorkloadDesc, params: &EnergyParams, weights_resident: bool) -> RunReport {
+    pub fn run(
+        &self,
+        w: &WorkloadDesc,
+        params: &EnergyParams,
+        weights_resident: bool,
+    ) -> RunReport {
         let mut report = RunReport::new(w.name.clone());
         for g in &w.gemms {
             let cycles = self.gemm_cycles(g);
@@ -87,8 +92,8 @@ impl SystolicArray {
             // Weight residency: if the whole network's weights fit in the
             // buffer (minus working set), they are read from DRAM only at
             // load time, not per frame.
-            let weights_fit = w.total_weight_bytes() + g.input_bytes() + g.output_bytes()
-                <= self.buffer_bytes;
+            let weights_fit =
+                w.total_weight_bytes() + g.input_bytes() + g.output_bytes() <= self.buffer_bytes;
             let dram_bytes = if weights_resident && weights_fit {
                 0
             } else {
@@ -208,7 +213,9 @@ mod tests {
         let w = linear_workload(256, 256, 256);
         let p = EnergyParams::default();
         let at7 = SystolicArray::host().run(&w, &p, true);
-        let at22 = SystolicArray::host().at_node(ProcessNode::NM22).run(&w, &p, true);
+        let at22 = SystolicArray::host()
+            .at_node(ProcessNode::NM22)
+            .run(&w, &p, true);
         assert!(at22.mac_energy_j > 2.0 * at7.mac_energy_j);
     }
 
@@ -258,7 +265,12 @@ mod tests {
         let r = SystolicArray::in_sensor().run(&w, &EnergyParams::default(), true);
         let ideal = r.macs as f64 / (64.0 * 0.5e9);
         assert!(r.time_s >= ideal);
-        assert!(r.time_s < 20.0 * ideal, "time {} vs ideal {}", r.time_s, ideal);
+        assert!(
+            r.time_s < 20.0 * ideal,
+            "time {} vs ideal {}",
+            r.time_s,
+            ideal
+        );
     }
 
     #[test]

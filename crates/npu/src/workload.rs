@@ -22,12 +22,22 @@ pub struct GemmShape {
 impl GemmShape {
     /// Creates a GEMM shape whose `[m, k]` operand is a weight matrix.
     pub fn new(m: usize, k: usize, n: usize) -> Self {
-        GemmShape { m, k, n, has_weights: true }
+        GemmShape {
+            m,
+            k,
+            n,
+            has_weights: true,
+        }
     }
 
     /// Creates an activation-activation GEMM (no weight operand).
     pub fn activation(m: usize, k: usize, n: usize) -> Self {
-        GemmShape { m, k, n, has_weights: false }
+        GemmShape {
+            m,
+            k,
+            n,
+            has_weights: false,
+        }
     }
 
     /// Multiply-accumulate count.

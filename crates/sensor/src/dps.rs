@@ -247,7 +247,8 @@ impl DigitalPixelSensor {
 
     fn quantize(&mut self, value: f32) -> u16 {
         let max_code = (1u32 << self.config.adc_bits) - 1;
-        let noisy = value * max_code as f32 + gauss(&mut self.conv_rng) * self.config.read_noise_lsb;
+        let noisy =
+            value * max_code as f32 + gauss(&mut self.conv_rng) * self.config.read_noise_lsb;
         // Sampled pixels clamp to a minimum code of 1 so that zero codes
         // unambiguously mark skipped pixels in the output stream.
         (noisy.round().clamp(1.0, max_code as f32)) as u16
@@ -374,16 +375,16 @@ mod tests {
     #[test]
     fn first_eventify_is_all_events() {
         let mut s = sensor(8, 4);
-        s.expose(&vec![0.5; 32]);
+        s.expose(&[0.5; 32]);
         assert_eq!(s.eventify().count(), 32);
     }
 
     #[test]
     fn static_scene_produces_no_events() {
         let mut s = sensor(8, 4);
-        s.expose(&vec![0.5; 32]);
+        s.expose(&[0.5; 32]);
         let _ = s.eventify();
-        s.expose(&vec![0.5; 32]);
+        s.expose(&[0.5; 32]);
         assert_eq!(s.eventify().count(), 0);
     }
 
@@ -521,7 +522,7 @@ mod tests {
     #[test]
     fn masked_readout_honours_mask() {
         let mut s = sensor(4, 4);
-        s.expose(&vec![0.5; 16]);
+        s.expose(&[0.5; 16]);
         let mut mask = vec![false; 16];
         mask[5] = true;
         mask[10] = true;

@@ -79,7 +79,10 @@ impl EventMap {
     /// The map as an `f32` image (1.0 = event), the input format of the
     /// ROI-prediction network.
     pub fn to_f32(&self) -> Vec<f32> {
-        self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Tight bounding box of all events, if any:
@@ -129,7 +132,7 @@ mod tests {
     #[test]
     fn bbox_is_tight() {
         let mut bits = vec![false; 25];
-        bits[1 * 5 + 2] = true;
+        bits[5 + 2] = true;
         bits[3 * 5 + 4] = true;
         let m = EventMap::new(5, 5, bits);
         assert_eq!(m.bounding_box(), Some((2, 1, 5, 4)));

@@ -643,9 +643,8 @@ impl Tensor {
                             * (n as f32 * dxhat[j] - sum_dxhat - xrow[j] * sum_dxhat_xhat);
                     }
                 }
-                parents[0].accumulate_grad(
-                    &NdArray::from_vec(dx, &[m, n]).expect("layer_norm dx shape"),
-                );
+                parents[0]
+                    .accumulate_grad(&NdArray::from_vec(dx, &[m, n]).expect("layer_norm dx shape"));
                 parents[1]
                     .accumulate_grad(&NdArray::from_vec(dgamma, &[n]).expect("layer_norm dgamma"));
                 parents[2]
@@ -1169,7 +1168,11 @@ impl Tensor {
             Some(w) => w.iter().sum(),
             None => n as f32,
         };
-        let denom = if total_weight > 0.0 { total_weight } else { 1.0 };
+        let denom = if total_weight > 0.0 {
+            total_weight
+        } else {
+            1.0
+        };
         let mut loss = 0.0f32;
         for (i, &t) in targets.iter().enumerate() {
             let w = weights.map_or(1.0, |w| w[i]);
@@ -1509,7 +1512,12 @@ mod tests {
         let y = x.layer_norm(&g, &b, 1e-5).unwrap();
         let v = y.value();
         let mean: f32 = v.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = v.data().iter().map(|&a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+        let var: f32 = v
+            .data()
+            .iter()
+            .map(|&a| (a - mean) * (a - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

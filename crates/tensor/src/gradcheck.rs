@@ -113,7 +113,7 @@ mod tests {
     fn quadratic_gradient_checks() {
         let x = Tensor::parameter(NdArray::from_vec(vec![1.5, -2.0], &[2]).unwrap());
         let report = check_gradients(
-            &[x.clone()],
+            std::slice::from_ref(&x),
             || Ok(x.mul(&x)?.sum_all()),
             1e-3,
             8,

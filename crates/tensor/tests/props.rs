@@ -72,7 +72,7 @@ proptest! {
     fn elementwise_chain_gradients_check(v in small_vec(6)) {
         let x = Tensor::parameter(NdArray::from_vec(v, &[2, 3]).unwrap());
         let report = check_gradients(
-            &[x.clone()],
+            std::slice::from_ref(&x),
             || Ok(x.tanh().mul(&x.sigmoid())?.mean_all()),
             1e-3,
             6,

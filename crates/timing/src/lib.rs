@@ -498,7 +498,10 @@ mod tests {
         let f = &report.frames[1];
         let roi = f.span(StageKind::RoiPrediction).unwrap();
         let mipi = f.span(StageKind::Mipi).unwrap();
-        assert!(roi.start_s >= mipi.end_s - 1e-12, "host ROI runs after MIPI");
+        assert!(
+            roi.start_s >= mipi.end_s - 1e-12,
+            "host ROI runs after MIPI"
+        );
     }
 
     #[test]

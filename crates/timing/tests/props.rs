@@ -17,7 +17,17 @@ fn arb_stages() -> impl Strategy<Value = StageDurations> {
         0f64..100e-6,     // feedback
     )
         .prop_map(
-            |(exposure_s, eventify_s, roi_pred_s, sampling_s, readout_s, mipi_s, segmentation_s, gaze_s, feedback_s)| StageDurations {
+            |(
+                exposure_s,
+                eventify_s,
+                roi_pred_s,
+                sampling_s,
+                readout_s,
+                mipi_s,
+                segmentation_s,
+                gaze_s,
+                feedback_s,
+            )| StageDurations {
                 exposure_s,
                 eventify_s,
                 roi_pred_s,

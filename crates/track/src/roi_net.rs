@@ -261,11 +261,7 @@ mod tests {
         let target = NdArray::from_vec(vec![0.5, 0.5, 0.3, 0.3], &[1, 4]).unwrap();
         let loss = out.mse_loss(&target).unwrap();
         loss.backward().unwrap();
-        let with_grads = n
-            .parameters()
-            .iter()
-            .filter(|p| p.grad().is_some())
-            .count();
+        let with_grads = n.parameters().iter().filter(|p| p.grad().is_some()).count();
         assert_eq!(with_grads, n.parameters().len());
     }
 

@@ -168,9 +168,11 @@ impl JointTrainer {
             // tiny joint model is sharp and a constant rate oscillates.
             let epoch_lr = self.config.lr * 0.5f32.powi(epoch as i32);
             self.optimizer.set_learning_rate(epoch_lr);
-            let mut prev =
-                self.noise
-                    .apply(&seq.frames[0].clean, self.config.exposure_scale, &mut self.rng);
+            let mut prev = self.noise.apply(
+                &seq.frames[0].clean,
+                self.config.exposure_scale,
+                &mut self.rng,
+            );
             for t in 1..seq.frames.len() {
                 // Linear warmup over the first 20 steps of the run.
                 if step < 20 {
@@ -181,9 +183,9 @@ impl JointTrainer {
                 }
                 step += 1;
                 let frame = &seq.frames[t];
-                let cur =
-                    self.noise
-                        .apply(&frame.clean, self.config.exposure_scale, &mut self.rng);
+                let cur = self
+                    .noise
+                    .apply(&frame.clean, self.config.exposure_scale, &mut self.rng);
                 let loss = self.train_step(seq, t, &prev, &cur)?;
                 if let Some(l) = loss {
                     losses.push(l);
@@ -280,7 +282,9 @@ impl JointTrainer {
 
         // Gradients accumulate across `grad_accum` frames; the optimizer
         // steps (and clears) at the accumulation boundary in `train_on`.
-        total.scale(1.0 / self.config.grad_accum.max(1) as f32).backward()?;
+        total
+            .scale(1.0 / self.config.grad_accum.max(1) as f32)
+            .backward()?;
         let loss_value = total.value().data()[0];
         Ok(Some(loss_value))
     }
@@ -360,9 +364,11 @@ impl JointTrainer {
     ) -> Result<EvalResult, TensorError> {
         let (w, h) = (seq.width, seq.height);
         let mut estimator = GazeEstimator::new(seq.model.clone());
-        let mut prev =
-            self.noise
-                .apply(&seq.frames[0].clean, self.config.exposure_scale, &mut self.rng);
+        let mut prev = self.noise.apply(
+            &seq.frames[0].clean,
+            self.config.exposure_scale,
+            &mut self.rng,
+        );
         let mut prev_seg = vec![0u8; w * h];
         // Cold start: until the first segmentation map exists, the ROI
         // prediction has no corrective cue and fixation frames carry no
@@ -555,10 +561,7 @@ impl DenseTrainer {
                 let logits = self.net.forward_dense(&img)?;
                 let targets: Vec<usize> = gt.iter().map(|&c| c as usize).collect();
                 let class_weights = [0.4f32, 1.0, 1.5, 6.0];
-                let weights: Vec<f32> = targets
-                    .iter()
-                    .map(|&t| class_weights[t.min(3)])
-                    .collect();
+                let weights: Vec<f32> = targets.iter().map(|&t| class_weights[t.min(3)]).collect();
                 let loss = logits.cross_entropy_rows(&targets, Some(&weights))?;
                 self.optimizer.zero_grad();
                 loss.backward()?;
@@ -645,7 +648,11 @@ mod tests {
         assert_eq!(eval.frames, 23);
         assert!(eval.horizontal.mean.is_finite());
         assert!(eval.vertical.mean.is_finite());
-        assert!(eval.mean_compression > 3.0, "compression {}", eval.mean_compression);
+        assert!(
+            eval.mean_compression > 3.0,
+            "compression {}",
+            eval.mean_compression
+        );
         assert!(eval.mean_tokens > 0.0);
     }
 
@@ -656,7 +663,7 @@ mod tests {
         let seq = tiny_seq(6, 13);
         let mut cfg = TrainConfig::smoke_test();
         cfg.lambda_roi = 0.0;
-        let mut trainer = JointTrainer::new(cfg).unwrap();
+        let trainer = JointTrainer::new(cfg).unwrap();
         // Manually run one step and inspect gradients before the optimizer
         // clears them: replicate train_step's interior.
         let prev = seq.frames[0].clean.clone();

@@ -10,7 +10,12 @@ use bliss_sensor::RoiBox;
 /// # Panics
 ///
 /// Panics if `factor == 0` or `img.len() != w * h`.
-pub fn block_downsample(img: &[f32], w: usize, h: usize, factor: usize) -> (Vec<f32>, usize, usize) {
+pub fn block_downsample(
+    img: &[f32],
+    w: usize,
+    h: usize,
+    factor: usize,
+) -> (Vec<f32>, usize, usize) {
     assert!(factor > 0, "factor must be positive");
     assert_eq!(img.len(), w * h, "image size mismatch");
     if factor == 1 {
@@ -95,7 +100,12 @@ pub fn denormalize_box(v: &[f32; 4], width: usize, height: usize, min_size: usiz
 /// # Panics
 ///
 /// Panics if `factor == 0` or `mask.len() != w * h`.
-pub fn downsample_mask_max(mask: &[u8], w: usize, h: usize, factor: usize) -> (Vec<u8>, usize, usize) {
+pub fn downsample_mask_max(
+    mask: &[u8],
+    w: usize,
+    h: usize,
+    factor: usize,
+) -> (Vec<u8>, usize, usize) {
     assert!(factor > 0, "factor must be positive");
     assert_eq!(mask.len(), w * h, "mask size mismatch");
     let ow = w.div_ceil(factor);

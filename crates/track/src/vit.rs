@@ -174,12 +174,22 @@ impl SparseViT {
             )),
             encoder: (0..config.enc_depth)
                 .map(|_| {
-                    TransformerBlock::with_mlp_ratio(rng, config.dim, config.heads, config.mlp_ratio)
+                    TransformerBlock::with_mlp_ratio(
+                        rng,
+                        config.dim,
+                        config.heads,
+                        config.mlp_ratio,
+                    )
                 })
                 .collect(),
             decoder: (0..config.dec_depth)
                 .map(|_| {
-                    TransformerBlock::with_mlp_ratio(rng, config.dim, config.heads, config.mlp_ratio)
+                    TransformerBlock::with_mlp_ratio(
+                        rng,
+                        config.dim,
+                        config.heads,
+                        config.mlp_ratio,
+                    )
                 })
                 .collect(),
             class_embed: Tensor::parameter(NdArray::randn(

@@ -1,7 +1,9 @@
 //! Property-based tests of the tracking algorithms' pure helpers.
 
 use bliss_sensor::RoiBox;
-use bliss_track::util::{block_downsample, denormalize_box, frame_difference_events, normalize_box};
+use bliss_track::util::{
+    block_downsample, denormalize_box, frame_difference_events, normalize_box,
+};
 use bliss_track::{apply_strategy, SamplingStrategy};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

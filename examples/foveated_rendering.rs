@@ -30,7 +30,9 @@ fn shading_cost(fovea_deg: f32) -> f64 {
     let r2 = 2.0 * r1;
     let total = (DISPLAY_W * DISPLAY_H) as f64;
     let inner = (std::f64::consts::PI * r1 * r1).min(total);
-    let mid = (std::f64::consts::PI * (r2 * r2 - r1 * r1)).max(0.0).min(total - inner);
+    let mid = (std::f64::consts::PI * (r2 * r2 - r1 * r1))
+        .max(0.0)
+        .min(total - inner);
     let outer = total - inner - mid;
     inner + 0.25 * mid + 0.0625 * outer
 }
@@ -58,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ntracker characteristics:");
     println!("  latency            : {latency_ms:.2} ms");
-    println!("  mean error         : {:.2}°/{:.2}° (h/v)", err.horizontal, err.vertical);
+    println!(
+        "  mean error         : {:.2}°/{:.2}° (h/v)",
+        err.horizontal, err.vertical
+    );
     println!("  p95 error          : {p95_err:.2}°");
     println!("  saccade slip/frame : {saccade_slip:.1}° (eye travel during one latency)");
 

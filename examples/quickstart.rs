@@ -42,9 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  ... ({} frames total)\n", report.frames.len());
 
     let err = report.mean_angular_error();
-    println!("mean gaze error      : {:.2}° horizontal, {:.2}° vertical", err.horizontal, err.vertical);
-    println!("pixel compression    : {:.1}x (paper: 20.6x at paper scale)", report.mean_compression());
-    println!("energy per frame     : {:.1} uJ (miniature-scale hardware model)", report.mean_energy_uj());
+    println!(
+        "mean gaze error      : {:.2}° horizontal, {:.2}° vertical",
+        err.horizontal, err.vertical
+    );
+    println!(
+        "pixel compression    : {:.1}x (paper: 20.6x at paper scale)",
+        report.mean_compression()
+    );
+    println!(
+        "energy per frame     : {:.1} uJ (miniature-scale hardware model)",
+        report.mean_energy_uj()
+    );
     println!(
         "tracking latency     : {:.2} ms at {:.0} FPS (budget: 15 ms)",
         report.latency.mean_latency_s * 1e3,

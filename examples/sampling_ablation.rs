@@ -32,10 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SamplingStrategy::RoiDownsample { stride: 2 },
         SamplingStrategy::FullRandom { rate: 0.05 },
         SamplingStrategy::FullDownsample { stride: 4 },
-        SamplingStrategy::Skip { density_threshold: 0.02 },
+        SamplingStrategy::Skip {
+            density_threshold: 0.02,
+        },
     ];
 
-    println!("\n{:<14} {:>12} {:>16} {:>10}", "strategy", "compression", "horiz err (deg)", "seg acc");
+    println!(
+        "\n{:<14} {:>12} {:>16} {:>10}",
+        "strategy", "compression", "horiz err (deg)", "seg acc"
+    );
     for strategy in &strategies {
         let needs_importance = matches!(
             strategy,

@@ -55,7 +55,13 @@ fn main() {
         print!("{:>8}", s.to_string());
     }
     println!();
-    for logic in [ProcessNode::NM65, ProcessNode::NM40, ProcessNode::NM28, ProcessNode::NM22, ProcessNode::NM16] {
+    for logic in [
+        ProcessNode::NM65,
+        ProcessNode::NM40,
+        ProcessNode::NM28,
+        ProcessNode::NM22,
+        ProcessNode::NM16,
+    ] {
         print!("  {:>8}  ", logic.to_string());
         for soc in socs {
             let mut cfg = base;

@@ -1,0 +1,162 @@
+//! Offline stand-in for the subset of [`criterion` 0.5](https://docs.rs/criterion)
+//! used by this workspace's benches.
+//!
+//! [`Criterion::bench_function`] times the closure with `std::time::Instant`
+//! and prints one line per benchmark (median over `sample_size` samples).
+//! There is no warm-up calibration, outlier analysis, or HTML report — just
+//! enough to keep `benches/` compiling and producing useful numbers offline.
+
+use std::time::Instant;
+
+/// How `iter_batched` amortises setup cost. All variants behave identically
+/// in this shim (setup always runs once per sample, untimed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_wanted: usize,
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples_wanted {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.sample_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples_wanted {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.sample_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.sample_ns.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.sample_ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    }
+}
+
+/// Benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples_wanted: self.sample_size,
+            sample_ns: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let ns = bencher.median_ns();
+        let human = if ns < 1e3 {
+            format!("{ns:.0} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} us", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.2} ms", ns / 1e6)
+        } else {
+            format!("{:.2} s", ns / 1e9)
+        };
+        println!(
+            "{name:<40} time: [{human} median of {} samples]",
+            bencher.sample_ns.len()
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group: either
+/// `criterion_group!(name, target_a, target_b)` or the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

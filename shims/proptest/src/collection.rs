@@ -1,0 +1,90 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Length specification for [`vec()`]: a fixed `usize` or a `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.lo + 1 >= self.hi_exclusive {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi_exclusive)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+/// Strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let v = vec(0.0f32..1.0, 7).sample(&mut rng);
+            assert_eq!(v.len(), 7);
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            let w = vec(0u16..3, 2..9).sample(&mut rng);
+            assert!((2..9).contains(&w.len()));
+        }
+        // Zero-length ranges must be reachable.
+        let lens: Vec<usize> = (0..100)
+            .map(|_| vec(0u8..2, 0..3).sample(&mut rng).len())
+            .collect();
+        assert!(lens.contains(&0) && lens.contains(&2));
+    }
+}

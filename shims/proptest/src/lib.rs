@@ -1,0 +1,154 @@
+//! Offline stand-in for the subset of [`proptest` 1.x](https://docs.rs/proptest)
+//! used by this workspace.
+//!
+//! Provides the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`], range and tuple
+//! [`Strategy`](strategy::Strategy)s with [`prop_map`](strategy::Strategy::prop_map), and
+//! [`collection::vec`]. Cases are sampled uniformly from a deterministic
+//! per-test RNG; failing inputs are **not shrunk** — the failure message
+//! reports the assertion, not a minimised counterexample.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Mirror of the `prop` module alias from the real prelude
+    /// (`prop::collection::vec(..)` etc.).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (a subset of the real macro):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///
+///     #[test]
+///     fn name(arg in strategy, arg2 in strategy2) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::deterministic_rng(stringify!($name));
+            let mut __cases: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __cases < __config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                )+
+                // Captured eagerly so a failing case can always be reported;
+                // like real proptest this requires generated values to be Debug.
+                let __inputs: ::std::string::String = [
+                    $(::std::format!("\n    {} = {:?}", stringify!($arg), &$arg)),+
+                ].concat();
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __cases += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects < __config.cases.saturating_mul(64).max(1024),
+                            "proptest '{}': too many prop_assume! rejections \
+                             ({} rejects for {} accepted cases)",
+                            stringify!($name), __rejects, __cases,
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {}: {}\n  with inputs:{}",
+                            stringify!($name), __cases, msg, __inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case with an assertion message (and optional format
+/// args), like `assert!` but recoverable by the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality version of [`prop_assert!`]; prints both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (without counting it) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

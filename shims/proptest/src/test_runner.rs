@@ -1,0 +1,61 @@
+//! Runner configuration and per-case outcomes for the [`proptest!`] macro.
+//!
+//! [`proptest!`]: crate::proptest
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` was not satisfied; the case is skipped, not failed.
+    Reject,
+    /// `prop_assert!`-style failure with its message.
+    Fail(String),
+}
+
+/// Builds the deterministic per-test RNG (seeded from the test name via FNV-1a
+/// so distinct tests explore distinct streams, yet every run is reproducible).
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn config_and_rng_are_deterministic() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+        let a = deterministic_rng("foo").next_u64();
+        assert_eq!(a, deterministic_rng("foo").next_u64());
+        assert_ne!(a, deterministic_rng("bar").next_u64());
+    }
+}

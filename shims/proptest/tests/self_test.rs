@@ -1,0 +1,52 @@
+//! Self-tests of the proptest shim's macro surface, written exactly the way
+//! the workspace's property suites use it.
+
+use proptest::prelude::*;
+
+fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..50, 1u32..50)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranges_stay_in_bounds(a in 3u32..17, f in -2.0f32..2.0) {
+        prop_assert!((3..17).contains(&a));
+        prop_assert!((-2.0..2.0).contains(&f));
+    }
+
+    #[test]
+    fn assume_skips_without_failing(a in 0u32..10, b in 0u32..10) {
+        prop_assume!(a != b);
+        prop_assert!(a != b);
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose(
+        v in prop::collection::vec(0u16..100, 0..20),
+        pair in arb_pair(),
+    ) {
+        let (x, y) = pair;
+        prop_assert!(v.len() < 20);
+        prop_assert!(v.iter().all(|&e| e < 100));
+        prop_assert_eq!(x.min(y) + x.max(y), x + y);
+    }
+
+    #[test]
+    fn prop_map_transforms(d in (1u32..10).prop_map(|n| n * 2)) {
+        prop_assert!(d % 2 == 0 && (2..20).contains(&d));
+    }
+}
+
+#[test]
+#[should_panic(expected = "with inputs")]
+fn failing_case_reports_sampled_inputs() {
+    // No #[test] attribute on the inner fn: it is invoked manually below.
+    proptest! {
+        fn always_fails(n in 5u32..6) {
+            prop_assert!(n > 100, "n was small");
+        }
+    }
+    always_fails();
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde` (with the `derive` feature).
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as trait
+//! markers today — nothing is actually serialised. [`Serialize`] and
+//! [`Deserialize`] are therefore empty traits blanket-implemented for every
+//! type, and the re-exported derives are no-ops. Swapping the real `serde`
+//! back in (see `shims/README.md`) requires no source change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Plain {
+        a: u32,
+        b: Vec<f32>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)] // only the derive expansion is under test
+    enum WithVariants {
+        A,
+        B(u8),
+        C { x: f64 },
+    }
+
+    fn assert_bounds<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_compile_and_traits_are_blanket() {
+        assert_bounds::<Plain>();
+        assert_bounds::<WithVariants>();
+        assert_bounds::<String>();
+        let p = Plain { a: 1, b: vec![0.5] };
+        assert_eq!(p, Plain { a: 1, b: vec![0.5] });
+    }
+}

@@ -32,6 +32,9 @@
 //! let report = system.run_frames(12)?;
 //! println!("mean gaze error: {:.2} deg", report.mean_angular_error().horizontal);
 //! println!("energy per frame: {:.1} uJ", report.mean_energy_uj());
+//! # assert_eq!(report.frames.len(), 12);
+//! # assert!(report.mean_angular_error().horizontal.is_finite());
+//! # assert!(report.mean_energy_uj() > 0.0);
 //! # Ok(())
 //! # }
 //! ```

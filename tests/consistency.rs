@@ -3,7 +3,7 @@
 //! NPU simulator consumes (`bliss-npu`) — otherwise the accuracy runs and
 //! the energy model would describe different networks.
 
-use blisscam::nn::{Conv2d, DepthwiseSeparableConv2d, Linear, MultiHeadAttention, Module};
+use blisscam::nn::{Conv2d, DepthwiseSeparableConv2d, Linear, Module, MultiHeadAttention};
 use blisscam::npu::WorkloadDesc;
 use blisscam::track::{CnnSegConfig, RoiNetConfig, ViTConfig};
 use rand::rngs::StdRng;
@@ -56,14 +56,20 @@ fn roi_net_instance_matches_config_workload() {
     assert_eq!(net.workload().total_macs(), cfg.workload().total_macs());
     // Paper §III-A: the paper-scale network is ~2.1e7 MACs.
     let paper = RoiNetConfig::paper().workload().total_macs() as f64;
-    assert!((1.0e7..4.0e7).contains(&paper), "paper ROI net = {paper} MACs");
+    assert!(
+        (1.0e7..4.0e7).contains(&paper),
+        "paper ROI net = {paper} MACs"
+    );
 }
 
 #[test]
 fn paper_roi_net_weights_fit_in_sensor_sram() {
     // §V: the in-sensor NPU has 512 KB of SRAM; the ROI network must fit.
     let bytes = RoiNetConfig::paper().workload().total_weight_bytes();
-    assert!(bytes <= 512 * 1024, "ROI net weights {bytes} B exceed 512 KB");
+    assert!(
+        bytes <= 512 * 1024,
+        "ROI net weights {bytes} B exceed 512 KB"
+    );
 }
 
 #[test]
@@ -86,7 +92,10 @@ fn vit_workload_scales_superlinearly_in_tokens() {
     let vit = ViTConfig::paper();
     let quarter = vit.workload(250, 60_000).total_macs();
     let full = vit.workload(1000, 240_000).total_macs();
-    assert!(full > 4 * quarter, "attention must be superlinear in tokens");
+    assert!(
+        full > 4 * quarter,
+        "attention must be superlinear in tokens"
+    );
 }
 
 #[test]

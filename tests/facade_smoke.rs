@@ -1,0 +1,71 @@
+//! Smoke tests of the `blisscam` facade: the exact flow the README and
+//! `src/lib.rs` quickstart advertise must keep working, and every re-exported
+//! sub-crate must stay reachable through the facade paths.
+
+use blisscam::core::{EyeTrackingSystem, SystemConfig, SystemVariant};
+
+#[test]
+fn quickstart_flow_runs_and_reports_sane_numbers() {
+    let config = SystemConfig::miniature();
+    let mut system =
+        EyeTrackingSystem::new(SystemVariant::BlissCam, config).expect("system construction");
+    let report = system.run_frames(12).expect("12-frame run");
+
+    assert_eq!(report.frames.len(), 12);
+    assert_eq!(report.variant, SystemVariant::BlissCam);
+
+    let err = report.mean_angular_error();
+    assert!(
+        err.horizontal.is_finite() && err.horizontal >= 0.0,
+        "horizontal error {:?}",
+        err.horizontal
+    );
+    assert!(
+        err.vertical.is_finite() && err.vertical >= 0.0,
+        "vertical error {:?}",
+        err.vertical
+    );
+
+    let energy = report.mean_energy_uj();
+    assert!(energy > 0.0 && energy.is_finite(), "energy {energy} uJ");
+
+    // The whole point of BlissCam: far fewer pixels leave the sensor than a
+    // dense readout would ship.
+    assert!(
+        report.mean_compression() > 1.0,
+        "compression {}",
+        report.mean_compression()
+    );
+}
+
+#[test]
+fn facade_reexports_every_subsystem() {
+    // One cheap touch per re-exported crate, through the facade paths only.
+    let a = blisscam::tensor::NdArray::zeros(&[2, 3]);
+    assert_eq!(a.shape(), &[2, 3]);
+
+    let roi = blisscam::sensor::RoiBox::new(0, 0, 4, 4);
+    assert_eq!(roi.area(), 16);
+
+    let node = blisscam::energy::ProcessNode::new(65).expect("65 nm is a valid node");
+    assert!(node.energy_factor() > 0.0);
+
+    let link = blisscam::energy::MipiLink::default();
+    assert!(link.transfer_time_s(1_000) > 0.0);
+
+    let host = blisscam::npu::SystolicArray::host();
+    let mut wl = blisscam::npu::WorkloadDesc::new("smoke");
+    wl.push_transformer_block(16, 32, 1);
+    let run = host.run(&wl, &blisscam::energy::EnergyParams::default(), false);
+    assert!(run.cycles > 0);
+
+    let stages = blisscam::timing::StageDurations::paper_npu_full();
+    let timing = blisscam::timing::simulate(
+        &blisscam::timing::PipelineConfig::conventional(120.0, stages),
+        4,
+    );
+    assert_eq!(timing.frames.len(), 4);
+
+    let seq = blisscam::eye::render_sequence(&blisscam::eye::SequenceConfig::miniature(2, 1));
+    assert_eq!(seq.frames.len(), 2);
+}

@@ -30,7 +30,10 @@ fn energy_reduction_vs_conventional_pipeline() {
     let default = at(120.0);
     assert!((3.0..5.5).contains(&default), "default saving {default:.2}");
     let max = at(500.0);
-    assert!(max > default, "saving should grow with FPS: {default:.2} -> {max:.2}");
+    assert!(
+        max > default,
+        "saving should grow with FPS: {default:.2} -> {max:.2}"
+    );
 }
 
 #[test]

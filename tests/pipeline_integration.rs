@@ -16,8 +16,7 @@ fn fast_config(seed: u64) -> SystemConfig {
 #[test]
 fn every_variant_runs_end_to_end() {
     for variant in SystemVariant::ALL {
-        let mut system =
-            EyeTrackingSystem::new(variant, fast_config(3)).expect("system builds");
+        let mut system = EyeTrackingSystem::new(variant, fast_config(3)).expect("system builds");
         let report = system.run_frames(6).expect("frames run");
         assert_eq!(report.frames.len(), 6, "{}", variant.label());
         let err = report.mean_angular_error();
@@ -50,7 +49,11 @@ fn energy_ordering_holds_in_executable_runs() {
 fn sparse_variants_compress_dense_variants_do_not() {
     let mut bliss = EyeTrackingSystem::new(SystemVariant::BlissCam, fast_config(9)).unwrap();
     let rb = bliss.run_frames(6).unwrap();
-    assert!(rb.mean_compression() > 4.0, "compression {}", rb.mean_compression());
+    assert!(
+        rb.mean_compression() > 4.0,
+        "compression {}",
+        rb.mean_compression()
+    );
 
     let mut full = EyeTrackingSystem::new(SystemVariant::NpuFull, fast_config(9)).unwrap();
     let rf = full.run_frames(6).unwrap();

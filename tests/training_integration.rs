@@ -46,18 +46,18 @@ fn trained_roi_predictor_localises_the_eye() {
 
     // Probe the ROI net directly on a held-out frame pair.
     let eval = render_sequence(&SequenceConfig::miniature(12, 55));
-    let events = util::frame_difference_events(
-        &eval.frames[5].clean,
-        &eval.frames[4].clean,
-        15.0 / 255.0,
-    );
+    let events =
+        util::frame_difference_events(&eval.frames[5].clean, &eval.frames[4].clean, 15.0 / 255.0);
     let input = trainer.roi_net().make_input(&events, &eval.frames[4].mask);
     let out = trainer.roi_net().forward(&input).unwrap();
     let predicted = trainer.roi_net().predict_box(&out);
     let truth = eval.frames[5].roi;
     let truth = RoiBox::new(truth.x1, truth.y1, truth.x2, truth.y2);
     let iou = predicted.iou(&truth);
-    assert!(iou > 0.2, "trained ROI IoU only {iou:.3} ({predicted:?} vs {truth:?})");
+    assert!(
+        iou > 0.2,
+        "trained ROI IoU only {iou:.3} ({predicted:?} vs {truth:?})"
+    );
 }
 
 #[test]
