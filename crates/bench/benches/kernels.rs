@@ -1,12 +1,52 @@
 //! Criterion micro-benchmarks of the hot kernels in the BlissCam pipeline:
-//! sensor eventification, SRAM-metastability sampling, run-length coding,
-//! and the procedural renderer.
+//! dense linear algebra (matmul, multi-head attention), sensor
+//! eventification and readout, run-length coding, and the procedural
+//! renderer. The `*_1thread` / `*_4threads` variants pin the
+//! `bliss_parallel` pool width so thread scaling is recorded alongside the
+//! default-configuration numbers.
 
 use bliss_eye::{
     render_sequence, EyeModel, EyeModelConfig, Gaze, GazeState, MovementPhase, SequenceConfig,
 };
+use bliss_nn::MultiHeadAttention;
+use bliss_parallel::with_thread_count;
 use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
+use bliss_tensor::{NdArray, Tensor};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(512);
+    let a = NdArray::randn(&mut rng, &[512, 512], 1.0);
+    let b = NdArray::randn(&mut rng, &[512, 512], 1.0);
+    c.bench_function("matmul_512", |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul(std::hint::black_box(&b)).unwrap()))
+    });
+    c.bench_function("matmul_512_1thread", |bch| {
+        bch.iter(|| with_thread_count(1, || std::hint::black_box(a.matmul(&b).unwrap())))
+    });
+    c.bench_function("matmul_512_4threads", |bch| {
+        bch.iter(|| with_thread_count(4, || std::hint::black_box(a.matmul(&b).unwrap())))
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    // Paper-scale channel width (192, 3 heads) over a quarter-occupancy
+    // token set (256 of 1000 patches).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mha = MultiHeadAttention::new(&mut rng, 192, 3);
+    let x = Tensor::constant(NdArray::randn(&mut rng, &[256, 192], 1.0));
+    c.bench_function("mha_forward_192d_256t", |bch| {
+        bch.iter(|| std::hint::black_box(mha.forward(std::hint::black_box(&x)).unwrap()))
+    });
+    c.bench_function("mha_forward_1thread", |bch| {
+        bch.iter(|| with_thread_count(1, || std::hint::black_box(mha.forward(&x).unwrap())))
+    });
+    c.bench_function("mha_forward_4threads", |bch| {
+        bch.iter(|| with_thread_count(4, || std::hint::black_box(mha.forward(&x).unwrap())))
+    });
+}
 
 fn bench_eventify(c: &mut Criterion) {
     let mut sensor = DigitalPixelSensor::new(SensorConfig::miniature(160, 100));
@@ -76,9 +116,14 @@ fn bench_renderer(c: &mut Criterion) {
     });
 }
 
+// Renderer and eventify run first: on some virtualised hosts the hashed
+// readout loops leave the CPU in a state that slows unrelated FP code (see
+// the ROADMAP "host-specific FP pathology" note), which would poison the
+// later measurements in this process.
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_eventify, bench_sparse_readout, bench_rle, bench_renderer
+    targets = bench_renderer, bench_eventify, bench_matmul, bench_attention, bench_sparse_readout,
+        bench_rle
 }
 criterion_main!(kernels);

@@ -161,13 +161,17 @@ impl EyeModel {
         let mut image = vec![0.0f32; w * h];
         let mut mask = vec![EyeClass::Skin as u8; w * h];
 
-        for y in 0..h {
+        // Every pixel is a pure function of the (fixed) scene parameters, so
+        // rows render in parallel with bit-identical results for any thread
+        // count.
+        let texture = &self.skin_texture;
+        bliss_parallel::par_zip_rows(&mut image, w, &mut mask, w, |y, img_row, mask_row| {
+            let fy = y as f32 + 0.5;
             for x in 0..w {
                 let idx = y * w + x;
                 let fx = x as f32 + 0.5;
-                let fy = y as f32 + 0.5;
                 // Skin with static texture by default.
-                let mut value = 0.52 + self.skin_texture[idx];
+                let mut value = 0.52 + texture[idx];
                 let mut class = EyeClass::Skin;
 
                 let nx = (fx - cx) / fis_a.max(1e-3);
@@ -202,10 +206,10 @@ impl EyeModel {
                     }
                 }
 
-                image[idx] = value.clamp(0.0, 1.0);
-                mask[idx] = class as u8;
+                img_row[x] = value.clamp(0.0, 1.0);
+                mask_row[x] = class as u8;
             }
-        }
+        });
         (image, mask)
     }
 

@@ -1,7 +1,61 @@
 use crate::layers::{LayerNormLayer, Linear, Mlp};
 use crate::Module;
-use bliss_tensor::{Tensor, TensorError};
+use bliss_parallel::par_map_collect;
+use bliss_tensor::{NdArray, Tensor, TensorError};
 use rand::Rng;
+
+/// Saved forward activations of one attention head, reused by the fused
+/// backward pass. (The head's output itself is not saved — backward only
+/// needs the projections and the attention matrix.)
+struct HeadForward {
+    q: NdArray,
+    k: NdArray,
+    v: NdArray,
+    attn: NdArray,
+}
+
+/// Shared references to one head's `[wq, bq, wk, bk, wv, bv]` parameter
+/// values, extracted from borrow guards on the calling thread so the
+/// parallel workers never clone parameter data.
+fn head_param_refs<'a>(
+    guards: &'a [std::cell::Ref<'_, NdArray>],
+    heads: usize,
+) -> Vec<[&'a NdArray; 6]> {
+    (0..heads)
+        .map(|h| {
+            let s = &guards[1 + 6 * h..1 + 6 * (h + 1)];
+            [&*s[0], &*s[1], &*s[2], &*s[3], &*s[4], &*s[5]]
+        })
+        .collect()
+}
+
+/// Gradients produced by one attention head's backward pass, in the same
+/// order the head's parameters appear in the fused op's parent list.
+struct HeadGradients {
+    dx: NdArray,
+    dwq: NdArray,
+    dbq: NdArray,
+    dwk: NdArray,
+    dbk: NdArray,
+    dwv: NdArray,
+    dbv: NdArray,
+}
+
+/// `dS` of a row-wise softmax `A = softmax(S)` given `A` and `dA`:
+/// `dS_ij = A_ij * (dA_ij - sum_j A_ij * dA_ij)`.
+fn softmax_rows_backward(attn: &NdArray, dattn: &NdArray) -> NdArray {
+    let (m, n) = (attn.shape()[0], attn.shape()[1]);
+    let mut out = NdArray::zeros(&[m, n]);
+    for i in 0..m {
+        let arow = &attn.data()[i * n..(i + 1) * n];
+        let grow = &dattn.data()[i * n..(i + 1) * n];
+        let dot: f32 = arow.iter().zip(grow.iter()).map(|(&a, &g)| a * g).sum();
+        for j in 0..n {
+            out.data_mut()[i * n + j] = arow[j] * (grow[j] - dot);
+        }
+    }
+    out
+}
 
 /// Multi-head self-attention over `[tokens, dim]` inputs.
 ///
@@ -58,22 +112,116 @@ impl MultiHeadAttention {
 
     /// Applies self-attention to a `[tokens, dim]` tensor.
     ///
+    /// All heads are computed as one fused autograd op: the per-head
+    /// `QKV -> scores -> softmax -> AV` chains fan out across the
+    /// `bliss_parallel` pool in both the forward and the backward pass
+    /// (head index order is fixed, so gradients accumulate identically for
+    /// every thread count), and the intermediate activations bypass the
+    /// per-op graph bookkeeping of the unfused formulation.
+    ///
     /// # Errors
     ///
     /// Returns a shape error if the input's channel dimension is not `dim`.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut head_outputs = Vec::with_capacity(self.heads());
-        for h in 0..self.heads() {
-            let q = self.query[h].forward(x)?;
-            let k = self.key[h].forward(x)?;
-            let v = self.value[h].forward(x)?;
-            let scores = q.matmul(&k.transpose()?)?.scale(scale);
-            let attn = scores.softmax_rows()?;
-            head_outputs.push(attn.matmul(&v)?);
+        let heads = self.heads();
+        let head_dim = self.head_dim;
+
+        // Parent order: x, then per head the q/k/v weight and bias tensors.
+        // Parameter values are read through borrow guards (here and again in
+        // backward) rather than cloned into the graph node.
+        let mut parents = Vec::with_capacity(1 + 6 * heads);
+        parents.push(x.clone());
+        for h in 0..heads {
+            parents.extend(self.query[h].parameters());
+            parents.extend(self.key[h].parameters());
+            parents.extend(self.value[h].parameters());
         }
-        let concat = Tensor::concat_cols(&head_outputs)?;
-        self.proj.forward(&concat)
+
+        let (forwards, concat) = {
+            let guards: Vec<std::cell::Ref<'_, NdArray>> =
+                parents.iter().map(|p| p.value()).collect();
+            let xv: &NdArray = &guards[0];
+            let params = head_param_refs(&guards, heads);
+            let results: Result<Vec<(HeadForward, NdArray)>, TensorError> =
+                par_map_collect(heads, |h| -> Result<(HeadForward, NdArray), TensorError> {
+                    let [wq, bq, wk, bk, wv, bv] = params[h];
+                    let q = xv.matmul(wq)?.add_row(bq)?;
+                    let k = xv.matmul(wk)?.add_row(bk)?;
+                    let v = xv.matmul(wv)?.add_row(bv)?;
+                    let attn = q.matmul_transposed(&k)?.scale(scale).softmax_rows()?;
+                    let out = attn.matmul(&v)?;
+                    Ok((HeadForward { q, k, v, attn }, out))
+                })
+                .into_iter()
+                .collect();
+            let mut forwards = Vec::with_capacity(heads);
+            let mut outs = Vec::with_capacity(heads);
+            for (f, o) in results? {
+                forwards.push(f);
+                outs.push(o);
+            }
+            let concat = NdArray::concat_cols(&outs.iter().collect::<Vec<_>>())?;
+            (forwards, concat)
+        };
+
+        let fused = Tensor::from_custom_op(concat, parents, move |g, parents| {
+            let e = "head shapes fixed by forward";
+            let grads: Vec<HeadGradients> = {
+                let guards: Vec<std::cell::Ref<'_, NdArray>> =
+                    parents.iter().map(|p| p.value()).collect();
+                let xv: &NdArray = &guards[0];
+                let params = head_param_refs(&guards, heads);
+                // Shared by every head's projection gradients.
+                let xt = xv.transpose().expect(e);
+                par_map_collect(heads, |h| {
+                    let f = &forwards[h];
+                    let [wq, _, wk, _, wv, _] = params[h];
+                    let gh = g
+                        .slice_cols(h * head_dim, (h + 1) * head_dim)
+                        .expect("gradient columns per head");
+                    let dv = f.attn.transpose().expect(e).matmul(&gh).expect(e);
+                    let dattn = gh.matmul_transposed(&f.v).expect(e);
+                    let dscores = softmax_rows_backward(&f.attn, &dattn).scale(scale);
+                    let dq = dscores.matmul(&f.k).expect(e);
+                    let dk = dscores.transpose().expect(e).matmul(&f.q).expect(e);
+                    let dx = dq
+                        .matmul_transposed(wq)
+                        .expect(e)
+                        .add(&dk.matmul_transposed(wk).expect(e))
+                        .expect(e)
+                        .add(&dv.matmul_transposed(wv).expect(e))
+                        .expect(e);
+                    HeadGradients {
+                        dx,
+                        dwq: xt.matmul(&dq).expect(e),
+                        dbq: dq.sum_rows().expect(e),
+                        dwk: xt.matmul(&dk).expect(e),
+                        dbk: dk.sum_rows().expect(e),
+                        dwv: xt.matmul(&dv).expect(e),
+                        dbv: dv.sum_rows().expect(e),
+                    }
+                })
+            };
+            // Accumulate in fixed head order so results never depend on the
+            // thread count.
+            let e = "gradient shapes match parameters";
+            let mut dx = NdArray::zeros(&parents[0].shape());
+            for hg in &grads {
+                dx.add_assign(&hg.dx).expect(e);
+            }
+            parents[0].add_grad(&dx).expect(e);
+            for (h, hg) in grads.iter().enumerate() {
+                let p = &parents[1 + 6 * h..1 + 6 * (h + 1)];
+                p[0].add_grad(&hg.dwq).expect(e);
+                p[1].add_grad(&hg.dbq).expect(e);
+                p[2].add_grad(&hg.dwk).expect(e);
+                p[3].add_grad(&hg.dbk).expect(e);
+                p[4].add_grad(&hg.dwv).expect(e);
+                p[5].add_grad(&hg.dbv).expect(e);
+            }
+        });
+        self.proj.forward(&fused)
     }
 
     /// Multiply-accumulate operations for `tokens` input rows.

@@ -1,0 +1,506 @@
+//! Deterministic data-parallel primitives on a dependency-free scoped
+//! thread pool.
+//!
+//! Every hot kernel in the BlissCam reproduction (matmul, attention,
+//! convolution, eventification, rendering, readout) runs on the primitives in
+//! this crate. The design contract is:
+//!
+//! * **Fixed work partitioning.** Chunk and row boundaries depend only on the
+//!   input sizes, never on the thread count. A worker owns a contiguous range
+//!   of chunks and writes only into its disjoint output slice.
+//! * **Bit-identical results.** Because the partitioning is fixed and each
+//!   closure is a pure function of its index and slice, a kernel produces the
+//!   same bytes whether it runs on 1 or N threads. The per-element floating
+//!   point accumulation order therefore never changes with the machine.
+//! * **No nested oversubscription.** Worker threads run nested parallel calls
+//!   serially, so a parallel attention fan-out whose per-head GEMMs are
+//!   themselves parallel kernels does not explode into `heads x rows` threads.
+//!
+//! The pool is built on [`std::thread::scope`]: threads are spawned per
+//! parallel region and joined before the call returns, so borrowed inputs need
+//! no `'static` bound and worker panics propagate to the caller.
+//!
+//! # Thread-count selection
+//!
+//! [`thread_count`] resolves, in order: a scoped override installed by
+//! [`with_thread_count`] (thread-local, used by tests and nested regions), the
+//! `BLISS_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`], capped at 16.
+//!
+//! # Example
+//!
+//! ```
+//! // Square 10 rows of 4 elements each, in parallel.
+//! let mut data: Vec<f32> = (0..40).map(|x| x as f32).collect();
+//! let expected: Vec<f32> = data.iter().map(|x| x * x).collect();
+//!
+//! bliss_parallel::par_map_rows(&mut data, 4, |_row, slice| {
+//!     for v in slice.iter_mut() {
+//!         *v *= *v;
+//!     }
+//! });
+//! assert_eq!(data, expected);
+//!
+//! // The same call under any forced thread count produces identical bytes.
+//! let mut again: Vec<f32> = (0..40).map(|x| x as f32).collect();
+//! bliss_parallel::with_thread_count(8, || {
+//!     bliss_parallel::par_map_rows(&mut again, 4, |_row, slice| {
+//!         for v in slice.iter_mut() {
+//!             *v *= *v;
+//!         }
+//!     });
+//! });
+//! assert_eq!(again, data);
+//! ```
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+use std::thread;
+
+/// Upper bound on the pool width; protects against absurd `BLISS_THREADS`
+/// values and keeps per-region spawn cost bounded.
+pub const MAX_THREADS: usize = 16;
+
+thread_local! {
+    /// 0 = no override; otherwise the forced thread count for this thread.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_thread_count() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        if let Some(n) = std::env::var("BLISS_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            return n.clamp(1, MAX_THREADS);
+        }
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_THREADS)
+    })
+}
+
+/// The number of worker threads a parallel region started on this thread
+/// will use.
+///
+/// Resolution order: [`with_thread_count`] override → `BLISS_THREADS`
+/// environment variable → [`std::thread::available_parallelism`], capped at
+/// [`MAX_THREADS`].
+///
+/// ```
+/// assert!(bliss_parallel::thread_count() >= 1);
+/// assert_eq!(bliss_parallel::with_thread_count(3, bliss_parallel::thread_count), 3);
+/// ```
+pub fn thread_count() -> usize {
+    let o = THREAD_OVERRIDE.with(Cell::get);
+    if o > 0 {
+        o
+    } else {
+        env_thread_count()
+    }
+}
+
+/// Restores the previous override when a scoped override ends, even on panic.
+struct OverrideGuard(usize);
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|c| c.set(self.0));
+    }
+}
+
+/// Runs `f` with [`thread_count`] forced to `threads` on the current thread.
+///
+/// The override is thread-local and scoped: it is restored when `f` returns
+/// (or panics), and concurrently running tests do not observe each other's
+/// overrides. Results are guaranteed bit-identical across different forced
+/// counts; this exists for determinism tests and for callers that want a
+/// serial region (`threads = 1`).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads > 0, "thread count must be at least 1");
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(threads.min(MAX_THREADS)));
+    let _guard = OverrideGuard(prev);
+    f()
+}
+
+/// Installs the serial override on a worker thread so nested parallel calls
+/// (for example a parallel matmul inside a parallel per-head fan-out) run
+/// inline instead of spawning `outer x inner` threads.
+fn worker_guard() -> OverrideGuard {
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(1));
+    OverrideGuard(prev)
+}
+
+/// Applies `f` to consecutive `chunk_len`-sized chunks of `data` in parallel.
+///
+/// The closure receives the chunk index and a mutable slice; the final chunk
+/// may be shorter. Chunk boundaries depend only on `data.len()` and
+/// `chunk_len`, so for a pure `f` the result is bit-identical for every
+/// thread count. Work is distributed as one contiguous run of chunks per
+/// worker.
+///
+/// An empty `data` is a no-op. Panics in `f` propagate to the caller.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`, or if any worker closure panics.
+///
+/// # Example
+///
+/// ```
+/// let mut v = vec![1.0f32; 10];
+/// bliss_parallel::par_chunks(&mut v, 4, |idx, chunk| {
+///     for x in chunk.iter_mut() {
+///         *x += idx as f32;
+///     }
+/// });
+/// assert_eq!(v[..4], [1.0; 4]);
+/// assert_eq!(v[4..8], [2.0; 4]);
+/// assert_eq!(v[8..], [3.0; 2]); // tail chunk is shorter
+/// ```
+pub fn par_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = thread_count().min(n_chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let chunks_per_worker = n_chunks.div_ceil(threads);
+    let span = chunks_per_worker * chunk_len;
+    thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = span.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let first_chunk = base;
+            base += chunks_per_worker;
+            scope.spawn(move || {
+                let _serial = worker_guard();
+                for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(first_chunk + i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Applies `f` to each `row_len`-sized row of `data` in parallel.
+///
+/// Identical to [`par_chunks`] with `chunk_len = row_len`; provided as the
+/// natural vocabulary for row-major matrix kernels. `data.len()` does not
+/// need to be a multiple of `row_len` (the last row may be partial).
+///
+/// # Panics
+///
+/// Panics if `row_len == 0`, or if any worker closure panics.
+///
+/// # Example
+///
+/// ```
+/// // Normalise each row of a 3x4 matrix by its first element.
+/// let mut m = vec![2.0f32, 4.0, 6.0, 8.0, 1.0, 3.0, 5.0, 7.0, 4.0, 4.0, 8.0, 2.0];
+/// bliss_parallel::par_map_rows(&mut m, 4, |_r, row| {
+///     let head = row[0];
+///     for v in row.iter_mut() {
+///         *v /= head;
+///     }
+/// });
+/// assert_eq!(&m[..4], &[1.0, 2.0, 3.0, 4.0]);
+/// ```
+pub fn par_map_rows<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks(data, row_len, f);
+}
+
+/// Applies `f` to matching rows of two parallel buffers.
+///
+/// `a` is split into `row_len_a`-sized rows and `b` into `row_len_b`-sized
+/// rows; both must contain the same number of rows. Used by kernels that
+/// produce two per-pixel outputs at once (e.g. the eye renderer's radiance
+/// image and class mask).
+///
+/// # Panics
+///
+/// Panics if either row length is zero, if the row counts disagree, if either
+/// buffer is not an exact multiple of its row length, or if any worker
+/// closure panics.
+///
+/// # Example
+///
+/// ```
+/// let mut img = vec![0.0f32; 6];
+/// let mut mask = vec![0u8; 3];
+/// bliss_parallel::par_zip_rows(&mut img, 2, &mut mask, 1, |row, i, m| {
+///     i[0] = row as f32;
+///     i[1] = row as f32 + 0.5;
+///     m[0] = row as u8;
+/// });
+/// assert_eq!(img, [0.0, 0.5, 1.0, 1.5, 2.0, 2.5]);
+/// assert_eq!(mask, [0, 1, 2]);
+/// ```
+pub fn par_zip_rows<A, B, F>(a: &mut [A], row_len_a: usize, b: &mut [B], row_len_b: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(
+        row_len_a > 0 && row_len_b > 0,
+        "row lengths must be positive"
+    );
+    assert!(
+        a.len().is_multiple_of(row_len_a) && b.len().is_multiple_of(row_len_b),
+        "buffers must be whole numbers of rows"
+    );
+    let rows = a.len() / row_len_a;
+    assert_eq!(rows, b.len() / row_len_b, "row counts must match");
+    if rows == 0 {
+        return;
+    }
+    let threads = thread_count().min(rows);
+    if threads <= 1 {
+        for (row, (ra, rb)) in a
+            .chunks_mut(row_len_a)
+            .zip(b.chunks_mut(row_len_b))
+            .enumerate()
+        {
+            f(row, ra, rb);
+        }
+        return;
+    }
+    let rows_per_worker = rows.div_ceil(threads);
+    thread::scope(|scope| {
+        let f = &f;
+        let mut rest_a = a;
+        let mut rest_b = b;
+        let mut base = 0usize;
+        while !rest_a.is_empty() {
+            let take_rows = rows_per_worker.min(rest_a.len() / row_len_a);
+            let (head_a, tail_a) = rest_a.split_at_mut(take_rows * row_len_a);
+            let (head_b, tail_b) = rest_b.split_at_mut(take_rows * row_len_b);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            let first_row = base;
+            base += take_rows;
+            scope.spawn(move || {
+                let _serial = worker_guard();
+                for (i, (ra, rb)) in head_a
+                    .chunks_mut(row_len_a)
+                    .zip(head_b.chunks_mut(row_len_b))
+                    .enumerate()
+                {
+                    f(first_row + i, ra, rb);
+                }
+            });
+        }
+    });
+}
+
+/// Evaluates `f(0), f(1), …, f(n - 1)` in parallel and collects the results
+/// in index order.
+///
+/// Used for coarse-grained fan-out where each task produces an owned value —
+/// e.g. one attention head's output, or one image patch's occupancy flag.
+/// Results are returned in index order regardless of completion order, so the
+/// output is independent of the thread count.
+///
+/// # Panics
+///
+/// Panics if any worker closure panics.
+///
+/// # Example
+///
+/// ```
+/// let squares = bliss_parallel::par_map_collect(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// assert!(bliss_parallel::par_map_collect(0, |i| i).is_empty());
+/// ```
+pub fn par_map_collect<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = thread_count().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let per_worker = n.div_ceil(threads);
+    thread::scope(|scope| {
+        let f = &f;
+        for (w, block) in out.chunks_mut(per_worker).enumerate() {
+            scope.spawn(move || {
+                let _serial = worker_guard();
+                for (i, slot) in block.iter_mut().enumerate() {
+                    *slot = Some(f(w * per_worker + i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every index is assigned to exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn fill_squares(len: usize, chunk: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..len).map(|x| x as f32).collect();
+        par_chunks(&mut v, chunk, |_i, c| {
+            for x in c.iter_mut() {
+                *x = (*x).sin() * 1e3;
+            }
+        });
+        v
+    }
+
+    #[test]
+    fn par_chunks_deterministic_across_thread_counts() {
+        for &(len, chunk) in &[(0usize, 3usize), (1, 1), (7, 3), (64, 8), (1000, 17)] {
+            let serial = with_thread_count(1, || fill_squares(len, chunk));
+            for threads in [2, 3, 8] {
+                let parallel = with_thread_count(threads, || fill_squares(len, chunk));
+                assert_eq!(serial, parallel, "len={len} chunk={chunk} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_visits_every_chunk_exactly_once() {
+        let mut v = vec![0u32; 103];
+        with_thread_count(8, || {
+            par_chunks(&mut v, 10, |i, c| {
+                for x in c.iter_mut() {
+                    *x += 1 + i as u32;
+                }
+            });
+        });
+        for (flat, &x) in v.iter().enumerate() {
+            assert_eq!(x, 1 + (flat / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_handles_empty_and_odd_inputs() {
+        let mut empty: Vec<f32> = Vec::new();
+        par_chunks(&mut empty, 4, |_, _| panic!("must not be called"));
+        // Odd-sized tail: last chunk shorter than chunk_len.
+        let mut v = vec![1u8; 5];
+        with_thread_count(4, || {
+            par_chunks(&mut v, 2, |i, c| {
+                assert_eq!(c.len(), if i == 2 { 1 } else { 2 });
+            });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn par_chunks_rejects_zero_chunk() {
+        par_chunks(&mut [0u8; 4][..], 0, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut v = vec![0u8; 100];
+            with_thread_count(4, || {
+                par_chunks(&mut v, 10, |i, _| {
+                    if i == 7 {
+                        panic!("worker failure");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic must escape the parallel region");
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order_and_propagates_panics() {
+        for threads in [1, 2, 8] {
+            let got = with_thread_count(threads, || par_map_collect(23, |i| i * 3));
+            assert_eq!(got, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_thread_count(4, || {
+                par_map_collect(16, |i| if i == 11 { panic!("boom") } else { i })
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_zip_rows_matches_serial() {
+        let run = || {
+            let mut a = vec![0.0f32; 9 * 5];
+            let mut b = vec![0u8; 9 * 2];
+            par_zip_rows(&mut a, 5, &mut b, 2, |row, ra, rb| {
+                for (j, x) in ra.iter_mut().enumerate() {
+                    *x = (row * 10 + j) as f32;
+                }
+                rb[0] = row as u8;
+                rb[1] = 2 * row as u8;
+            });
+            (a, b)
+        };
+        let serial = with_thread_count(1, run);
+        for threads in [2, 8] {
+            assert_eq!(serial, with_thread_count(threads, run));
+        }
+    }
+
+    #[test]
+    fn nested_regions_run_serially() {
+        // A nested par_chunks inside a worker must not spawn its own threads;
+        // we detect this by counting distinct executions — the nested call
+        // still computes correctly either way, so assert on thread_count().
+        let observed = AtomicUsize::new(usize::MAX);
+        with_thread_count(4, || {
+            par_map_collect(4, |i| {
+                if i == 0 {
+                    observed.store(thread_count(), Ordering::SeqCst);
+                }
+            });
+        });
+        assert_eq!(observed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn override_is_scoped_and_unwinds() {
+        let outer = thread_count();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_thread_count(5, || panic!("unwind through override"))
+        }));
+        assert_eq!(thread_count(), outer, "override must restore on unwind");
+        let nested = with_thread_count(2, || with_thread_count(6, thread_count));
+        assert_eq!(nested, 6);
+    }
+}

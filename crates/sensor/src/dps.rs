@@ -1,6 +1,6 @@
 use crate::event::EventMap;
 use crate::rle;
-use crate::rng::{CalibrationLut, SramRng, SramRngConfig};
+use crate::rng::{counter_hash, hash_gauss, CalibrationLut, SramRng, SramRngConfig};
 use crate::roi::RoiBox;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -151,7 +151,10 @@ pub struct DigitalPixelSensor {
     comparator_offset: Vec<f32>,
     sram_rng: SramRng,
     lut: CalibrationLut,
-    conv_rng: StdRng,
+    /// Seed for the counter-based ADC conversion noise.
+    conv_seed: u64,
+    /// Number of readouts performed (each draws fresh conversion noise).
+    readouts: u64,
 }
 
 impl DigitalPixelSensor {
@@ -171,7 +174,8 @@ impl DigitalPixelSensor {
             comparator_offset,
             sram_rng,
             lut,
-            conv_rng: StdRng::seed_from_u64(config.seed ^ 0xADC0),
+            conv_seed: config.seed ^ 0xADC0,
+            readouts: 0,
         }
     }
 
@@ -217,41 +221,36 @@ impl DigitalPixelSensor {
         let current = self
             .current
             .as_ref()
-            .expect("eventify requires a prior expose()")
-            .clone();
+            .expect("eventify requires a prior expose()");
+        let w = self.config.width;
         let map = match &self.held {
-            None => EventMap::new(
-                self.config.width,
-                self.config.height,
-                vec![true; self.config.pixels()],
-            ),
+            None => EventMap::new(w, self.config.height, vec![true; self.config.pixels()]),
             Some(prev) => {
                 let sigma = self.config.event_threshold;
-                let bits = current
-                    .iter()
-                    .zip(prev.iter())
-                    .zip(self.comparator_offset.iter())
-                    .map(|((&c, &p), &off)| {
+                let offsets = &self.comparator_offset;
+                let mut bits = vec![false; self.config.pixels()];
+                // Every pixel's comparator fires independently: eventify one
+                // row per task. Row sub-slices keep the inner loop on fused
+                // iterators (no bounds checks, vectorisable).
+                bliss_parallel::par_map_rows(&mut bits, w, |y, row| {
+                    let base = y * w;
+                    let cur_row = &current[base..base + row.len()];
+                    let prev_row = &prev[base..base + row.len()];
+                    let off_row = &offsets[base..base + row.len()];
+                    for (((bit, &c), &p), &off) in
+                        row.iter_mut().zip(cur_row).zip(prev_row).zip(off_row)
+                    {
                         let diff = c - p;
                         // Two sequential compares against +σ and -σ; the
                         // comparator offset shifts both thresholds.
-                        diff > sigma + off || -diff > sigma - off
-                    })
-                    .collect();
-                EventMap::new(self.config.width, self.config.height, bits)
+                        *bit = diff > sigma + off || -diff > sigma - off;
+                    }
+                });
+                EventMap::new(w, self.config.height, bits)
             }
         };
-        self.held = Some(current);
+        self.held = self.current.clone();
         map
-    }
-
-    fn quantize(&mut self, value: f32) -> u16 {
-        let max_code = (1u32 << self.config.adc_bits) - 1;
-        let noisy =
-            value * max_code as f32 + gauss(&mut self.conv_rng) * self.config.read_noise_lsb;
-        // Sampled pixels clamp to a minimum code of 1 so that zero codes
-        // unambiguously mark skipped pixels in the output stream.
-        (noisy.round().clamp(1.0, max_code as f32)) as u16
     }
 
     /// Sparse readout: activates `roi`, draws a fresh SRAM power-up sampling
@@ -318,37 +317,46 @@ impl DigitalPixelSensor {
         mask: Option<&[bool]>,
         theta: u8,
     ) -> ReadoutResult {
+        let call = self.readouts;
+        self.readouts = self.readouts.wrapping_add(1);
         let current = self
             .current
             .as_ref()
-            .expect("readout requires a prior expose()")
-            .clone();
+            .expect("readout requires a prior expose()");
         let roi = roi.clamp_to(self.config.width, self.config.height);
         let w = self.config.width;
-        let mut stream = Vec::with_capacity(roi.area());
-        let mut conversions = 0u64;
-        let mut sampled = 0usize;
+        let max_code = ((1u32 << self.config.adc_bits) - 1) as f32;
+        let noise_lsb = self.config.read_noise_lsb;
+        let seed = self.conv_seed;
+        let col_len = roi.y2 - roi.y1;
         // Column-major: the column decoder walks x1..x2 sequentially while
-        // all rows y1..y2 are active (Fig. 11).
-        for x in roi.x1..roi.x2 {
-            for y in roi.y1..roi.y2 {
-                let idx = y * w + x;
-                let take = mask.is_none_or(|m| m[idx]);
-                if take {
-                    let code = self.quantize(current[idx]);
-                    stream.push(code);
-                    conversions += 1;
-                    sampled += 1;
-                } else {
-                    stream.push(0);
+        // all rows y1..y2 are active (Fig. 11). Every column converts
+        // independently — conversion noise is a counter-based function of
+        // (seed, readout, pixel), not a sequential RNG stream — so columns
+        // read out in parallel with bit-identical results.
+        let mut stream = vec![0u16; roi.area()];
+        if col_len > 0 {
+            bliss_parallel::par_chunks(&mut stream, col_len, |ci, column| {
+                let x = roi.x1 + ci;
+                for (dy, out) in column.iter_mut().enumerate() {
+                    let idx = (roi.y1 + dy) * w + x;
+                    if mask.is_none_or(|m| m[idx]) {
+                        let noise = hash_gauss(counter_hash(seed, call, idx as u64));
+                        let noisy = current[idx] * max_code + noise * noise_lsb;
+                        // Sampled pixels clamp to a minimum code of 1 so that
+                        // zero codes unambiguously mark skipped pixels in the
+                        // output stream.
+                        *out = noisy.round().clamp(1.0, max_code) as u16;
+                    }
                 }
-            }
+            });
         }
+        let sampled = stream.iter().filter(|&&code| code != 0).count();
         ReadoutResult {
             roi,
             theta,
             stream,
-            conversions,
+            conversions: sampled as u64,
             sampled,
         }
     }

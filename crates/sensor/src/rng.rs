@@ -120,6 +120,15 @@ impl SramRng {
 
     /// Simulates one SRAM power-up event: returns each pixel's ones-count
     /// (`0..=cells_per_pixel`). This is the 4-bit value compared against θ.
+    ///
+    /// Deliberately a sequential `StdRng` stream rather than the
+    /// counter-hashed draws the readout path uses: a hashed variant
+    /// (`hash_unit(counter_hash(..)) < bias` per cell) reproducibly left the
+    /// host CPU of the dev container in a state where *unrelated* FP code
+    /// (the eye renderer) ran ~10x slower until the next power-up toggled it
+    /// back — a data-dependent, virtualisation-specific pathology. Power-up
+    /// is a per-frame O(pixels x cells) scan that is not on the parallel
+    /// readout's critical path, so the sequential stream stays.
     pub fn power_up(&mut self) -> Vec<u8> {
         let cells = self.config.cells_per_pixel;
         let mut counts = Vec::with_capacity(self.pixels);
@@ -168,12 +177,67 @@ fn gauss(rng: &mut StdRng) -> f32 {
     (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
 }
 
+/// SplitMix64 finaliser: a cheap, high-quality bijective mixer.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mixes a fixed seed, a per-call counter and a per-site index into one
+/// hash. Counter-based draws make the noise a pure function of
+/// `(seed, call, idx)`, so noisy kernels parallelise with bit-identical
+/// results for any thread count (sequential RNG draws would tie the values
+/// to the pixel visit order).
+pub(crate) fn counter_hash(seed: u64, call: u64, idx: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ call.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ idx)
+}
+
+/// Uniform sample in `[0, 1)` from the top 24 bits of a hash.
+// Currently exercised only by tests: the uniform consumer (the hashed SRAM
+// power-up) was reverted to a sequential stream (see `SramRng::power_up`),
+// but the helper stays paired with `hash_gauss` for future counter-based
+// draws.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn hash_unit(h: u64) -> f32 {
+    // Narrow to u32 before converting: u32 -> f32 is the single-instruction
+    // conversion path (u64 -> f32 lowers to a branchy sequence on pre-AVX512
+    // x86-64, and was implicated in the host FP pathology noted in the
+    // ROADMAP).
+    (((h >> 40) as u32) as f32) * 2.0f32.powi(-24)
+}
+
+/// Standard-normal sample via Box–Muller on two 24-bit lanes of a hash.
+pub(crate) fn hash_gauss(h: u64) -> f32 {
+    let u1 = ((((h >> 40) as u32) as f32) + 1.0) * 2.0f32.powi(-24); // (0, 1]
+    let u2 = (((h as u32) & 0x00FF_FFFF) as f32) * 2.0f32.powi(-24); // [0, 1)
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn rng(pixels: usize, seed: u64) -> SramRng {
         SramRng::new(pixels, SramRngConfig::default(), seed)
+    }
+
+    #[test]
+    fn counter_hash_draws_are_deterministic_and_uniformish() {
+        assert_eq!(counter_hash(1, 2, 3), counter_hash(1, 2, 3));
+        assert_ne!(counter_hash(1, 2, 3), counter_hash(1, 2, 4));
+        assert_ne!(counter_hash(1, 2, 3), counter_hash(1, 3, 3));
+        let mean: f64 = (0..4096)
+            .map(|i| hash_unit(counter_hash(7, 0, i)) as f64)
+            .sum::<f64>()
+            / 4096.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let g_mean: f64 = (0..4096)
+            .map(|i| hash_gauss(counter_hash(7, 1, i)) as f64)
+            .sum::<f64>()
+            / 4096.0;
+        assert!(g_mean.abs() < 0.06, "gaussian mean {g_mean}");
     }
 
     #[test]

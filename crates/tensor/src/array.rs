@@ -1,3 +1,4 @@
+use crate::scratch;
 use crate::TensorError;
 use rand::Rng;
 use std::fmt;
@@ -21,10 +22,27 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct NdArray {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for NdArray {
+    fn clone(&self) -> Self {
+        NdArray {
+            shape: self.shape.clone(),
+            data: scratch::take_from_iter(self.data.len(), self.data.iter().copied()),
+        }
+    }
+}
+
+impl Drop for NdArray {
+    fn drop(&mut self) {
+        // Return the backing store to the thread-local scratch pool so the
+        // next forward/backward pass reuses it instead of reallocating.
+        scratch::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl fmt::Debug for NdArray {
@@ -76,7 +94,7 @@ impl NdArray {
     pub fn zeros(shape: &[usize]) -> Self {
         NdArray {
             shape: shape.to_vec(),
-            data: vec![0.0; shape.iter().product()],
+            data: scratch::take_zeroed(shape.iter().product()),
         }
     }
 
@@ -176,8 +194,8 @@ impl NdArray {
     }
 
     /// Consumes the array, returning its raw buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at `(row, col)` of a rank-2 array.
@@ -237,11 +255,16 @@ impl NdArray {
             });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
+        let mut out = scratch::take_zeroed(m * n);
+        if m > 0 {
+            let src = &self.data;
+            // Each output row j gathers input column j; rows are disjoint, so
+            // the transpose parallelises over output rows.
+            bliss_parallel::par_map_rows(&mut out, m, |j, row| {
+                for (i, v) in row.iter_mut().enumerate() {
+                    *v = src[i * n + j];
+                }
+            });
         }
         Ok(NdArray {
             shape: vec![n, m],
@@ -323,7 +346,7 @@ impl NdArray {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         NdArray {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: scratch::take_from_iter(self.data.len(), self.data.iter().map(|&x| f(x))),
         }
     }
 
@@ -337,12 +360,13 @@ impl NdArray {
         debug_assert_eq!(self.shape, other.shape);
         NdArray {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: scratch::take_from_iter(
+                self.data.len(),
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b)),
+            ),
         }
     }
 
@@ -414,25 +438,73 @@ impl NdArray {
             });
         }
         let (m, k, n) = (self.shape[0], self.shape[1], other.shape[1]);
-        let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order keeps the innermost accesses sequential in memory.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+        let mut out = scratch::take_zeroed(m * n);
+        if m * n != 0 && k != 0 {
+            // Cache-blocked kernel, parallel over row blocks. Work
+            // partitioning and per-element accumulation order (ascending k)
+            // depend only on the shapes, so the result is bit-identical for
+            // every thread count. Small products skip the pool entirely.
+            let (a, b) = (&self.data[..], &other.data[..]);
+            // Probe a prefix of `a` for sparsity: sparse-sampled patch
+            // tensors are mostly zeros and earn a skip-test in the inner
+            // loop; dense operands run the branch-free kernel. The choice
+            // depends only on the data, never on the thread count.
+            let probe = &a[..a.len().min(4096)];
+            let zeros = probe.iter().filter(|&&x| x == 0.0).count();
+            let sparse = zeros * 8 > probe.len();
+            let kernel = |block: usize, out_block: &mut [f32]| {
+                matmul_block(a, b, k, n, block * MATMUL_ROW_BLOCK, out_block, sparse);
+            };
+            if m * k * n < 32 * 32 * 32 {
+                bliss_parallel::with_thread_count(1, || {
+                    bliss_parallel::par_chunks(&mut out, MATMUL_ROW_BLOCK * n, kernel)
+                });
+            } else {
+                bliss_parallel::par_chunks(&mut out, MATMUL_ROW_BLOCK * n, kernel);
             }
         }
         Ok(NdArray {
             shape: vec![m, n],
             data: out,
         })
+    }
+
+    /// Matrix product against a transposed right operand:
+    /// `[m, k] x [p, k]^T -> [m, p]`, i.e. `out[i][j] = <self[i], other[j]>`.
+    ///
+    /// The natural formulation for attention scores (`Q K^T`) and for
+    /// gradient products against weight matrices (`dY W^T`). Internally the
+    /// right operand is transposed into a pooled scratch buffer and fed to
+    /// the register-blocked [`NdArray::matmul`] kernel — measured faster
+    /// than a fused dot-product loop at every shape this workspace uses,
+    /// because the broadcast-FMA micro-kernel beats horizontal dot products
+    /// and the transpose is a single cheap pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix operands and
+    /// [`TensorError::ShapeMismatch`] if the inner (column) dimensions
+    /// disagree.
+    pub fn matmul_transposed(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.ndim() != 2 || other.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_transposed",
+                expected: 2,
+                actual: if self.ndim() != 2 {
+                    self.ndim()
+                } else {
+                    other.ndim()
+                },
+            });
+        }
+        if self.shape[1] != other.shape[1] {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transposed",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        self.matmul(&other.transpose()?)
     }
 
     /// Frobenius dot product (sum of elementwise products).
@@ -492,7 +564,7 @@ impl NdArray {
             });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0; n];
+        let mut out = scratch::take_zeroed(n);
         for i in 0..m {
             for j in 0..n {
                 out[j] += self.data[i * n + j];
@@ -546,19 +618,22 @@ impl NdArray {
             });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let row = &self.data[i * n..(i + 1) * n];
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for (j, &v) in row.iter().enumerate() {
-                let e = (v - mx).exp();
-                out[i * n + j] = e;
-                denom += e;
-            }
-            for v in &mut out[i * n..(i + 1) * n] {
-                *v /= denom;
-            }
+        let mut out = scratch::take_zeroed(m * n);
+        if n > 0 {
+            let src = &self.data;
+            bliss_parallel::par_map_rows(&mut out, n, |i, out_row| {
+                let row = &src[i * n..(i + 1) * n];
+                let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0;
+                for (o, &v) in out_row.iter_mut().zip(row.iter()) {
+                    let e = (v - mx).exp();
+                    *o = e;
+                    denom += e;
+                }
+                for v in out_row.iter_mut() {
+                    *v /= denom;
+                }
+            });
         }
         Ok(NdArray {
             shape: vec![m, n],
@@ -671,6 +746,45 @@ impl NdArray {
         })
     }
 
+    /// Copies columns `[start, end)` of a rank-2 array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the range exceeds the
+    /// column count or is reversed.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Result<Self, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "slice_cols",
+                expected: 2,
+                actual: self.ndim(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        if start > end {
+            return Err(TensorError::InvalidArgument {
+                op: "slice_cols",
+                message: format!("reversed column range {start}..{end}"),
+            });
+        }
+        if end > n {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "slice_cols",
+                index: end,
+                bound: n + 1,
+            });
+        }
+        let width = end - start;
+        let data = scratch::take_from_iter(
+            m * width,
+            (0..m).flat_map(|i| self.data[i * n + start..i * n + end].iter().copied()),
+        );
+        Ok(NdArray {
+            shape: vec![m, width],
+            data,
+        })
+    }
+
     /// Gathers the given rows of a rank-2 array in order.
     ///
     /// # Errors
@@ -734,27 +848,29 @@ impl NdArray {
         }
         let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
         let (oh, ow) = conv_out_dims(h, w, kh, kw, stride, pad)?;
-        let mut out = vec![0.0f32; c * kh * kw * oh * ow];
+        let mut out = scratch::take_zeroed(c * kh * kw * oh * ow);
         let ow_total = oh * ow;
-        for ci in 0..c {
-            for ki in 0..kh {
-                for kj in 0..kw {
-                    let row = (ci * kh + ki) * kw + kj;
-                    for oi in 0..oh {
-                        let ii = (oi * stride + ki) as isize - pad as isize;
-                        for oj in 0..ow {
-                            let jj = (oj * stride + kj) as isize - pad as isize;
-                            let v = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w
-                            {
-                                self.data[(ci * h + ii as usize) * w + jj as usize]
-                            } else {
-                                0.0
-                            };
-                            out[row * ow_total + oi * ow + oj] = v;
-                        }
+        if ow_total > 0 {
+            let src = &self.data;
+            // One output row per (channel, kernel offset): rows are disjoint,
+            // so the lowering parallelises over them.
+            bliss_parallel::par_map_rows(&mut out, ow_total, |row, out_row| {
+                let kj = row % kw;
+                let ki = (row / kw) % kh;
+                let ci = row / (kh * kw);
+                for oi in 0..oh {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    for oj in 0..ow {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        let v = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
+                            src[(ci * h + ii as usize) * w + jj as usize]
+                        } else {
+                            0.0
+                        };
+                        out_row[oi * ow + oj] = v;
                     }
                 }
-            }
+            });
         }
         Ok(NdArray {
             shape: vec![c * kh * kw, oh * ow],
@@ -788,28 +904,34 @@ impl NdArray {
                 rhs: vec![c * kh * kw, oh * ow],
             });
         }
-        let mut out = vec![0.0f32; c * h * w];
+        let mut out = scratch::take_zeroed(c * h * w);
         let ow_total = oh * ow;
-        for ci in 0..c {
-            for ki in 0..kh {
-                for kj in 0..kw {
-                    let row = (ci * kh + ki) * kw + kj;
-                    for oi in 0..oh {
-                        let ii = (oi * stride + ki) as isize - pad as isize;
-                        if ii < 0 || ii as usize >= h {
-                            continue;
-                        }
-                        for oj in 0..ow {
-                            let jj = (oj * stride + kj) as isize - pad as isize;
-                            if jj < 0 || jj as usize >= w {
+        if h * w > 0 {
+            let src = &self.data;
+            // Scatter-adds from different kernel offsets overlap within a
+            // channel but never across channels, so the adjoint parallelises
+            // over channel planes.
+            bliss_parallel::par_chunks(&mut out, h * w, |ci, plane| {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let row = (ci * kh + ki) * kw + kj;
+                        for oi in 0..oh {
+                            let ii = (oi * stride + ki) as isize - pad as isize;
+                            if ii < 0 || ii as usize >= h {
                                 continue;
                             }
-                            out[(ci * h + ii as usize) * w + jj as usize] +=
-                                self.data[row * ow_total + oi * ow + oj];
+                            for oj in 0..ow {
+                                let jj = (oj * stride + kj) as isize - pad as isize;
+                                if jj < 0 || jj as usize >= w {
+                                    continue;
+                                }
+                                plane[ii as usize * w + jj as usize] +=
+                                    src[row * ow_total + oi * ow + oj];
+                            }
                         }
                     }
                 }
-            }
+            });
         }
         Ok(NdArray {
             shape: vec![c, h, w],
@@ -831,14 +953,17 @@ impl NdArray {
             });
         }
         let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
-        let mut out = vec![0.0f32; c * 4 * h * w];
+        let mut out = scratch::take_zeroed(c * 4 * h * w);
         let (oh, ow) = (2 * h, 2 * w);
-        for ci in 0..c {
-            for i in 0..oh {
-                for j in 0..ow {
-                    out[(ci * oh + i) * ow + j] = self.data[(ci * h + i / 2) * w + j / 2];
+        if ow > 0 {
+            let src = &self.data;
+            bliss_parallel::par_map_rows(&mut out, ow, |row, out_row| {
+                let i = row % oh;
+                let ci = row / oh;
+                for (j, v) in out_row.iter_mut().enumerate() {
+                    *v = src[(ci * h + i / 2) * w + j / 2];
                 }
-            }
+            });
         }
         Ok(NdArray {
             shape: vec![c, oh, ow],
@@ -868,13 +993,16 @@ impl NdArray {
             });
         }
         let (oh, ow) = (h / 2, w / 2);
-        let mut out = vec![0.0f32; c * oh * ow];
-        for ci in 0..c {
-            for i in 0..h {
-                for j in 0..w {
-                    out[(ci * oh + i / 2) * ow + j / 2] += self.data[(ci * h + i) * w + j];
+        let mut out = scratch::take_zeroed(c * oh * ow);
+        if oh * ow > 0 {
+            let src = &self.data;
+            bliss_parallel::par_chunks(&mut out, oh * ow, |ci, plane| {
+                for i in 0..h {
+                    for j in 0..w {
+                        plane[(i / 2) * ow + j / 2] += src[(ci * h + i) * w + j];
+                    }
                 }
-            }
+            });
         }
         Ok(NdArray {
             shape: vec![c, oh, ow],
@@ -909,6 +1037,135 @@ impl NdArray {
             .zip(other.data.iter())
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max))
+    }
+}
+
+/// Rows of the output matrix computed by one parallel matmul task.
+const MATMUL_ROW_BLOCK: usize = 32;
+/// Column-tile width of the register-blocked micro-kernel (two 8-lane SIMD
+/// vectors on AVX2-class hardware).
+const MATMUL_COL_TILE: usize = 16;
+
+/// Computes `out_block = a[i0.., :] * b` for one row block of the output.
+///
+/// Rows are processed four at a time against `MATMUL_COL_TILE`-wide column
+/// tiles: the 4x16 accumulator tile lives in registers across the whole k
+/// loop and is stored exactly once, so the kernel is FLOP-bound instead of
+/// store-bound. The per-element accumulation order depends only on the
+/// shapes (k ascending within each row-group/column-tile), never on the
+/// thread count, so results are bit-identical on 1 or N threads.
+///
+/// With `sparse` set, all-zero columns of `a` are skipped inside the inner
+/// loop (exact for finite `b`: the skipped updates add `+0.0`); the dense
+/// variant omits the test so the loop stays branch-free.
+fn matmul_block(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    out_block: &mut [f32],
+    sparse: bool,
+) {
+    let rows = out_block.len() / n;
+    let mut r = 0;
+    while r + 4 <= rows {
+        let (quad, _) = out_block[r * n..].split_at_mut(4 * n);
+        let (o0, rest) = quad.split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let base = (i0 + r) * k;
+        let mut jt = 0;
+        // Full-width column tiles: fixed-size accumulator arrays keep the
+        // inner loop free of bounds checks and friendly to vectorisation.
+        while jt + MATMUL_COL_TILE <= n {
+            let mut acc0 = [0.0f32; MATMUL_COL_TILE];
+            let mut acc1 = [0.0f32; MATMUL_COL_TILE];
+            let mut acc2 = [0.0f32; MATMUL_COL_TILE];
+            let mut acc3 = [0.0f32; MATMUL_COL_TILE];
+            macro_rules! quad_k_loop {
+                ($skip_zero:expr) => {
+                    for kk in 0..k {
+                        let (a0, a1, a2, a3) = (
+                            a[base + kk],
+                            a[base + k + kk],
+                            a[base + 2 * k + kk],
+                            a[base + 3 * k + kk],
+                        );
+                        if $skip_zero && a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                            continue;
+                        }
+                        let bt: &[f32; MATMUL_COL_TILE] = b
+                            [kk * n + jt..kk * n + jt + MATMUL_COL_TILE]
+                            .try_into()
+                            .unwrap();
+                        for j in 0..MATMUL_COL_TILE {
+                            acc0[j] += a0 * bt[j];
+                            acc1[j] += a1 * bt[j];
+                            acc2[j] += a2 * bt[j];
+                            acc3[j] += a3 * bt[j];
+                        }
+                    }
+                };
+            }
+            if sparse {
+                quad_k_loop!(true);
+            } else {
+                quad_k_loop!(false);
+            }
+            o0[jt..jt + MATMUL_COL_TILE].copy_from_slice(&acc0);
+            o1[jt..jt + MATMUL_COL_TILE].copy_from_slice(&acc1);
+            o2[jt..jt + MATMUL_COL_TILE].copy_from_slice(&acc2);
+            o3[jt..jt + MATMUL_COL_TILE].copy_from_slice(&acc3);
+            jt += MATMUL_COL_TILE;
+        }
+        // Remainder columns (width < MATMUL_COL_TILE). The zero-skip is
+        // gated on the same `sparse` probe as the full tiles, so non-finite
+        // `b` values propagate uniformly across one output matrix.
+        if jt < n {
+            let w = n - jt;
+            let mut acc = [[0.0f32; MATMUL_COL_TILE]; 4];
+            for kk in 0..k {
+                let bt = &b[kk * n + jt..kk * n + n];
+                for (row, accr) in acc.iter_mut().enumerate() {
+                    let av = a[base + row * k + kk];
+                    if sparse && av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..w {
+                        accr[j] += av * bt[j];
+                    }
+                }
+            }
+            o0[jt..].copy_from_slice(&acc[0][..w]);
+            o1[jt..].copy_from_slice(&acc[1][..w]);
+            o2[jt..].copy_from_slice(&acc[2][..w]);
+            o3[jt..].copy_from_slice(&acc[3][..w]);
+        }
+        r += 4;
+    }
+    // Remainder rows: one-row accumulator tiles with the same k order.
+    while r < rows {
+        let o_row = &mut out_block[r * n..(r + 1) * n];
+        let base = (i0 + r) * k;
+        let mut jt = 0;
+        while jt < n {
+            let w = (n - jt).min(MATMUL_COL_TILE);
+            let mut acc = [0.0f32; MATMUL_COL_TILE];
+            for kk in 0..k {
+                let av = a[base + kk];
+                if sparse && av == 0.0 {
+                    continue;
+                }
+                let bt = &b[kk * n + jt..kk * n + jt + w];
+                for j in 0..w {
+                    acc[j] += av * bt[j];
+                }
+            }
+            o_row[jt..jt + w].copy_from_slice(&acc[..w]);
+            jt += w;
+        }
+        r += 1;
     }
 }
 
@@ -1043,6 +1300,85 @@ mod tests {
         let c = NdArray::concat_rows(&[&a, &b]).unwrap();
         assert_eq!(c.shape(), &[3, 2]);
         assert_eq!(c.slice_rows(1, 3).unwrap(), b);
+    }
+
+    #[test]
+    fn slice_cols_selects_columns() {
+        let a = NdArray::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let c = a.slice_cols(1, 3).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+        assert!(a.slice_cols(3, 5).is_err());
+        assert!(a.slice_cols(2, 1).is_err());
+        // Round-trip with concat_cols.
+        let left = a.slice_cols(0, 1).unwrap();
+        let right = a.slice_cols(1, 4).unwrap();
+        assert_eq!(NdArray::concat_cols(&[&left, &right]).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, k, p) in &[(1, 1, 1), (3, 7, 5), (20, 64, 33), (9, 30, 2)] {
+            let a = NdArray::randn(&mut rng, &[m, k], 1.0);
+            let b = NdArray::randn(&mut rng, &[p, k], 1.0);
+            let fast = a.matmul_transposed(&b).unwrap();
+            let reference = a.matmul(&b.transpose().unwrap()).unwrap();
+            assert_eq!(fast.shape(), &[m, p]);
+            assert!(
+                fast.approx_eq(&reference, 1e-4),
+                "m={m} k={k} p={p}: diff {}",
+                fast.max_abs_diff(&reference).unwrap()
+            );
+            let serial = bliss_parallel::with_thread_count(1, || a.matmul_transposed(&b).unwrap());
+            let par = bliss_parallel::with_thread_count(8, || a.matmul_transposed(&b).unwrap());
+            assert_eq!(serial.data(), par.data());
+        }
+        assert!(NdArray::zeros(&[2, 3])
+            .matmul_transposed(&NdArray::zeros(&[2, 4]))
+            .is_err());
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // Sizes straddling the micro-kernel (4-row) and row-block (32-row)
+        // boundaries, plus non-square and tiny shapes.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (33, 64, 17), (70, 40, 96)] {
+            let a = NdArray::randn(&mut rng, &[m, k], 1.0);
+            let b = NdArray::randn(&mut rng, &[k, n], 1.0);
+            let serial = bliss_parallel::with_thread_count(1, || a.matmul(&b).unwrap());
+            for threads in [2, 8] {
+                let par = bliss_parallel::with_thread_count(threads, || a.matmul(&b).unwrap());
+                assert_eq!(serial.data(), par.data(), "m={m} k={k} n={n} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(m, k, n) in &[(7, 9, 11), (34, 33, 35), (64, 128, 32)] {
+            let a = NdArray::randn(&mut rng, &[m, k], 1.0);
+            let b = NdArray::randn(&mut rng, &[k, n], 1.0);
+            let fast = a.matmul(&b).unwrap();
+            // Naive j-loop reference.
+            let mut reference = NdArray::zeros(&[m, n]);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a.at(i, kk) * b.at(kk, j);
+                    }
+                    reference.set_at(i, j, acc);
+                }
+            }
+            assert!(
+                fast.approx_eq(&reference, 1e-3),
+                "m={m} k={k} n={n}: max diff {}",
+                fast.max_abs_diff(&reference).unwrap()
+            );
+        }
     }
 
     #[test]

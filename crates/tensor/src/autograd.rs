@@ -81,6 +81,42 @@ impl Tensor {
         }
     }
 
+    /// Creates a graph node from an externally computed value and a custom
+    /// backward closure — the extension point for fused operators defined
+    /// outside this crate (e.g. `bliss_nn`'s parallel multi-head attention).
+    ///
+    /// `backward` receives the node's output gradient and its parents in the
+    /// order given here; it must push gradients into the parents with
+    /// [`Tensor::add_grad`] (which silently ignores constants). The closure is
+    /// only retained when at least one parent requires gradients.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bliss_tensor::{NdArray, Tensor};
+    ///
+    /// // A custom "times four" op: forward computes 4x, backward scales the
+    /// // incoming gradient by 4.
+    /// let x = Tensor::parameter(NdArray::from_vec(vec![1.5], &[1]).unwrap());
+    /// let y = Tensor::from_custom_op(
+    ///     x.value().scale(4.0),
+    ///     vec![x.clone()],
+    ///     |grad, parents| {
+    ///         parents[0].add_grad(&grad.scale(4.0)).expect("shape matches");
+    ///     },
+    /// );
+    /// y.backward().unwrap();
+    /// assert_eq!(y.value().data(), &[6.0]);
+    /// assert_eq!(x.grad().unwrap().data(), &[4.0]);
+    /// ```
+    pub fn from_custom_op(
+        value: NdArray,
+        parents: Vec<Tensor>,
+        backward: impl Fn(&NdArray, &[Tensor]) + 'static,
+    ) -> Self {
+        Self::from_op(value, parents, Box::new(backward))
+    }
+
     fn from_op(value: NdArray, parents: Vec<Tensor>, backward_fn: BackwardFn) -> Self {
         let requires_grad = parents.iter().any(|p| p.requires_grad());
         Tensor {
@@ -497,8 +533,8 @@ impl Tensor {
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
                 if parents[0].requires_grad() {
-                    let bt = b.transpose().expect("matmul grad transpose");
-                    parents[0].accumulate_grad(&g.matmul(&bt).expect("matmul grad a"));
+                    // dA = g B^T, without materialising the transpose.
+                    parents[0].accumulate_grad(&g.matmul_transposed(&b).expect("matmul grad a"));
                 }
                 if parents[1].requires_grad() {
                     let at = a.transpose().expect("matmul grad transpose");

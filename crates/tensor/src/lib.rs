@@ -33,6 +33,7 @@ mod array;
 mod autograd;
 mod error;
 mod gradcheck;
+mod scratch;
 
 pub use array::NdArray;
 pub use autograd::Tensor;

@@ -1,0 +1,144 @@
+//! Thread-local buffer recycling for the autograd hot path.
+//!
+//! A training step rebuilds the whole define-by-run graph, so every forward
+//! and backward pass allocates (and frees) the same set of intermediate
+//! buffers over and over. This module keeps a small per-thread free list of
+//! `Vec<f32>` backing stores: [`crate::NdArray`] returns its buffer here on
+//! drop, and the array constructors draw from the list before touching the
+//! global allocator. In steady state a forward/backward pass therefore
+//! allocates almost nothing.
+//!
+//! The pool is bounded (count and total bytes) and thread-local, so it adds
+//! no synchronisation and cannot grow without limit.
+
+use std::cell::RefCell;
+
+/// Buffers smaller than this stay on the global allocator: the bookkeeping
+/// would cost more than the allocation.
+const MIN_POOL_LEN: usize = 64;
+/// Maximum number of buffers retained per thread.
+const MAX_POOL_BUFS: usize = 48;
+/// Maximum total capacity retained per thread (in elements, ~48 MiB of f32).
+const MAX_POOL_ELEMS: usize = 12 << 20;
+
+#[derive(Default)]
+struct Pool {
+    bufs: Vec<Vec<f32>>,
+    elems: usize,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Pops a recycled buffer with capacity at least `len` (cleared, length 0),
+/// or creates a fresh one. Picks the smallest adequate buffer so large
+/// buffers stay available for large requests.
+fn take_empty(len: usize) -> Vec<f32> {
+    if len < MIN_POOL_LEN {
+        return Vec::with_capacity(len);
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let mut best: Option<usize> = None;
+        for (i, buf) in pool.bufs.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|b| buf.capacity() < pool.bufs[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let buf = pool.bufs.swap_remove(i);
+                pool.elems -= buf.capacity();
+                buf
+            }
+            None => Vec::with_capacity(len),
+        }
+    })
+}
+
+/// A zero-filled buffer of exactly `len` elements, recycled when possible.
+pub(crate) fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut buf = take_empty(len);
+    buf.resize(len, 0.0);
+    buf
+}
+
+/// A buffer of exactly `len` elements filled from `it`, recycled when
+/// possible. `it` must yield exactly `len` items.
+pub(crate) fn take_from_iter(len: usize, it: impl Iterator<Item = f32>) -> Vec<f32> {
+    let mut buf = take_empty(len);
+    buf.extend(it);
+    debug_assert_eq!(buf.len(), len, "iterator length must match request");
+    buf
+}
+
+/// Returns a no-longer-needed backing store to the thread's pool (or lets it
+/// drop if the pool is full or the buffer too small to be worth keeping).
+pub(crate) fn recycle(mut buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap < MIN_POOL_LEN {
+        return;
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.bufs.len() >= MAX_POOL_BUFS || pool.elems + cap > MAX_POOL_ELEMS {
+            return;
+        }
+        buf.clear();
+        pool.elems += cap;
+        pool.bufs.push(buf);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_large_buffers() {
+        let buf = take_zeroed(1024);
+        let ptr = buf.as_ptr();
+        recycle(buf);
+        let again = take_zeroed(512); // smaller request reuses the store
+        assert_eq!(again.len(), 512);
+        assert_eq!(again.as_ptr(), ptr, "expected the pooled allocation back");
+        assert!(again.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zeroes_are_fresh_after_reuse() {
+        let mut buf = take_zeroed(256);
+        buf.iter_mut().for_each(|x| *x = 7.0);
+        recycle(buf);
+        assert!(take_zeroed(256).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn take_from_iter_matches_collect() {
+        let buf = take_from_iter(100, (0..100).map(|x| x as f32));
+        assert_eq!(buf.len(), 100);
+        assert_eq!(buf[99], 99.0);
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_the_pool() {
+        let buf = take_zeroed(4);
+        assert_eq!(buf.len(), 4);
+        recycle(vec![0.0; 4]); // silently ignored
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        for _ in 0..(MAX_POOL_BUFS * 2) {
+            recycle(vec![0.0; MIN_POOL_LEN]);
+        }
+        POOL.with(|pool| {
+            let pool = pool.borrow();
+            assert!(pool.bufs.len() <= MAX_POOL_BUFS);
+            assert!(pool.elems <= MAX_POOL_ELEMS);
+        });
+    }
+}

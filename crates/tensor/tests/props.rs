@@ -12,6 +12,37 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
+    fn blocked_parallel_matmul_matches_naive_reference(
+        m in 1usize..40, k in 1usize..70, n in 1usize..40, seed in 0u64..1000
+    ) {
+        // Random shapes straddle every kernel boundary (4-row micro-kernel,
+        // 16-wide column tiles, 32-row parallel blocks); the blocked-parallel
+        // product must agree with a naive triple loop and be bit-identical
+        // across thread counts.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = NdArray::randn(&mut rng, &[m, k], 1.0);
+        let b = NdArray::randn(&mut rng, &[k, n], 1.0);
+        let fast = a.matmul(&b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.at(i, kk) * b.at(kk, j);
+                }
+                prop_assert!(
+                    (fast.at(i, j) - acc).abs() <= 1e-3 * (1.0 + acc.abs()),
+                    "({i},{j}): blocked {} vs naive {acc}", fast.at(i, j)
+                );
+            }
+        }
+        let serial = bliss_parallel::with_thread_count(1, || a.matmul(&b).unwrap());
+        let par = bliss_parallel::with_thread_count(8, || a.matmul(&b).unwrap());
+        prop_assert_eq!(serial.data(), par.data());
+        prop_assert_eq!(serial.data(), fast.data());
+    }
+
+    #[test]
     fn matmul_distributes_over_addition(
         a in small_vec(6), b in small_vec(8), c in small_vec(8)
     ) {

@@ -237,70 +237,85 @@ impl SparseViT {
         let (gw, gh) = self.config.grid_dims();
         let p2 = p * p;
 
-        // Collect occupied patches and their contents.
-        let mut kept: Vec<usize> = Vec::new();
-        let mut token_data: Vec<f32> = Vec::new();
-        let mut pixel_indices: Vec<usize> = Vec::new();
-        let mut pixel_token: Vec<usize> = Vec::new();
-        let mut pixel_feat: Vec<f32> = Vec::new();
-        for gy in 0..gh {
-            for gx in 0..gw {
-                let patch_idx = gy * gw + gx;
-                let mut values = vec![0.0f32; p2];
-                let mut mask = vec![0.0f32; p2];
-                let mut occupied = false;
-                for dy in 0..p {
-                    let y = gy * p + dy;
-                    if y >= h {
+        // Pass 1: parallel occupancy scan — one read-only task per patch.
+        let occupied = bliss_parallel::par_map_collect(gw * gh, |patch_idx| {
+            let (gy, gx) = (patch_idx / gw, patch_idx % gw);
+            for dy in 0..p {
+                let y = gy * p + dy;
+                if y >= h {
+                    break;
+                }
+                let row = &sampled[y * w..y * w + w];
+                for dx in 0..p {
+                    let x = gx * p + dx;
+                    if x >= w {
                         break;
                     }
-                    for dx in 0..p {
-                        let x = gx * p + dx;
-                        if x >= w {
-                            break;
-                        }
-                        let fi = y * w + x;
-                        values[dy * p + dx] = image[fi];
-                        mask[dy * p + dx] = sampled[fi];
-                        if sampled[fi] > 0.0 {
-                            occupied = true;
-                        }
-                    }
-                }
-                if !occupied {
-                    continue;
-                }
-                let token = kept.len();
-                kept.push(patch_idx);
-                token_data.extend_from_slice(&values);
-                token_data.extend_from_slice(&mask);
-                // Register this patch's sampled pixels as classification
-                // queries.
-                for dy in 0..p {
-                    let y = gy * p + dy;
-                    if y >= h {
-                        break;
-                    }
-                    for dx in 0..p {
-                        let x = gx * p + dx;
-                        if x >= w {
-                            break;
-                        }
-                        let fi = y * w + x;
-                        if sampled[fi] > 0.0 {
-                            pixel_indices.push(fi);
-                            pixel_token.push(token);
-                            pixel_feat.push(image[fi]);
-                            pixel_feat.push(1.0);
-                        }
+                    if row[x] > 0.0 {
+                        return true;
                     }
                 }
             }
-        }
+            false
+        });
+        let kept: Vec<usize> = (0..gw * gh).filter(|&i| occupied[i]).collect();
         if kept.is_empty() {
             return Ok(None);
         }
         let t = kept.len();
+
+        // Pass 2: parallel token gather — each kept patch fills its own
+        // `(values, sample-mask)` slice of the batched embedding input.
+        let mut token_data = vec![0.0f32; t * 2 * p2];
+        bliss_parallel::par_chunks(&mut token_data, 2 * p2, |token, chunk| {
+            let patch_idx = kept[token];
+            let (gy, gx) = (patch_idx / gw, patch_idx % gw);
+            let (values, mask) = chunk.split_at_mut(p2);
+            for dy in 0..p {
+                let y = gy * p + dy;
+                if y >= h {
+                    break;
+                }
+                for dx in 0..p {
+                    let x = gx * p + dx;
+                    if x >= w {
+                        break;
+                    }
+                    let fi = y * w + x;
+                    values[dy * p + dx] = image[fi];
+                    mask[dy * p + dx] = sampled[fi];
+                }
+            }
+        });
+
+        // Pass 3: register sampled pixels as classification queries (serial:
+        // the outputs are variable-length appends, and only kept patches are
+        // visited).
+        let mut pixel_indices: Vec<usize> = Vec::new();
+        let mut pixel_token: Vec<usize> = Vec::new();
+        let mut pixel_feat: Vec<f32> = Vec::new();
+        for (token, &patch_idx) in kept.iter().enumerate() {
+            let (gy, gx) = (patch_idx / gw, patch_idx % gw);
+            for dy in 0..p {
+                let y = gy * p + dy;
+                if y >= h {
+                    break;
+                }
+                for dx in 0..p {
+                    let x = gx * p + dx;
+                    if x >= w {
+                        break;
+                    }
+                    let fi = y * w + x;
+                    if sampled[fi] > 0.0 {
+                        pixel_indices.push(fi);
+                        pixel_token.push(token);
+                        pixel_feat.push(image[fi]);
+                        pixel_feat.push(1.0);
+                    }
+                }
+            }
+        }
 
         let tokens_in = Tensor::constant(NdArray::from_vec(token_data, &[t, 2 * p2])?);
         let mut x = self

@@ -48,12 +48,41 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut StdRng) -> Self::Value {
         let len = self.size.sample(rng);
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let min_len = self.size.lo;
+        // Structural shrinks first: halve toward the minimum length, then
+        // drop a single element.
+        if value.len() > min_len {
+            let half = min_len + (value.len() - min_len) / 2;
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            if value.len() - 1 > half {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+        }
+        // Element-wise shrinks: one candidate per position, using the
+        // element strategy's most aggressive proposal.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(smaller) = self.element.shrink(v).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = smaller;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 
@@ -70,6 +99,21 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn vec_shrink_halves_length_and_shrinks_elements() {
+        let s = vec(0u8..100, 2..9);
+        let v = vec![50u8, 60, 70, 80, 90, 95];
+        let cands = s.shrink(&v);
+        // Halving toward the minimum length of 2.
+        assert!(cands.contains(&vec![50, 60, 70, 80]));
+        // Dropping one element.
+        assert!(cands.contains(&vec![50, 60, 70, 80, 90]));
+        // Element-wise shrink of position 0 toward the element minimum.
+        assert!(cands.contains(&vec![0, 60, 70, 80, 90, 95]));
+        // At minimum length with minimal elements, nothing shrinks.
+        assert!(s.shrink(&vec![0u8, 0]).is_empty());
+    }
 
     #[test]
     fn fixed_and_ranged_lengths() {

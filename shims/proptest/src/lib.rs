@@ -5,8 +5,12 @@
 //! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`], range and tuple
 //! [`Strategy`](strategy::Strategy)s with [`prop_map`](strategy::Strategy::prop_map), and
 //! [`collection::vec`]. Cases are sampled uniformly from a deterministic
-//! per-test RNG; failing inputs are **not shrunk** — the failure message
-//! reports the assertion, not a minimised counterexample.
+//! per-test RNG. Failing inputs are **shrunk** by greedy halving/bisection
+//! (numeric ranges bisect toward their lower bound, vectors shorten and
+//! shrink element-wise, tuples shrink component-wise; `prop_map` outputs do
+//! not shrink) — the panic message reports both the originally sampled
+//! inputs and the minimised counterexample. Generated values must be
+//! `Clone + Debug` so cases can be re-executed during shrinking.
 
 pub mod collection;
 pub mod strategy;
@@ -62,25 +66,25 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __config = $config;
+            // All argument strategies as one tuple strategy, so sampling and
+            // shrinking treat the argument list as a single value.
+            let __strategies = ($(($strategy),)+);
             let mut __rng = $crate::test_runner::deterministic_rng(stringify!($name));
+            // Runs the test body on (a clone of) one sampled tuple. Like real
+            // proptest this requires generated values to be Clone + Debug.
+            let __run = $crate::test_runner::bind_runner(&__strategies, |__vals| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
+                (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })()
+            });
             let mut __cases: u32 = 0;
             let mut __rejects: u32 = 0;
             while __cases < __config.cases {
-                $(
-                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
-                )+
-                // Captured eagerly so a failing case can always be reported;
-                // like real proptest this requires generated values to be Debug.
-                let __inputs: ::std::string::String = [
-                    $(::std::format!("\n    {} = {:?}", stringify!($arg), &$arg)),+
-                ].concat();
-                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (move || {
-                        $body
-                        #[allow(unreachable_code)]
-                        ::std::result::Result::Ok(())
-                    })();
-                match __outcome {
+                let __vals = $crate::strategy::Strategy::sample(&__strategies, &mut __rng);
+                match __run(&__vals) {
                     ::std::result::Result::Ok(()) => __cases += 1,
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
                         __rejects += 1;
@@ -91,10 +95,30 @@ macro_rules! __proptest_fns {
                             stringify!($name), __rejects, __cases,
                         );
                     }
-                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        let __inputs: ::std::string::String = {
+                            let ($(ref $arg,)+) = __vals;
+                            [$(::std::format!("\n    {} = {:?}", stringify!($arg), $arg)),+]
+                                .concat()
+                        };
+                        let __orig_msg = ::std::clone::Clone::clone(&__msg);
+                        let (__min, __min_msg, __steps) = $crate::test_runner::shrink_failure(
+                            &__strategies,
+                            __vals,
+                            __msg,
+                            &__run,
+                            __config.max_shrink_iters,
+                        );
+                        let __min_inputs: ::std::string::String = {
+                            let ($(ref $arg,)+) = __min;
+                            [$(::std::format!("\n    {} = {:?}", stringify!($arg), $arg)),+]
+                                .concat()
+                        };
                         panic!(
-                            "proptest '{}' failed at case {}: {}\n  with inputs:{}",
-                            stringify!($name), __cases, msg, __inputs,
+                            "proptest '{}' failed at case {}: {}\n  with inputs:{}\n  \
+                             minimised after {} shrink steps to: {}\n  with minimal inputs:{}",
+                            stringify!($name), __cases, __orig_msg, __inputs,
+                            __steps, __min_msg, __min_inputs,
                         );
                     }
                 }

@@ -6,14 +6,28 @@ use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating random values of `Self::Value`.
 ///
-/// Unlike the real proptest there is no value tree and no shrinking:
-/// [`sample`](Strategy::sample) draws one uniform value per case.
+/// Unlike the real proptest there is no value tree:
+/// [`sample`](Strategy::sample) draws one uniform value per case, and
+/// [`shrink`](Strategy::shrink) proposes halving/bisection-style smaller
+/// variants of a failing value (numeric ranges bisect toward their lower
+/// bound, vectors toward their minimum length, tuples component-wise).
+/// Strategies built with [`prop_map`](Strategy::prop_map) do not shrink —
+/// the mapping is not invertible.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidate values for a failing `value`,
+    /// most aggressive first. An empty vector means the value is minimal (or
+    /// the strategy cannot shrink). The test runner keeps a candidate only if
+    /// it still fails, then restarts from it.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transforms generated values with `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -51,12 +65,37 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! impl_range_strategy {
+/// Halving candidates for an integer above its lower bound `$lo`: the bound
+/// itself, the bisection midpoint, and the predecessor. Every candidate is
+/// strictly below the failing value, so shrinking always terminates.
+macro_rules! int_shrink_body {
+    ($lo:expr, $value:expr) => {{
+        let (lo, v) = ($lo, $value);
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid > lo && mid < v {
+                out.push(mid);
+            }
+            let pred = v - 1;
+            if pred > lo && out.last() != Some(&pred) {
+                out.push(pred);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_body!(self.start, *value)
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -64,17 +103,82 @@ macro_rules! impl_range_strategy {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_body!(*self.start(), *value)
+            }
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink_candidates(self.start as f64, *value as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink_candidates(*self.start() as f64, *value as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+/// Bisection candidates for a float above its lower bound: the bound and the
+/// midpoint. Progress is monotone (candidates are strictly closer to `lo`);
+/// the runner's shrink budget bounds the asymptotic tail.
+fn float_shrink_candidates(lo: f64, value: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if value <= lo || value.is_nan() {
+        return out;
+    }
+    out.push(lo);
+    let mid = lo + (value - lo) / 2.0;
+    if mid > lo && mid < value {
+        out.push(mid);
+    }
+    out
+}
 
 macro_rules! impl_tuple_strategy {
     ($($s:ident/$idx:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: each candidate shrinks one position and
+                // clones the rest.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
@@ -151,6 +255,45 @@ impl_tuple_strategy!(
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn int_shrink_bisects_toward_lower_bound() {
+        let s = 3u32..100;
+        assert_eq!(s.shrink(&3), Vec::<u32>::new());
+        let cands = s.shrink(&99);
+        assert_eq!(cands, vec![3, 51, 98]);
+        assert!(cands.iter().all(|&c| (3..99).contains(&c)));
+        // Inclusive ranges shrink toward their start too.
+        assert_eq!((5u8..=9).shrink(&6), vec![5]);
+        // Signed lower bounds work.
+        assert_eq!((-4i32..4).shrink(&-4), Vec::<i32>::new());
+        assert!((-4i32..4).shrink(&3).contains(&-4));
+    }
+
+    #[test]
+    fn float_shrink_moves_toward_lower_bound() {
+        let s = 1.0f32..8.0;
+        let cands = s.shrink(&5.0);
+        assert_eq!(cands, vec![1.0, 3.0]);
+        assert!(s.shrink(&1.0).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let s = (0u8..10, 0u8..10);
+        let cands = s.shrink(&(4, 6));
+        assert!(cands.contains(&(0, 6)));
+        assert!(cands.contains(&(4, 0)));
+        assert!(cands.iter().all(|&(a, b)| (a, b) != (4, 6)));
+        assert!(s.shrink(&(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn map_and_just_do_not_shrink() {
+        let m = (0u8..10).prop_map(|x| x * 2);
+        assert!(m.shrink(&8).is_empty());
+        assert!(Just(3u8).shrink(&3).is_empty());
+    }
 
     #[test]
     fn ranges_tuples_and_map_sample_in_bounds() {

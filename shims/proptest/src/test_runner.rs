@@ -5,23 +5,32 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Runner configuration; only `cases` is supported.
+/// Runner configuration; `cases` and `max_shrink_iters` are supported.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of accepted (non-rejected) cases each test must pass.
     pub cases: u32,
+    /// Upper bound on candidate re-executions while minimising a failing
+    /// input (shrinking stops early once no candidate still fails).
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
     /// A configuration running `cases` cases per test.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
     }
 }
 
@@ -32,6 +41,61 @@ pub enum TestCaseError {
     Reject,
     /// `prop_assert!`-style failure with its message.
     Fail(String),
+}
+
+/// Greedily minimises a failing input by halving/bisection.
+///
+/// Repeatedly asks the strategy for shrink candidates of the current failing
+/// value, keeps the first candidate that still fails `run`, and restarts from
+/// it; stops when no candidate fails (a local minimum) or after `budget`
+/// candidate executions. Returns the minimised value, its failure message and
+/// the number of successful shrink steps. Used by the [`proptest!`] macro;
+/// callers rarely invoke it directly.
+///
+/// [`proptest!`]: crate::proptest
+pub fn shrink_failure<S: crate::strategy::Strategy>(
+    strategy: &S,
+    mut current: S::Value,
+    mut message: String,
+    run: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+    budget: u32,
+) -> (S::Value, String, u32) {
+    let mut remaining = budget;
+    let mut steps = 0u32;
+    let mut progress = true;
+    while progress && remaining > 0 {
+        progress = false;
+        for candidate in strategy.shrink(&current) {
+            if remaining == 0 {
+                break;
+            }
+            remaining -= 1;
+            // `prop_assume!` rejections count as passes: a candidate outside
+            // the assumption is not a failing input.
+            if let Err(TestCaseError::Fail(msg)) = run(&candidate) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                progress = true;
+                break;
+            }
+        }
+    }
+    (current, message, steps)
+}
+
+/// Pins a runner closure's argument type to `&S::Value` at its definition
+/// site, so the [`proptest!`] macro's generated closure type-checks without
+/// explicit annotations. Implementation detail of the macro.
+///
+/// [`proptest!`]: crate::proptest
+#[doc(hidden)]
+pub fn bind_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: crate::strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    run
 }
 
 /// Builds the deterministic per-test RNG (seeded from the test name via FNV-1a

@@ -1,0 +1,83 @@
+//! End-to-end tests of failure shrinking: a failing property must panic with
+//! a *minimised* counterexample, not just the first sampled one.
+
+use proptest::prelude::*;
+use std::panic::catch_unwind;
+
+// Generated without `#[test]` so the harness below can invoke them and
+// inspect their panics.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn fails_above_threshold(v in 0u32..10_000) {
+        prop_assert!(v < 137, "v = {v} is too large");
+    }
+
+    fn fails_on_long_vecs(v in prop::collection::vec(0u8..50, 0..40)) {
+        prop_assert!(v.len() < 5, "vec of len {}", v.len());
+    }
+
+    fn fails_jointly(a in 0i32..1000, b in 0i32..1000) {
+        prop_assert!(a + b < 900, "a + b = {}", a + b);
+    }
+
+    fn passes_everywhere(v in 0u32..100) {
+        prop_assert!(v < 100);
+    }
+}
+
+fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let err = catch_unwind(f).expect_err("property must fail");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a string")
+}
+
+#[test]
+fn scalar_failure_shrinks_to_the_threshold() {
+    let msg = panic_message(fails_above_threshold);
+    // Greedy bisection over 0..10_000 must land exactly on the smallest
+    // failing value, 137.
+    assert!(
+        msg.contains("minimised after") && msg.contains("v = 137"),
+        "message not minimised: {msg}"
+    );
+}
+
+#[test]
+fn vec_failure_shrinks_to_minimal_length() {
+    let msg = panic_message(fails_on_long_vecs);
+    assert!(
+        msg.contains("vec of len 5"),
+        "vector failure not minimised to the boundary length: {msg}"
+    );
+    // Element-wise shrinking drives the surviving elements to their minimum.
+    assert!(
+        msg.contains("[0, 0, 0, 0, 0]"),
+        "vector elements not minimised: {msg}"
+    );
+}
+
+#[test]
+fn joint_failure_shrinks_component_wise() {
+    let msg = panic_message(fails_jointly);
+    // The minimised pair must still fail (sum >= 900) but sit on the
+    // boundary: component-wise bisection cannot cross a + b == 900 without
+    // the property passing.
+    let tail = msg
+        .split("with minimal inputs:")
+        .nth(1)
+        .expect("minimal inputs section");
+    let mut nums = tail
+        .lines()
+        .filter_map(|l| l.split(" = ").nth(1))
+        .map(|n| n.trim().parse::<i32>().expect("integer input"));
+    let (a, b) = (nums.next().unwrap(), nums.next().unwrap());
+    assert_eq!(a + b, 900, "not shrunk to the failure boundary: {msg}");
+}
+
+#[test]
+fn passing_properties_do_not_panic() {
+    passes_everywhere();
+}

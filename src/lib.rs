@@ -11,6 +11,7 @@
 //!
 //! This crate re-exports the whole workspace:
 //!
+//! * [`parallel`] — deterministic data-parallel primitives (scoped thread pool)
 //! * [`tensor`] — n-d tensors with reverse-mode autograd
 //! * [`nn`] — neural-network layers, losses and optimizers
 //! * [`eye`] — synthetic near-eye renderer and gaze trajectories
@@ -43,6 +44,7 @@ pub use bliss_energy as energy;
 pub use bliss_eye as eye;
 pub use bliss_nn as nn;
 pub use bliss_npu as npu;
+pub use bliss_parallel as parallel;
 pub use bliss_sensor as sensor;
 pub use bliss_tensor as tensor;
 pub use bliss_timing as timing;

@@ -1,7 +1,15 @@
 //! End-to-end integration tests across the whole workspace: renderer →
 //! sensor → networks → gaze, for every system variant.
+//!
+//! Building an [`EyeTrackingSystem`] trains its networks, which dominates
+//! this suite's wall clock — so all read-only assertions share one
+//! `OnceLock` fixture of per-variant reports (seed 7, 8 frames) instead of
+//! re-training per test. Only the determinism test builds fresh systems,
+//! with a trimmed training budget.
 
-use blisscam::core::{EyeTrackingSystem, SystemConfig, SystemVariant};
+use blisscam::core::{EyeTrackingSystem, SystemConfig, SystemReport, SystemVariant};
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 fn fast_config(seed: u64) -> SystemConfig {
     let mut cfg = SystemConfig::miniature();
@@ -13,17 +21,30 @@ fn fast_config(seed: u64) -> SystemConfig {
     cfg
 }
 
+/// One trained-and-run report per variant, shared by every read-only test.
+fn shared_reports() -> &'static HashMap<&'static str, SystemReport> {
+    static REPORTS: OnceLock<HashMap<&'static str, SystemReport>> = OnceLock::new();
+    REPORTS.get_or_init(|| {
+        SystemVariant::ALL
+            .into_iter()
+            .map(|variant| {
+                let mut system =
+                    EyeTrackingSystem::new(variant, fast_config(7)).expect("system builds");
+                let report = system.run_frames(8).expect("frames run");
+                (variant.label(), report)
+            })
+            .collect()
+    })
+}
+
 #[test]
 fn every_variant_runs_end_to_end() {
-    for variant in SystemVariant::ALL {
-        let mut system = EyeTrackingSystem::new(variant, fast_config(3)).expect("system builds");
-        let report = system.run_frames(6).expect("frames run");
-        assert_eq!(report.frames.len(), 6, "{}", variant.label());
+    for (label, report) in shared_reports() {
+        assert_eq!(report.frames.len(), 8, "{label}");
         let err = report.mean_angular_error();
         assert!(
             err.horizontal.is_finite() && err.vertical.is_finite(),
-            "{} produced NaN errors",
-            variant.label()
+            "{label} produced NaN errors"
         );
         assert!(report.mean_energy_uj() > 0.0);
         assert!(report.latency.mean_latency_s > 0.0);
@@ -34,12 +55,10 @@ fn every_variant_runs_end_to_end() {
 fn energy_ordering_holds_in_executable_runs() {
     // The executable (measured-counts) energy must preserve the paper's
     // ordering: BlissCam < S+NPU and BlissCam < NPU-ROI < NPU-Full.
-    let mut totals = std::collections::HashMap::new();
-    for variant in SystemVariant::ALL {
-        let mut system = EyeTrackingSystem::new(variant, fast_config(7)).expect("builds");
-        let report = system.run_frames(8).expect("runs");
-        totals.insert(variant.label(), report.mean_energy_uj());
-    }
+    let totals: HashMap<&str, f64> = shared_reports()
+        .iter()
+        .map(|(&label, report)| (label, report.mean_energy_uj()))
+        .collect();
     assert!(totals["BlissCam"] < totals["S+NPU"], "{totals:?}");
     assert!(totals["BlissCam"] < totals["NPU-ROI"], "{totals:?}");
     assert!(totals["NPU-ROI"] < totals["NPU-Full"], "{totals:?}");
@@ -47,23 +66,25 @@ fn energy_ordering_holds_in_executable_runs() {
 
 #[test]
 fn sparse_variants_compress_dense_variants_do_not() {
-    let mut bliss = EyeTrackingSystem::new(SystemVariant::BlissCam, fast_config(9)).unwrap();
-    let rb = bliss.run_frames(6).unwrap();
+    let reports = shared_reports();
+    let rb = &reports["BlissCam"];
     assert!(
         rb.mean_compression() > 4.0,
         "compression {}",
         rb.mean_compression()
     );
-
-    let mut full = EyeTrackingSystem::new(SystemVariant::NpuFull, fast_config(9)).unwrap();
-    let rf = full.run_frames(6).unwrap();
+    let rf = &reports["NPU-Full"];
     assert!((rf.mean_compression() - 1.0).abs() < 0.01);
 }
 
 #[test]
 fn runs_are_deterministic_for_a_seed() {
+    // Determinism does not depend on training quality, so these fresh
+    // builds use a reduced training budget.
     let run = |seed: u64| {
-        let mut sys = EyeTrackingSystem::new(SystemVariant::BlissCam, fast_config(seed)).unwrap();
+        let mut cfg = fast_config(seed);
+        cfg.train_frames = 12;
+        let mut sys = EyeTrackingSystem::new(SystemVariant::BlissCam, cfg).unwrap();
         sys.run_frames(5).unwrap()
     };
     let a = run(11);
@@ -85,10 +106,8 @@ fn runs_are_deterministic_for_a_seed() {
 fn blisscam_tokens_track_roi_occupancy() {
     // The number of ViT tokens must stay well below the total patch count —
     // that is where the compute savings come from.
-    let cfg = fast_config(13);
-    let total_patches = cfg.vit.num_patches();
-    let mut sys = EyeTrackingSystem::new(SystemVariant::BlissCam, cfg).unwrap();
-    let report = sys.run_frames(8).unwrap();
+    let total_patches = fast_config(7).vit.num_patches();
+    let report = &shared_reports()["BlissCam"];
     // The cold-start bootstrap reads the full frame, so early frames may
     // occupy every patch; steady state must not.
     let steady: Vec<_> = report.frames.iter().skip(3).collect();

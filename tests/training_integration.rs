@@ -1,10 +1,16 @@
 //! Integration tests of the joint training procedure (paper §III-C): the
 //! trained pipeline must beat its untrained self on both subtasks.
+//!
+//! Rendering and (especially) training dominate this suite's wall clock, so
+//! the rendered sequences and the fully-trained `JointTrainer` live in
+//! `OnceLock` fixtures shared across tests; tests that need shorter
+//! sequences slice the shared render instead of re-rendering.
 
-use blisscam::eye::{render_sequence, SequenceConfig};
+use blisscam::eye::{render_sequence, EyeSequence, SequenceConfig};
 use blisscam::nn::Module;
 use blisscam::sensor::RoiBox;
-use blisscam::track::{util, JointTrainer, TrainConfig};
+use blisscam::track::{util, EvalResult, JointTrainer, TrainConfig};
+use std::sync::OnceLock;
 
 fn config() -> TrainConfig {
     let mut cfg = TrainConfig::miniature(160, 100);
@@ -12,17 +18,82 @@ fn config() -> TrainConfig {
     cfg
 }
 
+/// The shared training sequence (110 frames, seed 31).
+fn train_sequence() -> &'static EyeSequence {
+    static SEQ: OnceLock<EyeSequence> = OnceLock::new();
+    SEQ.get_or_init(|| render_sequence(&SequenceConfig::miniature(110, 31)))
+}
+
+/// The shared held-out evaluation sequence (40 frames, seed 77).
+fn eval_sequence() -> &'static EyeSequence {
+    static SEQ: OnceLock<EyeSequence> = OnceLock::new();
+    SEQ.get_or_init(|| render_sequence(&SequenceConfig::miniature(40, 77)))
+}
+
+/// A prefix of the shared training sequence, for tests that only need a
+/// short clip (cheaper than a fresh render, identical ground-truth quality).
+fn train_prefix(frames: usize) -> EyeSequence {
+    let full = train_sequence();
+    EyeSequence {
+        width: full.width,
+        height: full.height,
+        fps: full.fps,
+        frames: full.frames[..frames].to_vec(),
+        model: full.model.clone(),
+    }
+}
+
+/// Everything the tests read from one full training run. `JointTrainer`
+/// holds `Rc`-based autograd tensors and is deliberately not `Send`, so the
+/// fixture runs the trained-pipeline probes up front and shares only their
+/// plain-data outcomes.
+struct TrainedOutcome {
+    /// Per-step losses of the shared training run.
+    losses: Vec<f32>,
+    /// Held-out evaluation of an untrained pipeline (same config and seed).
+    before: EvalResult,
+    /// Held-out evaluation after training.
+    after: EvalResult,
+    /// ROI-net prediction on a held-out frame pair, and its ground truth.
+    predicted_roi: RoiBox,
+    truth_roi: RoiBox,
+}
+
+fn trained_fixture() -> &'static TrainedOutcome {
+    static TRAINED: OnceLock<TrainedOutcome> = OnceLock::new();
+    TRAINED.get_or_init(|| {
+        let eval = eval_sequence();
+        let mut untrained = JointTrainer::new(config()).unwrap();
+        let before = untrained.evaluate(eval).unwrap();
+
+        let mut trainer = JointTrainer::new(config()).unwrap();
+        let losses = trainer.train_on(train_sequence()).unwrap();
+        let after = trainer.evaluate(eval).unwrap();
+
+        // Probe the ROI net directly on a held-out frame pair.
+        let events = util::frame_difference_events(
+            &eval.frames[5].clean,
+            &eval.frames[4].clean,
+            15.0 / 255.0,
+        );
+        let input = trainer.roi_net().make_input(&events, &eval.frames[4].mask);
+        let out = trainer.roi_net().forward(&input).unwrap();
+        let predicted_roi = trainer.roi_net().predict_box(&out);
+        let truth = eval.frames[5].roi;
+        TrainedOutcome {
+            losses,
+            before,
+            after,
+            predicted_roi,
+            truth_roi: RoiBox::new(truth.x1, truth.y1, truth.x2, truth.y2),
+        }
+    })
+}
+
 #[test]
 fn training_improves_gaze_accuracy() {
-    let train = render_sequence(&SequenceConfig::miniature(110, 31));
-    let eval = render_sequence(&SequenceConfig::miniature(40, 77));
-
-    let mut untrained = JointTrainer::new(config()).unwrap();
-    let before = untrained.evaluate(&eval).unwrap();
-
-    let mut trained = JointTrainer::new(config()).unwrap();
-    trained.train_on(&train).unwrap();
-    let after = trained.evaluate(&eval).unwrap();
+    let outcome = trained_fixture();
+    let (before, after) = (&outcome.before, &outcome.after);
 
     let before_err = before.horizontal.mean + before.vertical.mean;
     let after_err = after.horizontal.mean + after.vertical.mean;
@@ -40,19 +111,8 @@ fn training_improves_gaze_accuracy() {
 
 #[test]
 fn trained_roi_predictor_localises_the_eye() {
-    let train = render_sequence(&SequenceConfig::miniature(80, 41));
-    let mut trainer = JointTrainer::new(config()).unwrap();
-    trainer.train_on(&train).unwrap();
-
-    // Probe the ROI net directly on a held-out frame pair.
-    let eval = render_sequence(&SequenceConfig::miniature(12, 55));
-    let events =
-        util::frame_difference_events(&eval.frames[5].clean, &eval.frames[4].clean, 15.0 / 255.0);
-    let input = trainer.roi_net().make_input(&events, &eval.frames[4].mask);
-    let out = trainer.roi_net().forward(&input).unwrap();
-    let predicted = trainer.roi_net().predict_box(&out);
-    let truth = eval.frames[5].roi;
-    let truth = RoiBox::new(truth.x1, truth.y1, truth.x2, truth.y2);
+    let outcome = trained_fixture();
+    let (predicted, truth) = (outcome.predicted_roi, outcome.truth_roi);
     let iou = predicted.iou(&truth);
     assert!(
         iou > 0.2,
@@ -64,9 +124,10 @@ fn trained_roi_predictor_localises_the_eye() {
 fn segmentation_loss_reaches_roi_network_through_the_gate() {
     // With the ROI loss disabled, a training run must still move the ROI
     // network's parameters — the differentiable gate is the only path.
-    let train = render_sequence(&SequenceConfig::miniature(20, 61));
+    let train = train_prefix(20);
     let mut cfg = config();
     cfg.lambda_roi = 0.0;
+    cfg.epochs = 1;
     let mut trainer = JointTrainer::new(cfg).unwrap();
     let before: Vec<f32> = trainer
         .roi_net()
@@ -97,9 +158,7 @@ fn segmentation_loss_reaches_roi_network_through_the_gate() {
 
 #[test]
 fn losses_are_finite_and_decreasing_on_average() {
-    let train = render_sequence(&SequenceConfig::miniature(60, 71));
-    let mut trainer = JointTrainer::new(config()).unwrap();
-    let losses = trainer.train_on(&train).unwrap();
+    let losses = &trained_fixture().losses;
     assert!(losses.iter().all(|l| l.is_finite()));
     let n = losses.len();
     let head: f32 = losses[..n / 4].iter().sum::<f32>() / (n / 4) as f32;
