@@ -1,0 +1,164 @@
+//! Load sweep of the `bliss_serve` multi-session streaming runtime.
+//!
+//! Trains one BlissCam model, then serves fleets of 1 → 64 concurrent
+//! scenario-diverse sessions twice per load point — once with cross-session
+//! **batched** inference (`max_batch = 16`) and once **sequential**
+//! (`max_batch = 1`) — recording p50/p95/p99 virtual-time frame latency,
+//! deadline-miss rate, throughput, mean batch size and the wall-clock time
+//! of the whole run (the batching win on real hardware).
+//!
+//! Results go to `BENCH_serve.json` at the workspace root (or
+//! `BLISS_BENCH_OUT`), next to `BENCH_kernels.json`; the `serve-smoke` CI
+//! job uploads it on every push. `--quick` (or `BLISS_BENCH_FAST=1`) runs a
+//! reduced sweep for CI.
+
+use bliss_serve::{ServeConfig, ServeReport, ServeRuntime};
+use blisscam_core::SystemConfig;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One load point: the same fleet served batched and sequentially.
+#[derive(Serialize)]
+struct SweepPoint {
+    sessions: usize,
+    batched: ServeReport,
+    sequential: ServeReport,
+    batched_wall_ms: f64,
+    sequential_wall_ms: f64,
+    /// Wall-clock speedup of batched over sequential serving.
+    wall_speedup: f64,
+    /// Virtual-time p95 latency ratio, sequential / batched.
+    virtual_p95_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct SweepReport {
+    mode: String,
+    frames_per_session: usize,
+    max_batch: usize,
+    points: Vec<SweepPoint>,
+}
+
+fn fast_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("BLISS_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `BENCH_serve.json` at the workspace root (nearest ancestor with a
+/// `Cargo.lock`), or the `BLISS_BENCH_OUT` override.
+fn report_path() -> PathBuf {
+    if let Ok(path) = std::env::var("BLISS_BENCH_OUT") {
+        if !path.is_empty() {
+            return PathBuf::from(path);
+        }
+    }
+    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("BENCH_serve.json");
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from("BENCH_serve.json")
+}
+
+fn main() {
+    let quick = fast_mode();
+    let (session_counts, frames): (&[usize], usize) = if quick {
+        (&[1, 4, 16], 6)
+    } else {
+        (&[1, 2, 4, 8, 16, 32, 64], 24)
+    };
+
+    let mut system = SystemConfig::miniature();
+    if quick {
+        system.train_frames = 30;
+        system.vit.dim = 24;
+        system.vit.enc_depth = 1;
+        system.roi_net.hidden = 32;
+    }
+    eprintln!("training the shared BlissCam model ...");
+    // Executable pipeline at miniature scale; latency accounting at the
+    // paper's 640x400 / ViT-S / 7 nm host point, where ~1 ms segmentation
+    // launches meet the 8.3 ms frame period and the sweep crosses the
+    // saturation knee.
+    let runtime = ServeRuntime::new(system)
+        .expect("training succeeds")
+        .with_paper_scale_timing();
+
+    let max_batch = 16;
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for &n in session_counts {
+        let mut batched_cfg = ServeConfig::new(n, frames);
+        batched_cfg.max_batch = max_batch;
+        let mut sequential_cfg = batched_cfg;
+        sequential_cfg.max_batch = 1;
+
+        let t0 = Instant::now();
+        let batched = runtime.serve(&batched_cfg).expect("serve succeeds").report;
+        let batched_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let sequential = runtime
+            .serve(&sequential_cfg)
+            .expect("serve succeeds")
+            .report;
+        let sequential_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", batched.latency.p50_ms),
+            format!("{:.2}", batched.latency.p95_ms),
+            format!("{:.2}", batched.latency.p99_ms),
+            format!("{:.1}", batched.deadline_miss_rate * 100.0),
+            format!("{:.0}", batched.throughput_fps),
+            format!("{:.2}", batched.mean_batch_size),
+            format!("{:.2}", sequential.latency.p95_ms),
+            format!("{:.2}x", sequential_wall_ms / batched_wall_ms.max(1e-9)),
+        ]);
+        points.push(SweepPoint {
+            sessions: n,
+            virtual_p95_ratio: sequential.latency.p95_ms / batched.latency.p95_ms.max(1e-12),
+            wall_speedup: sequential_wall_ms / batched_wall_ms.max(1e-9),
+            batched,
+            sequential,
+            batched_wall_ms,
+            sequential_wall_ms,
+        });
+    }
+
+    bliss_bench::print_table(
+        "bliss_serve load sweep (batched max_batch=16 vs sequential max_batch=1)",
+        &[
+            "N",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "miss %",
+            "thr f/s",
+            "mean B",
+            "seq p95",
+            "wall speedup",
+        ],
+        &rows,
+    );
+
+    let report = SweepReport {
+        mode: if quick { "quick" } else { "standard" }.to_string(),
+        frames_per_session: frames,
+        max_batch,
+        points,
+    };
+    let path = report_path();
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("wrote serve sweep to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

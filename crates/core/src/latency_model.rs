@@ -104,6 +104,34 @@ pub fn stage_durations(cfg: &SystemConfig, variant: SystemVariant) -> StageDurat
     }
 }
 
+/// Host-NPU time for one sparse-segmentation launch of `tokens` occupied
+/// patches and `pixels` classification queries under `cfg`'s host model.
+///
+/// The serving runtime uses this for *cross-session batched* launches: the
+/// batch's summed token count fills the systolic array's row tiles, so one
+/// launch over `sum(tokens)` costs less than the sum of per-session
+/// launches (fewer partial tiles and fill/drain bubbles).
+pub fn host_segmentation_time_s(cfg: &SystemConfig, tokens: usize, pixels: usize) -> f64 {
+    let host = SystolicArray::host().at_node(cfg.host_node);
+    host.run(&cfg.vit.workload(tokens, pixels), &cfg.energy, true)
+        .time_s
+}
+
+/// Host-NPU time for one **cross-session batched** segmentation launch over
+/// `frames` of `(tokens, pixels)` each.
+///
+/// Models the block-diagonal batched forward
+/// ([`bliss_track::ViTConfig::batched_workload`]): weight GEMMs fuse across
+/// the batch and amortise fill/drain bubbles and partial row tiles, while
+/// the quadratic attention products stay per-frame — so one launch over K
+/// frames costs less than K solo launches but never pays a `(K*t)^2`
+/// attention.
+pub fn host_batched_segmentation_time_s(cfg: &SystemConfig, frames: &[(usize, usize)]) -> f64 {
+    let host = SystolicArray::host().at_node(cfg.host_node);
+    host.run(&cfg.vit.batched_workload(frames), &cfg.energy, true)
+        .time_s
+}
+
 /// Runs the Fig. 8 pipeline scheduler for `variant` over `frames` frames.
 pub fn simulate_pipeline(
     cfg: &SystemConfig,
@@ -189,6 +217,25 @@ mod tests {
         let bliss = stage_durations(&cfg, SystemVariant::BlissCam);
         assert!(bliss.eventify_s < bliss.exposure_s / 100.0);
         assert!(bliss.sampling_s < bliss.exposure_s / 100.0);
+    }
+
+    #[test]
+    fn batched_segmentation_amortises_launch_overheads() {
+        // One block-diagonal launch over 8 sessions' frames must cost less
+        // than eight solo launches (fused weight GEMMs, fewer partial row
+        // tiles and fill/drain bubbles), but at least as much as one.
+        let cfg = SystemConfig::paper();
+        let (tokens, pixels) = (108, 6851);
+        let solo = host_segmentation_time_s(&cfg, tokens, pixels);
+        let frames: Vec<(usize, usize)> = (0..8).map(|_| (tokens, pixels)).collect();
+        let batched = host_batched_segmentation_time_s(&cfg, &frames);
+        assert!(solo > 0.0);
+        assert!(batched > solo);
+        assert!(
+            batched < 8.0 * solo,
+            "batched {batched:.6} vs 8x solo {:.6}",
+            8.0 * solo
+        );
     }
 
     #[test]

@@ -42,5 +42,7 @@ pub use config::{SystemConfig, SystemVariant};
 pub use energy_model::{
     energy_breakdown, energy_breakdown_with_counts, EnergyBreakdown, FrameCounts,
 };
-pub use latency_model::{simulate_pipeline, stage_durations};
+pub use latency_model::{
+    host_batched_segmentation_time_s, host_segmentation_time_s, simulate_pipeline, stage_durations,
+};
 pub use system::{EyeTrackingSystem, FrameResult, MeanAngularError, SystemReport};

@@ -431,6 +431,47 @@ mod tests {
     }
 
     #[test]
+    fn system_report_serialises_to_json() {
+        use serde::Serialize as _;
+        let cfg = fast_config();
+        let latency = simulate_pipeline(&cfg, SystemVariant::BlissCam, 4);
+        let mut report = SystemReport::new(SystemVariant::BlissCam, latency, cfg.pixels());
+        report.frames.push(FrameResult {
+            index: 0,
+            gaze_prediction: Gaze::new(1.0, -2.0),
+            gaze_truth: Gaze::new(1.5, -2.0),
+            horizontal_error_deg: 0.5,
+            vertical_error_deg: 0.0,
+            sampled_pixels: 800,
+            conversions: 800,
+            mipi_bytes: 1000,
+            tokens: 12,
+            energy: energy_breakdown_with_counts(
+                &cfg,
+                SystemVariant::BlissCam,
+                &FrameCounts {
+                    conversions: 800,
+                    sampled: 800,
+                    mipi_payload_bytes: 1000,
+                    tokens: 12,
+                    roi_pixels: 4000,
+                },
+            ),
+        });
+        let json = report.to_json();
+        for key in [
+            "\"variant\":\"BlissCam\"",
+            "\"frames\":[{\"index\":0",
+            "\"horizontal_deg\":1",
+            "\"latency\":{",
+            "\"achieved_fps\":",
+            "\"pixels\":16000",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
     fn npu_full_system_runs_end_to_end() {
         let mut sys = EyeTrackingSystem::new(SystemVariant::NpuFull, fast_config()).unwrap();
         let report = sys.run_frames(4).unwrap();

@@ -97,13 +97,23 @@ impl EyeSequence {
 ///
 /// Deterministic for a given [`SequenceConfig`] (including seed).
 pub fn render_sequence(config: &SequenceConfig) -> EyeSequence {
-    let model_config = EyeModelConfig::for_resolution(config.width, config.height);
-    let model = EyeModel::new(model_config, config.seed ^ 0xEE71);
     let traj_config = TrajectoryConfig {
         fps: config.fps,
         ..TrajectoryConfig::default()
     };
-    let mut gen = TrajectoryGenerator::new(traj_config, StdRng::seed_from_u64(config.seed));
+    render_sequence_with(config, traj_config)
+}
+
+/// Renders a sequence driven by an explicit trajectory parameterisation —
+/// the entry point for scenario-diverse workloads (see
+/// [`crate::Scenario::trajectory_config`]).
+///
+/// Deterministic for a given `(config, trajectory)` pair; `trajectory.fps`
+/// should normally match `config.fps` so motion per frame is consistent.
+pub fn render_sequence_with(config: &SequenceConfig, trajectory: TrajectoryConfig) -> EyeSequence {
+    let model_config = EyeModelConfig::for_resolution(config.width, config.height);
+    let model = EyeModel::new(model_config, config.seed ^ 0xEE71);
+    let mut gen = TrajectoryGenerator::new(trajectory, StdRng::seed_from_u64(config.seed));
     let mut frames = Vec::with_capacity(config.frames);
     for _ in 0..config.frames {
         let state = gen.step();

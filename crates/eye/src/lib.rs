@@ -34,8 +34,10 @@ mod dataset;
 mod gaze;
 mod model;
 mod noise;
+mod scenario;
 
-pub use dataset::{render_sequence, EyeFrame, EyeSequence, SequenceConfig};
+pub use dataset::{render_sequence, render_sequence_with, EyeFrame, EyeSequence, SequenceConfig};
 pub use gaze::{Gaze, GazeState, MovementPhase, TrajectoryConfig, TrajectoryGenerator};
 pub use model::{EyeClass, EyeModel, EyeModelConfig, RoiBox, NUM_CLASSES};
 pub use noise::{ImagingNoise, NoiseConfig};
+pub use scenario::Scenario;

@@ -1,0 +1,173 @@
+use crate::gaze::TrajectoryConfig;
+use serde::{Deserialize, Serialize};
+
+/// A named oculomotor workload: a parameterisation of the trajectory
+/// synthesiser that stresses one regime of the tracking pipeline.
+///
+/// Real deployments see wildly different eye dynamics per user and per task —
+/// reading (saccade trains), video (smooth pursuit), aiming (long fixations),
+/// dry eyes (blink storms). The paper notes blinks and saccades are exactly
+/// where pure eventification fails (§III-A), so a serving runtime has to be
+/// evaluated under a *mix* of these regimes, not a single average trace. Each
+/// variant maps to a [`TrajectoryConfig`] via [`Scenario::trajectory_config`];
+/// the multi-session runtime assigns scenarios round-robin with
+/// [`Scenario::for_index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Rapid target jumps with short fixations — reading/search behaviour;
+    /// maximises event density and ROI motion.
+    SaccadeHeavy,
+    /// Predominantly smooth pursuit of moving targets — video watching;
+    /// sustained moderate event rates.
+    SmoothPursuit,
+    /// Long fixations with tremor and slow drift — aiming/staring; the
+    /// near-static regime where event-driven readout pays off most.
+    FixationDrift,
+    /// Densely repeated blinks — dry-eye stress test; exercises the
+    /// occlusion/feedback-recovery path.
+    BlinkStorm,
+    /// The default mixed diet of all phases (the single-session baseline).
+    Mixed,
+}
+
+impl Scenario {
+    /// All scenarios in round-robin assignment order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::SaccadeHeavy,
+        Scenario::SmoothPursuit,
+        Scenario::FixationDrift,
+        Scenario::BlinkStorm,
+        Scenario::Mixed,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::SaccadeHeavy => "saccade-heavy",
+            Scenario::SmoothPursuit => "smooth-pursuit",
+            Scenario::FixationDrift => "fixation-drift",
+            Scenario::BlinkStorm => "blink-storm",
+            Scenario::Mixed => "mixed",
+        }
+    }
+
+    /// Round-robin scenario for the `i`-th session of a fleet.
+    pub fn for_index(i: usize) -> Scenario {
+        Self::ALL[i % Self::ALL.len()]
+    }
+
+    /// The trajectory parameterisation of this scenario at `fps`.
+    pub fn trajectory_config(&self, fps: f32) -> TrajectoryConfig {
+        let base = TrajectoryConfig {
+            fps,
+            ..TrajectoryConfig::default()
+        };
+        match self {
+            Scenario::SaccadeHeavy => TrajectoryConfig {
+                mean_fixation_s: 0.09,
+                pursuit_probability: 0.0,
+                mean_blink_interval_s: 8.0,
+                ..base
+            },
+            Scenario::SmoothPursuit => TrajectoryConfig {
+                pursuit_probability: 0.95,
+                mean_fixation_s: 0.12,
+                mean_blink_interval_s: 6.0,
+                ..base
+            },
+            Scenario::FixationDrift => TrajectoryConfig {
+                mean_fixation_s: 1.4,
+                pursuit_probability: 0.05,
+                tremor_deg: 0.08,
+                mean_blink_interval_s: 6.0,
+                ..base
+            },
+            Scenario::BlinkStorm => TrajectoryConfig {
+                mean_blink_interval_s: 0.7,
+                blink_duration_s: 0.25,
+                mean_fixation_s: 0.4,
+                pursuit_probability: 0.05,
+                ..base
+            },
+            Scenario::Mixed => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{render_sequence_with, SequenceConfig};
+    use crate::gaze::{MovementPhase, TrajectoryGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Fraction of 1 200 frames (10 s at 120 FPS) spent in `phase`.
+    fn phase_fraction(scenario: Scenario, phase: MovementPhase, seed: u64) -> f32 {
+        let mut gen = TrajectoryGenerator::new(
+            scenario.trajectory_config(120.0),
+            StdRng::seed_from_u64(seed),
+        );
+        let n = 1_200;
+        let hits = (0..n).filter(|_| gen.step().phase == phase).count();
+        hits as f32 / n as f32
+    }
+
+    #[test]
+    fn saccade_heavy_saccades_more_than_mixed() {
+        let heavy = phase_fraction(Scenario::SaccadeHeavy, MovementPhase::Saccade, 1);
+        let mixed = phase_fraction(Scenario::Mixed, MovementPhase::Saccade, 1);
+        assert!(heavy > 1.5 * mixed, "heavy {heavy} vs mixed {mixed}");
+    }
+
+    #[test]
+    fn pursuit_scenario_is_mostly_pursuit() {
+        let frac = phase_fraction(Scenario::SmoothPursuit, MovementPhase::SmoothPursuit, 2);
+        assert!(frac > 0.5, "pursuit fraction {frac}");
+    }
+
+    #[test]
+    fn fixation_drift_fixates_most_of_the_time() {
+        let frac = phase_fraction(Scenario::FixationDrift, MovementPhase::Fixation, 3);
+        assert!(frac > 0.7, "fixation fraction {frac}");
+    }
+
+    #[test]
+    fn blink_storm_blinks_an_order_more_than_mixed() {
+        let storm = phase_fraction(Scenario::BlinkStorm, MovementPhase::Blink, 4);
+        let mixed = phase_fraction(Scenario::Mixed, MovementPhase::Blink, 4);
+        assert!(storm > 0.1, "storm blink fraction {storm}");
+        assert!(storm > 3.0 * mixed, "storm {storm} vs mixed {mixed}");
+    }
+
+    #[test]
+    fn round_robin_covers_all_scenarios() {
+        let seen: Vec<Scenario> = (0..5).map(Scenario::for_index).collect();
+        assert_eq!(seen, Scenario::ALL.to_vec());
+        assert_eq!(Scenario::for_index(7), Scenario::ALL[2]);
+    }
+
+    #[test]
+    fn scenario_sequences_render_and_differ() {
+        let cfg = SequenceConfig::miniature(120, 9);
+        let heavy = render_sequence_with(&cfg, Scenario::SaccadeHeavy.trajectory_config(cfg.fps));
+        let still = render_sequence_with(&cfg, Scenario::FixationDrift.trajectory_config(cfg.fps));
+        assert_eq!(heavy.frames.len(), 120);
+        // Saccade-heavy trajectories travel farther than fixation-drift ones.
+        let travel = |s: &crate::EyeSequence| {
+            s.frames
+                .windows(2)
+                .map(|w| w[1].gaze.angular_distance(&w[0].gaze))
+                .sum::<f32>()
+        };
+        assert!(travel(&heavy) > travel(&still));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        use serde::Serialize as _;
+        assert_eq!(Scenario::SaccadeHeavy.label(), "saccade-heavy");
+        assert_eq!(Scenario::Mixed.label(), "mixed");
+        assert_eq!(Scenario::Mixed.to_json(), "\"Mixed\"");
+    }
+}

@@ -6,12 +6,13 @@ use rand::Rng;
 
 /// Saved forward activations of one attention head, reused by the fused
 /// backward pass. (The head's output itself is not saved — backward only
-/// needs the projections and the attention matrix.)
+/// needs the projections and the per-span attention matrices.)
 struct HeadForward {
     q: NdArray,
     k: NdArray,
     v: NdArray,
-    attn: NdArray,
+    /// One attention matrix per row span (block-diagonal attention).
+    attns: Vec<NdArray>,
 }
 
 /// Shared references to one head's `[wq, bq, wk, bk, wv, bv]` parameter
@@ -39,6 +40,35 @@ struct HeadGradients {
     dbk: NdArray,
     dwv: NdArray,
     dbv: NdArray,
+}
+
+/// Checks that `spans` is a non-empty, in-order, gap-free exact cover of
+/// `0..rows`.
+fn validate_spans(
+    spans: &[(usize, usize)],
+    rows: usize,
+    op: &'static str,
+) -> Result<(), TensorError> {
+    let mut cursor = 0usize;
+    for &(s, e) in spans {
+        if s != cursor || e <= s {
+            return Err(TensorError::InvalidArgument {
+                op,
+                message: format!(
+                    "spans must exactly cover 0..{rows} in order without gaps \
+                     or empty entries; got {spans:?}"
+                ),
+            });
+        }
+        cursor = e;
+    }
+    if spans.is_empty() || cursor != rows {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: format!("spans {spans:?} do not cover all {rows} rows"),
+        });
+    }
+    Ok(())
 }
 
 /// `dS` of a row-wise softmax `A = softmax(S)` given `A` and `dA`:
@@ -112,20 +142,55 @@ impl MultiHeadAttention {
 
     /// Applies self-attention to a `[tokens, dim]` tensor.
     ///
-    /// All heads are computed as one fused autograd op: the per-head
-    /// `QKV -> scores -> softmax -> AV` chains fan out across the
-    /// `bliss_parallel` pool in both the forward and the backward pass
-    /// (head index order is fixed, so gradients accumulate identically for
-    /// every thread count), and the intermediate activations bypass the
-    /// per-op graph bookkeeping of the unfused formulation.
+    /// Equivalent to [`MultiHeadAttention::forward_spans`] with a single span
+    /// covering every row.
     ///
     /// # Errors
     ///
     /// Returns a shape error if the input's channel dimension is not `dim`.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let rows = x.shape()[0];
+        self.forward_spans(x, &[(0, rows)])
+    }
+
+    /// Applies *block-diagonal* self-attention: rows within each
+    /// `(start, end)` span attend only to rows of the same span.
+    ///
+    /// This is the batched-inference primitive of the serving runtime: K
+    /// sessions' token sets are stacked into one `[T, dim]` matrix and the
+    /// QKV projections, the output projection and (in
+    /// [`TransformerBlock::forward_spans`]) the MLP run as *one* GEMM each
+    /// instead of K, while the quadratic score/softmax/AV chain stays
+    /// per-span so sessions never mix. Because every kernel's per-row
+    /// accumulation order is independent of the row count, each span's rows
+    /// are **bit-identical** to running that span through
+    /// [`MultiHeadAttention::forward`] alone.
+    ///
+    /// All heads are computed as one fused autograd op. The QKV projections
+    /// of every head are evaluated as a single `[dim, 3*dim]` GEMM against
+    /// the concatenated weights (three launches fused into one, ROADMAP
+    /// PR-2 follow-up); the per-head, per-span `scores -> softmax -> AV`
+    /// chains then fan out across the `bliss_parallel` pool in both the
+    /// forward and the backward pass (head index order is fixed, so
+    /// gradients accumulate identically for every thread count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input's channel dimension is not `dim`,
+    /// or [`TensorError::InvalidArgument`] if `spans` is empty, overlapping,
+    /// out of order, or does not exactly cover the input rows.
+    pub fn forward_spans(
+        &self,
+        x: &Tensor,
+        spans: &[(usize, usize)],
+    ) -> Result<Tensor, TensorError> {
+        let rows = x.shape()[0];
+        validate_spans(spans, rows, "mha_forward_spans")?;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let heads = self.heads();
         let head_dim = self.head_dim;
+        let dim = self.dim;
+        let spans: Vec<(usize, usize)> = spans.to_vec();
 
         // Parent order: x, then per head the q/k/v weight and bias tensors.
         // Parameter values are read through borrow guards (here and again in
@@ -143,15 +208,46 @@ impl MultiHeadAttention {
                 parents.iter().map(|p| p.value()).collect();
             let xv: &NdArray = &guards[0];
             let params = head_param_refs(&guards, heads);
+            // Fused QKV: all heads' projections as one [dim, 3*dim] GEMM.
+            // Column layout [q_0..q_H | k_0..k_H | v_0..v_H]; per-element
+            // accumulation order (ascending k) matches the unfused GEMMs, so
+            // the slices below are bit-identical to per-head projections.
+            let qkv = {
+                let mut cols: Vec<&NdArray> = Vec::with_capacity(3 * heads);
+                for proj in 0..3 {
+                    for p in params.iter() {
+                        cols.push(p[2 * proj]);
+                    }
+                }
+                let wqkv = NdArray::concat_cols(&cols)?;
+                let mut bias = Vec::with_capacity(3 * dim);
+                for proj in 0..3 {
+                    for p in params.iter() {
+                        bias.extend_from_slice(p[2 * proj + 1].data());
+                    }
+                }
+                let bqkv = NdArray::from_vec(bias, &[3 * dim])?;
+                xv.matmul(&wqkv)?.add_row(&bqkv)?
+            };
+            let spans_f = &spans;
             let results: Result<Vec<(HeadForward, NdArray)>, TensorError> =
                 par_map_collect(heads, |h| -> Result<(HeadForward, NdArray), TensorError> {
-                    let [wq, bq, wk, bk, wv, bv] = params[h];
-                    let q = xv.matmul(wq)?.add_row(bq)?;
-                    let k = xv.matmul(wk)?.add_row(bk)?;
-                    let v = xv.matmul(wv)?.add_row(bv)?;
-                    let attn = q.matmul_transposed(&k)?.scale(scale).softmax_rows()?;
-                    let out = attn.matmul(&v)?;
-                    Ok((HeadForward { q, k, v, attn }, out))
+                    let q = qkv.slice_cols(h * head_dim, (h + 1) * head_dim)?;
+                    let k = qkv.slice_cols(dim + h * head_dim, dim + (h + 1) * head_dim)?;
+                    let v = qkv.slice_cols(2 * dim + h * head_dim, 2 * dim + (h + 1) * head_dim)?;
+                    let mut attns = Vec::with_capacity(spans_f.len());
+                    let mut outs = Vec::with_capacity(spans_f.len());
+                    for &(s, e) in spans_f {
+                        let attn = q
+                            .slice_rows(s, e)?
+                            .matmul_transposed(&k.slice_rows(s, e)?)?
+                            .scale(scale)
+                            .softmax_rows()?;
+                        outs.push(attn.matmul(&v.slice_rows(s, e)?)?);
+                        attns.push(attn);
+                    }
+                    let out = NdArray::concat_rows(&outs.iter().collect::<Vec<_>>())?;
+                    Ok((HeadForward { q, k, v, attns }, out))
                 })
                 .into_iter()
                 .collect();
@@ -174,17 +270,37 @@ impl MultiHeadAttention {
                 let params = head_param_refs(&guards, heads);
                 // Shared by every head's projection gradients.
                 let xt = xv.transpose().expect(e);
+                let spans_b = &spans;
                 par_map_collect(heads, |h| {
                     let f = &forwards[h];
                     let [wq, _, wk, _, wv, _] = params[h];
                     let gh = g
                         .slice_cols(h * head_dim, (h + 1) * head_dim)
                         .expect("gradient columns per head");
-                    let dv = f.attn.transpose().expect(e).matmul(&gh).expect(e);
-                    let dattn = gh.matmul_transposed(&f.v).expect(e);
-                    let dscores = softmax_rows_backward(&f.attn, &dattn).scale(scale);
-                    let dq = dscores.matmul(&f.k).expect(e);
-                    let dk = dscores.transpose().expect(e).matmul(&f.q).expect(e);
+                    let mut dqs = Vec::with_capacity(spans_b.len());
+                    let mut dks = Vec::with_capacity(spans_b.len());
+                    let mut dvs = Vec::with_capacity(spans_b.len());
+                    for (si, &(s, en)) in spans_b.iter().enumerate() {
+                        let attn = &f.attns[si];
+                        let ghs = gh.slice_rows(s, en).expect(e);
+                        let dv = attn.transpose().expect(e).matmul(&ghs).expect(e);
+                        let dattn = ghs
+                            .matmul_transposed(&f.v.slice_rows(s, en).expect(e))
+                            .expect(e);
+                        let dscores = softmax_rows_backward(attn, &dattn).scale(scale);
+                        dqs.push(dscores.matmul(&f.k.slice_rows(s, en).expect(e)).expect(e));
+                        dks.push(
+                            dscores
+                                .transpose()
+                                .expect(e)
+                                .matmul(&f.q.slice_rows(s, en).expect(e))
+                                .expect(e),
+                        );
+                        dvs.push(dv);
+                    }
+                    let dq = NdArray::concat_rows(&dqs.iter().collect::<Vec<_>>()).expect(e);
+                    let dk = NdArray::concat_rows(&dks.iter().collect::<Vec<_>>()).expect(e);
+                    let dv = NdArray::concat_rows(&dvs.iter().collect::<Vec<_>>()).expect(e);
                     let dx = dq
                         .matmul_transposed(wq)
                         .expect(e)
@@ -300,7 +416,27 @@ impl TransformerBlock {
     ///
     /// Returns a shape error if the channel dimension differs.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
-        let attn_out = self.attn.forward(&self.norm1.forward(x)?)?;
+        let rows = x.shape()[0];
+        self.forward_spans(x, &[(0, rows)])
+    }
+
+    /// Applies the block with block-diagonal attention over `spans`
+    /// (see [`MultiHeadAttention::forward_spans`]): layer norms, the fused
+    /// QKV/output projections and the MLP run as single cross-span GEMMs,
+    /// while attention never crosses a span boundary. Each span's rows are
+    /// bit-identical to a solo [`TransformerBlock::forward`] of that span.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the channel dimension differs, or an
+    /// invalid-argument error for a malformed `spans` (see
+    /// [`MultiHeadAttention::forward_spans`]).
+    pub fn forward_spans(
+        &self,
+        x: &Tensor,
+        spans: &[(usize, usize)],
+    ) -> Result<Tensor, TensorError> {
+        let attn_out = self.attn.forward_spans(&self.norm1.forward(x)?, spans)?;
         let x = x.add(&attn_out)?;
         let mlp_out = self.mlp.forward(&self.norm2.forward(&x)?)?;
         x.add(&mlp_out)
@@ -387,6 +523,128 @@ mod tests {
             || {
                 let xin = Tensor::constant(x.clone());
                 Ok(mha.forward(&xin)?.mul(&mha.forward(&xin)?)?.mean_all())
+            },
+            1e-2,
+            4,
+        )
+        .unwrap();
+        assert!(report.passes(5e-2), "max rel err {}", report.max_rel_error);
+    }
+
+    /// Reference unfused forward: per-head q/k/v GEMMs as three separate
+    /// launches, exactly the pre-fusion formulation.
+    fn unfused_reference(mha: &MultiHeadAttention, x: &NdArray) -> NdArray {
+        let params = mha.parameters();
+        let heads = mha.heads();
+        let head_dim = mha.dim() / heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut outs = Vec::new();
+        for h in 0..heads {
+            let p = &params[6 * h..6 * (h + 1)];
+            let q = x
+                .matmul(&p[0].value())
+                .unwrap()
+                .add_row(&p[1].value())
+                .unwrap();
+            let k = x
+                .matmul(&p[2].value())
+                .unwrap()
+                .add_row(&p[3].value())
+                .unwrap();
+            let v = x
+                .matmul(&p[4].value())
+                .unwrap()
+                .add_row(&p[5].value())
+                .unwrap();
+            let attn = q
+                .matmul_transposed(&k)
+                .unwrap()
+                .scale(scale)
+                .softmax_rows()
+                .unwrap();
+            outs.push(attn.matmul(&v).unwrap());
+        }
+        let concat = NdArray::concat_cols(&outs.iter().collect::<Vec<_>>()).unwrap();
+        let wp = params[6 * heads].value().clone();
+        let bp = params[6 * heads + 1].value().clone();
+        concat.matmul(&wp).unwrap().add_row(&bp).unwrap()
+    }
+
+    #[test]
+    fn fused_qkv_matches_unfused_reference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mha = MultiHeadAttention::new(&mut rng, 24, 3);
+        let x = NdArray::randn(&mut rng, &[11, 24], 1.0);
+        let fused = mha.forward(&Tensor::constant(x.clone())).unwrap();
+        let reference = unfused_reference(&mha, &x);
+        assert!(
+            fused.value().approx_eq(&reference, 1e-5),
+            "fused QKV output diverged from the unfused formulation"
+        );
+    }
+
+    #[test]
+    fn forward_spans_matches_independent_forwards_bitwise() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mha = MultiHeadAttention::new(&mut rng, 12, 3);
+        let a = NdArray::randn(&mut rng, &[5, 12], 1.0);
+        let b = NdArray::randn(&mut rng, &[3, 12], 1.0);
+        let ya = mha.forward(&Tensor::constant(a.clone())).unwrap();
+        let yb = mha.forward(&Tensor::constant(b.clone())).unwrap();
+        let stacked = NdArray::concat_rows(&[&a, &b]).unwrap();
+        let y = mha
+            .forward_spans(&Tensor::constant(stacked), &[(0, 5), (5, 8)])
+            .unwrap();
+        let yv = y.value();
+        assert_eq!(&yv.data()[..5 * 12], ya.value().data());
+        assert_eq!(&yv.data()[5 * 12..], yb.value().data());
+    }
+
+    #[test]
+    fn transformer_block_spans_match_solo_blocks_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let block = TransformerBlock::new(&mut rng, 8, 2);
+        let a = NdArray::randn(&mut rng, &[4, 8], 1.0);
+        let b = NdArray::randn(&mut rng, &[6, 8], 1.0);
+        let ya = block.forward(&Tensor::constant(a.clone())).unwrap();
+        let yb = block.forward(&Tensor::constant(b.clone())).unwrap();
+        let stacked = NdArray::concat_rows(&[&a, &b]).unwrap();
+        let y = block
+            .forward_spans(&Tensor::constant(stacked), &[(0, 4), (4, 10)])
+            .unwrap();
+        let yv = y.value();
+        assert_eq!(&yv.data()[..4 * 8], ya.value().data());
+        assert_eq!(&yv.data()[4 * 8..], yb.value().data());
+    }
+
+    #[test]
+    fn malformed_spans_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = Tensor::constant(NdArray::ones(&[6, 8]));
+        for bad in [
+            &[][..],
+            &[(0, 3)][..],                 // does not cover all rows
+            &[(0, 3), (4, 6)][..],         // gap
+            &[(0, 4), (3, 6)][..],         // overlap
+            &[(0, 3), (3, 3), (3, 6)][..], // empty span
+            &[(3, 6), (0, 3)][..],         // out of order
+        ] {
+            assert!(mha.forward_spans(&x, bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn spanned_attention_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mha = MultiHeadAttention::new(&mut rng, 4, 2);
+        let x = NdArray::randn(&mut rng, &[5, 4], 1.0);
+        let params = mha.parameters();
+        let report = bliss_tensor::check_gradients(
+            &params,
+            || {
+                let xin = Tensor::constant(x.clone());
+                Ok(mha.forward_spans(&xin, &[(0, 2), (2, 5)])?.mean_all())
             },
             1e-2,
             4,

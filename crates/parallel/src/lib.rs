@@ -367,6 +367,67 @@ where
         .collect()
 }
 
+/// Applies `f` to every item of `items` with mutable access, collecting the
+/// returned values in index order.
+///
+/// The work-source primitive of the serving runtime: each item is an
+/// independently mutable unit of per-session state (sensor, RNG, feedback
+/// buffers) and `f` advances it one step, returning that step's output.
+/// Items are distributed as one contiguous block per worker, so for a pure
+/// per-item `f` the outputs — and the per-item state mutations — are
+/// bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if any worker closure panics.
+///
+/// # Example
+///
+/// ```
+/// let mut counters = vec![0u32; 5];
+/// let doubled = bliss_parallel::par_map_mut(&mut counters, |i, c| {
+///     *c += i as u32;
+///     *c * 2
+/// });
+/// assert_eq!(counters, vec![0, 1, 2, 3, 4]);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+/// ```
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = thread_count().min(n);
+    if threads <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let per_worker = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    thread::scope(|scope| {
+        let f = &f;
+        for ((w, block), slots) in items
+            .chunks_mut(per_worker)
+            .enumerate()
+            .zip(out.chunks_mut(per_worker))
+        {
+            scope.spawn(move || {
+                let _serial = worker_guard();
+                for (i, (item, slot)) in block.iter_mut().zip(slots.iter_mut()).enumerate() {
+                    *slot = Some(f(w * per_worker + i, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every index is assigned to exactly one worker"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +513,34 @@ mod tests {
         let result = catch_unwind(AssertUnwindSafe(|| {
             with_thread_count(4, || {
                 par_map_collect(16, |i| if i == 11 { panic!("boom") } else { i })
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_map_mut_mutates_and_collects_deterministically() {
+        let run = || {
+            let mut state: Vec<u64> = (0..17).map(|i| i * 7).collect();
+            let outs = par_map_mut(&mut state, |i, s| {
+                *s = s.wrapping_mul(31).wrapping_add(i as u64);
+                *s ^ 0x5A
+            });
+            (state, outs)
+        };
+        let serial = with_thread_count(1, run);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, with_thread_count(threads, run), "t={threads}");
+        }
+        assert!(par_map_mut(&mut Vec::<u8>::new(), |_, _| 0u8).is_empty());
+    }
+
+    #[test]
+    fn par_map_mut_propagates_panics() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut v = vec![0u8; 12];
+            with_thread_count(4, || {
+                par_map_mut(&mut v, |i, _| if i == 9 { panic!("boom") } else { i })
             })
         }));
         assert!(result.is_err());

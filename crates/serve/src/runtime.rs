@@ -1,0 +1,497 @@
+use crate::report::ServeReport;
+use crate::session::{FrameRecord, SensedFrame, Session, SessionConfig, SessionTrace};
+use bliss_eye::{render_sequence, Scenario, SequenceConfig};
+use bliss_sensor::RoiBox;
+use bliss_tensor::TensorError;
+use bliss_timing::StageDurations;
+use bliss_track::{JointTrainer, RoiPredictionNet, SparseViT};
+use blisscam_core::{
+    energy_breakdown_with_counts, host_batched_segmentation_time_s, stage_durations, FrameCounts,
+    SystemConfig, SystemVariant,
+};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Load and scheduling parameters of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Concurrent sessions admitted.
+    pub sessions: usize,
+    /// Frames each session submits.
+    pub frames_per_session: usize,
+    /// Maximum frames fused into one host inference launch.
+    pub max_batch: usize,
+    /// Extra virtual time the scheduler waits past the host becoming free to
+    /// let near-ready frames join a batch, in seconds.
+    pub batch_window_s: f64,
+    /// Per-frame latency budget; a frame whose gaze lands later than
+    /// `arrival + deadline_s` counts as a deadline miss.
+    pub deadline_s: f64,
+    /// Arrival stagger between consecutive sessions' first frames.
+    pub stagger_s: f64,
+    /// Base seed; per-session seeds are derived from it.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A load point of `sessions` concurrent sessions at 120 FPS (the
+    /// paper's tracking rate). See [`ServeConfig::for_fps`].
+    pub fn new(sessions: usize, frames_per_session: usize) -> Self {
+        Self::for_fps(120.0, sessions, frames_per_session)
+    }
+
+    /// A load point at an explicit tracking rate: batches of up to 16 with
+    /// a zero batch window (work-conserving adaptive batching — fuse
+    /// whatever is already ready, never idle the host waiting for future
+    /// frames), a two-period deadline, and a one-period admission ramp —
+    /// sessions connect one frame apart, so their expensive full-frame
+    /// cold-start reads do not all land on the host in the same instant.
+    ///
+    /// `fps` should match the served system's (timing) frame rate so the
+    /// deadline and stagger track the real frame period.
+    pub fn for_fps(fps: f64, sessions: usize, frames_per_session: usize) -> Self {
+        let period = 1.0 / fps.max(1e-6);
+        ServeConfig {
+            sessions,
+            frames_per_session,
+            max_batch: 16,
+            batch_window_s: 0.0,
+            deadline_s: 2.0 * period,
+            stagger_s: period,
+            seed: 0x5EB5,
+        }
+    }
+}
+
+/// Everything a serving run produces: the aggregate report plus every
+/// session's full per-frame trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Aggregate + per-session statistics.
+    pub report: ServeReport,
+    /// Per-session frame traces (determinism suites compare these).
+    pub traces: Vec<SessionTrace>,
+}
+
+/// Virtual-time ordering key: finite f64 seconds with a total order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The multi-session streaming runtime.
+///
+/// One trained BlissCam model (sparse ViT + in-sensor ROI net) serves N
+/// concurrent eye-tracking sessions, each replaying its own
+/// [`Scenario`]-parameterised trace. A deterministic virtual-time scheduler
+/// (event queue keyed by per-session frame readiness — **no wall clock
+/// anywhere in the results path**) admits frames, fuses up to
+/// [`ServeConfig::max_batch`] of them into one cross-session batched
+/// inference launch ([`SparseViT::forward_batch`]), and accounts latency
+/// against the analytic hardware model:
+///
+/// * sensor-side stages and the MIPI transfer come from
+///   [`stage_durations`] (per-session hardware, so they overlap freely);
+/// * frame *t*'s in-sensor ROI prediction waits for frame *t−1*'s
+///   segmentation feedback (the paper's Fig. 8 cross-frame dependency),
+///   which couples a session's pacing to host congestion;
+/// * the host NPU is the shared resource: a batch launches when it is free,
+///   costs [`host_batched_segmentation_time_s`] of the members' token
+///   counts (fused weight GEMMs amortise row tiles, attention stays
+///   per-frame), and serialises the per-frame gaze regressions after it.
+///
+/// Per-session accuracy, pixel volume and energy are **bit-identical** to
+/// running the same [`SessionConfig`] alone, for every thread count — the
+/// determinism suite enforces both properties.
+#[derive(Debug)]
+pub struct ServeRuntime {
+    /// Executable-scale configuration (networks, sensor, energy accounting).
+    system: SystemConfig,
+    /// Timing-accounting configuration; defaults to `system`, or the paper's
+    /// hardware point under [`ServeRuntime::with_paper_scale_timing`].
+    timing: SystemConfig,
+    /// Whether timing shapes are rescaled from executable to timing
+    /// resolution (false when `timing == system`).
+    scaled_timing: bool,
+    /// ROI-area-fraction scale factor normalising the executable renderer's
+    /// eye geometry to the timing configuration's expected ROI fraction.
+    area_scale: f64,
+    /// Sampled-pixel scale factor from executable to timing resolution.
+    pixel_scale: f64,
+    vit: SparseViT,
+    roi_net: RoiPredictionNet,
+    stages: StageDurations,
+}
+
+impl ServeRuntime {
+    /// Trains the shared networks for `system` (seconds at miniature scale)
+    /// and prepares the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from training.
+    pub fn new(system: SystemConfig) -> Result<Self, TensorError> {
+        let train_seq = render_sequence(&SequenceConfig {
+            width: system.width,
+            height: system.height,
+            frames: system.train_frames.max(8),
+            fps: system.fps as f32,
+            seed: system.seed,
+        });
+        let mut trainer = JointTrainer::new(system.train_config())?;
+        trainer.train_on(&train_seq)?;
+        let vit = trainer.vit().clone();
+        let roi_net = trainer.roi_net().clone();
+        Ok(Self::with_networks(system, vit, roi_net))
+    }
+
+    /// Wraps already-trained networks (shares parameters, no copy).
+    pub fn with_networks(system: SystemConfig, vit: SparseViT, roi_net: RoiPredictionNet) -> Self {
+        let stages = stage_durations(&system, SystemVariant::BlissCam);
+        ServeRuntime {
+            system,
+            timing: system,
+            scaled_timing: false,
+            area_scale: 1.0,
+            pixel_scale: 1.0,
+            vit,
+            roi_net,
+            stages,
+        }
+    }
+
+    /// Switches latency accounting to the paper's hardware point (640x400 @
+    /// 120 FPS, ViT-S host on a 7 nm NPU) while the executable miniature
+    /// pipeline keeps supplying *measured* per-frame occupancy.
+    ///
+    /// The measured ROI box is mapped geometrically: its area fraction —
+    /// first normalised by the ratio of the paper's expected ROI fraction
+    /// (0.134, §VI-C) to the miniature renderer's *measured* ground-truth
+    /// ROI fraction, so only the predictor's looseness relative to its own
+    /// renderer carries across scales — is re-projected onto the paper's
+    /// 40x25 patch grid to give the occupied-token count of the same gaze
+    /// situation at 640x400 (a cold-start full-frame read maps to all 1 000
+    /// patches, a tight steady-state box to ~100–200). Sampled-pixel volume
+    /// scales by the frame-area ratio. At this point the host's
+    /// millisecond-class sparse-segmentation launches meet the 8.3 ms frame
+    /// period, so the 1→64-session load sweep crosses the saturation knee
+    /// instead of idling below it.
+    pub fn with_paper_scale_timing(mut self) -> Self {
+        let timing = SystemConfig::paper();
+        self.scaled_timing = true;
+        // Calibrate the renderer-geometry normalisation from a fixed-seed
+        // miniature sequence (deterministic: depends only on the system
+        // configuration).
+        let calib = render_sequence(&SequenceConfig {
+            width: self.system.width,
+            height: self.system.height,
+            frames: 24,
+            fps: self.system.fps as f32,
+            seed: self.system.seed ^ 0xCA11B,
+        });
+        let gt_frac =
+            (calib.mean_roi_area() as f64 / self.system.pixels().max(1) as f64).clamp(1e-3, 1.0);
+        self.area_scale = (timing.roi_fraction / gt_frac).min(1.0);
+        self.pixel_scale = timing.pixels() as f64 / self.system.pixels().max(1) as f64;
+        self.stages = stage_durations(&timing, SystemVariant::BlissCam);
+        self.timing = timing;
+        self
+    }
+
+    /// Maps one frame's measured occupancy to the timing scale.
+    ///
+    /// At native timing (default) the measured shapes pass through. Under
+    /// paper-scale timing, the ROI box area fraction is re-projected onto
+    /// the timing patch grid (assuming the box follows the frame's aspect
+    /// ratio), because nearly every patch a sampled ROI box touches holds at
+    /// least one sample at the paper's in-ROI rates.
+    fn timing_shape(&self, tokens: usize, sampled: usize, roi_pixels: u64) -> (usize, usize) {
+        if !self.scaled_timing {
+            return (tokens, sampled);
+        }
+        if tokens == 0 {
+            return (0, 0);
+        }
+        let (gw, gh) = self.timing.vit.grid_dims();
+        let pixels = self.system.pixels().max(1);
+        // A full-frame bootstrap read stays a full-frame read at the timing
+        // scale; predicted boxes are normalised by the renderer-geometry
+        // calibration.
+        let area_frac = if roi_pixels as usize >= pixels {
+            1.0
+        } else {
+            (roi_pixels as f64 / pixels as f64 * self.area_scale).min(1.0)
+        };
+        let side = area_frac.sqrt();
+        let t = ((side * gw as f64).floor() + 1.0) * ((side * gh as f64).floor() + 1.0);
+        let t = (t as usize).min(gw * gh).max(1);
+        let px = (sampled as f64 * self.pixel_scale).round() as usize;
+        (t, px)
+    }
+
+    /// The hardware/model configuration being served.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The configuration used for latency accounting (differs from
+    /// [`ServeRuntime::system`] under paper-scale timing).
+    pub fn timing_system(&self) -> &SystemConfig {
+        &self.timing
+    }
+
+    /// The deterministic session fleet for a load point: scenarios assigned
+    /// round-robin, seeds and arrival offsets derived per id.
+    pub fn session_configs(&self, cfg: &ServeConfig) -> Vec<SessionConfig> {
+        (0..cfg.sessions)
+            .map(|id| SessionConfig {
+                id,
+                scenario: Scenario::for_index(id),
+                seed: cfg
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)),
+                frames: cfg.frames_per_session,
+                start_offset_s: id as f64 * cfg.stagger_s,
+            })
+            .collect()
+    }
+
+    /// Serves the full fleet of [`ServeRuntime::session_configs`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from inference.
+    pub fn serve(&self, cfg: &ServeConfig) -> Result<ServeOutcome, TensorError> {
+        self.serve_sessions(cfg, self.session_configs(cfg))
+    }
+
+    /// Serves an explicit set of sessions under `cfg`'s scheduling
+    /// parameters (the determinism suite replays single sessions solo this
+    /// way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from inference.
+    pub fn serve_sessions(
+        &self,
+        cfg: &ServeConfig,
+        session_cfgs: Vec<SessionConfig>,
+    ) -> Result<ServeOutcome, TensorError> {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        let mut sessions: Vec<Session> = session_cfgs
+            .iter()
+            .map(|sc| Session::new(*sc, &self.system))
+            .collect();
+
+        // Event queue: (readiness time of the session's next frame, session).
+        let mut heap: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        for (i, s) in sessions.iter().enumerate() {
+            if s.has_next() {
+                heap.push(Reverse((Time(self.next_ready(s)), i)));
+            }
+        }
+
+        let mut host_free_s = 0.0f64;
+        while let Some(Reverse((first_ready, first))) = heap.pop() {
+            // Adaptive batching: every frame that is (or becomes) ready by
+            // the time the host could start — plus the configured window —
+            // joins, up to max_batch. Selection depends only on virtual
+            // times, so the schedule is deterministic.
+            let gate = host_free_s.max(first_ready.0) + cfg.batch_window_s;
+            let mut batch: Vec<(usize, f64)> = vec![(first, first_ready.0)];
+            while batch.len() < cfg.max_batch {
+                match heap.peek() {
+                    Some(&Reverse((t, i))) if t.0 <= gate => {
+                        batch.push((i, t.0));
+                        heap.pop();
+                    }
+                    _ => break,
+                }
+            }
+            // Fixed processing order (by session id) so front-end execution
+            // order never depends on heap tie-breaking internals.
+            batch.sort_unstable_by_key(|&(i, _)| i);
+
+            host_free_s = self.run_batch(cfg, &mut sessions, &batch, host_free_s)?;
+
+            for &(i, _) in &batch {
+                if sessions[i].has_next() {
+                    heap.push(Reverse((Time(self.next_ready(&sessions[i])), i)));
+                }
+            }
+        }
+
+        let traces: Vec<SessionTrace> = sessions
+            .into_iter()
+            .map(|s| SessionTrace {
+                config: s.config,
+                records: s.records,
+            })
+            .collect();
+        let report = ServeReport::from_traces(cfg, &traces);
+        Ok(ServeOutcome { report, traces })
+    }
+
+    /// Virtual time at which the session's next frame reaches the host:
+    /// arrival-paced exposure + eventification, in-sensor ROI prediction
+    /// gated on the previous frame's feedback, sampling, readout and the
+    /// sparse MIPI transfer.
+    fn next_ready(&self, s: &Session) -> f64 {
+        let st = &self.stages;
+        let arrival = self.arrival_s(s);
+        let sensed = arrival + st.exposure_s + st.eventify_s;
+        let roi_start = sensed.max(s.prev_completion_s + st.feedback_s);
+        roi_start + st.roi_pred_s + st.sampling_s + st.readout_s + st.mipi_s
+    }
+
+    /// Exposure start of the session's next frame.
+    fn arrival_s(&self, s: &Session) -> f64 {
+        let period = self.timing.frame_period_s();
+        s.config.start_offset_s + (s.next_frame - 1) as f64 * period
+    }
+
+    /// Executes one scheduled batch end-to-end and returns the new host-free
+    /// time.
+    fn run_batch(
+        &self,
+        cfg: &ServeConfig,
+        sessions: &mut [Session],
+        batch: &[(usize, f64)],
+        host_free_s: f64,
+    ) -> Result<f64, TensorError> {
+        let st = &self.stages;
+        let indices: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
+        let mut refs = disjoint_muts(sessions, &indices);
+        let roi_cfg = *self.roi_net.config();
+
+        // Stage A (parallel across sessions): noise -> exposure -> analog
+        // eventification -> ROI-net input assembly. Pure per-session state.
+        let inputs = bliss_parallel::par_map_mut(&mut refs, |_, s| {
+            let events = s.sense_events();
+            roi_cfg.make_input(&events, &s.prev_seg)
+        });
+
+        // Stage B (serial, tiny): in-sensor ROI prediction per session. The
+        // network holds shared autograd parameters, so it stays off the pool.
+        let mut boxes = Vec::with_capacity(refs.len());
+        for (s, input) in refs.iter().zip(&inputs) {
+            let roi_out = self.roi_net.forward(input)?;
+            boxes.push(if s.have_seg {
+                self.roi_net.predict_box(&roi_out)
+            } else {
+                RoiBox::full(self.system.width, self.system.height)
+            });
+        }
+
+        // Stage C (parallel): SRAM-sampled readout, RLE encode/decode and
+        // sparse-image reconstruction per session.
+        let sample_rate = self.system.sample_rate;
+        let sensed: Vec<SensedFrame> =
+            bliss_parallel::par_map_mut(&mut refs, |i, s| s.read_out(boxes[i], sample_rate))
+                .into_iter()
+                .collect::<Result<_, _>>()?;
+
+        // Stage D: ONE cross-session batched inference launch.
+        let frames: Vec<(&[f32], &[f32])> = sensed
+            .iter()
+            .map(|f| (&f.image[..], &f.mask_f[..]))
+            .collect();
+        let predictions = self.vit.forward_batch(&frames)?;
+
+        // Host timing: the batch launches once the host is free and every
+        // member has arrived; gaze regressions serialise afterwards. The
+        // launch is modelled block-diagonally — fused weight GEMMs over the
+        // summed tokens, per-frame attention — at the timing scale.
+        let frame_shapes: Vec<(usize, usize)> = predictions
+            .iter()
+            .zip(&sensed)
+            .map(|(p, f)| {
+                let tokens = p.as_ref().map_or(0, |p| p.tokens);
+                self.timing_shape(tokens, f.sampled, f.roi_pixels)
+            })
+            .collect();
+        let seg_time = host_batched_segmentation_time_s(&self.timing, &frame_shapes);
+        let last_ready = batch.iter().map(|&(_, r)| r).fold(f64::MIN, f64::max);
+        let host_start = host_free_s.max(last_ready);
+
+        // Stage E (serial): decode predictions, close the feedback loop,
+        // regress gaze and record the frame.
+        for (pos, ((s, prediction), sensed)) in
+            refs.iter_mut().zip(predictions).zip(&sensed).enumerate()
+        {
+            let t = s.next_frame;
+            let truth = s.next_truth();
+            let (gaze, tokens) = match prediction {
+                Some(pred) => {
+                    let classes = pred.classes();
+                    let seg = pred.seg_map(self.system.width, self.system.height);
+                    s.adopt_feedback(seg);
+                    (
+                        s.estimator.estimate_from_pairs(&classes, self.system.width),
+                        pred.tokens,
+                    )
+                }
+                None => (s.estimator.last(), 0),
+            };
+            let counts = FrameCounts {
+                conversions: sensed.conversions,
+                sampled: sensed.sampled as u64,
+                mipi_payload_bytes: sensed.mipi_bytes,
+                tokens,
+                roi_pixels: sensed.roi_pixels,
+            };
+            let energy =
+                energy_breakdown_with_counts(&self.system, SystemVariant::BlissCam, &counts);
+            let arrival = self.arrival_s(s);
+            let completion = host_start + seg_time + st.gaze_s * (pos + 1) as f64;
+            let latency = completion - arrival;
+            s.records.push(FrameRecord {
+                index: t - 1,
+                arrival_s: arrival,
+                completion_s: completion,
+                latency_s: latency,
+                deadline_missed: latency > cfg.deadline_s,
+                batch_size: batch.len(),
+                gaze_prediction: gaze,
+                gaze_truth: truth,
+                horizontal_error_deg: (gaze.horizontal_deg - truth.horizontal_deg).abs(),
+                vertical_error_deg: (gaze.vertical_deg - truth.vertical_deg).abs(),
+                sampled_pixels: sensed.sampled,
+                tokens,
+                mipi_bytes: sensed.mipi_bytes,
+                energy_j: energy.total_j(),
+            });
+            s.prev_completion_s = completion;
+            s.next_frame = t + 1;
+        }
+        Ok(host_start + seg_time + st.gaze_s * batch.len() as f64)
+    }
+}
+
+/// Splits `sessions` into disjoint mutable references at strictly ascending
+/// `indices`.
+fn disjoint_muts<'a>(sessions: &'a mut [Session], indices: &[usize]) -> Vec<&'a mut Session> {
+    let mut out = Vec::with_capacity(indices.len());
+    let mut rest = sessions;
+    let mut base = 0usize;
+    for &i in indices {
+        let (head, tail) = rest.split_at_mut(i - base + 1);
+        out.push(&mut head[i - base]);
+        rest = tail;
+        base = i + 1;
+    }
+    out
+}

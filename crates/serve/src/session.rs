@@ -1,0 +1,204 @@
+use bliss_eye::{render_sequence_with, EyeSequence, Gaze, ImagingNoise, Scenario, SequenceConfig};
+use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
+use bliss_tensor::TensorError;
+use bliss_track::GazeEstimator;
+use blisscam_core::SystemConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Identity and workload of one streaming session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Session id (stable across solo and fleet runs).
+    pub id: usize,
+    /// The oculomotor workload this session replays.
+    pub scenario: Scenario,
+    /// Per-session seed: fixes the eye texture, trajectory, imaging noise and
+    /// sensor entropy independently of every other session.
+    pub seed: u64,
+    /// Frames this session submits.
+    pub frames: usize,
+    /// Virtual-time offset of the session's first exposure, in seconds
+    /// (staggers fleet arrivals like real user connects).
+    pub start_offset_s: f64,
+}
+
+/// Everything recorded about one served frame.
+///
+/// The accuracy/volume fields depend only on the owning session's state and
+/// the shared trained networks — they are bit-identical between solo and
+/// fleet runs. The timing fields additionally depend on fleet contention
+/// (queueing and batching), which is exactly what the load sweep measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Frame index within the session (0-based).
+    pub index: usize,
+    /// Exposure start in virtual seconds.
+    pub arrival_s: f64,
+    /// Gaze-output time in virtual seconds.
+    pub completion_s: f64,
+    /// End-to-end latency (`completion - arrival`).
+    pub latency_s: f64,
+    /// Whether the latency exceeded the configured deadline.
+    pub deadline_missed: bool,
+    /// How many frames shared this frame's inference batch.
+    pub batch_size: usize,
+    /// Predicted gaze.
+    pub gaze_prediction: Gaze,
+    /// Ground-truth gaze.
+    pub gaze_truth: Gaze,
+    /// Absolute horizontal error in degrees.
+    pub horizontal_error_deg: f32,
+    /// Absolute vertical error in degrees.
+    pub vertical_error_deg: f32,
+    /// Pixels transmitted to the host.
+    pub sampled_pixels: usize,
+    /// Occupied ViT tokens contributed to the batch.
+    pub tokens: usize,
+    /// Bytes on the MIPI link (RLE-compressed).
+    pub mipi_bytes: u64,
+    /// Per-frame energy in joules under the BlissCam hardware model.
+    pub energy_j: f64,
+}
+
+/// A session's full trace after a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTrace {
+    /// The session's configuration.
+    pub config: SessionConfig,
+    /// Per-frame records in submission order.
+    pub records: Vec<FrameRecord>,
+}
+
+/// The sensor-side output of one frame's front end, handed to the batched
+/// host inference.
+pub(crate) struct SensedFrame {
+    pub image: Vec<f32>,
+    pub mask_f: Vec<f32>,
+    pub sampled: usize,
+    pub conversions: u64,
+    pub mipi_bytes: u64,
+    pub roi_pixels: u64,
+}
+
+/// Live state of one streaming session: its rendered trace, sensor, RNG
+/// streams and closed-loop feedback buffers.
+///
+/// All mutable state is owned — a fleet of sessions can advance in parallel
+/// on the `bliss_parallel` pool, and a session's outputs depend only on its
+/// own state plus the shared read-only networks.
+pub(crate) struct Session {
+    pub config: SessionConfig,
+    seq: EyeSequence,
+    sensor: DigitalPixelSensor,
+    noise: ImagingNoise,
+    rng: StdRng,
+    pub estimator: GazeEstimator,
+    pub prev_seg: Vec<u8>,
+    pub have_seg: bool,
+    /// Next sequence frame to sense (frame 0 primes the sensor).
+    pub next_frame: usize,
+    /// Virtual completion time of the previously served frame (feedback
+    /// dependency for the next in-sensor ROI prediction).
+    pub prev_completion_s: f64,
+    pub records: Vec<FrameRecord>,
+}
+
+impl Session {
+    /// Renders the session's trace and primes the sensor with frame 0.
+    pub fn new(config: SessionConfig, system: &SystemConfig) -> Self {
+        let seq_cfg = SequenceConfig {
+            width: system.width,
+            height: system.height,
+            frames: config.frames + 1,
+            fps: system.fps as f32,
+            seed: config.seed,
+        };
+        let trajectory = config.scenario.trajectory_config(seq_cfg.fps);
+        let seq = render_sequence_with(&seq_cfg, trajectory);
+        let mut sensor_cfg = SensorConfig::miniature(system.width, system.height);
+        sensor_cfg.seed = config.seed ^ 0xD5;
+        let mut sensor = DigitalPixelSensor::new(sensor_cfg);
+        let noise = ImagingNoise::default();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE7A1);
+        let estimator = GazeEstimator::new(seq.model.clone());
+        // Prime the sensor's analog memory with frame 0.
+        let first = noise.apply(&seq.frames[0].clean, 1.0, &mut rng);
+        sensor.expose(&first);
+        let _ = sensor.eventify();
+        let pixels = system.width * system.height;
+        Session {
+            config,
+            seq,
+            sensor,
+            noise,
+            rng,
+            estimator,
+            prev_seg: vec![0u8; pixels],
+            have_seg: false,
+            next_frame: 1,
+            prev_completion_s: f64::NEG_INFINITY,
+            records: Vec::with_capacity(config.frames),
+        }
+    }
+
+    /// Whether the session still has frames to submit.
+    pub fn has_next(&self) -> bool {
+        self.next_frame < self.seq.frames.len()
+    }
+
+    /// The next frame's ground-truth gaze (valid while [`Session::has_next`]).
+    pub fn next_truth(&self) -> Gaze {
+        self.seq.frames[self.next_frame].gaze
+    }
+
+    /// Front-end stage A: expose the next frame through the imaging-noise
+    /// model and eventify it against the held previous frame, returning the
+    /// full-resolution event map.
+    pub fn sense_events(&mut self) -> Vec<f32> {
+        let frame = &self.seq.frames[self.next_frame];
+        let noisy = self.noise.apply(&frame.clean, 1.0, &mut self.rng);
+        self.sensor.expose(&noisy);
+        self.sensor.eventify().to_f32()
+    }
+
+    /// Front-end stage B: sparse readout through the SRAM sampler inside
+    /// `roi_box`, RLE over the modelled MIPI link, and host-side decode into
+    /// the sparse image + mask the segmenter consumes.
+    pub fn read_out(
+        &mut self,
+        roi_box: RoiBox,
+        sample_rate: f32,
+    ) -> Result<SensedFrame, TensorError> {
+        let readout = self.sensor.sparse_readout(roi_box, sample_rate);
+        let encoded = readout.encode();
+        let decoded = rle::decode(&encoded, readout.stream.len()).map_err(|e| {
+            TensorError::InvalidArgument {
+                op: "rle_decode",
+                message: e.to_string(),
+            }
+        })?;
+        debug_assert_eq!(decoded, readout.stream);
+        let (w, h) = (self.seq.width, self.seq.height);
+        let (image, mask) = readout.sparse_image(w, h, self.sensor.config().adc_bits);
+        let mask_f: Vec<f32> = mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        Ok(SensedFrame {
+            image,
+            mask_f,
+            sampled: readout.sampled,
+            conversions: readout.conversions,
+            mipi_bytes: encoded.len() as u64,
+            roi_pixels: readout.roi.area() as u64,
+        })
+    }
+
+    /// Adopts a segmentation map as the next frame's feedback cue if it
+    /// actually found the eye.
+    pub fn adopt_feedback(&mut self, seg: Vec<u8>) {
+        if seg.iter().any(|&c| c != 0) {
+            self.prev_seg = seg;
+            self.have_seg = true;
+        }
+    }
+}

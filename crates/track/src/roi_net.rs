@@ -72,6 +72,21 @@ impl RoiNetConfig {
         ((h + 2 - 3) / 2 + 1, (w + 2 - 3) / 2 + 1)
     }
 
+    /// Builds the 2-channel network input from a full-resolution event map
+    /// and the previous segmentation mask (pure buffer math — no parameters
+    /// needed, so per-session pipelines can run it off the network).
+    pub fn make_input(&self, events: &[f32], prev_seg: &[u8]) -> NdArray {
+        let (w, h) = (self.frame_width, self.frame_height);
+        let f = self.input_downsample;
+        let (ev, iw, ih) = block_downsample(events, w, h, f);
+        let (seg, _, _) = downsample_mask_max(prev_seg, w, h, f);
+        let mut data = Vec::with_capacity(2 * iw * ih);
+        data.extend_from_slice(&ev);
+        // Normalise class labels to [0, 1].
+        data.extend(seg.iter().map(|&c| c as f32 / 3.0));
+        NdArray::from_vec(data, &[2, ih, iw]).expect("roi input shape")
+    }
+
     /// Lowered workload of one inference (pure shape math — no parameters
     /// are allocated), used by the NPU energy/latency model.
     pub fn workload(&self) -> WorkloadDesc {
@@ -135,15 +150,7 @@ impl RoiPredictionNet {
     /// Builds the 2-channel network input from a full-resolution event map
     /// and the previous segmentation mask.
     pub fn make_input(&self, events: &[f32], prev_seg: &[u8]) -> NdArray {
-        let (w, h) = (self.config.frame_width, self.config.frame_height);
-        let f = self.config.input_downsample;
-        let (ev, iw, ih) = block_downsample(events, w, h, f);
-        let (seg, _, _) = downsample_mask_max(prev_seg, w, h, f);
-        let mut data = Vec::with_capacity(2 * iw * ih);
-        data.extend_from_slice(&ev);
-        // Normalise class labels to [0, 1].
-        data.extend(seg.iter().map(|&c| c as f32 / 3.0));
-        NdArray::from_vec(data, &[2, ih, iw]).expect("roi input shape")
+        self.config.make_input(events, prev_seg)
     }
 
     /// Forward pass producing the normalised `(cx, cy, w, h)` box as a

@@ -75,6 +75,57 @@ impl ViTConfig {
         gw * gh
     }
 
+    /// Lowered workload of one **cross-frame batched** inference launch over
+    /// `frames` of `(tokens, pixels)` each — the timing model of
+    /// [`SparseViT::forward_batch`].
+    ///
+    /// Every weight GEMM (patch embedding, the fused `[dim, 3*dim]` QKV
+    /// projection, output projection, MLP, pixel head) runs *once* over the
+    /// summed token rows, amortising array fill/drain and partial row tiles;
+    /// the quadratic score/AV products stay per-frame because attention is
+    /// block-diagonal and never crosses a frame boundary. For a single frame
+    /// the total MAC count equals [`ViTConfig::workload`].
+    pub fn batched_workload(&self, frames: &[(usize, usize)]) -> WorkloadDesc {
+        let p2 = self.patch * self.patch;
+        let hd = self.dim / self.heads.max(1);
+        let total_t: usize = frames.iter().map(|&(t, _)| t).sum();
+        let total_pixels: usize = frames.iter().map(|&(_, p)| p).sum();
+        let mut w = WorkloadDesc::new("sparse-vit-batched");
+        w.push_linear(total_t, 2 * p2, self.dim);
+        for _ in 0..self.enc_depth {
+            w.push_linear(total_t, self.dim, 3 * self.dim);
+            for &(t, _) in frames {
+                for _ in 0..self.heads {
+                    w.gemms.push(GemmShape::activation(t, hd, t));
+                    w.gemms.push(GemmShape::activation(t, t, hd));
+                }
+            }
+            w.push_linear(total_t, self.dim, self.dim);
+            w.push_linear(total_t, self.dim, self.dim * self.mlp_ratio);
+            w.push_linear(total_t, self.dim * self.mlp_ratio, self.dim);
+        }
+        let total_dec: usize = frames.iter().map(|&(t, _)| t + self.num_classes).sum();
+        for _ in 0..self.dec_depth {
+            w.push_linear(total_dec, self.dim, 3 * self.dim);
+            for &(t, _) in frames {
+                let dt = t + self.num_classes;
+                for _ in 0..self.heads {
+                    w.gemms.push(GemmShape::activation(dt, hd, dt));
+                    w.gemms.push(GemmShape::activation(dt, dt, hd));
+                }
+            }
+            w.push_linear(total_dec, self.dim, self.dim);
+            w.push_linear(total_dec, self.dim, self.dim * self.mlp_ratio);
+            w.push_linear(total_dec, self.dim * self.mlp_ratio, self.dim);
+        }
+        for &(t, _) in frames {
+            w.gemms
+                .push(GemmShape::activation(t, self.dim, self.num_classes));
+        }
+        w.push_linear(total_pixels, 2, self.num_classes);
+        w
+    }
+
     /// Lowered workload for `tokens` occupied patches and `pixels`
     /// classification queries (pure shape math — no parameters allocated).
     pub fn workload(&self, tokens: usize, pixels: usize) -> WorkloadDesc {
@@ -93,6 +144,21 @@ impl ViTConfig {
         w.push_linear(pixels, 2, self.num_classes);
         w
     }
+}
+
+/// One frame lowered to its transformer inputs: occupied-patch tokens and
+/// per-pixel classification queries, ready for (batched) inference.
+struct PreparedFrame {
+    /// Patch-grid indices of occupied patches.
+    kept: Vec<usize>,
+    /// `(values, sample-mask)` rows for each kept patch, `[t, 2*p^2]` flat.
+    token_data: Vec<f32>,
+    /// Frame-flat index of every sampled pixel.
+    pixel_indices: Vec<usize>,
+    /// Frame-local token index owning each sampled pixel.
+    pixel_token: Vec<usize>,
+    /// `(value, 1)` feature pairs for the pixel refinement head.
+    pixel_feat: Vec<f32>,
 }
 
 /// Output of one sparse segmentation forward pass.
@@ -213,6 +279,10 @@ impl SparseViT {
     /// `sampled` the 0/1 sampling mask, both `width*height` long. Returns
     /// `None` when no pixel is sampled (e.g. mid-blink with an empty ROI).
     ///
+    /// Equivalent to [`SparseViT::forward_batch`] with a single frame — both
+    /// paths share the same kernels, so solo and batched results are
+    /// bit-identical.
+    ///
     /// # Errors
     ///
     /// Returns shape errors if the buffers do not match the configured frame.
@@ -221,6 +291,20 @@ impl SparseViT {
         image: &[f32],
         sampled: &[f32],
     ) -> Result<Option<SegPrediction>, TensorError> {
+        Ok(self
+            .forward_batch(&[(image, sampled)])?
+            .pop()
+            .expect("one output per input frame"))
+    }
+
+    /// Lowers one frame into its occupied-patch tokens and pixel queries.
+    ///
+    /// Returns `None` when no pixel is sampled.
+    fn prepare(
+        &self,
+        image: &[f32],
+        sampled: &[f32],
+    ) -> Result<Option<PreparedFrame>, TensorError> {
         let (w, h) = (self.config.frame_width, self.config.frame_height);
         if image.len() != w * h || sampled.len() != w * h {
             return Err(TensorError::InvalidArgument {
@@ -317,36 +401,125 @@ impl SparseViT {
             }
         }
 
-        let tokens_in = Tensor::constant(NdArray::from_vec(token_data, &[t, 2 * p2])?);
+        Ok(Some(PreparedFrame {
+            kept,
+            token_data,
+            pixel_indices,
+            pixel_token,
+            pixel_feat,
+        }))
+    }
+
+    /// Segments a batch of sparse frames with **cross-frame batched
+    /// inference**: the patch embedding, every transformer projection/MLP and
+    /// the pixel head run as *one* GEMM over all frames' tokens, while
+    /// attention stays block-diagonal per frame (see
+    /// [`bliss_nn::TransformerBlock::forward_spans`]). One set of kernel
+    /// launches replaces K — the serving runtime's hot path.
+    ///
+    /// Every output is **bit-identical** to running its frame through
+    /// [`SparseViT::forward`] alone: each per-row kernel accumulates in an
+    /// order independent of the surrounding batch, and attention never
+    /// crosses a frame boundary.
+    ///
+    /// Frames with no sampled pixel yield `None` at their position.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if any buffer does not match the configured
+    /// frame.
+    pub fn forward_batch(
+        &self,
+        frames: &[(&[f32], &[f32])],
+    ) -> Result<Vec<Option<SegPrediction>>, TensorError> {
+        let p2 = self.config.patch * self.config.patch;
+        let classes = self.config.num_classes;
+        let mut prepared: Vec<Option<PreparedFrame>> = frames
+            .iter()
+            .map(|(image, sampled)| self.prepare(image, sampled))
+            .collect::<Result<_, _>>()?;
+        let active: Vec<usize> = (0..prepared.len())
+            .filter(|&i| prepared[i].is_some())
+            .collect();
+        if active.is_empty() {
+            return Ok(prepared.into_iter().map(|_| None).collect());
+        }
+
+        // Stack all frames' tokens: one embedding GEMM, block-diagonal spans
+        // for the encoder.
+        let mut token_data = Vec::new();
+        let mut kept_all = Vec::new();
+        let mut enc_spans = Vec::with_capacity(active.len());
+        let mut cursor = 0usize;
+        for &i in &active {
+            let f = prepared[i].as_ref().expect("active frames are Some");
+            token_data.extend_from_slice(&f.token_data);
+            kept_all.extend_from_slice(&f.kept);
+            enc_spans.push((cursor, cursor + f.kept.len()));
+            cursor += f.kept.len();
+        }
+        let tokens_in = Tensor::constant(NdArray::from_vec(token_data, &[cursor, 2 * p2])?);
         let mut x = self
             .patch_embed
             .forward(&tokens_in)?
-            .add(&self.pos_embed.gather_rows(&kept)?)?;
+            .add(&self.pos_embed.gather_rows(&kept_all)?)?;
         for block in &self.encoder {
-            x = block.forward(&x)?;
+            x = block.forward_spans(&x, &enc_spans)?;
         }
-        let cat = Tensor::concat_rows(&[x, self.class_embed.clone()])?;
-        let mut d = cat;
+
+        // Decoder: each frame's token rows get their own copy of the class
+        // embeddings appended; spans grow by `classes` rows.
+        let mut dec_parts = Vec::with_capacity(2 * active.len());
+        let mut dec_spans = Vec::with_capacity(active.len());
+        let mut dec_cursor = 0usize;
+        for &(s, e) in &enc_spans {
+            dec_parts.push(x.slice_rows(s, e)?);
+            dec_parts.push(self.class_embed.clone());
+            dec_spans.push((dec_cursor, dec_cursor + (e - s) + classes));
+            dec_cursor += (e - s) + classes;
+        }
+        let mut d = Tensor::concat_rows(&dec_parts)?;
         for block in &self.decoder {
-            d = block.forward(&d)?;
+            d = block.forward_spans(&d, &dec_spans)?;
         }
-        let patch_tokens = d.slice_rows(0, t)?;
-        let class_tokens = d.slice_rows(t, t + self.config.num_classes)?;
-        let patch_logits = patch_tokens
-            .matmul(&class_tokens.transpose()?)?
-            .scale(1.0 / (self.config.dim as f32).sqrt());
 
-        let expanded = patch_logits.gather_rows(&pixel_token)?;
-        let s = pixel_indices.len();
-        let feats = Tensor::constant(NdArray::from_vec(pixel_feat, &[s, 2])?);
-        let refined = self.pixel_head.forward(&feats)?;
-        let logits = expanded.add(&refined)?;
+        // Pixel head: one GEMM over every frame's sampled-pixel features.
+        let mut pixel_feat_all = Vec::new();
+        let mut pixel_counts = Vec::with_capacity(active.len());
+        for &i in &active {
+            let f = prepared[i].as_ref().expect("active frames are Some");
+            pixel_feat_all.extend_from_slice(&f.pixel_feat);
+            pixel_counts.push(f.pixel_indices.len());
+        }
+        let s_total: usize = pixel_counts.iter().sum();
+        let feats = Tensor::constant(NdArray::from_vec(pixel_feat_all, &[s_total, 2])?);
+        let refined_all = self.pixel_head.forward(&feats)?;
 
-        Ok(Some(SegPrediction {
-            pixel_indices,
-            logits,
-            tokens: t,
-        }))
+        // Per-frame mask decoding: scaled patch-token x class-token product,
+        // expanded to the frame's pixel queries.
+        let mut out: Vec<Option<SegPrediction>> = frames.iter().map(|_| None).collect();
+        let mut pixel_cursor = 0usize;
+        for (slot, &i) in active.iter().enumerate() {
+            let f = prepared[i].take().expect("active frames are Some");
+            let (ds, de) = dec_spans[slot];
+            let t = f.kept.len();
+            let patch_tokens = d.slice_rows(ds, ds + t)?;
+            let class_tokens = d.slice_rows(ds + t, de)?;
+            let patch_logits = patch_tokens
+                .matmul(&class_tokens.transpose()?)?
+                .scale(1.0 / (self.config.dim as f32).sqrt());
+            let expanded = patch_logits.gather_rows(&f.pixel_token)?;
+            let refined =
+                refined_all.slice_rows(pixel_cursor, pixel_cursor + pixel_counts[slot])?;
+            pixel_cursor += pixel_counts[slot];
+            let logits = expanded.add(&refined)?;
+            out[i] = Some(SegPrediction {
+                pixel_indices: f.pixel_indices,
+                logits,
+                tokens: t,
+            });
+        }
+        Ok(out)
     }
 
     /// Lowered workload for `tokens` occupied patches and `pixels`
@@ -431,6 +604,26 @@ mod tests {
     }
 
     #[test]
+    fn batched_workload_macs_match_solo_and_attention_stays_per_frame() {
+        let cfg = ViTConfig::paper();
+        // A single frame's batched launch costs exactly the solo workload.
+        assert_eq!(
+            cfg.batched_workload(&[(108, 6851)]).total_macs(),
+            cfg.workload(108, 6851).total_macs()
+        );
+        // A K-frame batch costs exactly K solo launches in MACs (the fused
+        // GEMMs save *launches*, not arithmetic), and far less than one
+        // monolithic launch over the summed tokens, whose attention would be
+        // quadratic in K*t.
+        let k = 8usize;
+        let batch: Vec<(usize, usize)> = (0..k).map(|_| (108, 6851)).collect();
+        let batched = cfg.batched_workload(&batch).total_macs();
+        assert_eq!(batched, k as u64 * cfg.workload(108, 6851).total_macs());
+        let monolithic = cfg.workload(108 * k, 6851 * k).total_macs();
+        assert!(batched < (monolithic * 7) / 10, "{batched} vs {monolithic}");
+    }
+
+    #[test]
     fn macs_shrink_with_tokens() {
         let vit = tiny();
         let dense = vit.macs(12, 1200);
@@ -477,6 +670,80 @@ mod tests {
     fn rejects_wrong_buffer_size() {
         let vit = tiny();
         assert!(vit.forward(&[0.0; 10], &[0.0; 10]).is_err());
+        assert!(vit
+            .forward_batch(&[(&[0.0; 10][..], &[0.0; 10][..])])
+            .is_err());
+    }
+
+    /// Builds a deterministic pseudo-random sparse frame.
+    fn synth_frame(seed: u64, rate: f32) -> (Vec<f32>, Vec<f32>) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut image = vec![0.0f32; 1200];
+        let mut mask = vec![0.0f32; 1200];
+        for i in 0..1200 {
+            if rng.gen::<f32>() < rate {
+                mask[i] = 1.0;
+                image[i] = rng.gen::<f32>();
+            }
+        }
+        (image, mask)
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_solo_forwards() {
+        let vit = tiny();
+        // Mixed batch: dense, sparse, empty, single-pixel frames.
+        let dense = synth_frame(1, 1.0);
+        let sparse = synth_frame(2, 0.05);
+        let empty = (vec![0.0f32; 1200], vec![0.0f32; 1200]);
+        let mut single = (vec![0.0f32; 1200], vec![0.0f32; 1200]);
+        single.0[777] = 0.3;
+        single.1[777] = 1.0;
+        let frames = [&dense, &sparse, &empty, &single];
+        let batch: Vec<(&[f32], &[f32])> = frames.iter().map(|f| (&f.0[..], &f.1[..])).collect();
+        let batched = vit.forward_batch(&batch).unwrap();
+        assert_eq!(batched.len(), 4);
+        assert!(batched[2].is_none(), "empty frame must yield None");
+        for (i, f) in frames.iter().enumerate() {
+            let solo = vit.forward(&f.0, &f.1).unwrap();
+            match (&batched[i], &solo) {
+                (Some(b), Some(s)) => {
+                    assert_eq!(b.pixel_indices, s.pixel_indices);
+                    assert_eq!(b.tokens, s.tokens);
+                    assert_eq!(
+                        b.logits.value().data(),
+                        s.logits.value().data(),
+                        "frame {i} logits must be bit-identical"
+                    );
+                }
+                (None, None) => {}
+                _ => panic!("frame {i}: batched/solo presence disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_is_thread_count_invariant() {
+        let vit = tiny();
+        let a = synth_frame(5, 0.1);
+        let b = synth_frame(6, 0.3);
+        let batch: Vec<(&[f32], &[f32])> = [&a, &b].iter().map(|f| (&f.0[..], &f.1[..])).collect();
+        let run = || {
+            vit.forward_batch(&batch)
+                .unwrap()
+                .into_iter()
+                .map(|p| p.unwrap().logits.value().data().to_vec())
+                .collect::<Vec<_>>()
+        };
+        let serial = bliss_parallel::with_thread_count(1, run);
+        for threads in [2, 8] {
+            assert_eq!(
+                serial,
+                bliss_parallel::with_thread_count(threads, run),
+                "t={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,18 +1,302 @@
-//! No-op derive macros standing in for `serde_derive`.
+//! Offline stand-in for `serde_derive`.
 //!
-//! The companion `serde` shim blanket-implements its marker traits for every
-//! type, so these derives only need to exist — they expand to nothing.
+//! `#[derive(Serialize)]` generates a real implementation of the companion
+//! `serde` shim's JSON-writing [`Serialize`] trait (see `shims/serde`):
+//! named structs serialise as objects, tuple structs as arrays, and enums in
+//! serde's externally-tagged form (`"Variant"` for unit variants,
+//! `{"Variant": …}` for data-carrying ones). The macro parses the item's
+//! token stream directly — the offline container has no `syn`/`quote` — which
+//! covers every shape this workspace derives: non-generic structs and enums,
+//! `pub`/`pub(crate)` fields, attributes and doc comments. Generic items are
+//! rejected with a compile error rather than silently mis-handled.
+//!
+//! `#[derive(Deserialize)]` stays a no-op: the `serde` shim keeps
+//! `Deserialize` as a blanket marker trait (nothing in the tree parses JSON).
 
-use proc_macro::TokenStream;
-
-/// No-op `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
-}
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// No-op `#[derive(Deserialize)]`.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
+}
+
+/// Derives the `serde` shim's JSON [`Serialize`] trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// One parsed field: its name (named structs / struct variants) or index.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    skip_attrs_and_vis(tokens, &mut i);
+    let kind = match ident_at(tokens, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name =
+        ident_at(tokens, i).ok_or_else(|| "serde shim derive: missing type name".to_string())?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported; \
+             implement `serde::Serialize` by hand"
+        ));
+    }
+
+    let body = if kind == "struct" {
+        let fields = parse_fields(tokens.get(i));
+        struct_body(&fields)
+    } else {
+        let variants = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_variants(&g.stream().into_iter().collect::<Vec<_>>())
+            }
+            _ => return Err("serde shim derive: malformed enum body".into()),
+        };
+        enum_body(&name, &variants)
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    ))
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances `i` past `#[...]` attributes (incl. doc comments) and a
+/// `pub`/`pub(restricted)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            (Some(TokenTree::Ident(id)), next) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = next {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses the field list of a struct or enum variant from its body token.
+fn parse_fields(body: Option<&TokenTree>) -> Fields {
+    match body {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Fields::Named(
+            named_field_names(&g.stream().into_iter().collect::<Vec<_>>()),
+        ),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(tuple_arity(&g.stream().into_iter().collect::<Vec<_>>()))
+        }
+        _ => Fields::Unit,
+    }
+}
+
+/// Field names of a named-field body: for each comma-separated entry, the
+/// identifier immediately before the first top-level `:`.
+fn named_field_names(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        // Skip to the next top-level comma. Angle brackets in the field type
+        // (`Vec<f32>`) appear as bare puncts, so track their depth.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma
+    }
+    names
+}
+
+/// Number of fields in a tuple body: top-level commas + 1 (ignoring a
+/// trailing comma), 0 for an empty body.
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut trailing = false;
+    for t in tokens {
+        trailing = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing = true;
+            }
+            _ => {}
+        }
+    }
+    commas + 1 - usize::from(trailing)
+}
+
+/// Parses `Variant`, `Variant(..)`, `Variant{..}` and `Variant = expr`
+/// entries of an enum body.
+fn parse_variants(tokens: &[TokenTree]) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                let f = parse_fields(tokens.get(i));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an explicit discriminant and advance past the comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// `write_json` body for a struct.
+fn struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "out.push_str(\"null\");".to_string(),
+        Fields::Named(names) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in names.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                // JSON key drops any r# raw-identifier prefix; the field
+                // access keeps it.
+                let key = f.trim_start_matches("r#");
+                b.push_str(&format!(
+                    "out.push_str(\"\\\"{key}\\\":\");\n\
+                     ::serde::Serialize::write_json(&self.{f}, out);\n"
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Fields::Tuple(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "::serde::Serialize::write_json(&self.{i}, out);\n"
+                ));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+    }
+}
+
+/// `write_json` body for an enum: a match over its variants.
+fn enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut b = String::from("match self {\n");
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                b.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"));
+            }
+            Fields::Tuple(1) => {
+                b.push_str(&format!(
+                    "{name}::{v}(f0) => {{\n\
+                         out.push_str(\"{{\\\"{v}\\\":\");\n\
+                         ::serde::Serialize::write_json(f0, out);\n\
+                         out.push('}}');\n\
+                     }}\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                b.push_str(&format!(
+                    "{name}::{v}({}) => {{\n\
+                         out.push_str(\"{{\\\"{v}\\\":[\");\n",
+                    binds.join(", ")
+                ));
+                for (i, bind) in binds.iter().enumerate() {
+                    if i > 0 {
+                        b.push_str("out.push(',');\n");
+                    }
+                    b.push_str(&format!("::serde::Serialize::write_json({bind}, out);\n"));
+                }
+                b.push_str("out.push_str(\"]}\");\n}\n");
+            }
+            Fields::Named(fs) => {
+                b.push_str(&format!(
+                    "{name}::{v} {{ {} }} => {{\n\
+                         out.push_str(\"{{\\\"{v}\\\":{{\");\n",
+                    fs.join(", ")
+                ));
+                for (i, f) in fs.iter().enumerate() {
+                    if i > 0 {
+                        b.push_str("out.push(',');\n");
+                    }
+                    let key = f.trim_start_matches("r#");
+                    b.push_str(&format!(
+                        "out.push_str(\"\\\"{key}\\\":\");\n\
+                         ::serde::Serialize::write_json({f}, out);\n"
+                    ));
+                }
+                b.push_str("out.push_str(\"}}\");\n}\n");
+            }
+        }
+    }
+    b.push('}');
+    b
 }

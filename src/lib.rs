@@ -21,6 +21,7 @@
 //! * [`timing`] — frame-pipeline timing simulator
 //! * [`track`] — ROI prediction, sparse ViT segmentation, sampling strategies
 //! * [`core`] — the assembled system, its variants and the paper experiments
+//! * [`serve`] — multi-session streaming runtime with batched inference
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use bliss_nn as nn;
 pub use bliss_npu as npu;
 pub use bliss_parallel as parallel;
 pub use bliss_sensor as sensor;
+pub use bliss_serve as serve;
 pub use bliss_tensor as tensor;
 pub use bliss_timing as timing;
 pub use bliss_track as track;
