@@ -1,0 +1,106 @@
+//! Sharding sweep of the `bliss_fleet` multi-host serving fleet.
+//!
+//! Trains one BlissCam model, then serves (sessions × hosts × placement
+//! policy) load points with latency accounted at the paper's 640x400 /
+//! ViT-S / 7 nm host point — where a single host saturates at N≈2–4
+//! sessions, so the host axis shows real throughput scaling under the
+//! per-launch dispatch-overhead model.
+//!
+//! Results go to `BENCH_fleet.json` at the workspace root (or
+//! `BLISS_BENCH_OUT`), next to `BENCH_serve.json`; the `fleet-smoke` CI job
+//! uploads it on every push. `--quick` (or `BLISS_BENCH_FAST=1`) runs a
+//! reduced sweep for CI.
+
+use bliss_fleet::{FleetConfig, FleetReport, FleetRuntime, PlacementPolicy};
+use blisscam_core::SystemConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One load point of the sweep.
+#[derive(Serialize)]
+struct SweepPoint {
+    sessions: usize,
+    hosts: usize,
+    policy: String,
+    report: FleetReport,
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct SweepReport {
+    mode: String,
+    frames_per_session: usize,
+    points: Vec<SweepPoint>,
+}
+
+fn main() {
+    let quick = bliss_bench::fast_mode();
+    let (session_counts, host_counts, frames): (&[usize], &[usize], usize) = if quick {
+        (&[6], &[1, 2], 4)
+    } else {
+        (&[8, 16, 32], &[1, 2, 4, 8], 24)
+    };
+
+    let mut system = SystemConfig::miniature();
+    if quick {
+        system.train_frames = 30;
+        system.vit.dim = 24;
+        system.vit.enc_depth = 1;
+        system.roi_net.hidden = 32;
+    }
+    eprintln!("training the shared BlissCam model ...");
+    let fleet = FleetRuntime::new(system)
+        .expect("training succeeds")
+        .with_paper_scale_timing();
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for &n in session_counts {
+        for &hosts in host_counts {
+            for policy in PlacementPolicy::ALL {
+                let cfg = FleetConfig::new(hosts, policy, n, frames);
+                let t0 = Instant::now();
+                let outcome = fleet.serve(&cfg).expect("fleet serves");
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let r = outcome.report;
+                rows.push(vec![
+                    n.to_string(),
+                    hosts.to_string(),
+                    policy.label().to_string(),
+                    format!("{:.2}", r.latency.p50_ms),
+                    format!("{:.2}", r.latency.p99_ms),
+                    format!("{:.1}", r.deadline_miss_rate * 100.0),
+                    format!("{:.0}", r.throughput_fps),
+                    format!("{:.2}", r.mean_batch_size),
+                    format!("{:.0}", r.mean_utilisation * 100.0),
+                ]);
+                points.push(SweepPoint {
+                    sessions: n,
+                    hosts,
+                    policy: policy.label().to_string(),
+                    report: r,
+                    wall_ms,
+                });
+            }
+        }
+    }
+
+    bliss_bench::print_table(
+        "bliss_fleet sharding sweep (paper-scale timing, work-conserving batching per shard)",
+        &[
+            "N", "hosts", "policy", "p50 ms", "p99 ms", "miss %", "thr f/s", "mean B", "duty %",
+        ],
+        &rows,
+    );
+
+    let report = SweepReport {
+        mode: if quick { "quick" } else { "standard" }.to_string(),
+        frames_per_session: frames,
+        points,
+    };
+    let path = bliss_bench::report_path("BENCH_fleet.json");
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("wrote fleet sweep to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

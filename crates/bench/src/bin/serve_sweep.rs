@@ -15,7 +15,6 @@
 use bliss_serve::{ServeConfig, ServeReport, ServeRuntime};
 use blisscam_core::SystemConfig;
 use serde::Serialize;
-use std::path::PathBuf;
 use std::time::Instant;
 
 /// One load point: the same fleet served batched and sequentially.
@@ -40,36 +39,8 @@ struct SweepReport {
     points: Vec<SweepPoint>,
 }
 
-fn fast_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
-        || std::env::var("BLISS_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
-}
-
-/// `BENCH_serve.json` at the workspace root (nearest ancestor with a
-/// `Cargo.lock`), or the `BLISS_BENCH_OUT` override.
-fn report_path() -> PathBuf {
-    if let Ok(path) = std::env::var("BLISS_BENCH_OUT") {
-        if !path.is_empty() {
-            return PathBuf::from(path);
-        }
-    }
-    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .or_else(|_| std::env::current_dir())
-        .unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        if dir.join("Cargo.lock").exists() {
-            return dir.join("BENCH_serve.json");
-        }
-        if !dir.pop() {
-            break;
-        }
-    }
-    PathBuf::from("BENCH_serve.json")
-}
-
 fn main() {
-    let quick = fast_mode();
+    let quick = bliss_bench::fast_mode();
     let (session_counts, frames): (&[usize], usize) = if quick {
         (&[1, 4, 16], 6)
     } else {
@@ -156,7 +127,7 @@ fn main() {
         max_batch,
         points,
     };
-    let path = report_path();
+    let path = bliss_bench::report_path("BENCH_serve.json");
     match std::fs::write(&path, report.to_json()) {
         Ok(()) => println!("wrote serve sweep to {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

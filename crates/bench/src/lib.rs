@@ -69,6 +69,38 @@ pub fn scale_from_args() -> ExperimentScale {
     }
 }
 
+/// Whether a sweep binary should run its reduced CI profile: the `--quick`
+/// flag or a non-empty, non-`"0"` `BLISS_BENCH_FAST` environment variable.
+pub fn fast_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("BLISS_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Resolves where a sweep binary writes its `BENCH_<name>.json`: the
+/// `BLISS_BENCH_OUT` override when set, else `name` at the workspace root
+/// (nearest ancestor with a `Cargo.lock`), else the current directory.
+pub fn report_path(name: &str) -> std::path::PathBuf {
+    use std::path::PathBuf;
+    if let Ok(path) = std::env::var("BLISS_BENCH_OUT") {
+        if !path.is_empty() {
+            return PathBuf::from(path);
+        }
+    }
+    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join(name);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(name)
+}
+
 /// Formats seconds as adaptive ms/us text.
 pub fn fmt_time(seconds: f64) -> String {
     if seconds >= 1e-3 {

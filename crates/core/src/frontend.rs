@@ -1,0 +1,345 @@
+//! The shared per-frame sensor/feedback front-end of the sparse pipeline.
+//!
+//! Exactly one implementation of BlissCam's closed loop — noise → exposure →
+//! analog eventification → ROI-net input assembly → cold-start full-frame
+//! fallback → SRAM-sampled sparse readout → RLE over MIPI → host decode →
+//! segmentation feedback → geometric gaze — shared by the lock-step
+//! simulator ([`crate::EyeTrackingSystem`]) and the streaming runtime
+//! (`bliss_serve`). Before this module existed the stages were duplicated in
+//! both crates, and a change to one could silently miss the other; the
+//! serve-vs-system equivalence suite now pins the two paths to the same
+//! bits.
+//!
+//! # Contract
+//!
+//! A [`SparseFrontEnd`] owns every piece of per-stream mutable state (the
+//! sensor's analog memory and entropy, the imaging-noise RNG, the fed-back
+//! segmentation map, the gaze estimator), so N front ends advance
+//! independently — and deterministically — on any thread pool. Per frame,
+//! the stages must run in this order:
+//!
+//! 1. [`SparseFrontEnd::sense_events`] — one imaging-noise draw, exposure,
+//!    analog eventification against the held previous frame;
+//! 2. [`SparseFrontEnd::roi_input`] — assemble the 2-channel ROI-net input
+//!    from the event map and the fed-back segmentation;
+//! 3. [`SparseFrontEnd::select_box`] — the predicted box, or the full-frame
+//!    cold-start bootstrap before the first segmentation feedback arrives;
+//! 4. [`SparseFrontEnd::read_out`] — SRAM-metastability sampling inside the
+//!    box, RLE encode, modelled MIPI transfer, host-side decode into the
+//!    sparse image + mask;
+//! 5. the host ViT (solo `forward` or cross-session `forward_batch` — the
+//!    front end does not care which);
+//! 6. [`SparseFrontEnd::absorb`] — adopt the segmentation as the next
+//!    frame's feedback cue and regress the gaze.
+//!
+//! [`SparseFrontEnd::run_frame`] is the lock-step composition of those
+//! stages for callers that do not interleave other sessions in between.
+//!
+//! The RNG streams are seeded as `seed ^ 0xD5` (sensor) and `seed ^ 0xE7A1`
+//! (imaging noise), and both advance exactly once per
+//! [`SparseFrontEnd::begin_stream`]/[`SparseFrontEnd::sense_events`] call —
+//! so a stream's outputs depend only on `(seed, frame sequence)`, never on
+//! batching or scheduling.
+
+use crate::config::SystemConfig;
+use crate::energy_model::FrameCounts;
+use bliss_eye::{
+    render_sequence_with, EyeModel, EyeSequence, Gaze, ImagingNoise, Scenario, SequenceConfig,
+};
+use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
+use bliss_tensor::{NdArray, Tensor, TensorError};
+use bliss_track::{GazeEstimator, RoiNetConfig, RoiPredictionNet, SegPrediction, SparseViT};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The sensor-side product of one frame, as handed to the host network:
+/// the decoded sparse image plus the occupancy/traffic counters the energy
+/// and timing models bill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensedFrame {
+    /// Sparse reconstruction of the frame (unsampled pixels are zero).
+    pub image: Vec<f32>,
+    /// Per-pixel occupancy mask (`1.0` where a sample landed).
+    pub mask: Vec<f32>,
+    /// Pixels transmitted to the host.
+    pub sampled: usize,
+    /// ADC conversions performed.
+    pub conversions: u64,
+    /// Bytes on the MIPI link (RLE-compressed).
+    pub mipi_bytes: u64,
+    /// Area of the ROI box that was read out, in pixels.
+    pub roi_pixels: u64,
+}
+
+impl SensedFrame {
+    /// The energy-model counters for this frame, given the host's occupied
+    /// token count.
+    pub fn counts(&self, tokens: usize) -> FrameCounts {
+        FrameCounts {
+            conversions: self.conversions,
+            sampled: self.sampled as u64,
+            mipi_payload_bytes: self.mipi_bytes,
+            tokens,
+            roi_pixels: self.roi_pixels,
+        }
+    }
+}
+
+/// One frame's complete front-end outcome under the lock-step composition
+/// ([`SparseFrontEnd::run_frame`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedFrame {
+    /// The sensor-side stage outputs.
+    pub sensed: SensedFrame,
+    /// The regressed gaze.
+    pub gaze: Gaze,
+    /// Occupied ViT tokens this frame contributed to the host launch.
+    pub tokens: usize,
+}
+
+/// Per-stream state of the sparse per-frame pipeline (see the module docs
+/// for the stage contract).
+#[derive(Debug)]
+pub struct SparseFrontEnd {
+    width: usize,
+    height: usize,
+    sensor: DigitalPixelSensor,
+    noise: ImagingNoise,
+    rng: StdRng,
+    estimator: Option<GazeEstimator>,
+    prev_seg: Vec<u8>,
+    have_seg: bool,
+}
+
+impl SparseFrontEnd {
+    /// Builds the front end's sensor and RNG streams for `seed`.
+    ///
+    /// The stream is not usable until [`SparseFrontEnd::begin_stream`]
+    /// primes the sensor's analog memory with a sequence's frame 0.
+    pub fn new(width: usize, height: usize, seed: u64) -> Self {
+        let mut sensor_cfg = SensorConfig::miniature(width, height);
+        sensor_cfg.seed = seed ^ 0xD5;
+        SparseFrontEnd {
+            width,
+            height,
+            sensor: DigitalPixelSensor::new(sensor_cfg),
+            noise: ImagingNoise::default(),
+            rng: StdRng::seed_from_u64(seed ^ 0xE7A1),
+            estimator: None,
+            prev_seg: vec![0u8; width * height],
+            have_seg: false,
+        }
+    }
+
+    /// Starts a stream: resets the feedback state, installs the gaze
+    /// estimator for `model`'s geometry and primes the sensor's analog
+    /// memory with the sequence's frame 0 (which is sensed but never
+    /// served — eventification needs a held previous frame).
+    pub fn begin_stream(&mut self, model: EyeModel, first_clean: &[f32]) {
+        self.estimator = Some(GazeEstimator::new(model));
+        self.prev_seg.fill(0);
+        self.have_seg = false;
+        let first = self.noise.apply(first_clean, 1.0, &mut self.rng);
+        self.sensor.expose(&first);
+        let _ = self.sensor.eventify();
+    }
+
+    /// Renders a [`Scenario`]-parameterised stream of `frames` servable
+    /// frames for `seed` and builds + primes its front end — THE single
+    /// recipe behind both execution paths (`bliss_serve` sessions and
+    /// [`crate::EyeTrackingSystem::run_scenario_frames`]), so a stream's
+    /// identity is `(system geometry, scenario, seed, frames)` everywhere
+    /// and the serve-vs-lockstep equivalence holds by construction.
+    ///
+    /// The sequence gets one extra leading frame: frame 0 primes the
+    /// sensor's analog memory and is never served.
+    pub fn scenario_stream(
+        system: &SystemConfig,
+        scenario: Scenario,
+        seed: u64,
+        frames: usize,
+    ) -> (EyeSequence, SparseFrontEnd) {
+        let seq_cfg = SequenceConfig {
+            width: system.width,
+            height: system.height,
+            frames: frames + 1,
+            fps: system.fps as f32,
+            seed,
+        };
+        let trajectory = scenario.trajectory_config(seq_cfg.fps);
+        let seq = render_sequence_with(&seq_cfg, trajectory);
+        let mut front = SparseFrontEnd::new(system.width, system.height, seed);
+        front.begin_stream(seq.model.clone(), &seq.frames[0].clean);
+        (seq, front)
+    }
+
+    /// Stage 1: exposes `clean` through the imaging-noise model and
+    /// eventifies it against the held previous frame, returning the
+    /// full-resolution event map.
+    pub fn sense_events(&mut self, clean: &[f32]) -> Vec<f32> {
+        let noisy = self.noise.apply(clean, 1.0, &mut self.rng);
+        self.sensor.expose(&noisy);
+        self.sensor.eventify().to_f32()
+    }
+
+    /// Stage 2: assembles the 2-channel in-sensor ROI-net input from the
+    /// event map and the fed-back segmentation map (pure buffer math, safe
+    /// to fan out across sessions).
+    pub fn roi_input(&self, cfg: &RoiNetConfig, events: &[f32]) -> NdArray {
+        cfg.make_input(events, &self.prev_seg)
+    }
+
+    /// Stage 3: the readout box for this frame — the ROI net's prediction
+    /// once segmentation feedback exists, otherwise the hardware's
+    /// cold-start full-frame bootstrap read.
+    pub fn select_box(&self, roi_net: &RoiPredictionNet, roi_out: &Tensor) -> RoiBox {
+        if self.have_seg {
+            roi_net.predict_box(roi_out)
+        } else {
+            RoiBox::full(self.width, self.height)
+        }
+    }
+
+    /// Stage 4: sparse readout through the SRAM-metastability sampler
+    /// inside `roi`, RLE encode over the modelled MIPI link, and host-side
+    /// decode into the sparse image + mask the segmenter consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the RLE stream fails to round-trip (a modelling
+    /// bug, not an input condition).
+    pub fn read_out(&mut self, roi: RoiBox, sample_rate: f32) -> Result<SensedFrame, TensorError> {
+        let readout = self.sensor.sparse_readout(roi, sample_rate);
+        let encoded = readout.encode();
+        let decoded = rle::decode(&encoded, readout.stream.len()).map_err(|e| {
+            TensorError::InvalidArgument {
+                op: "rle_decode",
+                message: e.to_string(),
+            }
+        })?;
+        debug_assert_eq!(decoded, readout.stream);
+        let (image, mask) =
+            readout.sparse_image(self.width, self.height, self.sensor.config().adc_bits);
+        let mask: Vec<f32> = mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        Ok(SensedFrame {
+            image,
+            mask,
+            sampled: readout.sampled,
+            conversions: readout.conversions,
+            mipi_bytes: encoded.len() as u64,
+            roi_pixels: readout.roi.area() as u64,
+        })
+    }
+
+    /// Stage 6: closes the loop on a host prediction — adopts the
+    /// segmentation as the next frame's feedback cue if it actually found
+    /// the eye, and regresses the gaze (holding the last estimate when the
+    /// launch produced nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SparseFrontEnd::begin_stream`].
+    pub fn absorb(&mut self, prediction: Option<SegPrediction>) -> (Gaze, usize) {
+        let estimator = self
+            .estimator
+            .as_mut()
+            .expect("begin_stream must run before absorb");
+        match prediction {
+            Some(pred) => {
+                let classes = pred.classes();
+                let seg = pred.seg_map(self.width, self.height);
+                if seg.iter().any(|&c| c != 0) {
+                    self.prev_seg = seg;
+                    self.have_seg = true;
+                }
+                (
+                    estimator.estimate_from_pairs(&classes, self.width),
+                    pred.tokens,
+                )
+            }
+            None => (estimator.last(), 0),
+        }
+    }
+
+    /// The lock-step composition of stages 1–6 with a solo host launch in
+    /// the middle — one frame end-to-end. The streaming runtime runs the
+    /// same stages individually so that stage 5 can batch across sessions;
+    /// the equivalence suite pins both compositions to identical bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from the networks.
+    pub fn run_frame(
+        &mut self,
+        clean: &[f32],
+        roi_net: &RoiPredictionNet,
+        vit: &SparseViT,
+        sample_rate: f32,
+    ) -> Result<ServedFrame, TensorError> {
+        let events = self.sense_events(clean);
+        let input = self.roi_input(roi_net.config(), &events);
+        let roi_out = roi_net.forward(&input)?;
+        let roi = self.select_box(roi_net, &roi_out);
+        let sensed = self.read_out(roi, sample_rate)?;
+        let prediction = vit.forward(&sensed.image, &sensed.mask)?;
+        let (gaze, tokens) = self.absorb(prediction);
+        Ok(ServedFrame {
+            sensed,
+            gaze,
+            tokens,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bliss_eye::{render_sequence, SequenceConfig};
+
+    #[test]
+    fn cold_start_reads_the_full_frame_then_shrinks() {
+        // Structural check without trained networks: before any feedback the
+        // selected box must be the full frame, independent of the ROI
+        // prediction.
+        let seq = render_sequence(&SequenceConfig {
+            width: 80,
+            height: 50,
+            frames: 3,
+            fps: 120.0,
+            seed: 9,
+        });
+        let mut fe = SparseFrontEnd::new(80, 50, 9);
+        fe.begin_stream(seq.model.clone(), &seq.frames[0].clean);
+        assert!(!fe.have_seg);
+        let events = fe.sense_events(&seq.frames[1].clean);
+        assert_eq!(events.len(), 80 * 50);
+        let sensed = fe.read_out(RoiBox::full(80, 50), 0.2).unwrap();
+        assert_eq!(sensed.image.len(), 80 * 50);
+        assert_eq!(sensed.roi_pixels, 80 * 50);
+        assert!(sensed.sampled > 0 && sensed.sampled <= 80 * 50);
+        assert_eq!(sensed.counts(7).tokens, 7);
+        assert_eq!(sensed.counts(7).sampled, sensed.sampled as u64);
+    }
+
+    #[test]
+    fn streams_with_the_same_seed_sense_identically() {
+        let seq = render_sequence(&SequenceConfig {
+            width: 80,
+            height: 50,
+            frames: 4,
+            fps: 120.0,
+            seed: 5,
+        });
+        let run = || {
+            let mut fe = SparseFrontEnd::new(80, 50, 123);
+            fe.begin_stream(seq.model.clone(), &seq.frames[0].clean);
+            let e1 = fe.sense_events(&seq.frames[1].clean);
+            let s1 = fe.read_out(RoiBox::full(80, 50), 0.2).unwrap();
+            (e1, s1)
+        };
+        let (ea, sa) = run();
+        let (eb, sb) = run();
+        assert_eq!(ea, eb);
+        assert_eq!(sa, sb);
+    }
+}

@@ -35,6 +35,7 @@
 mod config;
 mod energy_model;
 pub mod experiments;
+pub mod frontend;
 mod latency_model;
 mod system;
 
@@ -42,6 +43,7 @@ pub use config::{SystemConfig, SystemVariant};
 pub use energy_model::{
     energy_breakdown, energy_breakdown_with_counts, EnergyBreakdown, FrameCounts,
 };
+pub use frontend::{SensedFrame, ServedFrame, SparseFrontEnd};
 pub use latency_model::{
     host_batched_segmentation_time_s, host_segmentation_time_s, simulate_pipeline, stage_durations,
 };

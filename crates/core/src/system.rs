@@ -1,11 +1,15 @@
 use crate::config::{SystemConfig, SystemVariant};
 use crate::energy_model::{energy_breakdown_with_counts, EnergyBreakdown, FrameCounts};
+use crate::frontend::SparseFrontEnd;
 use crate::latency_model::simulate_pipeline;
-use bliss_eye::{render_sequence, EyeSequence, Gaze, ImagingNoise, SequenceConfig};
-use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
+use bliss_eye::{render_sequence, EyeSequence, Gaze, ImagingNoise, Scenario, SequenceConfig};
+use bliss_sensor::{DigitalPixelSensor, RoiBox, SensorConfig};
 use bliss_tensor::TensorError;
 use bliss_timing::PipelineReport;
-use bliss_track::{util::frame_difference_events, DenseTrainer, GazeEstimator, JointTrainer};
+use bliss_track::{
+    util::frame_difference_events, DenseTrainer, GazeEstimator, JointTrainer, RoiPredictionNet,
+    SparseViT,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -116,16 +120,25 @@ impl SystemReport {
 pub struct EyeTrackingSystem {
     variant: SystemVariant,
     config: SystemConfig,
-    sensor: DigitalPixelSensor,
     pipeline: HostPipeline,
-    noise: ImagingNoise,
-    rng: StdRng,
 }
 
+/// The trained host networks plus the per-stream sensor-side state each
+/// pipeline flavour owns. The sparse arm's sensor/noise/RNG state lives
+/// inside the shared [`SparseFrontEnd`] — the same component `bliss_serve`
+/// drives — so the two execution paths cannot drift apart.
 #[derive(Debug)]
 enum HostPipeline {
-    Sparse(Box<JointTrainer>),
-    Dense(Box<DenseTrainer>),
+    Sparse {
+        trainer: Box<JointTrainer>,
+        front: SparseFrontEnd,
+    },
+    Dense {
+        trainer: Box<DenseTrainer>,
+        sensor: DigitalPixelSensor,
+        noise: ImagingNoise,
+        rng: StdRng,
+    },
 }
 
 impl EyeTrackingSystem {
@@ -145,7 +158,10 @@ impl EyeTrackingSystem {
         let pipeline = if variant.in_sensor_sampling() {
             let mut trainer = JointTrainer::new(config.train_config())?;
             trainer.train_on(&train_seq)?;
-            HostPipeline::Sparse(Box::new(trainer))
+            HostPipeline::Sparse {
+                trainer: Box::new(trainer),
+                front: SparseFrontEnd::new(config.width, config.height, config.seed),
+            }
         } else {
             let mut trainer = DenseTrainer::new(
                 "ritnet",
@@ -157,17 +173,19 @@ impl EyeTrackingSystem {
             );
             trainer.set_epochs(config.train_epochs.max(1));
             trainer.train_on(&train_seq)?;
-            HostPipeline::Dense(Box::new(trainer))
+            let mut sensor_cfg = SensorConfig::miniature(config.width, config.height);
+            sensor_cfg.seed = config.seed ^ 0xD5;
+            HostPipeline::Dense {
+                trainer: Box::new(trainer),
+                sensor: DigitalPixelSensor::new(sensor_cfg),
+                noise: ImagingNoise::default(),
+                rng: StdRng::seed_from_u64(config.seed ^ 0xE7A1),
+            }
         };
-        let mut sensor_cfg = SensorConfig::miniature(config.width, config.height);
-        sensor_cfg.seed = config.seed ^ 0xD5;
         Ok(EyeTrackingSystem {
             variant,
             config,
-            sensor: DigitalPixelSensor::new(sensor_cfg),
             pipeline,
-            noise: ImagingNoise::default(),
-            rng: StdRng::seed_from_u64(config.seed ^ 0xE7A1),
         })
     }
 
@@ -179,6 +197,25 @@ impl EyeTrackingSystem {
     /// The configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// The trained sparse ViT segmenter (`None` for dense variants). The
+    /// serving layers wrap these shared networks via
+    /// `ServeRuntime::with_networks`-style constructors.
+    pub fn vit(&self) -> Option<&SparseViT> {
+        match &self.pipeline {
+            HostPipeline::Sparse { trainer, .. } => Some(trainer.vit()),
+            HostPipeline::Dense { .. } => None,
+        }
+    }
+
+    /// The trained in-sensor ROI-prediction network (`None` for dense
+    /// variants).
+    pub fn roi_net(&self) -> Option<&RoiPredictionNet> {
+        match &self.pipeline {
+            HostPipeline::Sparse { trainer, .. } => Some(trainer.roi_net()),
+            HostPipeline::Dense { .. } => None,
+        }
     }
 
     /// Runs `n` frames of a fresh evaluation sequence end-to-end.
@@ -197,115 +234,117 @@ impl EyeTrackingSystem {
         let latency = simulate_pipeline(&self.config, self.variant, n.max(4));
         let mut report = SystemReport::new(self.variant, latency, self.config.pixels());
         match &mut self.pipeline {
-            HostPipeline::Sparse(trainer) => {
+            HostPipeline::Sparse { trainer, front } => {
+                front.begin_stream(seq.model.clone(), &seq.frames[0].clean);
                 run_sparse(
                     &mut report,
                     &self.config,
                     self.variant,
-                    &mut self.sensor,
+                    front,
                     trainer,
                     &seq,
-                    &self.noise,
-                    &mut self.rng,
                 )?;
             }
-            HostPipeline::Dense(trainer) => {
+            HostPipeline::Dense {
+                trainer,
+                sensor,
+                noise,
+                rng,
+            } => {
                 run_dense(
                     &mut report,
                     &self.config,
                     self.variant,
-                    &mut self.sensor,
+                    sensor,
                     trainer,
                     &seq,
-                    &self.noise,
-                    &mut self.rng,
+                    noise,
+                    rng,
                 )?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Runs `n` frames of a [`Scenario`]-parameterised sequence identified
+    /// by `seed`, through a **fresh** front-end stream seeded exactly like a
+    /// `bliss_serve` session with the same `(scenario, seed)` — which is what
+    /// makes the lock-step and streaming paths comparable bit-for-bit (the
+    /// serve equivalence suite pins this).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dense variants (the streaming runtime serves the
+    /// sparse pipeline only) and propagates tensor errors from the networks.
+    pub fn run_scenario_frames(
+        &mut self,
+        scenario: Scenario,
+        seed: u64,
+        n: usize,
+    ) -> Result<SystemReport, TensorError> {
+        let latency = simulate_pipeline(&self.config, self.variant, n.max(4));
+        let mut report = SystemReport::new(self.variant, latency, self.config.pixels());
+        match &mut self.pipeline {
+            HostPipeline::Sparse { trainer, .. } => {
+                // The one shared stream recipe — identical to a serve
+                // session's — already primed with frame 0.
+                let (seq, mut front) =
+                    SparseFrontEnd::scenario_stream(&self.config, scenario, seed, n);
+                run_sparse(
+                    &mut report,
+                    &self.config,
+                    self.variant,
+                    &mut front,
+                    trainer,
+                    &seq,
+                )?;
+            }
+            HostPipeline::Dense { .. } => {
+                return Err(TensorError::InvalidArgument {
+                    op: "run_scenario_frames",
+                    message: format!(
+                        "scenario replay drives the sparse front-end; {} is a dense variant",
+                        self.variant.label()
+                    ),
+                });
             }
         }
         Ok(report)
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Drives the shared [`SparseFrontEnd`] lock-step over a rendered sequence —
+/// the same stages `bliss_serve` schedules asynchronously, composed by
+/// [`SparseFrontEnd::run_frame`]. The caller has already begun the stream
+/// (frame 0 primed) so that priming happens exactly once per stream on
+/// every path.
 fn run_sparse(
     report: &mut SystemReport,
     cfg: &SystemConfig,
     variant: SystemVariant,
-    sensor: &mut DigitalPixelSensor,
-    trainer: &mut JointTrainer,
+    front: &mut SparseFrontEnd,
+    trainer: &JointTrainer,
     seq: &EyeSequence,
-    noise: &ImagingNoise,
-    rng: &mut StdRng,
 ) -> Result<(), TensorError> {
-    let (w, h) = (cfg.width, cfg.height);
-    let mut estimator = GazeEstimator::new(seq.model.clone());
-    let mut prev_seg = vec![0u8; w * h];
-    let mut have_seg = false;
-
-    // Prime the sensor's analog memory with frame 0.
-    let first = noise.apply(&seq.frames[0].clean, 1.0, rng);
-    sensor.expose(&first);
-    let _ = sensor.eventify();
-
     for (t, frame) in seq.frames.iter().enumerate().skip(1) {
-        let noisy = noise.apply(&frame.clean, 1.0, rng);
-        sensor.expose(&noisy);
-        // In-sensor: analog eventification on the held previous frame.
-        let events = sensor.eventify();
-        // In-sensor NPU: ROI prediction from the event map + fed-back map.
-        let roi_input = trainer.roi_net().make_input(&events.to_f32(), &prev_seg);
-        let roi_out = trainer.roi_net().forward(&roi_input)?;
-        // Cold start: before the first segmentation feedback, read the full
-        // frame (the hardware's all-events bootstrap map).
-        let roi_box = if have_seg {
-            trainer.roi_net().predict_box(&roi_out)
-        } else {
-            RoiBox::full(w, h)
-        };
-        // Sparse readout through the SRAM-metastability sampler + RLE.
-        let readout = sensor.sparse_readout(roi_box, cfg.sample_rate);
-        let encoded = readout.encode();
-        // Host: run-length decode and reconstruct the sparse image.
-        let decoded = rle::decode(&encoded, readout.stream.len()).map_err(|e| {
-            TensorError::InvalidArgument {
-                op: "rle_decode",
-                message: e.to_string(),
-            }
-        })?;
-        debug_assert_eq!(decoded, readout.stream);
-        let (image, mask) = readout.sparse_image(w, h, sensor.config().adc_bits);
-        let mask_f: Vec<f32> = mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-
-        let (gaze, tokens) = match trainer.vit().forward(&image, &mask_f)? {
-            Some(pred) => {
-                let classes = pred.classes();
-                let seg = pred.seg_map(w, h);
-                if seg.iter().any(|&c| c != 0) {
-                    prev_seg = seg;
-                    have_seg = true;
-                }
-                (estimator.estimate_from_pairs(&classes, w), pred.tokens)
-            }
-            None => (estimator.last(), 0),
-        };
-
-        let counts = FrameCounts {
-            conversions: readout.conversions,
-            sampled: readout.sampled as u64,
-            mipi_payload_bytes: encoded.len() as u64,
-            tokens,
-            roi_pixels: readout.roi.area() as u64,
-        };
+        let served = front.run_frame(
+            &frame.clean,
+            trainer.roi_net(),
+            trainer.vit(),
+            cfg.sample_rate,
+        )?;
+        let counts = served.sensed.counts(served.tokens);
+        let gaze = served.gaze;
         report.frames.push(FrameResult {
             index: t - 1,
             gaze_prediction: gaze,
             gaze_truth: frame.gaze,
             horizontal_error_deg: (gaze.horizontal_deg - frame.gaze.horizontal_deg).abs(),
             vertical_error_deg: (gaze.vertical_deg - frame.gaze.vertical_deg).abs(),
-            sampled_pixels: readout.sampled,
-            conversions: readout.conversions,
-            mipi_bytes: encoded.len() as u64,
-            tokens,
+            sampled_pixels: served.sensed.sampled,
+            conversions: served.sensed.conversions,
+            mipi_bytes: served.sensed.mipi_bytes,
+            tokens: served.tokens,
             energy: energy_breakdown_with_counts(cfg, variant, &counts),
         });
     }

@@ -1,0 +1,75 @@
+//! `bliss_fleet` — the multi-host sharded serving fleet.
+//!
+//! [`bliss_serve`] scales one host NPU to N sessions; this crate scales N
+//! sessions to **M hosts** behind a load balancer, which is the layer a
+//! "millions of users" deployment actually provisions. One trained BlissCam
+//! model replica is shared by every host; a pluggable [`PlacementPolicy`]
+//! (round-robin, least-loaded by outstanding virtual work, or
+//! scenario-affinity) routes each session to a shard; each shard runs the
+//! full deterministic virtual-time scheduler with cross-session batched
+//! inference; and the per-host completion-event queues are k-way merged
+//! into one fleet-wide timeline ([`merge_timelines`]).
+//!
+//! Three invariants carry over from the serve layer and are enforced by
+//! this crate's determinism suite:
+//!
+//! * a session's accuracy/volume/energy outputs are **bit-identical**
+//!   whether it runs solo, in a single-host fleet or sharded — placement
+//!   only moves *timing*;
+//! * a whole [`FleetOutcome`] is bit-identical for a fixed
+//!   `(sessions, hosts, policy, seed)` across 1/2/8-thread pools;
+//! * under the launch-overhead host model, adding hosts past the
+//!   single-host saturation knee scales throughput (each shard drops back
+//!   toward the knee), which `cargo run -p bliss_bench --bin fleet_sweep`
+//!   records into `BENCH_fleet.json`.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use bliss_fleet::{FleetConfig, FleetRuntime, PlacementPolicy};
+//! use blisscam_core::SystemConfig;
+//! use serde::Serialize as _;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train the shared BlissCam networks once (seconds at miniature scale),
+//! // then shard 16 scenario-diverse sessions across 4 simulated host NPUs.
+//! let fleet = FleetRuntime::new(SystemConfig::miniature())?.with_paper_scale_timing();
+//! let cfg = FleetConfig::new(4, PlacementPolicy::LeastLoaded, 16, 24);
+//! let outcome = fleet.serve(&cfg)?;
+//! let report = &outcome.report;
+//! println!(
+//!     "fleet p50/p99 {:.2}/{:.2} ms, {:.1}% misses, {:.0} frames/s, {:.0}% mean NPU duty",
+//!     report.latency.p50_ms,
+//!     report.latency.p99_ms,
+//!     report.deadline_miss_rate * 100.0,
+//!     report.throughput_fps,
+//!     report.mean_utilisation * 100.0,
+//! );
+//! for host in &report.per_host {
+//!     println!(
+//!         "  host {}: {} sessions, {:.0} frames/s, {:.0}% duty",
+//!         host.host,
+//!         host.sessions,
+//!         host.report.throughput_fps,
+//!         host.report.utilisation * 100.0,
+//!     );
+//! }
+//! println!("{}", report.to_json());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Both fleet entry points carry **runnable** doctests too: a smoke-scale
+//! untrained fleet on [`FleetRuntime::with_networks`] (scheduling is exact
+//! even when accuracy is meaningless) and pure placement math on
+//! [`PlacementPolicy::assign`].
+
+#![warn(missing_docs)]
+
+mod placement;
+mod report;
+mod runtime;
+
+pub use placement::PlacementPolicy;
+pub use report::{merge_timelines, FleetEvent, FleetReport, HostReport};
+pub use runtime::{FleetConfig, FleetOutcome, FleetRuntime};

@@ -1,0 +1,211 @@
+use bliss_serve::SessionConfig;
+use serde::{Deserialize, Serialize};
+
+/// How a fleet's load balancer maps sessions onto host NPUs.
+///
+/// Placement runs at admission time over the full session list and is a
+/// pure function of `(sessions, hosts)` — no wall clock, no RNG — so a
+/// fleet schedule is reproducible from its configuration alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Session `i` lands on host `i % hosts` — the stateless baseline every
+    /// production load balancer offers.
+    RoundRobin,
+    /// Greedy balancing by outstanding virtual work: each session (in id
+    /// order) lands on the host with the fewest frames already queued, ties
+    /// to the lowest host id. Equals round-robin on homogeneous fleets but
+    /// keeps heterogeneous session lengths level.
+    LeastLoaded,
+    /// Sessions replaying the same [`Scenario`](bliss_eye::Scenario) share a
+    /// host (scenario groups are packed onto hosts greedily by total
+    /// frames): co-locating similar oculomotor dynamics aligns frame
+    /// readiness within a shard, which feeds the cross-session batcher
+    /// larger fusable sets.
+    ScenarioAffinity,
+}
+
+impl PlacementPolicy {
+    /// Every policy, in the sweep's presentation order.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::ScenarioAffinity,
+    ];
+
+    /// Display label (appears in `BENCH_fleet.json`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::LeastLoaded => "least-loaded",
+            PlacementPolicy::ScenarioAffinity => "scenario-affinity",
+        }
+    }
+
+    /// Assigns every session to a host, returning one host index per
+    /// session (position-aligned with `sessions`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bliss_fleet::PlacementPolicy;
+    /// use bliss_serve::SessionConfig;
+    /// use bliss_eye::Scenario;
+    ///
+    /// let sessions: Vec<SessionConfig> = (0..5)
+    ///     .map(|id| SessionConfig {
+    ///         id,
+    ///         scenario: Scenario::for_index(id),
+    ///         seed: id as u64,
+    ///         // Heterogeneous workloads: session 0 is 10x longer.
+    ///         frames: if id == 0 { 40 } else { 4 },
+    ///         start_offset_s: 0.0,
+    ///     })
+    ///     .collect();
+    ///
+    /// let rr = PlacementPolicy::RoundRobin.assign(&sessions, 2);
+    /// assert_eq!(rr, [0, 1, 0, 1, 0]);
+    ///
+    /// // Least-loaded isolates the long session instead of stacking two
+    /// // short ones next to it.
+    /// let ll = PlacementPolicy::LeastLoaded.assign(&sessions, 2);
+    /// assert_eq!(ll, [0, 1, 1, 1, 1]);
+    /// ```
+    pub fn assign(&self, sessions: &[SessionConfig], hosts: usize) -> Vec<usize> {
+        assert!(hosts > 0, "a fleet needs at least one host");
+        match self {
+            PlacementPolicy::RoundRobin => (0..sessions.len()).map(|i| i % hosts).collect(),
+            PlacementPolicy::LeastLoaded => {
+                let mut load = vec![0u64; hosts];
+                sessions
+                    .iter()
+                    .map(|s| {
+                        let h = least_loaded(&load);
+                        load[h] += s.frames.max(1) as u64;
+                        h
+                    })
+                    .collect()
+            }
+            PlacementPolicy::ScenarioAffinity => {
+                // Group sessions by scenario in first-appearance order, then
+                // pack whole groups onto hosts greedily by total frames.
+                let mut groups: Vec<(bliss_eye::Scenario, u64)> = Vec::new();
+                let mut group_of = Vec::with_capacity(sessions.len());
+                for s in sessions {
+                    let gi = match groups.iter().position(|&(sc, _)| sc == s.scenario) {
+                        Some(gi) => gi,
+                        None => {
+                            groups.push((s.scenario, 0));
+                            groups.len() - 1
+                        }
+                    };
+                    groups[gi].1 += s.frames.max(1) as u64;
+                    group_of.push(gi);
+                }
+                let mut load = vec![0u64; hosts];
+                let host_of_group: Vec<usize> = groups
+                    .iter()
+                    .map(|&(_, frames)| {
+                        let h = least_loaded(&load);
+                        load[h] += frames;
+                        h
+                    })
+                    .collect();
+                group_of.into_iter().map(|gi| host_of_group[gi]).collect()
+            }
+        }
+    }
+}
+
+/// Index of the minimum load, ties to the lowest host id.
+fn least_loaded(load: &[u64]) -> usize {
+    let mut best = 0usize;
+    for (h, &l) in load.iter().enumerate().skip(1) {
+        if l < load[best] {
+            best = h;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bliss_eye::Scenario;
+
+    fn fleet(n: usize, frames: usize) -> Vec<SessionConfig> {
+        (0..n)
+            .map(|id| SessionConfig {
+                id,
+                scenario: Scenario::for_index(id),
+                seed: id as u64,
+                frames,
+                start_offset_s: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_hosts() {
+        let a = PlacementPolicy::RoundRobin.assign(&fleet(7, 4), 3);
+        assert_eq!(a, [0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_equals_round_robin_on_homogeneous_fleets() {
+        let s = fleet(8, 6);
+        assert_eq!(
+            PlacementPolicy::LeastLoaded.assign(&s, 3),
+            PlacementPolicy::RoundRobin.assign(&s, 3)
+        );
+    }
+
+    #[test]
+    fn least_loaded_levels_heterogeneous_sessions() {
+        let mut s = fleet(5, 4);
+        s[0].frames = 100;
+        let a = PlacementPolicy::LeastLoaded.assign(&s, 2);
+        // The long session gets a host to itself until the others catch up.
+        assert_eq!(a[0], 0);
+        assert!(a[1..].iter().all(|&h| h == 1), "{a:?}");
+    }
+
+    #[test]
+    fn scenario_affinity_colocates_scenarios() {
+        // 10 sessions cycle through the 5 scenarios twice; sessions sharing
+        // a scenario must share a host, for any host count.
+        let s = fleet(10, 4);
+        for hosts in 1..=5 {
+            let a = PlacementPolicy::ScenarioAffinity.assign(&s, hosts);
+            for i in 0..5 {
+                assert_eq!(a[i], a[i + 5], "scenario {i} split across hosts");
+            }
+            assert!(a.iter().all(|&h| h < hosts));
+        }
+    }
+
+    #[test]
+    fn every_policy_places_every_session() {
+        let s = fleet(11, 4);
+        for policy in PlacementPolicy::ALL {
+            for hosts in [1usize, 2, 4] {
+                let a = policy.assign(&s, hosts);
+                assert_eq!(a.len(), s.len(), "{policy:?}");
+                assert!(a.iter().all(|&h| h < hosts), "{policy:?}");
+                // No host left idle while another holds 2+ sessions more
+                // (these policies all balance homogeneous fleets).
+                let mut counts = vec![0usize; hosts];
+                for &h in &a {
+                    counts[h] += 1;
+                }
+                if policy != PlacementPolicy::ScenarioAffinity {
+                    let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+                    assert!(max - min <= 1, "{policy:?}: {counts:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+use crate::runtime::FleetConfig;
+use bliss_serve::{LatencyStats, ServeOutcome, ServeReport};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One gaze-output event in the fleet-wide merged timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetEvent {
+    /// Completion (gaze-output) time in virtual seconds.
+    pub time_s: f64,
+    /// Host NPU that served the frame.
+    pub host: usize,
+    /// Owning session id.
+    pub session: usize,
+    /// Frame index within the session.
+    pub frame: usize,
+    /// End-to-end latency of the frame, seconds.
+    pub latency_s: f64,
+    /// Whether the frame missed its deadline.
+    pub deadline_missed: bool,
+}
+
+/// One host shard's aggregate results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostReport {
+    /// Host index within the fleet.
+    pub host: usize,
+    /// Sessions the placement policy routed here.
+    pub sessions: usize,
+    /// The shard's full serving report (latency percentiles, miss rate,
+    /// throughput, energy, NPU utilisation).
+    pub report: ServeReport,
+}
+
+/// Aggregate results of one fleet run — the `BENCH_fleet.json` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Host NPUs in the fleet.
+    pub hosts: usize,
+    /// Placement policy label (see [`crate::PlacementPolicy::label`]).
+    pub policy: String,
+    /// Sessions served fleet-wide.
+    pub sessions: usize,
+    /// Frames served fleet-wide.
+    pub frames_total: usize,
+    /// Latency percentiles across every frame of every host.
+    pub latency: LatencyStats,
+    /// Fraction of frames past their deadline, fleet-wide.
+    pub deadline_miss_rate: f64,
+    /// Served frames per virtual second over the fleet span (first arrival
+    /// anywhere to last completion anywhere).
+    pub throughput_fps: f64,
+    /// Mean frames fused per host launch, fleet-wide.
+    pub mean_batch_size: f64,
+    /// Mean per-frame energy in microjoules.
+    pub mean_energy_uj: f64,
+    /// Mean host-NPU duty cycle across shards that served frames.
+    pub mean_utilisation: f64,
+    /// Per-host breakdowns (empty shards included, so host indices align).
+    pub per_host: Vec<HostReport>,
+}
+
+impl FleetReport {
+    /// Aggregates the per-host outcomes of one fleet run.
+    ///
+    /// `assignment` is the placement result (host index per admitted
+    /// session); `timeline` is the merged event queue from
+    /// [`merge_timelines`].
+    pub fn from_hosts(
+        cfg: &FleetConfig,
+        assignment: &[usize],
+        per_host: &[ServeOutcome],
+        timeline: &[FleetEvent],
+    ) -> Self {
+        let mut all_latencies = Vec::new();
+        let mut misses = 0usize;
+        let mut frames_total = 0usize;
+        let mut energy_j = 0.0f64;
+        let mut inv_batch = 0.0f64;
+        let mut first_arrival = f64::INFINITY;
+        for outcome in per_host {
+            for trace in &outcome.traces {
+                for r in &trace.records {
+                    all_latencies.push(r.latency_s);
+                    misses += usize::from(r.deadline_missed);
+                    frames_total += 1;
+                    energy_j += r.energy_j;
+                    inv_batch += 1.0 / r.batch_size as f64;
+                    first_arrival = first_arrival.min(r.arrival_s);
+                }
+            }
+        }
+        let last_completion = timeline.last().map_or(f64::NEG_INFINITY, |e| e.time_s);
+        let span_s = (last_completion - first_arrival).max(f64::MIN_POSITIVE);
+
+        let per_host: Vec<HostReport> = per_host
+            .iter()
+            .enumerate()
+            .map(|(host, outcome)| HostReport {
+                host,
+                sessions: outcome.traces.len(),
+                report: outcome.report.clone(),
+            })
+            .collect();
+        let busy: Vec<&HostReport> = per_host
+            .iter()
+            .filter(|h| h.report.frames_total > 0)
+            .collect();
+        let mean_utilisation =
+            busy.iter().map(|h| h.report.utilisation).sum::<f64>() / busy.len().max(1) as f64;
+
+        FleetReport {
+            hosts: cfg.hosts,
+            policy: cfg.placement.label().to_string(),
+            sessions: assignment.len(),
+            frames_total,
+            latency: LatencyStats::from_latencies_s(&all_latencies),
+            deadline_miss_rate: misses as f64 / frames_total.max(1) as f64,
+            throughput_fps: if frames_total == 0 {
+                0.0
+            } else {
+                frames_total as f64 / span_s
+            },
+            mean_batch_size: if inv_batch > 0.0 {
+                frames_total as f64 / inv_batch
+            } else {
+                0.0
+            },
+            mean_energy_uj: energy_j / frames_total.max(1) as f64 * 1e6,
+            mean_utilisation,
+            per_host,
+        }
+    }
+}
+
+/// Merges the per-host completion-event queues into one fleet-wide,
+/// virtual-time-ordered stream.
+///
+/// Each host's records are first ordered into its own event queue (by
+/// completion time, then session id, then frame index — a total order, so
+/// simultaneous completions never reorder between runs), then the queues are
+/// k-way merged with the host index as the final tie-breaker. The result is
+/// deterministic for a fixed fleet configuration regardless of host count,
+/// thread pool or traversal order.
+pub fn merge_timelines(per_host: &[ServeOutcome]) -> Vec<FleetEvent> {
+    // Build each host's sorted event queue.
+    let queues: Vec<Vec<FleetEvent>> = per_host
+        .iter()
+        .enumerate()
+        .map(|(host, outcome)| {
+            let mut q: Vec<FleetEvent> = outcome
+                .traces
+                .iter()
+                .flat_map(|t| {
+                    t.records.iter().map(move |r| FleetEvent {
+                        time_s: r.completion_s,
+                        host,
+                        session: t.config.id,
+                        frame: r.index,
+                        latency_s: r.latency_s,
+                        deadline_missed: r.deadline_missed,
+                    })
+                })
+                .collect();
+            q.sort_by(|a, b| {
+                a.time_s
+                    .total_cmp(&b.time_s)
+                    .then(a.session.cmp(&b.session))
+                    .then(a.frame.cmp(&b.frame))
+            });
+            q
+        })
+        .collect();
+
+    // K-way merge keyed on (time, host, session, frame).
+    #[derive(PartialEq)]
+    struct Key(f64, usize, usize, usize);
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .total_cmp(&other.0)
+                .then(self.1.cmp(&other.1))
+                .then(self.2.cmp(&other.2))
+                .then(self.3.cmp(&other.3))
+        }
+    }
+
+    let total: usize = queues.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    let mut heads: Vec<usize> = vec![0; queues.len()];
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+    for (host, q) in queues.iter().enumerate() {
+        if let Some(e) = q.first() {
+            heap.push(Reverse((Key(e.time_s, e.host, e.session, e.frame), host)));
+        }
+    }
+    while let Some(Reverse((_, host))) = heap.pop() {
+        let e = queues[host][heads[host]];
+        merged.push(e);
+        heads[host] += 1;
+        if let Some(next) = queues[host].get(heads[host]) {
+            heap.push(Reverse((
+                Key(next.time_s, next.host, next.session, next.frame),
+                host,
+            )));
+        }
+    }
+    merged
+}

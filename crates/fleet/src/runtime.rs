@@ -1,0 +1,185 @@
+use crate::placement::PlacementPolicy;
+use crate::report::{merge_timelines, FleetEvent, FleetReport};
+use bliss_serve::{ServeConfig, ServeOutcome, ServeRuntime, SessionConfig};
+use bliss_tensor::TensorError;
+use bliss_track::{RoiPredictionNet, SparseViT};
+use blisscam_core::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Load, sharding and scheduling parameters of one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Host NPUs behind the load balancer.
+    pub hosts: usize,
+    /// How sessions map onto hosts.
+    pub placement: PlacementPolicy,
+    /// Per-shard serving parameters; `serve.sessions` is the **fleet-wide**
+    /// session count (the placement policy decides who lands where).
+    pub serve: ServeConfig,
+}
+
+impl FleetConfig {
+    /// A fleet load point at the paper's 120 FPS tracking rate: `sessions`
+    /// concurrent sessions of `frames` frames each, sharded across `hosts`
+    /// hosts by `placement`, with each shard running the serve layer's
+    /// default work-conserving batching.
+    pub fn new(hosts: usize, placement: PlacementPolicy, sessions: usize, frames: usize) -> Self {
+        FleetConfig {
+            hosts,
+            placement,
+            serve: ServeConfig::new(sessions, frames),
+        }
+    }
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Aggregate + per-host statistics.
+    pub report: FleetReport,
+    /// Each host shard's full serving outcome, indexed by host.
+    pub per_host: Vec<ServeOutcome>,
+    /// The fleet-wide merged completion-event timeline (see
+    /// [`merge_timelines`]).
+    pub timeline: Vec<FleetEvent>,
+}
+
+/// The multi-host sharded serving fleet.
+///
+/// One trained BlissCam model replica is shared by `M` simulated host NPUs
+/// behind a load balancer: a [`PlacementPolicy`] routes each admitted
+/// session to a host, every host runs the full [`ServeRuntime`]
+/// virtual-time scheduler over its shard (cross-session batching included),
+/// and the per-host event queues are k-way merged into one deterministic
+/// fleet timeline. Hosts are independent NPUs — no virtual time flows
+/// between shards — so fleet throughput scales with `M` until the per-host
+/// shard drops below the single-host saturation knee.
+///
+/// Determinism inherits from the serve layer: every session's
+/// accuracy/volume/energy outputs are bit-identical to a solo run, and the
+/// whole [`FleetOutcome`] is bit-identical for a fixed
+/// `(sessions, hosts, policy, seed)` on any thread pool.
+#[derive(Debug)]
+pub struct FleetRuntime {
+    runtime: ServeRuntime,
+}
+
+impl FleetRuntime {
+    /// Trains the shared networks for `system` (seconds at miniature scale)
+    /// and prepares the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from training.
+    pub fn new(system: SystemConfig) -> Result<Self, TensorError> {
+        Ok(FleetRuntime {
+            runtime: ServeRuntime::new(system)?,
+        })
+    }
+
+    /// Wraps already-trained networks (shares parameters, no copy).
+    ///
+    /// # Examples
+    ///
+    /// A runnable smoke-scale fleet — untrained miniature networks (accuracy
+    /// is meaningless, scheduling is exact), 4 sessions on 2 hosts:
+    ///
+    /// ```
+    /// use bliss_fleet::{FleetConfig, FleetRuntime, PlacementPolicy};
+    /// use bliss_track::{RoiPredictionNet, SparseViT};
+    /// use blisscam_core::SystemConfig;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut system = SystemConfig::miniature();
+    /// system.vit.dim = 12;
+    /// system.vit.enc_depth = 1;
+    /// system.vit.dec_depth = 1;
+    /// system.roi_net.hidden = 16;
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let fleet = FleetRuntime::with_networks(
+    ///     system,
+    ///     SparseViT::new(&mut rng, system.vit),
+    ///     RoiPredictionNet::new(&mut rng, system.roi_net),
+    /// );
+    /// let cfg = FleetConfig::new(2, PlacementPolicy::RoundRobin, 4, 2);
+    /// let outcome = fleet.serve(&cfg)?;
+    /// assert_eq!(outcome.report.hosts, 2);
+    /// assert_eq!(outcome.report.frames_total, 4 * 2);
+    /// assert_eq!(outcome.timeline.len(), 4 * 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_networks(system: SystemConfig, vit: SparseViT, roi_net: RoiPredictionNet) -> Self {
+        FleetRuntime {
+            runtime: ServeRuntime::with_networks(system, vit, roi_net),
+        }
+    }
+
+    /// Switches every host's latency accounting to the paper's hardware
+    /// point (640x400 @ 120 FPS, ViT-S host on a 7 nm NPU); see
+    /// `ServeRuntime::with_paper_scale_timing`.
+    pub fn with_paper_scale_timing(mut self) -> Self {
+        self.runtime = self.runtime.with_paper_scale_timing();
+        self
+    }
+
+    /// The per-host serving runtime (all hosts are identical replicas).
+    pub fn serve_runtime(&self) -> &ServeRuntime {
+        &self.runtime
+    }
+
+    /// The deterministic fleet-wide session population for a load point
+    /// (scenarios round-robin, seeds and arrival offsets derived per id) —
+    /// the same population a single [`ServeRuntime`] would admit, so
+    /// single-host and fleet runs are directly comparable.
+    pub fn session_configs(&self, cfg: &FleetConfig) -> Vec<SessionConfig> {
+        self.runtime.session_configs(&cfg.serve)
+    }
+
+    /// Serves the full fleet of [`FleetRuntime::session_configs`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from inference.
+    pub fn serve(&self, cfg: &FleetConfig) -> Result<FleetOutcome, TensorError> {
+        self.serve_sessions(cfg, self.session_configs(cfg))
+    }
+
+    /// Shards an explicit session population across the fleet's hosts and
+    /// serves every shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from inference.
+    pub fn serve_sessions(
+        &self,
+        cfg: &FleetConfig,
+        sessions: Vec<SessionConfig>,
+    ) -> Result<FleetOutcome, TensorError> {
+        let assignment = cfg.placement.assign(&sessions, cfg.hosts);
+        let mut shards: Vec<Vec<SessionConfig>> = vec![Vec::new(); cfg.hosts];
+        for (sc, &host) in sessions.iter().zip(&assignment) {
+            shards[host].push(*sc);
+        }
+
+        // Each host runs its shard under the shard-sized serve config.
+        // Hosts are independent hardware; the shared model parameters are
+        // read-only, so shard order cannot affect results — the determinism
+        // suite pins this.
+        let mut per_host = Vec::with_capacity(cfg.hosts);
+        for shard in shards {
+            let mut shard_cfg = cfg.serve;
+            shard_cfg.sessions = shard.len();
+            per_host.push(self.runtime.serve_sessions(&shard_cfg, shard)?);
+        }
+
+        let timeline = merge_timelines(&per_host);
+        let report = FleetReport::from_hosts(cfg, &assignment, &per_host, &timeline);
+        Ok(FleetOutcome {
+            report,
+            per_host,
+            timeline,
+        })
+    }
+}

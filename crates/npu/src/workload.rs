@@ -159,6 +159,15 @@ impl WorkloadDesc {
         self.gemms.iter().map(GemmShape::macs).sum()
     }
 
+    /// Number of kernel launches this workload dispatches (one per lowered
+    /// GEMM). Each pays [`crate::SystolicArray::dispatch_cycles`], which is
+    /// what cross-session batching amortises: a batched workload fuses its
+    /// weight GEMMs across frames and therefore launches fewer kernels than
+    /// the per-frame workloads it replaces.
+    pub fn launches(&self) -> usize {
+        self.gemms.len()
+    }
+
     /// Total weight bytes (int8).
     pub fn total_weight_bytes(&self) -> u64 {
         self.gemms.iter().map(GemmShape::weight_bytes).sum()

@@ -9,10 +9,14 @@
 //! admitted by a **deterministic virtual-time scheduler** and served through
 //! **cross-session batched inference**:
 //!
-//! * per-session sensor front ends (noise → exposure → analog eventification
-//!   → ROI input assembly → SRAM-sampled readout → RLE) advance in parallel
-//!   on the [`bliss_parallel`] pool — each session owns its state, so
-//!   results are bit-identical for every thread count;
+//! * per-session sensor front ends — each an instance of the workspace's
+//!   ONE shared per-frame pipeline,
+//!   [`blisscam_core::SparseFrontEnd`] (noise → exposure → analog
+//!   eventification → ROI input assembly → cold-start fallback →
+//!   SRAM-sampled readout → RLE → feedback → gaze), the same component the
+//!   lock-step [`blisscam_core::EyeTrackingSystem`] drives — advance in
+//!   parallel on the [`bliss_parallel`] pool; each session owns its state,
+//!   so results are bit-identical for every thread count;
 //! * up to [`ServeConfig::max_batch`] ready frames fuse into **one**
 //!   [`SparseViT::forward_batch`](bliss_track::SparseViT::forward_batch)
 //!   launch — one set of GEMM/attention kernels instead of K, with
@@ -24,9 +28,11 @@
 //!   token/pixel volumes — no wall clock anywhere in the results path.
 //!
 //! The output is a [`ServeReport`] (p50/p95/p99 latency, deadline-miss rate,
-//! throughput, per-session accuracy and energy) that serialises to JSON via
-//! the workspace's `serde` layer; `cargo run -p bliss_bench --bin
-//! serve_sweep` sweeps 1→64 sessions into `BENCH_serve.json`.
+//! throughput, host-NPU utilisation, per-session accuracy and energy) that
+//! serialises to JSON via the workspace's `serde` layer; `cargo run -p
+//! bliss_bench --bin serve_sweep` sweeps 1→64 sessions into
+//! `BENCH_serve.json`. One `ServeRuntime` models one host NPU — `bliss_fleet`
+//! shards sessions across many of them behind a load balancer.
 //!
 //! # Example
 //!
@@ -53,6 +59,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 mod report;
 mod runtime;

@@ -85,13 +85,21 @@ pub struct ServeReport {
     pub mean_batch_size: f64,
     /// Mean per-frame energy in microjoules.
     pub mean_energy_uj: f64,
+    /// Virtual span of the run (first arrival to last completion), seconds.
+    pub span_s: f64,
+    /// Total virtual time the host NPU spent executing launches, seconds.
+    pub host_busy_s: f64,
+    /// Host NPU duty cycle over the span (`host_busy_s / span_s`); the
+    /// fleet layer reports this per shard.
+    pub utilisation: f64,
     /// Per-session breakdowns.
     pub per_session: Vec<SessionSummary>,
 }
 
 impl ServeReport {
-    /// Aggregates a run's traces.
-    pub fn from_traces(cfg: &ServeConfig, traces: &[SessionTrace]) -> Self {
+    /// Aggregates a run's traces; `host_busy_s` is the scheduler-accounted
+    /// virtual time the host NPU spent executing launches.
+    pub fn from_traces(cfg: &ServeConfig, traces: &[SessionTrace], host_busy_s: f64) -> Self {
         let mut all_latencies = Vec::new();
         let mut misses = 0usize;
         let mut frames_total = 0usize;
@@ -139,6 +147,11 @@ impl ServeReport {
         }
 
         let span_s = (last_completion - first_arrival).max(f64::MIN_POSITIVE);
+        let utilisation = if frames_total == 0 {
+            0.0
+        } else {
+            (host_busy_s / span_s).clamp(0.0, 1.0)
+        };
         ServeReport {
             sessions: traces.len(),
             frames_total,
@@ -157,6 +170,9 @@ impl ServeReport {
                 0.0
             },
             mean_energy_uj: energy_j / frames_total.max(1) as f64 * 1e6,
+            span_s: if frames_total == 0 { 0.0 } else { span_s },
+            host_busy_s,
+            utilisation,
             per_session,
         }
     }

@@ -1,12 +1,11 @@
 use crate::report::ServeReport;
-use crate::session::{FrameRecord, SensedFrame, Session, SessionConfig, SessionTrace};
+use crate::session::{FrameRecord, Session, SessionConfig, SessionTrace};
 use bliss_eye::{render_sequence, Scenario, SequenceConfig};
-use bliss_sensor::RoiBox;
 use bliss_tensor::TensorError;
 use bliss_timing::StageDurations;
 use bliss_track::{JointTrainer, RoiPredictionNet, SparseViT};
 use blisscam_core::{
-    energy_breakdown_with_counts, host_batched_segmentation_time_s, stage_durations, FrameCounts,
+    energy_breakdown_with_counts, host_batched_segmentation_time_s, stage_durations, SensedFrame,
     SystemConfig, SystemVariant,
 };
 use serde::{Deserialize, Serialize};
@@ -305,6 +304,7 @@ impl ServeRuntime {
         }
 
         let mut host_free_s = 0.0f64;
+        let mut host_busy_s = 0.0f64;
         while let Some(Reverse((first_ready, first))) = heap.pop() {
             // Adaptive batching: every frame that is (or becomes) ready by
             // the time the host could start — plus the configured window —
@@ -325,7 +325,12 @@ impl ServeRuntime {
             // order never depends on heap tie-breaking internals.
             batch.sort_unstable_by_key(|&(i, _)| i);
 
-            host_free_s = self.run_batch(cfg, &mut sessions, &batch, host_free_s)?;
+            // The batch launches once the host is free and every member has
+            // arrived.
+            let last_ready = batch.iter().map(|&(_, r)| r).fold(f64::MIN, f64::max);
+            let host_start = host_free_s.max(last_ready);
+            host_free_s = self.run_batch(cfg, &mut sessions, &batch, host_start)?;
+            host_busy_s += host_free_s - host_start;
 
             for &(i, _) in &batch {
                 if sessions[i].has_next() {
@@ -341,7 +346,7 @@ impl ServeRuntime {
                 records: s.records,
             })
             .collect();
-        let report = ServeReport::from_traces(cfg, &traces);
+        let report = ServeReport::from_traces(cfg, &traces, host_busy_s);
         Ok(ServeOutcome { report, traces })
     }
 
@@ -363,58 +368,54 @@ impl ServeRuntime {
         s.config.start_offset_s + (s.next_frame - 1) as f64 * period
     }
 
-    /// Executes one scheduled batch end-to-end and returns the new host-free
-    /// time.
+    /// Executes one scheduled batch end-to-end, launching at `host_start`,
+    /// and returns the new host-free time.
     fn run_batch(
         &self,
         cfg: &ServeConfig,
         sessions: &mut [Session],
         batch: &[(usize, f64)],
-        host_free_s: f64,
+        host_start: f64,
     ) -> Result<f64, TensorError> {
         let st = &self.stages;
         let indices: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
         let mut refs = disjoint_muts(sessions, &indices);
         let roi_cfg = *self.roi_net.config();
 
-        // Stage A (parallel across sessions): noise -> exposure -> analog
-        // eventification -> ROI-net input assembly. Pure per-session state.
+        // Stage A (parallel across sessions): front-end stages 1+2 — noise
+        // -> exposure -> analog eventification -> ROI-net input assembly.
+        // Pure per-session state.
         let inputs = bliss_parallel::par_map_mut(&mut refs, |_, s| {
             let events = s.sense_events();
-            roi_cfg.make_input(&events, &s.prev_seg)
+            s.front.roi_input(&roi_cfg, &events)
         });
 
-        // Stage B (serial, tiny): in-sensor ROI prediction per session. The
-        // network holds shared autograd parameters, so it stays off the pool.
+        // Stage B (serial, tiny): in-sensor ROI prediction per session, with
+        // the front-end's cold-start full-frame fallback. The network holds
+        // shared autograd parameters, so it stays off the pool.
         let mut boxes = Vec::with_capacity(refs.len());
         for (s, input) in refs.iter().zip(&inputs) {
             let roi_out = self.roi_net.forward(input)?;
-            boxes.push(if s.have_seg {
-                self.roi_net.predict_box(&roi_out)
-            } else {
-                RoiBox::full(self.system.width, self.system.height)
-            });
+            boxes.push(s.front.select_box(&self.roi_net, &roi_out));
         }
 
-        // Stage C (parallel): SRAM-sampled readout, RLE encode/decode and
-        // sparse-image reconstruction per session.
+        // Stage C (parallel): front-end stage 4 — SRAM-sampled readout, RLE
+        // encode/decode and sparse-image reconstruction per session.
         let sample_rate = self.system.sample_rate;
         let sensed: Vec<SensedFrame> =
-            bliss_parallel::par_map_mut(&mut refs, |i, s| s.read_out(boxes[i], sample_rate))
+            bliss_parallel::par_map_mut(&mut refs, |i, s| s.front.read_out(boxes[i], sample_rate))
                 .into_iter()
                 .collect::<Result<_, _>>()?;
 
         // Stage D: ONE cross-session batched inference launch.
-        let frames: Vec<(&[f32], &[f32])> = sensed
-            .iter()
-            .map(|f| (&f.image[..], &f.mask_f[..]))
-            .collect();
+        let frames: Vec<(&[f32], &[f32])> =
+            sensed.iter().map(|f| (&f.image[..], &f.mask[..])).collect();
         let predictions = self.vit.forward_batch(&frames)?;
 
-        // Host timing: the batch launches once the host is free and every
-        // member has arrived; gaze regressions serialise afterwards. The
-        // launch is modelled block-diagonally — fused weight GEMMs over the
-        // summed tokens, per-frame attention — at the timing scale.
+        // Host timing: the batch launch costs one block-diagonal pass —
+        // fused weight GEMMs over the summed tokens (each paying its
+        // dispatch overhead once for the whole batch), per-frame attention —
+        // at the timing scale; gaze regressions serialise afterwards.
         let frame_shapes: Vec<(usize, usize)> = predictions
             .iter()
             .zip(&sensed)
@@ -424,35 +425,16 @@ impl ServeRuntime {
             })
             .collect();
         let seg_time = host_batched_segmentation_time_s(&self.timing, &frame_shapes);
-        let last_ready = batch.iter().map(|&(_, r)| r).fold(f64::MIN, f64::max);
-        let host_start = host_free_s.max(last_ready);
 
-        // Stage E (serial): decode predictions, close the feedback loop,
-        // regress gaze and record the frame.
+        // Stage E (serial): front-end stage 6 — close the feedback loop and
+        // regress gaze — then record the frame.
         for (pos, ((s, prediction), sensed)) in
             refs.iter_mut().zip(predictions).zip(&sensed).enumerate()
         {
             let t = s.next_frame;
             let truth = s.next_truth();
-            let (gaze, tokens) = match prediction {
-                Some(pred) => {
-                    let classes = pred.classes();
-                    let seg = pred.seg_map(self.system.width, self.system.height);
-                    s.adopt_feedback(seg);
-                    (
-                        s.estimator.estimate_from_pairs(&classes, self.system.width),
-                        pred.tokens,
-                    )
-                }
-                None => (s.estimator.last(), 0),
-            };
-            let counts = FrameCounts {
-                conversions: sensed.conversions,
-                sampled: sensed.sampled as u64,
-                mipi_payload_bytes: sensed.mipi_bytes,
-                tokens,
-                roi_pixels: sensed.roi_pixels,
-            };
+            let (gaze, tokens) = s.front.absorb(prediction);
+            let counts = sensed.counts(tokens);
             let energy =
                 energy_breakdown_with_counts(&self.system, SystemVariant::BlissCam, &counts);
             let arrival = self.arrival_s(s);

@@ -1,10 +1,5 @@
-use bliss_eye::{render_sequence_with, EyeSequence, Gaze, ImagingNoise, Scenario, SequenceConfig};
-use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
-use bliss_tensor::TensorError;
-use bliss_track::GazeEstimator;
-use blisscam_core::SystemConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bliss_eye::{EyeSequence, Gaze, Scenario};
+use blisscam_core::{SparseFrontEnd, SystemConfig};
 use serde::{Deserialize, Serialize};
 
 /// Identity and workload of one streaming session.
@@ -71,19 +66,10 @@ pub struct SessionTrace {
     pub records: Vec<FrameRecord>,
 }
 
-/// The sensor-side output of one frame's front end, handed to the batched
-/// host inference.
-pub(crate) struct SensedFrame {
-    pub image: Vec<f32>,
-    pub mask_f: Vec<f32>,
-    pub sampled: usize,
-    pub conversions: u64,
-    pub mipi_bytes: u64,
-    pub roi_pixels: u64,
-}
-
-/// Live state of one streaming session: its rendered trace, sensor, RNG
-/// streams and closed-loop feedback buffers.
+/// Live state of one streaming session: its rendered trace, the shared
+/// per-frame front-end ([`blisscam_core::SparseFrontEnd`] — the same
+/// component `EyeTrackingSystem` drives lock-step) and the scheduler's
+/// per-session bookkeeping.
 ///
 /// All mutable state is owned — a fleet of sessions can advance in parallel
 /// on the `bliss_parallel` pool, and a session's outputs depend only on its
@@ -91,12 +77,9 @@ pub(crate) struct SensedFrame {
 pub(crate) struct Session {
     pub config: SessionConfig,
     seq: EyeSequence,
-    sensor: DigitalPixelSensor,
-    noise: ImagingNoise,
-    rng: StdRng,
-    pub estimator: GazeEstimator,
-    pub prev_seg: Vec<u8>,
-    pub have_seg: bool,
+    /// The shared sparse per-frame front-end (sensor, noise/entropy streams,
+    /// feedback buffers, gaze estimator).
+    pub front: SparseFrontEnd,
     /// Next sequence frame to sense (frame 0 primes the sensor).
     pub next_frame: usize,
     /// Virtual completion time of the previously served frame (feedback
@@ -106,37 +89,16 @@ pub(crate) struct Session {
 }
 
 impl Session {
-    /// Renders the session's trace and primes the sensor with frame 0.
+    /// Renders the session's trace and primes the front-end with frame 0 —
+    /// the one shared stream recipe ([`SparseFrontEnd::scenario_stream`]),
+    /// identical to the lock-step simulator's.
     pub fn new(config: SessionConfig, system: &SystemConfig) -> Self {
-        let seq_cfg = SequenceConfig {
-            width: system.width,
-            height: system.height,
-            frames: config.frames + 1,
-            fps: system.fps as f32,
-            seed: config.seed,
-        };
-        let trajectory = config.scenario.trajectory_config(seq_cfg.fps);
-        let seq = render_sequence_with(&seq_cfg, trajectory);
-        let mut sensor_cfg = SensorConfig::miniature(system.width, system.height);
-        sensor_cfg.seed = config.seed ^ 0xD5;
-        let mut sensor = DigitalPixelSensor::new(sensor_cfg);
-        let noise = ImagingNoise::default();
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE7A1);
-        let estimator = GazeEstimator::new(seq.model.clone());
-        // Prime the sensor's analog memory with frame 0.
-        let first = noise.apply(&seq.frames[0].clean, 1.0, &mut rng);
-        sensor.expose(&first);
-        let _ = sensor.eventify();
-        let pixels = system.width * system.height;
+        let (seq, front) =
+            SparseFrontEnd::scenario_stream(system, config.scenario, config.seed, config.frames);
         Session {
             config,
             seq,
-            sensor,
-            noise,
-            rng,
-            estimator,
-            prev_seg: vec![0u8; pixels],
-            have_seg: false,
+            front,
             next_frame: 1,
             prev_completion_s: f64::NEG_INFINITY,
             records: Vec::with_capacity(config.frames),
@@ -153,52 +115,9 @@ impl Session {
         self.seq.frames[self.next_frame].gaze
     }
 
-    /// Front-end stage A: expose the next frame through the imaging-noise
-    /// model and eventify it against the held previous frame, returning the
-    /// full-resolution event map.
+    /// Front-end stage 1 on the session's next sequence frame.
     pub fn sense_events(&mut self) -> Vec<f32> {
-        let frame = &self.seq.frames[self.next_frame];
-        let noisy = self.noise.apply(&frame.clean, 1.0, &mut self.rng);
-        self.sensor.expose(&noisy);
-        self.sensor.eventify().to_f32()
-    }
-
-    /// Front-end stage B: sparse readout through the SRAM sampler inside
-    /// `roi_box`, RLE over the modelled MIPI link, and host-side decode into
-    /// the sparse image + mask the segmenter consumes.
-    pub fn read_out(
-        &mut self,
-        roi_box: RoiBox,
-        sample_rate: f32,
-    ) -> Result<SensedFrame, TensorError> {
-        let readout = self.sensor.sparse_readout(roi_box, sample_rate);
-        let encoded = readout.encode();
-        let decoded = rle::decode(&encoded, readout.stream.len()).map_err(|e| {
-            TensorError::InvalidArgument {
-                op: "rle_decode",
-                message: e.to_string(),
-            }
-        })?;
-        debug_assert_eq!(decoded, readout.stream);
-        let (w, h) = (self.seq.width, self.seq.height);
-        let (image, mask) = readout.sparse_image(w, h, self.sensor.config().adc_bits);
-        let mask_f: Vec<f32> = mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-        Ok(SensedFrame {
-            image,
-            mask_f,
-            sampled: readout.sampled,
-            conversions: readout.conversions,
-            mipi_bytes: encoded.len() as u64,
-            roi_pixels: readout.roi.area() as u64,
-        })
-    }
-
-    /// Adopts a segmentation map as the next frame's feedback cue if it
-    /// actually found the eye.
-    pub fn adopt_feedback(&mut self, seg: Vec<u8>) {
-        if seg.iter().any(|&c| c != 0) {
-            self.prev_seg = seg;
-            self.have_seg = true;
-        }
+        self.front
+            .sense_events(&self.seq.frames[self.next_frame].clean)
     }
 }

@@ -1,0 +1,91 @@
+//! Serve-vs-`EyeTrackingSystem` equivalence: both execution paths drive the
+//! ONE shared per-frame front-end (`blisscam_core::SparseFrontEnd`), so for
+//! the same `(scenario, seed)` the streaming runtime and the lock-step
+//! simulator must produce **bit-identical** gaze, pixel-volume and energy
+//! outputs. Before the front-end existed the two paths were duplicated
+//! stage lists that could silently diverge — this suite makes that
+//! impossible to reintroduce.
+
+use bliss_eye::Scenario;
+use bliss_serve::{ServeConfig, ServeRuntime, SessionConfig};
+use blisscam_core::{EyeTrackingSystem, SystemConfig, SystemVariant};
+
+fn smoke_system() -> SystemConfig {
+    let mut system = SystemConfig::miniature();
+    system.train_frames = 30;
+    system.vit.dim = 24;
+    system.vit.enc_depth = 1;
+    system.roi_net.hidden = 32;
+    system
+}
+
+#[test]
+fn serve_and_lockstep_paths_are_bit_identical() {
+    let system = smoke_system();
+    // Train ONCE through the lock-step system, then serve the very same
+    // networks (shared parameters, no copy).
+    let mut sys = EyeTrackingSystem::new(SystemVariant::BlissCam, system).expect("system builds");
+    let runtime = ServeRuntime::with_networks(
+        system,
+        sys.vit().expect("sparse variant").clone(),
+        sys.roi_net().expect("sparse variant").clone(),
+    );
+    let mut serve_cfg = ServeConfig::new(1, 6);
+    serve_cfg.max_batch = 4;
+
+    for (scenario, seed) in [
+        (Scenario::SaccadeHeavy, 0xF1EE7u64),
+        (Scenario::BlinkStorm, 77),
+        (Scenario::Mixed, 424242),
+    ] {
+        let sc = SessionConfig {
+            id: 0,
+            scenario,
+            seed,
+            frames: 6,
+            start_offset_s: 0.0,
+        };
+        let streamed = runtime
+            .serve_sessions(&serve_cfg, vec![sc])
+            .expect("serve succeeds");
+        let lockstep = sys
+            .run_scenario_frames(scenario, seed, 6)
+            .expect("lock-step run succeeds");
+
+        let records = &streamed.traces[0].records;
+        assert_eq!(records.len(), lockstep.frames.len(), "{scenario:?}");
+        for (r, f) in records.iter().zip(&lockstep.frames) {
+            assert_eq!(r.index, f.index, "{scenario:?}");
+            assert_eq!(r.gaze_prediction, f.gaze_prediction, "{scenario:?}/{seed}");
+            assert_eq!(r.gaze_truth, f.gaze_truth);
+            assert_eq!(r.horizontal_error_deg, f.horizontal_error_deg);
+            assert_eq!(r.vertical_error_deg, f.vertical_error_deg);
+            assert_eq!(r.sampled_pixels, f.sampled_pixels);
+            assert_eq!(r.tokens, f.tokens);
+            assert_eq!(r.mipi_bytes, f.mipi_bytes);
+            assert_eq!(r.energy_j, f.energy.total_j(), "{scenario:?}/{seed}");
+        }
+        // The cold-start bootstrap reads the full frame: at the 20 % in-ROI
+        // rate that is far more pixels than any predicted box yields later.
+        let pixels = system.pixels();
+        assert!(
+            records[0].sampled_pixels as f64 > 0.15 * pixels as f64,
+            "{scenario:?}: cold start sampled only {}",
+            records[0].sampled_pixels
+        );
+        assert!(
+            records[0].sampled_pixels >= records[2].sampled_pixels,
+            "{scenario:?}: cold start not the widest read"
+        );
+    }
+}
+
+#[test]
+fn dense_variants_refuse_scenario_replay() {
+    let mut system = smoke_system();
+    system.train_frames = 10;
+    let mut sys = EyeTrackingSystem::new(SystemVariant::NpuFull, system).expect("system builds");
+    assert!(sys.vit().is_none());
+    assert!(sys.roi_net().is_none());
+    assert!(sys.run_scenario_frames(Scenario::Mixed, 1, 2).is_err());
+}

@@ -624,6 +624,25 @@ mod tests {
     }
 
     #[test]
+    fn batched_workload_fuses_weight_launches() {
+        // What the per-GEMM dispatch overhead amortises: a K-frame batch
+        // launches every weight GEMM once, so it dispatches far fewer
+        // kernels than K solo launches — only the block-diagonal attention
+        // products (and the per-frame seg-head query) stay per frame.
+        let cfg = ViTConfig::paper();
+        let solo = cfg.batched_workload(&[(108, 6851)]).launches();
+        let k = 8usize;
+        let batch: Vec<(usize, usize)> = (0..k).map(|_| (108, 6851)).collect();
+        let batched = cfg.batched_workload(&batch).launches();
+        assert!(batched < k * solo, "{batched} vs {k}x{solo}");
+        // 4 fused weight GEMMs per transformer block + patch embedding +
+        // pixel head never multiply with K — exactly those launches are
+        // saved, (k-1) times over.
+        let blocks = cfg.enc_depth + cfg.dec_depth;
+        assert_eq!(k * solo - batched, (k - 1) * (4 * blocks + 2));
+    }
+
+    #[test]
     fn macs_shrink_with_tokens() {
         let vit = tiny();
         let dense = vit.macs(12, 1200);

@@ -22,6 +22,7 @@
 //! * [`track`] — ROI prediction, sparse ViT segmentation, sampling strategies
 //! * [`core`] — the assembled system, its variants and the paper experiments
 //! * [`serve`] — multi-session streaming runtime with batched inference
+//! * [`fleet`] — multi-host sharded serving with pluggable placement policies
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@
 
 pub use bliss_energy as energy;
 pub use bliss_eye as eye;
+pub use bliss_fleet as fleet;
 pub use bliss_nn as nn;
 pub use bliss_npu as npu;
 pub use bliss_parallel as parallel;
