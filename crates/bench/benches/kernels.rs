@@ -9,7 +9,7 @@ use bliss_eye::{
     render_sequence, EyeModel, EyeModelConfig, Gaze, GazeState, MovementPhase, SequenceConfig,
 };
 use bliss_nn::MultiHeadAttention;
-use bliss_parallel::with_thread_count;
+use bliss_parallel::{with_min_parallel_work, with_thread_count};
 use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
 use bliss_tensor::{NdArray, Tensor};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -116,6 +116,62 @@ fn bench_renderer(c: &mut Criterion) {
     });
 }
 
+/// Per-region dispatch overhead: the cost of *starting and joining* a
+/// 4-share parallel region whose shares do trivial work, under three
+/// execution strategies. `spawn_per_region` replicates the PR-2..4 era
+/// (`std::thread::scope`, one OS thread spawned and joined per share);
+/// `persistent_pool` is the new generation-stamped handoff (forced past the
+/// small-region cutoff with a zero threshold); `serial_cutoff` is what tiny
+/// regions now actually do — skip dispatch entirely.
+fn bench_pool_overhead(c: &mut Criterion) {
+    const SHARES: usize = 4;
+    let mut buf = vec![0u64; SHARES * 16];
+
+    c.bench_function("pool_overhead_spawn_per_region", |b| {
+        b.iter(|| {
+            let chunk = buf.len() / SHARES;
+            std::thread::scope(|scope| {
+                for (i, part) in buf.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for x in part.iter_mut() {
+                            *x = x.wrapping_add(i as u64);
+                        }
+                    });
+                }
+            });
+            std::hint::black_box(buf[0]);
+        })
+    });
+
+    c.bench_function("pool_overhead_persistent_pool", |b| {
+        with_thread_count(SHARES, || {
+            with_min_parallel_work(0, || {
+                b.iter(|| {
+                    bliss_parallel::par_chunks(&mut buf, 16, |i, part| {
+                        for x in part.iter_mut() {
+                            *x = x.wrapping_add(i as u64);
+                        }
+                    });
+                    std::hint::black_box(buf[0]);
+                })
+            })
+        });
+    });
+
+    c.bench_function("pool_overhead_serial_cutoff", |b| {
+        with_thread_count(SHARES, || {
+            b.iter(|| {
+                bliss_parallel::par_chunks(&mut buf, 16, |i, part| {
+                    for x in part.iter_mut() {
+                        *x = x.wrapping_add(i as u64);
+                    }
+                });
+                std::hint::black_box(buf[0]);
+            })
+        });
+    });
+}
+
 // Renderer and eventify run first: on some virtualised hosts the hashed
 // readout loops leave the CPU in a state that slows unrelated FP code (see
 // the ROADMAP "host-specific FP pathology" note), which would poison the
@@ -124,6 +180,6 @@ criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
     targets = bench_renderer, bench_eventify, bench_matmul, bench_attention, bench_sparse_readout,
-        bench_rle
+        bench_rle, bench_pool_overhead
 }
 criterion_main!(kernels);

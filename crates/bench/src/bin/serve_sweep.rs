@@ -13,7 +13,7 @@
 //! reduced sweep for CI.
 
 use bliss_serve::{ServeConfig, ServeReport, ServeRuntime};
-use blisscam_core::SystemConfig;
+use blisscam_core::{SparseFrontEnd, SystemConfig};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -36,7 +36,38 @@ struct SweepReport {
     mode: String,
     frames_per_session: usize,
     max_batch: usize,
+    /// Mean steady-state readout-box area over the renderer's ground-truth
+    /// ROI area (cold-start full-frame reads excluded). 1.0 would be a
+    /// perfectly tight predictor; the PR-3 era miniature predictor sat at
+    /// ~2-3x, which kept per-frame attention dominant and the saturation
+    /// knee at N≈2-4.
+    roi_box_to_gt_area_ratio: f64,
+    /// First swept session count whose batched deadline-miss rate reaches
+    /// 50% (0 = never): the serving saturation knee.
+    knee_sessions: usize,
     points: Vec<SweepPoint>,
+}
+
+/// Serves one session solo and compares its steady-state readout-box areas
+/// against the same stream's rendered ground-truth ROI areas.
+fn roi_tightness(runtime: &ServeRuntime, frames: usize) -> f64 {
+    let cfg = ServeConfig::new(1, frames);
+    let outcome = runtime.serve(&cfg).expect("solo probe serve succeeds");
+    let sc = runtime.session_configs(&cfg)[0];
+    let (seq, _) = SparseFrontEnd::scenario_stream(runtime.system(), sc.scenario, sc.seed, frames);
+    let (mut predicted, mut truth) = (0.0f64, 0.0f64);
+    for r in &outcome.traces[0].records {
+        if r.index == 0 {
+            continue; // cold-start full-frame bootstrap read
+        }
+        predicted += r.roi_pixels as f64;
+        truth += seq.frames[r.index + 1].roi.area() as f64;
+    }
+    if truth > 0.0 {
+        predicted / truth
+    } else {
+        f64::NAN
+    }
 }
 
 fn main() {
@@ -121,10 +152,18 @@ fn main() {
         &rows,
     );
 
+    let roi_ratio = roi_tightness(&runtime, frames.max(12));
+    let knee_sessions = points
+        .iter()
+        .find(|p| p.batched.deadline_miss_rate >= 0.5)
+        .map_or(0, |p| p.sessions);
+    println!("roi box/gt area ratio {roi_ratio:.2}, saturation knee at N={knee_sessions}");
     let report = SweepReport {
         mode: if quick { "quick" } else { "standard" }.to_string(),
         frames_per_session: frames,
         max_batch,
+        roi_box_to_gt_area_ratio: roi_ratio,
+        knee_sessions,
         points,
     };
     let path = bliss_bench::report_path("BENCH_serve.json");

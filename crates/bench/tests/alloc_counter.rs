@@ -1,0 +1,158 @@
+//! Steady-state allocation counting for the batched inference hot path.
+//!
+//! A counting global allocator wraps the system allocator and tallies every
+//! allocation (plus, separately, every **buffer-class** allocation of 1 KiB
+//! or more). After a short warm-up that populates the `bliss_tensor` scratch
+//! pools, a serving-style [`SparseViT::forward_batch`] iteration must:
+//!
+//! 1. perform **zero buffer-class allocations** — every token-staging,
+//!    activation, gather-index and prediction buffer is served from the
+//!    pools (the tentpole claim of this PR), and
+//! 2. perform a **flat** number of small allocations on every iteration
+//!    (up to a few counts of process-global noise from the test harness) —
+//!    the residue is the autograd tape's node headers and sub-1-KiB
+//!    bookkeeping, bounded and non-growing, so the runtime cannot leak or
+//!    drift under sustained load.
+//!
+//! The loop is pinned to one thread (`with_thread_count(1)`) because the
+//! scratch pools are thread-local: with workers, buffers would recycle into
+//! whichever pool worker dropped them, which is still bounded but makes the
+//! per-thread counts machine-dependent.
+
+// The counting allocator needs `unsafe` (GlobalAlloc); this test binary is
+// the one place outside `bliss_parallel::pool` that opts in.
+#![allow(unsafe_code)]
+
+use bliss_parallel::with_thread_count;
+use bliss_track::{SparseViT, ViTConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Allocations at or above this size count as "buffer-class".
+const BIG: usize = 1024;
+
+struct CountingAllocator;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static BIG_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BIG_SIZES: [AtomicU64; 64] = [const { AtomicU64::new(0) }; 64];
+
+// SAFETY: delegates every operation verbatim to `System`; the counters are
+// lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            TOTAL.fetch_add(1, Ordering::Relaxed);
+            if layout.size() >= BIG {
+                let i = BIG_ALLOCS.fetch_add(1, Ordering::Relaxed) as usize;
+                if i < 64 {
+                    BIG_SIZES[i].store(layout.size() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        // SAFETY: same contract as the caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same contract as the caller's.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            TOTAL.fetch_add(1, Ordering::Relaxed);
+            if new_size >= BIG {
+                BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // SAFETY: same contract as the caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with counting enabled and returns `(total, buffer_class)`
+/// allocation counts.
+fn count_allocs(f: impl FnOnce()) -> (u64, u64) {
+    TOTAL.store(0, Ordering::SeqCst);
+    BIG_ALLOCS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    f();
+    ENABLED.store(false, Ordering::SeqCst);
+    (
+        TOTAL.load(Ordering::SeqCst),
+        BIG_ALLOCS.load(Ordering::SeqCst),
+    )
+}
+
+/// A deterministic pseudo-random sparse frame at the miniature sensor scale.
+fn synth_frame(seed: u64, pixels: usize, rate: f32) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut image = vec![0.0f32; pixels];
+    let mut mask = vec![0.0f32; pixels];
+    for i in 0..pixels {
+        if rng.gen::<f32>() < rate {
+            mask[i] = 1.0;
+            image[i] = rng.gen::<f32>();
+        }
+    }
+    (image, mask)
+}
+
+#[test]
+fn steady_state_forward_batch_is_buffer_allocation_free() {
+    let mut rng = StdRng::seed_from_u64(0x5CA7C4);
+    let vit = SparseViT::new(&mut rng, ViTConfig::miniature(160, 100));
+    // A serving-shaped batch: one loose and one tight sparse frame.
+    let a = synth_frame(1, 160 * 100, 0.06);
+    let b = synth_frame(2, 160 * 100, 0.02);
+    let batch: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1), (&b.0, &b.1)];
+
+    with_thread_count(1, || {
+        // Warm-up: populate the thread's scratch pools with the working set.
+        for _ in 0..4 {
+            let out = vit.forward_batch(&batch).expect("forward succeeds");
+            assert!(out[0].is_some() && out[1].is_some());
+        }
+        // Steady state: no buffer-class allocation, flat small-alloc count.
+        let mut per_iter = Vec::new();
+        for _ in 0..4 {
+            let (total, big) = count_allocs(|| {
+                let out = vit.forward_batch(&batch).expect("forward succeeds");
+                std::hint::black_box(&out);
+                drop(out);
+            });
+            if big > 0 {
+                let sizes: Vec<u64> = BIG_SIZES
+                    .iter()
+                    .map(|a| a.load(Ordering::SeqCst))
+                    .filter(|&x| x > 0)
+                    .collect();
+                eprintln!("buffer-class allocation sizes: {sizes:?}");
+            }
+            assert_eq!(
+                big, 0,
+                "steady-state forward_batch performed {big} buffer-class \
+                 (>= {BIG} B) heap allocations; the scratch pools must serve \
+                 the entire working set"
+            );
+            per_iter.push(total);
+        }
+        // Flat small-alloc count: the counter is process-global, so allow a
+        // few counts of ambient noise from the test-harness thread; a leak
+        // or pool miss would add dozens per iteration.
+        let lo = *per_iter.iter().min().expect("non-empty");
+        let hi = *per_iter.iter().max().expect("non-empty");
+        assert!(
+            hi - lo <= 8,
+            "per-iteration allocation counts must be flat in steady state, \
+             got {per_iter:?}"
+        );
+    });
+}

@@ -134,7 +134,7 @@ impl SystemConfig {
             roi_net: RoiNetConfig::miniature(160, 100),
             cnn: CnnSegConfig::miniature(160, 100),
             train_frames: 140,
-            train_epochs: 1,
+            train_epochs: 2,
             seed: 0xB1155,
         }
     }

@@ -55,7 +55,7 @@ use rand::SeedableRng;
 /// The sensor-side product of one frame, as handed to the host network:
 /// the decoded sparse image plus the occupancy/traffic counters the energy
 /// and timing models bill.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SensedFrame {
     /// Sparse reconstruction of the frame (unsampled pixels are zero).
     pub image: Vec<f32>,
@@ -109,6 +109,12 @@ pub struct SparseFrontEnd {
     estimator: Option<GazeEstimator>,
     prev_seg: Vec<u8>,
     have_seg: bool,
+    /// Per-stream staging buffers, reused across frames so the steady-state
+    /// front end performs no per-frame allocations for these stages.
+    noisy_buf: Vec<f32>,
+    events_buf: Vec<f32>,
+    seg_buf: Vec<u8>,
+    classes_buf: Vec<(usize, u8)>,
 }
 
 impl SparseFrontEnd {
@@ -128,7 +134,19 @@ impl SparseFrontEnd {
             estimator: None,
             prev_seg: vec![0u8; width * height],
             have_seg: false,
+            noisy_buf: Vec::new(),
+            events_buf: Vec::new(),
+            seg_buf: Vec::new(),
+            classes_buf: Vec::new(),
         }
+    }
+
+    /// Whether a segmentation feedback map has been adopted yet. `false`
+    /// means the next readout is a **cold-start** full-frame bootstrap read
+    /// (the expensive launches the serving scheduler's
+    /// `max_cold_per_batch` cap spreads out).
+    pub fn has_feedback(&self) -> bool {
+        self.have_seg
     }
 
     /// Starts a stream: resets the feedback state, installs the gaze
@@ -139,8 +157,9 @@ impl SparseFrontEnd {
         self.estimator = Some(GazeEstimator::new(model));
         self.prev_seg.fill(0);
         self.have_seg = false;
-        let first = self.noise.apply(first_clean, 1.0, &mut self.rng);
-        self.sensor.expose(&first);
+        self.noise
+            .apply_into(first_clean, 1.0, &mut self.rng, &mut self.noisy_buf);
+        self.sensor.expose(&self.noisy_buf);
         let _ = self.sensor.eventify();
     }
 
@@ -177,9 +196,19 @@ impl SparseFrontEnd {
     /// eventifies it against the held previous frame, returning the
     /// full-resolution event map.
     pub fn sense_events(&mut self, clean: &[f32]) -> Vec<f32> {
-        let noisy = self.noise.apply(clean, 1.0, &mut self.rng);
-        self.sensor.expose(&noisy);
-        self.sensor.eventify().to_f32()
+        let mut out = Vec::new();
+        self.sense_events_into(clean, &mut out);
+        out
+    }
+
+    /// [`SparseFrontEnd::sense_events`] into a caller-owned buffer (cleared
+    /// first). Bit-identical to the allocating form; streaming sessions keep
+    /// one event buffer per stream and reuse it every frame.
+    pub fn sense_events_into(&mut self, clean: &[f32], out: &mut Vec<f32>) {
+        self.noise
+            .apply_into(clean, 1.0, &mut self.rng, &mut self.noisy_buf);
+        self.sensor.expose(&self.noisy_buf);
+        self.sensor.eventify().to_f32_into(out);
     }
 
     /// Stage 2: assembles the 2-channel in-sensor ROI-net input from the
@@ -209,6 +238,27 @@ impl SparseFrontEnd {
     /// Returns an error if the RLE stream fails to round-trip (a modelling
     /// bug, not an input condition).
     pub fn read_out(&mut self, roi: RoiBox, sample_rate: f32) -> Result<SensedFrame, TensorError> {
+        let mut out = SensedFrame::default();
+        self.read_out_into(roi, sample_rate, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SparseFrontEnd::read_out`] into a caller-owned frame: the sparse
+    /// image and mask buffers are resized and fully overwritten, so a
+    /// streaming session reuses one [`SensedFrame`] per stream instead of
+    /// rebuilding both full-frame buffers every frame. Bit-identical to the
+    /// allocating form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the RLE stream fails to round-trip (a modelling
+    /// bug, not an input condition).
+    pub fn read_out_into(
+        &mut self,
+        roi: RoiBox,
+        sample_rate: f32,
+        out: &mut SensedFrame,
+    ) -> Result<(), TensorError> {
         let readout = self.sensor.sparse_readout(roi, sample_rate);
         let encoded = readout.encode();
         let decoded = rle::decode(&encoded, readout.stream.len()).map_err(|e| {
@@ -218,17 +268,18 @@ impl SparseFrontEnd {
             }
         })?;
         debug_assert_eq!(decoded, readout.stream);
-        let (image, mask) =
-            readout.sparse_image(self.width, self.height, self.sensor.config().adc_bits);
-        let mask: Vec<f32> = mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-        Ok(SensedFrame {
-            image,
-            mask,
-            sampled: readout.sampled,
-            conversions: readout.conversions,
-            mipi_bytes: encoded.len() as u64,
-            roi_pixels: readout.roi.area() as u64,
-        })
+        readout.sparse_image_f32_into(
+            self.width,
+            self.height,
+            self.sensor.config().adc_bits,
+            &mut out.image,
+            &mut out.mask,
+        );
+        out.sampled = readout.sampled;
+        out.conversions = readout.conversions;
+        out.mipi_bytes = encoded.len() as u64;
+        out.roi_pixels = readout.roi.area() as u64;
+        Ok(())
     }
 
     /// Stage 6: closes the loop on a host prediction — adopts the
@@ -240,24 +291,37 @@ impl SparseFrontEnd {
     ///
     /// Panics if called before [`SparseFrontEnd::begin_stream`].
     pub fn absorb(&mut self, prediction: Option<SegPrediction>) -> (Gaze, usize) {
-        let estimator = self
-            .estimator
-            .as_mut()
-            .expect("begin_stream must run before absorb");
+        assert!(
+            self.estimator.is_some(),
+            "begin_stream must run before absorb"
+        );
         match prediction {
             Some(pred) => {
-                let classes = pred.classes();
-                let seg = pred.seg_map(self.width, self.height);
-                if seg.iter().any(|&c| c != 0) {
-                    self.prev_seg = seg;
+                // Decode once into the per-stream scratch buffers (the seg
+                // map is scattered from the already-computed class pairs, as
+                // `SegPrediction::seg_map` historically did), then swap the
+                // segmentation in — same bits as rebuilding both per frame,
+                // with zero steady-state allocations and one argmax pass.
+                pred.classes_into(&mut self.classes_buf);
+                self.seg_buf.clear();
+                self.seg_buf.resize(self.width * self.height, 0u8);
+                for &(i, c) in &self.classes_buf {
+                    if i < self.seg_buf.len() {
+                        self.seg_buf[i] = c;
+                    }
+                }
+                if self.seg_buf.iter().any(|&c| c != 0) {
+                    std::mem::swap(&mut self.prev_seg, &mut self.seg_buf);
                     self.have_seg = true;
                 }
+                let width = self.width;
+                let estimator = self.estimator.as_mut().expect("checked above");
                 (
-                    estimator.estimate_from_pairs(&classes, self.width),
+                    estimator.estimate_from_pairs(&self.classes_buf, width),
                     pred.tokens,
                 )
             }
-            None => (estimator.last(), 0),
+            None => (self.estimator.as_mut().expect("checked above").last(), 0),
         }
     }
 
@@ -276,8 +340,10 @@ impl SparseFrontEnd {
         vit: &SparseViT,
         sample_rate: f32,
     ) -> Result<ServedFrame, TensorError> {
-        let events = self.sense_events(clean);
+        let mut events = std::mem::take(&mut self.events_buf);
+        self.sense_events_into(clean, &mut events);
         let input = self.roi_input(roi_net.config(), &events);
+        self.events_buf = events;
         let roi_out = roi_net.forward(&input)?;
         let roi = self.select_box(roi_net, &roi_out);
         let sensed = self.read_out(roi, sample_rate)?;

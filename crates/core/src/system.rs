@@ -131,11 +131,11 @@ pub struct EyeTrackingSystem {
 enum HostPipeline {
     Sparse {
         trainer: Box<JointTrainer>,
-        front: SparseFrontEnd,
+        front: Box<SparseFrontEnd>,
     },
     Dense {
         trainer: Box<DenseTrainer>,
-        sensor: DigitalPixelSensor,
+        sensor: Box<DigitalPixelSensor>,
         noise: ImagingNoise,
         rng: StdRng,
     },
@@ -160,7 +160,11 @@ impl EyeTrackingSystem {
             trainer.train_on(&train_seq)?;
             HostPipeline::Sparse {
                 trainer: Box::new(trainer),
-                front: SparseFrontEnd::new(config.width, config.height, config.seed),
+                front: Box::new(SparseFrontEnd::new(
+                    config.width,
+                    config.height,
+                    config.seed,
+                )),
             }
         } else {
             let mut trainer = DenseTrainer::new(
@@ -177,7 +181,7 @@ impl EyeTrackingSystem {
             sensor_cfg.seed = config.seed ^ 0xD5;
             HostPipeline::Dense {
                 trainer: Box::new(trainer),
-                sensor: DigitalPixelSensor::new(sensor_cfg),
+                sensor: Box::new(DigitalPixelSensor::new(sensor_cfg)),
                 noise: ImagingNoise::default(),
                 rng: StdRng::seed_from_u64(config.seed ^ 0xE7A1),
             }

@@ -56,20 +56,35 @@ impl ImagingNoise {
         exposure_scale: f32,
         rng: &mut R,
     ) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.apply_into(clean, exposure_scale, rng, &mut out);
+        out
+    }
+
+    /// [`ImagingNoise::apply`] into a caller-owned buffer (cleared first):
+    /// the per-pixel RNG stream is consumed in the same order, so outputs
+    /// are bit-identical, and a per-stream buffer reused across frames
+    /// avoids a full-frame allocation per exposure.
+    pub fn apply_into<R: Rng + ?Sized>(
+        &self,
+        clean: &[f32],
+        exposure_scale: f32,
+        rng: &mut R,
+        out: &mut Vec<f32>,
+    ) {
         let full = self.config.full_scale_electrons * exposure_scale.max(1e-6);
         let levels = (1u32 << self.config.adc_bits) as f32;
-        clean
-            .iter()
-            .map(|&v| {
-                let mean_e = (v.clamp(0.0, 1.0) * full).max(0.0);
-                let shot = poisson_sample(rng, mean_e);
-                let read = gauss(rng) * self.config.read_noise_electrons;
-                let electrons = (shot + read).max(0.0);
-                // Quantise with the ADC, then renormalise.
-                let code = (electrons / full * levels).round().min(levels - 1.0);
-                code / (levels - 1.0)
-            })
-            .collect()
+        out.clear();
+        out.reserve(clean.len());
+        out.extend(clean.iter().map(|&v| {
+            let mean_e = (v.clamp(0.0, 1.0) * full).max(0.0);
+            let shot = poisson_sample(rng, mean_e);
+            let read = gauss(rng) * self.config.read_noise_electrons;
+            let electrons = (shot + read).max(0.0);
+            // Quantise with the ADC, then renormalise.
+            let code = (electrons / full * levels).round().min(levels - 1.0);
+            code / (levels - 1.0)
+        }));
     }
 
     /// Expected signal-to-noise ratio (in dB) of a pixel with radiance `v`

@@ -1,5 +1,5 @@
-//! Deterministic data-parallel primitives on a dependency-free scoped
-//! thread pool.
+//! Deterministic data-parallel primitives on a dependency-free **persistent
+//! worker pool**.
 //!
 //! Every hot kernel in the BlissCam reproduction (matmul, attention,
 //! convolution, eventification, rendering, readout) runs on the primitives in
@@ -16,9 +16,12 @@
 //!   serially, so a parallel attention fan-out whose per-head GEMMs are
 //!   themselves parallel kernels does not explode into `heads x rows` threads.
 //!
-//! The pool is built on [`std::thread::scope`]: threads are spawned per
-//! parallel region and joined before the call returns, so borrowed inputs need
-//! no `'static` bound and worker panics propagate to the caller.
+//! Regions execute on the lazily-initialised pool in [`pool`]: workers park
+//! on a condvar between regions and receive scoped jobs through a
+//! generation-stamped handoff, so a region pays a queue push + wakeup instead
+//! of an OS thread spawn + join (see the module docs for the protocol and
+//! its safety argument). Worker panics still propagate to the submitting
+//! thread, and borrowed inputs still need no `'static` bound.
 //!
 //! # Thread-count selection
 //!
@@ -27,10 +30,31 @@
 //! `BLISS_THREADS` environment variable, and finally
 //! [`std::thread::available_parallelism`], capped at 16.
 //!
+//! # Small-region cutoff
+//!
+//! Dispatching a region costs roughly a microsecond even on the persistent
+//! pool, which tiny regions (eventification of a miniature frame, a
+//! handful-of-rows transpose) can never amortise. Each primitive therefore
+//! estimates its region's total work — element count times an optional
+//! per-element cost hint (the `*_with_cost` variants; e.g. the matmul passes
+//! its inner dimension) — and runs **serially on the calling thread** when
+//! the estimate falls below [`min_parallel_work`]. The cutoff changes only
+//! *where* the closures run, never the partition, so results remain
+//! bit-identical on both sides of the threshold; it is tunable via the
+//! `BLISS_PAR_THRESHOLD` environment variable or scoped
+//! [`with_min_parallel_work`] (the benches force `0` to measure pure
+//! dispatch).
+//!
+//! [`par_map_collect`] and [`par_map_mut`] fan out *items* (attention heads,
+//! serving sessions) rather than elements; their plain forms assume every
+//! item is at least a threshold's worth of work and always parallelise —
+//! pass a per-item cost with the `_with_cost` variants when items are cheap
+//! (the ViT's patch-occupancy scan does).
+//!
 //! # Example
 //!
 //! ```
-//! // Square 10 rows of 4 elements each, in parallel.
+//! // Square 10 rows of 4 elements each.
 //! let mut data: Vec<f32> = (0..40).map(|x| x as f32).collect();
 //! let expected: Vec<f32> = data.iter().map(|x| x * x).collect();
 //!
@@ -41,13 +65,17 @@
 //! });
 //! assert_eq!(data, expected);
 //!
-//! // The same call under any forced thread count produces identical bytes.
+//! // The same call under any forced thread count produces identical bytes —
+//! // whether the region runs serially (below the work cutoff) or on the
+//! // pool (forced here with a zero cutoff).
 //! let mut again: Vec<f32> = (0..40).map(|x| x as f32).collect();
 //! bliss_parallel::with_thread_count(8, || {
-//!     bliss_parallel::par_map_rows(&mut again, 4, |_row, slice| {
-//!         for v in slice.iter_mut() {
-//!             *v *= *v;
-//!         }
+//!     bliss_parallel::with_min_parallel_work(0, || {
+//!         bliss_parallel::par_map_rows(&mut again, 4, |_row, slice| {
+//!             for v in slice.iter_mut() {
+//!                 *v *= *v;
+//!             }
+//!         });
 //!     });
 //! });
 //! assert_eq!(again, data);
@@ -57,13 +85,24 @@ use std::cell::Cell;
 use std::sync::OnceLock;
 use std::thread;
 
+pub mod pool;
+
+pub use pool::pool_thread_count;
+
 /// Upper bound on the pool width; protects against absurd `BLISS_THREADS`
-/// values and keeps per-region spawn cost bounded.
+/// values and bounds the persistent pool's worker count.
 pub const MAX_THREADS: usize = 16;
+
+/// Default total-work cutoff below which a region runs serially instead of
+/// dispatching to the pool (in elements x per-element cost units). The value
+/// matches the register-blocked matmul's historical `32^3` serial cutoff.
+pub const DEFAULT_MIN_PARALLEL_WORK: usize = 32 * 32 * 32;
 
 thread_local! {
     /// 0 = no override; otherwise the forced thread count for this thread.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// `None` = no override; otherwise the forced work cutoff.
+    static WORK_CUTOFF_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 fn env_thread_count() -> usize {
@@ -79,6 +118,16 @@ fn env_thread_count() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(MAX_THREADS)
+    })
+}
+
+fn env_min_parallel_work() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("BLISS_PAR_THRESHOLD")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MIN_PARALLEL_WORK)
     })
 }
 
@@ -102,12 +151,31 @@ pub fn thread_count() -> usize {
     }
 }
 
+/// The total-work cutoff below which regions run serially.
+///
+/// Resolution order: [`with_min_parallel_work`] override →
+/// `BLISS_PAR_THRESHOLD` environment variable →
+/// [`DEFAULT_MIN_PARALLEL_WORK`].
+pub fn min_parallel_work() -> usize {
+    WORK_CUTOFF_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(env_min_parallel_work)
+}
+
 /// Restores the previous override when a scoped override ends, even on panic.
 struct OverrideGuard(usize);
 
 impl Drop for OverrideGuard {
     fn drop(&mut self) {
         THREAD_OVERRIDE.with(|c| c.set(self.0));
+    }
+}
+
+struct CutoffGuard(Option<usize>);
+
+impl Drop for CutoffGuard {
+    fn drop(&mut self) {
+        WORK_CUTOFF_OVERRIDE.with(|c| c.set(self.0));
     }
 }
 
@@ -129,6 +197,32 @@ pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Runs `f` with [`min_parallel_work`] forced to `work` on the current
+/// thread (scoped and panic-safe, like [`with_thread_count`]).
+///
+/// `0` forces every region onto the pool regardless of size (used by the
+/// dispatch-overhead benches and the pool lifecycle tests); a huge value
+/// forces everything serial. Results are bit-identical either way.
+///
+/// ```
+/// // Force pool dispatch for a tiny region; the bytes cannot change.
+/// let run = || {
+///     let mut v = vec![1.0f32; 8];
+///     bliss_parallel::par_map_rows(&mut v, 2, |r, row| row[0] += r as f32);
+///     v
+/// };
+/// let serial = run();
+/// let pooled = bliss_parallel::with_thread_count(4, || {
+///     bliss_parallel::with_min_parallel_work(0, run)
+/// });
+/// assert_eq!(serial, pooled);
+/// ```
+pub fn with_min_parallel_work<R>(work: usize, f: impl FnOnce() -> R) -> R {
+    let prev = WORK_CUTOFF_OVERRIDE.with(|c| c.replace(Some(work)));
+    let _guard = CutoffGuard(prev);
+    f()
+}
+
 /// Installs the serial override on a worker thread so nested parallel calls
 /// (for example a parallel matmul inside a parallel per-head fan-out) run
 /// inline instead of spawning `outer x inner` threads.
@@ -143,7 +237,8 @@ fn worker_guard() -> OverrideGuard {
 /// may be shorter. Chunk boundaries depend only on `data.len()` and
 /// `chunk_len`, so for a pure `f` the result is bit-identical for every
 /// thread count. Work is distributed as one contiguous run of chunks per
-/// worker.
+/// worker; regions smaller than [`min_parallel_work`] elements run serially
+/// on the calling thread (same partition, same bytes).
 ///
 /// An empty `data` is a no-op. Panics in `f` propagate to the caller.
 ///
@@ -169,36 +264,59 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    par_chunks_with_cost(data, chunk_len, 1, f)
+}
+
+/// [`par_chunks`] with an explicit per-element cost hint for the
+/// small-region cutoff.
+///
+/// `cost_per_elem` scales the work estimate (`data.len() * cost_per_elem`)
+/// compared against [`min_parallel_work`]; it has **no effect on results**,
+/// only on whether the region dispatches to the pool. The matmul passes its
+/// inner dimension `k` (each output element costs `k` FMAs); memory-bound
+/// kernels use the default of 1.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`, or if any worker closure panics.
+pub fn par_chunks_with_cost<T, F>(data: &mut [T], chunk_len: usize, cost_per_elem: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     assert!(chunk_len > 0, "chunk_len must be positive");
     if data.is_empty() {
         return;
     }
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = thread_count().min(n_chunks);
-    if threads <= 1 {
+    let work = data.len().saturating_mul(cost_per_elem.max(1));
+    if threads <= 1 || work < min_parallel_work() {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
         }
         return;
     }
-    let chunks_per_worker = n_chunks.div_ceil(threads);
-    let span = chunks_per_worker * chunk_len;
-    thread::scope(|scope| {
-        let f = &f;
-        let mut rest = data;
-        let mut base = 0usize;
-        while !rest.is_empty() {
-            let take = span.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let first_chunk = base;
-            base += chunks_per_worker;
-            scope.spawn(move || {
-                let _serial = worker_guard();
-                for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
-                    f(first_chunk + i, chunk);
-                }
-            });
+    // Fixed partition: one contiguous run of chunks per share, split safely
+    // on this thread and handed across the pool through take-once cells.
+    let chunks_per_share = n_chunks.div_ceil(threads);
+    let span = chunks_per_share * chunk_len;
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(threads);
+    let mut rest = data;
+    let mut first_chunk = 0usize;
+    while !rest.is_empty() {
+        let take = span.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        parts.push((first_chunk, head));
+        first_chunk += chunks_per_share;
+        rest = tail;
+    }
+    let cells = pool::ShareCells::new(parts);
+    let f = &f;
+    pool::run_region(cells.len(), &|w: usize| {
+        let (first_chunk, slice) = cells.take(w);
+        for (i, chunk) in slice.chunks_mut(chunk_len).enumerate() {
+            f(first_chunk + i, chunk);
         }
     });
 }
@@ -231,7 +349,21 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    par_chunks(data, row_len, f);
+    par_chunks_with_cost(data, row_len, 1, f);
+}
+
+/// [`par_map_rows`] with an explicit per-element cost hint (see
+/// [`par_chunks_with_cost`]).
+///
+/// # Panics
+///
+/// Panics if `row_len == 0`, or if any worker closure panics.
+pub fn par_map_rows_with_cost<T, F>(data: &mut [T], row_len: usize, cost_per_elem: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_with_cost(data, row_len, cost_per_elem, f);
 }
 
 /// Applies `f` to matching rows of two parallel buffers.
@@ -266,6 +398,30 @@ where
     B: Send,
     F: Fn(usize, &mut [A], &mut [B]) + Sync,
 {
+    par_zip_rows_with_cost(a, row_len_a, b, row_len_b, 1, f);
+}
+
+/// [`par_zip_rows`] with an explicit per-element cost hint (see
+/// [`par_chunks_with_cost`]); the work estimate covers both buffers. The eye
+/// renderer passes a high cost because each output pixel runs full ellipse
+/// geometry.
+///
+/// # Panics
+///
+/// Same conditions as [`par_zip_rows`].
+#[allow(clippy::too_many_arguments)]
+pub fn par_zip_rows_with_cost<A, B, F>(
+    a: &mut [A],
+    row_len_a: usize,
+    b: &mut [B],
+    row_len_b: usize,
+    cost_per_elem: usize,
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
     assert!(
         row_len_a > 0 && row_len_b > 0,
         "row lengths must be positive"
@@ -280,7 +436,8 @@ where
         return;
     }
     let threads = thread_count().min(rows);
-    if threads <= 1 {
+    let work = (a.len() + b.len()).saturating_mul(cost_per_elem.max(1));
+    if threads <= 1 || work < min_parallel_work() {
         for (row, (ra, rb)) in a
             .chunks_mut(row_len_a)
             .zip(b.chunks_mut(row_len_b))
@@ -290,30 +447,30 @@ where
         }
         return;
     }
-    let rows_per_worker = rows.div_ceil(threads);
-    thread::scope(|scope| {
-        let f = &f;
-        let mut rest_a = a;
-        let mut rest_b = b;
-        let mut base = 0usize;
-        while !rest_a.is_empty() {
-            let take_rows = rows_per_worker.min(rest_a.len() / row_len_a);
-            let (head_a, tail_a) = rest_a.split_at_mut(take_rows * row_len_a);
-            let (head_b, tail_b) = rest_b.split_at_mut(take_rows * row_len_b);
-            rest_a = tail_a;
-            rest_b = tail_b;
-            let first_row = base;
-            base += take_rows;
-            scope.spawn(move || {
-                let _serial = worker_guard();
-                for (i, (ra, rb)) in head_a
-                    .chunks_mut(row_len_a)
-                    .zip(head_b.chunks_mut(row_len_b))
-                    .enumerate()
-                {
-                    f(first_row + i, ra, rb);
-                }
-            });
+    let rows_per_share = rows.div_ceil(threads);
+    let mut parts: Vec<(usize, &mut [A], &mut [B])> = Vec::with_capacity(threads);
+    let mut rest_a = a;
+    let mut rest_b = b;
+    let mut first_row = 0usize;
+    while !rest_a.is_empty() {
+        let take_rows = rows_per_share.min(rest_a.len() / row_len_a);
+        let (head_a, tail_a) = rest_a.split_at_mut(take_rows * row_len_a);
+        let (head_b, tail_b) = rest_b.split_at_mut(take_rows * row_len_b);
+        parts.push((first_row, head_a, head_b));
+        first_row += take_rows;
+        rest_a = tail_a;
+        rest_b = tail_b;
+    }
+    let cells = pool::ShareCells::new(parts);
+    let f = &f;
+    pool::run_region(cells.len(), &|w: usize| {
+        let (first_row, sa, sb) = cells.take(w);
+        for (i, (ra, rb)) in sa
+            .chunks_mut(row_len_a)
+            .zip(sb.chunks_mut(row_len_b))
+            .enumerate()
+        {
+            f(first_row + i, ra, rb);
         }
     });
 }
@@ -322,9 +479,11 @@ where
 /// in index order.
 ///
 /// Used for coarse-grained fan-out where each task produces an owned value —
-/// e.g. one attention head's output, or one image patch's occupancy flag.
-/// Results are returned in index order regardless of completion order, so the
-/// output is independent of the thread count.
+/// e.g. one attention head's output, or one serving session's step. Results
+/// are returned in index order regardless of completion order, so the output
+/// is independent of the thread count. Items are assumed expensive (the
+/// region always dispatches); use [`par_map_collect_with_cost`] when they
+/// are not.
 ///
 /// # Panics
 ///
@@ -342,28 +501,49 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_collect_with_cost(n, usize::MAX, f)
+}
+
+/// [`par_map_collect`] with an explicit per-item cost hint: the region runs
+/// serially when `n * cost_per_item` falls below [`min_parallel_work`]
+/// (results are identical either way). The ViT's patch-occupancy scan passes
+/// its patch area.
+///
+/// # Panics
+///
+/// Panics if any worker closure panics.
+pub fn par_map_collect_with_cost<R, F>(n: usize, cost_per_item: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
     let threads = thread_count().min(n);
-    if threads <= 1 {
+    let work = n.saturating_mul(cost_per_item.max(1));
+    if threads <= 1 || work < min_parallel_work() {
         return (0..n).map(f).collect();
     }
+    let per_share = n.div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let per_worker = n.div_ceil(threads);
-    thread::scope(|scope| {
+    {
+        let parts: Vec<(usize, &mut [Option<R>])> = out
+            .chunks_mut(per_share)
+            .enumerate()
+            .map(|(w, block)| (w * per_share, block))
+            .collect();
+        let cells = pool::ShareCells::new(parts);
         let f = &f;
-        for (w, block) in out.chunks_mut(per_worker).enumerate() {
-            scope.spawn(move || {
-                let _serial = worker_guard();
-                for (i, slot) in block.iter_mut().enumerate() {
-                    *slot = Some(f(w * per_worker + i));
-                }
-            });
-        }
-    });
+        pool::run_region(cells.len(), &|w: usize| {
+            let (start, slots) = cells.take(w);
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(f(start + i));
+            }
+        });
+    }
     out.into_iter()
-        .map(|slot| slot.expect("every index is assigned to exactly one worker"))
+        .map(|slot| slot.expect("every index is assigned to exactly one share"))
         .collect()
 }
 
@@ -375,7 +555,8 @@ where
 /// buffers) and `f` advances it one step, returning that step's output.
 /// Items are distributed as one contiguous block per worker, so for a pure
 /// per-item `f` the outputs — and the per-item state mutations — are
-/// bit-identical for every thread count.
+/// bit-identical for every thread count. Items are assumed expensive (the
+/// region always dispatches).
 ///
 /// # Panics
 ///
@@ -406,25 +587,27 @@ where
     if threads <= 1 {
         return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let per_worker = n.div_ceil(threads);
+    let per_share = n.div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    thread::scope(|scope| {
-        let f = &f;
-        for ((w, block), slots) in items
-            .chunks_mut(per_worker)
+    {
+        type MutShare<'p, T, R> = (usize, &'p mut [T], &'p mut [Option<R>]);
+        let parts: Vec<MutShare<'_, T, R>> = items
+            .chunks_mut(per_share)
+            .zip(out.chunks_mut(per_share))
             .enumerate()
-            .zip(out.chunks_mut(per_worker))
-        {
-            scope.spawn(move || {
-                let _serial = worker_guard();
-                for (i, (item, slot)) in block.iter_mut().zip(slots.iter_mut()).enumerate() {
-                    *slot = Some(f(w * per_worker + i, item));
-                }
-            });
-        }
-    });
+            .map(|(w, (block, slots))| (w * per_share, block, slots))
+            .collect();
+        let cells = pool::ShareCells::new(parts);
+        let f = &f;
+        pool::run_region(cells.len(), &|w: usize| {
+            let (start, block, slots) = cells.take(w);
+            for (i, (item, slot)) in block.iter_mut().zip(slots.iter_mut()).enumerate() {
+                *slot = Some(f(start + i, item));
+            }
+        });
+    }
     out.into_iter()
-        .map(|slot| slot.expect("every index is assigned to exactly one worker"))
+        .map(|slot| slot.expect("every index is assigned to exactly one share"))
         .collect()
 }
 
@@ -433,6 +616,12 @@ mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Forces pool dispatch regardless of region size, so these tests
+    /// exercise the persistent-pool path and not the serial cutoff.
+    fn pooled<R>(f: impl FnOnce() -> R) -> R {
+        with_min_parallel_work(0, f)
+    }
 
     fn fill_squares(len: usize, chunk: usize) -> Vec<f32> {
         let mut v: Vec<f32> = (0..len).map(|x| x as f32).collect();
@@ -449,20 +638,67 @@ mod tests {
         for &(len, chunk) in &[(0usize, 3usize), (1, 1), (7, 3), (64, 8), (1000, 17)] {
             let serial = with_thread_count(1, || fill_squares(len, chunk));
             for threads in [2, 3, 8] {
-                let parallel = with_thread_count(threads, || fill_squares(len, chunk));
+                let parallel = with_thread_count(threads, || pooled(|| fill_squares(len, chunk)));
                 assert_eq!(serial, parallel, "len={len} chunk={chunk} t={threads}");
             }
         }
     }
 
     #[test]
+    fn results_identical_on_both_sides_of_the_work_cutoff() {
+        // The same region, pinned serial (huge cutoff) and pinned pooled
+        // (zero cutoff), must produce identical bytes — the cutoff moves
+        // execution, never the partition. Covers par_chunks and
+        // par_map_collect, the two primitives with cost-gated dispatch.
+        let chunks = |cutoff: usize| {
+            with_thread_count(8, || {
+                with_min_parallel_work(cutoff, || fill_squares(1000, 17))
+            })
+        };
+        assert_eq!(chunks(usize::MAX), chunks(0));
+
+        let collect = |cutoff: usize| {
+            with_thread_count(8, || {
+                with_min_parallel_work(cutoff, || {
+                    par_map_collect_with_cost(100, 3, |i| (i as f32).cos())
+                })
+            })
+        };
+        assert_eq!(collect(usize::MAX), collect(0));
+    }
+
+    #[test]
+    fn small_regions_skip_the_pool_and_large_ones_use_it() {
+        let caller = std::thread::current().id();
+        with_thread_count(4, || {
+            // Tiny region, default cutoff: every chunk runs inline on the
+            // calling thread — no dispatch, no pool growth required.
+            let mut v = vec![0u8; 64];
+            par_chunks(&mut v, 8, |_, _| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+            // The same region with the cutoff forced to zero dispatches to
+            // the pool: workers are spawned (even if, on a single-CPU host,
+            // the submitter's help-drain wins the race to execute the
+            // shares — which thread runs a share never changes the bytes).
+            pooled(|| {
+                let mut v = vec![0u8; 64];
+                par_chunks(&mut v, 8, |_, _| {});
+            });
+            assert!(pool_thread_count() >= 1);
+        });
+    }
+
+    #[test]
     fn par_chunks_visits_every_chunk_exactly_once() {
         let mut v = vec![0u32; 103];
         with_thread_count(8, || {
-            par_chunks(&mut v, 10, |i, c| {
-                for x in c.iter_mut() {
-                    *x += 1 + i as u32;
-                }
+            pooled(|| {
+                par_chunks(&mut v, 10, |i, c| {
+                    for x in c.iter_mut() {
+                        *x += 1 + i as u32;
+                    }
+                });
             });
         });
         for (flat, &x) in v.iter().enumerate() {
@@ -477,8 +713,10 @@ mod tests {
         // Odd-sized tail: last chunk shorter than chunk_len.
         let mut v = vec![1u8; 5];
         with_thread_count(4, || {
-            par_chunks(&mut v, 2, |i, c| {
-                assert_eq!(c.len(), if i == 2 { 1 } else { 2 });
+            pooled(|| {
+                par_chunks(&mut v, 2, |i, c| {
+                    assert_eq!(c.len(), if i == 2 { 1 } else { 2 });
+                });
             });
         });
     }
@@ -494,14 +732,39 @@ mod tests {
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut v = vec![0u8; 100];
             with_thread_count(4, || {
-                par_chunks(&mut v, 10, |i, _| {
-                    if i == 7 {
-                        panic!("worker failure");
-                    }
+                pooled(|| {
+                    par_chunks(&mut v, 10, |i, _| {
+                        if i == 7 {
+                            panic!("worker failure");
+                        }
+                    });
                 });
             });
         }));
         assert!(result.is_err(), "panic must escape the parallel region");
+    }
+
+    #[test]
+    fn pool_survives_panics_and_stays_usable() {
+        // A panicking region must not kill pool workers or wedge the queue:
+        // subsequent regions on the same pool still complete correctly.
+        with_thread_count(4, || {
+            pooled(|| {
+                for round in 0..10 {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        par_map_collect(8, |i| {
+                            if i == 5 {
+                                panic!("round {round}");
+                            }
+                            i
+                        })
+                    }));
+                    assert!(result.is_err());
+                    let ok = par_map_collect(8, |i| i * 2);
+                    assert_eq!(ok, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+                }
+            });
+        });
     }
 
     #[test]
@@ -562,15 +825,15 @@ mod tests {
         };
         let serial = with_thread_count(1, run);
         for threads in [2, 8] {
-            assert_eq!(serial, with_thread_count(threads, run));
+            assert_eq!(serial, with_thread_count(threads, || pooled(run)));
         }
     }
 
     #[test]
     fn nested_regions_run_serially() {
-        // A nested par_chunks inside a worker must not spawn its own threads;
-        // we detect this by counting distinct executions — the nested call
-        // still computes correctly either way, so assert on thread_count().
+        // A nested par_chunks inside a pool share must not dispatch its own
+        // region: shares install the serial override, so thread_count()
+        // observed inside is 1.
         let observed = AtomicUsize::new(usize::MAX);
         with_thread_count(4, || {
             par_map_collect(4, |i| {
@@ -591,5 +854,85 @@ mod tests {
         assert_eq!(thread_count(), outer, "override must restore on unwind");
         let nested = with_thread_count(2, || with_thread_count(6, thread_count));
         assert_eq!(nested, 6);
+
+        let outer_cutoff = min_parallel_work();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_min_parallel_work(7, || panic!("unwind through cutoff override"))
+        }));
+        assert_eq!(min_parallel_work(), outer_cutoff);
+        assert_eq!(with_min_parallel_work(9, min_parallel_work), 9);
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_thousands_of_small_regions() {
+        // Thousands of forced-pool regions must not leak threads: the pool
+        // spawns at most MAX_THREADS - 1 persistent workers, and the count
+        // stabilises after the first regions.
+        with_thread_count(4, || {
+            pooled(|| {
+                let mut v = vec![0u64; 64];
+                par_chunks(&mut v, 8, |_, c| {
+                    for x in c.iter_mut() {
+                        *x += 1;
+                    }
+                });
+                let after_first = pool_thread_count();
+                assert!((1..MAX_THREADS).contains(&after_first));
+                for _ in 0..2_000 {
+                    par_chunks(&mut v, 8, |i, c| {
+                        for x in c.iter_mut() {
+                            *x = x.wrapping_add(i as u64);
+                        }
+                    });
+                }
+                let after_storm = pool_thread_count();
+                assert_eq!(
+                    after_first, after_storm,
+                    "pool must not spawn per region (thread leak)"
+                );
+                assert!(after_storm < MAX_THREADS);
+            });
+        });
+    }
+
+    #[test]
+    fn pool_width_follows_demand_and_is_bounded() {
+        // An 8-share region needs at most 7 helpers; the pool never exceeds
+        // MAX_THREADS - 1 even when asked for the maximum width repeatedly.
+        with_thread_count(MAX_THREADS, || {
+            pooled(|| {
+                for _ in 0..50 {
+                    let out = par_map_collect(MAX_THREADS * 3, |i| i as u64 * 3);
+                    assert_eq!(out[MAX_THREADS], MAX_THREADS as u64 * 3);
+                }
+            });
+        });
+        assert!(pool_thread_count() < MAX_THREADS);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        // Multiple OS threads submitting regions at once must all complete
+        // with correct results (the help-drain path guarantees progress even
+        // when every worker is busy with another region's shares).
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    with_thread_count(4, || {
+                        pooled(|| {
+                            for round in 0..200usize {
+                                let got = par_map_collect(13, move |i| i * 31 + t + round);
+                                for (i, &g) in got.iter().enumerate() {
+                                    assert_eq!(g, i * 31 + t + round);
+                                }
+                            }
+                        })
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("submitter thread must not die");
+        }
     }
 }

@@ -118,6 +118,38 @@ impl ReadoutResult {
         (image, mask)
     }
 
+    /// Reconstructs the sparse image into caller-owned buffers, with the
+    /// mask already in the `f32` format the segmenter consumes (1.0 where a
+    /// sample landed). Both buffers are resized and fully overwritten, so a
+    /// per-stream pair can be reused across frames without reallocating.
+    pub fn sparse_image_f32_into(
+        &self,
+        width: usize,
+        height: usize,
+        adc_bits: u32,
+        image: &mut Vec<f32>,
+        mask: &mut Vec<f32>,
+    ) {
+        let max_code = ((1u32 << adc_bits) - 1) as f32;
+        image.clear();
+        image.resize(width * height, 0.0);
+        mask.clear();
+        mask.resize(width * height, 0.0);
+        let roi = self.roi.clamp_to(width, height);
+        let mut i = 0usize;
+        for x in roi.x1..roi.x2 {
+            for y in roi.y1..roi.y2 {
+                if let Some(&code) = self.stream.get(i) {
+                    if code != 0 {
+                        image[y * width + x] = code as f32 / max_code;
+                        mask[y * width + x] = 1.0;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
     /// Pixel-volume compression rate versus a dense full-frame readout:
     /// total pixels over transmitted (sampled) pixels. This is the paper's
     /// Fig. 12/15 x-axis ("uncompressed size over compressed size"); the
@@ -203,7 +235,12 @@ impl DigitalPixelSensor {
             self.config.pixels(),
             "exposure size must match the pixel array"
         );
-        self.current = Some(image.to_vec());
+        // Reuse the latched buffer across frames: a streaming session
+        // exposes every frame period, and the copy fully overwrites it.
+        match &mut self.current {
+            Some(buf) => buf.copy_from_slice(image),
+            None => self.current = Some(image.to_vec()),
+        }
     }
 
     /// Analog eventification (Eqn. 1): compares the current exposure against
@@ -249,7 +286,12 @@ impl DigitalPixelSensor {
                 EventMap::new(w, self.config.height, bits)
             }
         };
-        self.held = self.current.clone();
+        // Move the exposure into the analog hold without reallocating: both
+        // buffers persist for the sensor's lifetime in steady state.
+        match (&mut self.held, &self.current) {
+            (Some(h), Some(c)) => h.copy_from_slice(c),
+            _ => self.held = self.current.clone(),
+        }
         map
     }
 
@@ -336,7 +378,8 @@ impl DigitalPixelSensor {
         // read out in parallel with bit-identical results.
         let mut stream = vec![0u16; roi.area()];
         if col_len > 0 {
-            bliss_parallel::par_chunks(&mut stream, col_len, |ci, column| {
+            // Cost hint 16: a counter-hash draw + conversion per pixel.
+            bliss_parallel::par_chunks_with_cost(&mut stream, col_len, 16, |ci, column| {
                 let x = roi.x1 + ci;
                 for (dy, out) in column.iter_mut().enumerate() {
                     let idx = (roi.y1 + dy) * w + x;

@@ -79,10 +79,17 @@ impl EventMap {
     /// The map as an `f32` image (1.0 = event), the input format of the
     /// ROI-prediction network.
     pub fn to_f32(&self) -> Vec<f32> {
-        self.bits
-            .iter()
-            .map(|&b| if b { 1.0 } else { 0.0 })
-            .collect()
+        let mut out = Vec::new();
+        self.to_f32_into(&mut out);
+        out
+    }
+
+    /// Writes the `f32` image into `out` (cleared first), so per-stream
+    /// event buffers can be reused across frames.
+    pub fn to_f32_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.bits.len());
+        out.extend(self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }));
     }
 
     /// Tight bounding box of all events, if any:

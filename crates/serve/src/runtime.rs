@@ -5,8 +5,8 @@ use bliss_tensor::TensorError;
 use bliss_timing::StageDurations;
 use bliss_track::{JointTrainer, RoiPredictionNet, SparseViT};
 use blisscam_core::{
-    energy_breakdown_with_counts, host_batched_segmentation_time_s, stage_durations, SensedFrame,
-    SystemConfig, SystemVariant,
+    energy_breakdown_with_counts, host_batched_segmentation_time_s, stage_durations, SystemConfig,
+    SystemVariant,
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -29,6 +29,14 @@ pub struct ServeConfig {
     pub deadline_s: f64,
     /// Arrival stagger between consecutive sessions' first frames.
     pub stagger_s: f64,
+    /// Maximum **cold-start** frames (a session's full-frame bootstrap read,
+    /// before its first segmentation feedback) fused into one batch. A burst
+    /// of simultaneous connects otherwise stacks several multi-millisecond
+    /// full-frame launches into a single convoy that delays every warm frame
+    /// behind it; excess cold frames are deterministically deferred to later
+    /// batches instead (the head frame of a batch is always admitted, so
+    /// progress is guaranteed for any value). `usize::MAX` disables the cap.
+    pub max_cold_per_batch: usize,
     /// Base seed; per-session seeds are derived from it.
     pub seed: u64,
 }
@@ -43,9 +51,11 @@ impl ServeConfig {
     /// A load point at an explicit tracking rate: batches of up to 16 with
     /// a zero batch window (work-conserving adaptive batching — fuse
     /// whatever is already ready, never idle the host waiting for future
-    /// frames), a two-period deadline, and a one-period admission ramp —
+    /// frames), a two-period deadline, a one-period admission ramp —
     /// sessions connect one frame apart, so their expensive full-frame
-    /// cold-start reads do not all land on the host in the same instant.
+    /// cold-start reads do not all land on the host in the same instant —
+    /// and at most 4 cold-start frames per fused batch (the cap catches the
+    /// convoys the ramp cannot, e.g. reconnect storms).
     ///
     /// `fps` should match the served system's (timing) frame rate so the
     /// deadline and stagger track the real frame period.
@@ -58,6 +68,7 @@ impl ServeConfig {
             batch_window_s: 0.0,
             deadline_s: 2.0 * period,
             stagger_s: period,
+            max_cold_per_batch: 4,
             seed: 0x5EB5,
         }
     }
@@ -312,14 +323,32 @@ impl ServeRuntime {
             // times, so the schedule is deterministic.
             let gate = host_free_s.max(first_ready.0) + cfg.batch_window_s;
             let mut batch: Vec<(usize, f64)> = vec![(first, first_ready.0)];
+            // Cold-start cap: the head frame is always admitted (progress),
+            // further cold-start full-frame reads join only up to the cap;
+            // the rest re-enter the heap with their readiness unchanged and
+            // land in a later batch. Deferral depends only on virtual times
+            // and per-session feedback state, so the schedule stays
+            // deterministic.
+            let mut cold = usize::from(sessions[first].is_cold());
+            let mut deferred: Vec<(Time, usize)> = Vec::new();
             while batch.len() < cfg.max_batch {
                 match heap.peek() {
                     Some(&Reverse((t, i))) if t.0 <= gate => {
-                        batch.push((i, t.0));
                         heap.pop();
+                        if sessions[i].is_cold() {
+                            if cold >= cfg.max_cold_per_batch {
+                                deferred.push((t, i));
+                                continue;
+                            }
+                            cold += 1;
+                        }
+                        batch.push((i, t.0));
                     }
                     _ => break,
                 }
+            }
+            for d in deferred {
+                heap.push(Reverse(d));
             }
             // Fixed processing order (by session id) so front-end execution
             // order never depends on heap tie-breaking internals.
@@ -384,11 +413,8 @@ impl ServeRuntime {
 
         // Stage A (parallel across sessions): front-end stages 1+2 — noise
         // -> exposure -> analog eventification -> ROI-net input assembly.
-        // Pure per-session state.
-        let inputs = bliss_parallel::par_map_mut(&mut refs, |_, s| {
-            let events = s.sense_events();
-            s.front.roi_input(&roi_cfg, &events)
-        });
+        // Pure per-session state, staged in each session's reused buffers.
+        let inputs = bliss_parallel::par_map_mut(&mut refs, |_, s| s.prepare_roi_input(&roi_cfg));
 
         // Stage B (serial, tiny): in-sensor ROI prediction per session, with
         // the front-end's cold-start full-frame fallback. The network holds
@@ -400,16 +426,19 @@ impl ServeRuntime {
         }
 
         // Stage C (parallel): front-end stage 4 — SRAM-sampled readout, RLE
-        // encode/decode and sparse-image reconstruction per session.
+        // encode/decode and sparse-image reconstruction, each into the
+        // session's reused `SensedFrame` staging.
         let sample_rate = self.system.sample_rate;
-        let sensed: Vec<SensedFrame> =
-            bliss_parallel::par_map_mut(&mut refs, |i, s| s.front.read_out(boxes[i], sample_rate))
-                .into_iter()
-                .collect::<Result<_, _>>()?;
+        bliss_parallel::par_map_mut(&mut refs, |i, s| s.read_out(boxes[i], sample_rate))
+            .into_iter()
+            .collect::<Result<(), _>>()?;
 
-        // Stage D: ONE cross-session batched inference launch.
-        let frames: Vec<(&[f32], &[f32])> =
-            sensed.iter().map(|f| (&f.image[..], &f.mask[..])).collect();
+        // Stage D: ONE cross-session batched inference launch over the
+        // sessions' staged frames.
+        let frames: Vec<(&[f32], &[f32])> = refs
+            .iter()
+            .map(|s| (&s.sensed.image[..], &s.sensed.mask[..]))
+            .collect();
         let predictions = self.vit.forward_batch(&frames)?;
 
         // Host timing: the batch launch costs one block-diagonal pass —
@@ -418,23 +447,21 @@ impl ServeRuntime {
         // at the timing scale; gaze regressions serialise afterwards.
         let frame_shapes: Vec<(usize, usize)> = predictions
             .iter()
-            .zip(&sensed)
-            .map(|(p, f)| {
+            .zip(refs.iter())
+            .map(|(p, s)| {
                 let tokens = p.as_ref().map_or(0, |p| p.tokens);
-                self.timing_shape(tokens, f.sampled, f.roi_pixels)
+                self.timing_shape(tokens, s.sensed.sampled, s.sensed.roi_pixels)
             })
             .collect();
         let seg_time = host_batched_segmentation_time_s(&self.timing, &frame_shapes);
 
         // Stage E (serial): front-end stage 6 — close the feedback loop and
         // regress gaze — then record the frame.
-        for (pos, ((s, prediction), sensed)) in
-            refs.iter_mut().zip(predictions).zip(&sensed).enumerate()
-        {
+        for (pos, (s, prediction)) in refs.iter_mut().zip(predictions).enumerate() {
             let t = s.next_frame;
             let truth = s.next_truth();
             let (gaze, tokens) = s.front.absorb(prediction);
-            let counts = sensed.counts(tokens);
+            let counts = s.sensed.counts(tokens);
             let energy =
                 energy_breakdown_with_counts(&self.system, SystemVariant::BlissCam, &counts);
             let arrival = self.arrival_s(s);
@@ -451,9 +478,10 @@ impl ServeRuntime {
                 gaze_truth: truth,
                 horizontal_error_deg: (gaze.horizontal_deg - truth.horizontal_deg).abs(),
                 vertical_error_deg: (gaze.vertical_deg - truth.vertical_deg).abs(),
-                sampled_pixels: sensed.sampled,
+                sampled_pixels: s.sensed.sampled,
+                roi_pixels: s.sensed.roi_pixels,
                 tokens,
-                mipi_bytes: sensed.mipi_bytes,
+                mipi_bytes: s.sensed.mipi_bytes,
                 energy_j: energy.total_j(),
             });
             s.prev_completion_s = completion;

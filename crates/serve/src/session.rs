@@ -1,5 +1,8 @@
 use bliss_eye::{EyeSequence, Gaze, Scenario};
-use blisscam_core::{SparseFrontEnd, SystemConfig};
+use bliss_sensor::RoiBox;
+use bliss_tensor::{NdArray, TensorError};
+use bliss_track::RoiNetConfig;
+use blisscam_core::{SensedFrame, SparseFrontEnd, SystemConfig};
 use serde::{Deserialize, Serialize};
 
 /// Identity and workload of one streaming session.
@@ -49,6 +52,9 @@ pub struct FrameRecord {
     pub vertical_error_deg: f32,
     /// Pixels transmitted to the host.
     pub sampled_pixels: usize,
+    /// Area of the readout box, in pixels (full frame on a cold start) —
+    /// the ROI-predictor tightness signal the load sweeps track.
+    pub roi_pixels: u64,
     /// Occupied ViT tokens contributed to the batch.
     pub tokens: usize,
     /// Bytes on the MIPI link (RLE-compressed).
@@ -86,6 +92,11 @@ pub(crate) struct Session {
     /// dependency for the next in-sensor ROI prediction).
     pub prev_completion_s: f64,
     pub records: Vec<FrameRecord>,
+    /// Per-session event-map staging, reused every frame.
+    events_buf: Vec<f32>,
+    /// Per-session sensed-frame staging (sparse image + mask + counters),
+    /// reused every frame instead of rebuilding two full-frame buffers.
+    pub sensed: SensedFrame,
 }
 
 impl Session {
@@ -102,6 +113,8 @@ impl Session {
             next_frame: 1,
             prev_completion_s: f64::NEG_INFINITY,
             records: Vec::with_capacity(config.frames),
+            events_buf: Vec::new(),
+            sensed: SensedFrame::default(),
         }
     }
 
@@ -115,9 +128,31 @@ impl Session {
         self.seq.frames[self.next_frame].gaze
     }
 
-    /// Front-end stage 1 on the session's next sequence frame.
-    pub fn sense_events(&mut self) -> Vec<f32> {
-        self.front
-            .sense_events(&self.seq.frames[self.next_frame].clean)
+    /// Whether the session's next readout is a cold-start full-frame
+    /// bootstrap (no segmentation feedback adopted yet) — the expensive
+    /// launches [`crate::ServeConfig::max_cold_per_batch`] spreads across
+    /// batches.
+    pub fn is_cold(&self) -> bool {
+        !self.front.has_feedback()
+    }
+
+    /// Front-end stages 1 + 2 on the session's next sequence frame: sense
+    /// events into the session's reused staging buffer and assemble the
+    /// ROI-net input. Bit-identical to running the stages with fresh
+    /// buffers.
+    pub fn prepare_roi_input(&mut self, cfg: &RoiNetConfig) -> NdArray {
+        self.front.sense_events_into(
+            &self.seq.frames[self.next_frame].clean,
+            &mut self.events_buf,
+        );
+        self.front.roi_input(cfg, &self.events_buf)
+    }
+
+    /// Front-end stage 4 into the session's reused [`SensedFrame`] staging.
+    pub fn read_out(&mut self, roi: RoiBox, sample_rate: f32) -> Result<(), TensorError> {
+        let mut sensed = std::mem::take(&mut self.sensed);
+        let result = self.front.read_out_into(roi, sample_rate, &mut sensed);
+        self.sensed = sensed;
+        result
     }
 }

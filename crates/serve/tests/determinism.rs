@@ -35,6 +35,11 @@ struct Fixture {
     paper_heavy_batched: ServeOutcome,
     /// Paper-scale timing: heavy load (24 sessions), sequential launches.
     paper_heavy_sequential: ServeOutcome,
+    /// 8 sessions connecting simultaneously (stagger 0), cold starts capped
+    /// at 1 per batch.
+    cold_capped: ServeOutcome,
+    /// The same simultaneous-connect load with the cap disabled.
+    cold_uncapped: ServeOutcome,
 }
 
 fn load(sessions: usize, frames: usize) -> ServeConfig {
@@ -103,6 +108,16 @@ fn fixture() -> &'static Fixture {
         heavy_cfg.max_batch = 1;
         let paper_heavy_sequential = paper_rt.serve(&heavy_cfg).unwrap();
 
+        // Simultaneous connects: a reconnect storm the admission ramp cannot
+        // spread out.
+        let mut storm_cfg = load(8, 3);
+        storm_cfg.stagger_s = 0.0;
+        storm_cfg.max_batch = 16;
+        storm_cfg.max_cold_per_batch = 1;
+        let cold_capped = rt.serve(&storm_cfg).unwrap();
+        storm_cfg.max_cold_per_batch = usize::MAX;
+        let cold_uncapped = rt.serve(&storm_cfg).unwrap();
+
         Fixture {
             fleet_cfg,
             fleet,
@@ -115,8 +130,45 @@ fn fixture() -> &'static Fixture {
             paper_light,
             paper_heavy_batched,
             paper_heavy_sequential,
+            cold_capped,
+            cold_uncapped,
         }
     })
+}
+
+#[test]
+fn cold_start_cap_breaks_connect_convoys_without_changing_outputs() {
+    let fx = fixture();
+    // Uncapped, 8 simultaneous connects fuse all 8 full-frame cold starts
+    // into one convoy batch.
+    for trace in &fx.cold_uncapped.traces {
+        assert_eq!(trace.records[0].batch_size, 8, "expected a cold convoy");
+    }
+    // Capped at 1, every cold-start read launches in its own batch (a batch
+    // may still contain warm frames, but never a second cold one).
+    let mut completions: Vec<f64> = Vec::new();
+    for trace in &fx.cold_capped.traces {
+        assert_eq!(
+            trace.records[0].batch_size, 1,
+            "cold start must not share a batch under cap 1"
+        );
+        completions.push(trace.records[0].completion_s);
+    }
+    completions.sort_by(|a, b| a.total_cmp(b));
+    for pair in completions.windows(2) {
+        assert!(pair[0] < pair[1], "cold launches must serialise");
+    }
+    // Scheduling changes timing only: accuracy, volume and energy stay
+    // bit-identical per session.
+    for (capped, uncapped) in fx.cold_capped.traces.iter().zip(&fx.cold_uncapped.traces) {
+        for (rc, ru) in capped.records.iter().zip(&uncapped.records) {
+            assert_eq!(rc.gaze_prediction, ru.gaze_prediction);
+            assert_eq!(rc.sampled_pixels, ru.sampled_pixels);
+            assert_eq!(rc.tokens, ru.tokens);
+            assert_eq!(rc.mipi_bytes, ru.mipi_bytes);
+            assert!((rc.energy_j - ru.energy_j).abs() == 0.0);
+        }
+    }
 }
 
 #[test]

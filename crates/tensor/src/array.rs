@@ -105,9 +105,12 @@ impl NdArray {
 
     /// Creates an array filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        let mut data = scratch::take_empty(n);
+        data.resize(n, value);
         NdArray {
             shape: shape.to_vec(),
-            data: vec![value; shape.iter().product()],
+            data,
         }
     }
 
@@ -125,7 +128,7 @@ impl NdArray {
         let n: usize = shape.iter().product();
         NdArray {
             shape: shape.to_vec(),
-            data: (0..n).map(&mut f).collect(),
+            data: scratch::take_from_iter(n, (0..n).map(&mut f)),
         }
     }
 
@@ -237,7 +240,7 @@ impl NdArray {
         }
         Ok(NdArray {
             shape: shape.to_vec(),
-            data: self.data.clone(),
+            data: scratch::take_from_iter(self.data.len(), self.data.iter().copied()),
         })
     }
 
@@ -439,30 +442,7 @@ impl NdArray {
         }
         let (m, k, n) = (self.shape[0], self.shape[1], other.shape[1]);
         let mut out = scratch::take_zeroed(m * n);
-        if m * n != 0 && k != 0 {
-            // Cache-blocked kernel, parallel over row blocks. Work
-            // partitioning and per-element accumulation order (ascending k)
-            // depend only on the shapes, so the result is bit-identical for
-            // every thread count. Small products skip the pool entirely.
-            let (a, b) = (&self.data[..], &other.data[..]);
-            // Probe a prefix of `a` for sparsity: sparse-sampled patch
-            // tensors are mostly zeros and earn a skip-test in the inner
-            // loop; dense operands run the branch-free kernel. The choice
-            // depends only on the data, never on the thread count.
-            let probe = &a[..a.len().min(4096)];
-            let zeros = probe.iter().filter(|&&x| x == 0.0).count();
-            let sparse = zeros * 8 > probe.len();
-            let kernel = |block: usize, out_block: &mut [f32]| {
-                matmul_block(a, b, k, n, block * MATMUL_ROW_BLOCK, out_block, sparse);
-            };
-            if m * k * n < 32 * 32 * 32 {
-                bliss_parallel::with_thread_count(1, || {
-                    bliss_parallel::par_chunks(&mut out, MATMUL_ROW_BLOCK * n, kernel)
-                });
-            } else {
-                bliss_parallel::par_chunks(&mut out, MATMUL_ROW_BLOCK * n, kernel);
-            }
-        }
+        matmul_into(&self.data, &other.data, k, n, &mut out);
         Ok(NdArray {
             shape: vec![m, n],
             data: out,
@@ -474,11 +454,13 @@ impl NdArray {
     ///
     /// The natural formulation for attention scores (`Q K^T`) and for
     /// gradient products against weight matrices (`dY W^T`). Internally the
-    /// right operand is transposed into a pooled scratch buffer and fed to
-    /// the register-blocked [`NdArray::matmul`] kernel — measured faster
-    /// than a fused dot-product loop at every shape this workspace uses,
-    /// because the broadcast-FMA micro-kernel beats horizontal dot products
-    /// and the transpose is a single cheap pass.
+    /// right operand is packed row-major-transposed into the thread's
+    /// dedicated matmul workspace (one buffer reused across every call — no
+    /// allocator or pool traffic in steady state) and fed to the
+    /// register-blocked [`NdArray::matmul`] kernel — measured faster than a
+    /// fused dot-product loop at every shape this workspace uses, because
+    /// the broadcast-FMA micro-kernel beats horizontal dot products and the
+    /// pack is a single cheap pass.
     ///
     /// # Errors
     ///
@@ -504,7 +486,26 @@ impl NdArray {
                 rhs: other.shape.clone(),
             });
         }
-        self.matmul(&other.transpose()?)
+        let (m, k, p) = (self.shape[0], self.shape[1], other.shape[0]);
+        let mut out = scratch::take_zeroed(m * p);
+        crate::workspace::with_pack_buf(k * p, |bt| {
+            // Pack other^T: bt[j, i] = other[i, j]. Same gather loop as
+            // `transpose`, writing into the reused workspace instead of a
+            // fresh array.
+            if k > 0 {
+                let b = &other.data;
+                bliss_parallel::par_map_rows(bt, p, |j, row| {
+                    for (i, v) in row.iter_mut().enumerate() {
+                        *v = b[i * k + j];
+                    }
+                });
+            }
+            matmul_into(&self.data, bt, k, p, &mut out);
+        });
+        Ok(NdArray {
+            shape: vec![m, p],
+            data: out,
+        })
     }
 
     /// Frobenius dot product (sum of elementwise products).
@@ -621,7 +622,8 @@ impl NdArray {
         let mut out = scratch::take_zeroed(m * n);
         if n > 0 {
             let src = &self.data;
-            bliss_parallel::par_map_rows(&mut out, n, |i, out_row| {
+            // Cost hint 8: exp + normalisation per element.
+            bliss_parallel::par_map_rows_with_cost(&mut out, n, 8, |i, out_row| {
                 let row = &src[i * n..(i + 1) * n];
                 let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                 let mut denom = 0.0;
@@ -670,7 +672,7 @@ impl NdArray {
             }
             rows += p.shape[0];
         }
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = scratch::take_empty(rows * cols);
         for p in parts {
             data.extend_from_slice(&p.data);
         }
@@ -705,7 +707,7 @@ impl NdArray {
             }
             cols += p.shape[1];
         }
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = scratch::take_empty(rows * cols);
         for r in 0..rows {
             for p in parts {
                 let w = p.shape[1];
@@ -742,7 +744,10 @@ impl NdArray {
         let n = self.shape[1];
         Ok(NdArray {
             shape: vec![end - start, n],
-            data: self.data[start * n..end * n].to_vec(),
+            data: scratch::take_from_iter(
+                (end - start) * n,
+                self.data[start * n..end * n].iter().copied(),
+            ),
         })
     }
 
@@ -800,7 +805,7 @@ impl NdArray {
             });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut data = Vec::with_capacity(indices.len() * n);
+        let mut data = scratch::take_empty(indices.len() * n);
         for &i in indices {
             if i >= m {
                 return Err(TensorError::IndexOutOfBounds {
@@ -910,8 +915,9 @@ impl NdArray {
             let src = &self.data;
             // Scatter-adds from different kernel offsets overlap within a
             // channel but never across channels, so the adjoint parallelises
-            // over channel planes.
-            bliss_parallel::par_chunks(&mut out, h * w, |ci, plane| {
+            // over channel planes. Cost hint: kh*kw adds land on each output
+            // element.
+            bliss_parallel::par_chunks_with_cost(&mut out, h * w, kh * kw, |ci, plane| {
                 for ki in 0..kh {
                     for kj in 0..kw {
                         let row = (ci * kh + ki) * kw + kj;
@@ -996,7 +1002,8 @@ impl NdArray {
         let mut out = scratch::take_zeroed(c * oh * ow);
         if oh * ow > 0 {
             let src = &self.data;
-            bliss_parallel::par_chunks(&mut out, oh * ow, |ci, plane| {
+            // Cost hint 4: each pooled output element sums a 2x2 block.
+            bliss_parallel::par_chunks_with_cost(&mut out, oh * ow, 4, |ci, plane| {
                 for i in 0..h {
                     for j in 0..w {
                         plane[(i / 2) * ow + j / 2] += src[(ci * h + i) * w + j];
@@ -1038,6 +1045,29 @@ impl NdArray {
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max))
     }
+}
+
+/// Computes `out = a x b` for row-major `a: [m, k]`, `b: [k, n]` into the
+/// zeroed `out: [m, n]` (with `m` implied by `out.len() / n`).
+///
+/// The cache-blocked kernel runs parallel over row blocks with a per-element
+/// cost hint of `k`, so tiny products (historically `m*k*n < 32^3`) stay on
+/// the calling thread while real GEMMs fan out — the work partitioning and
+/// per-element accumulation order (ascending k) depend only on the shapes,
+/// so the result is bit-identical for every thread count. A prefix of `a` is
+/// probed for sparsity: sparse-sampled patch tensors are mostly zeros and
+/// earn a skip-test in the inner loop; dense operands run the branch-free
+/// kernel. The choice depends only on the data, never on the thread count.
+fn matmul_into(a: &[f32], b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    if out.is_empty() || k == 0 {
+        return;
+    }
+    let probe = &a[..a.len().min(4096)];
+    let zeros = probe.iter().filter(|&&x| x == 0.0).count();
+    let sparse = zeros * 8 > probe.len();
+    bliss_parallel::par_chunks_with_cost(out, MATMUL_ROW_BLOCK * n, k, |block, out_block| {
+        matmul_block(a, b, k, n, block * MATMUL_ROW_BLOCK, out_block, sparse);
+    });
 }
 
 /// Rows of the output matrix computed by one parallel matmul task.

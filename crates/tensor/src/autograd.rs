@@ -640,9 +640,9 @@ impl Tensor {
                 rhs: gv.shape().to_vec(),
             });
         }
-        let mut out = vec![0.0f32; m * n];
-        let mut xhat = vec![0.0f32; m * n];
-        let mut inv_std = vec![0.0f32; m];
+        let mut out = crate::scratch::take_zeroed(m * n);
+        let mut xhat = crate::scratch::take_zeroed(m * n);
+        let mut inv_std = crate::scratch::take_zeroed(m);
         for i in 0..m {
             let row = &x.data()[i * n..(i + 1) * n];
             let mu: f32 = row.iter().sum::<f32>() / n as f32;
@@ -657,6 +657,7 @@ impl Tensor {
         }
         let value = NdArray::from_vec(out, &[m, n])?;
         let xhat = NdArray::from_vec(xhat, &[m, n])?;
+        let inv_std = NdArray::from_vec(inv_std, &[m])?;
         Ok(Tensor::from_op(
             value,
             vec![self.clone(), gamma.clone(), beta.clone()],
@@ -675,7 +676,7 @@ impl Tensor {
                     for j in 0..n {
                         dgamma[j] += grow[j] * xrow[j];
                         dbeta[j] += grow[j];
-                        dx[i * n + j] = inv_std[i] / n as f32
+                        dx[i * n + j] = inv_std.data()[i] / n as f32
                             * (n as f32 * dxhat[j] - sum_dxhat - xrow[j] * sum_dxhat_xhat);
                     }
                 }
@@ -978,7 +979,9 @@ impl Tensor {
     /// Same conditions as [`NdArray::gather_rows`].
     pub fn gather_rows(&self, indices: &[usize]) -> Result<Tensor, TensorError> {
         let value = self.value().gather_rows(indices)?;
-        let idx = indices.to_vec();
+        // Pooled copy: the backward closure holds the indices for the life
+        // of the graph, and recycles them when the graph drops.
+        let idx = crate::scratch::IndexVec::from_slice(indices);
         let parent_shape = self.shape();
         Ok(Tensor::from_op(
             value,

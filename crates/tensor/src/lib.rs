@@ -13,6 +13,21 @@
 //!   joint training of the ROI-prediction network and the sparse ViT
 //!   segmenter (paper §III-C).
 //!
+//! # Scratch pool and workspaces
+//!
+//! Steady-state inference and training reuse their buffers instead of
+//! allocating: every `NdArray` returns its backing store to a bounded,
+//! size-class-binned, thread-local pool on drop, and the constructors draw
+//! from it first (see the `scratch` module docs for the full contract).
+//! Other crates join the same economy through [`take_f32_buffer`] /
+//! [`recycle_f32_buffer`] and [`take_index_buffer`] /
+//! [`recycle_index_buffer`] for explicit staging buffers, or [`IndexVec`] — a
+//! pooled `Vec<usize>` that recycles itself on drop — for index lists that
+//! escape into caller-held results. The register-blocked matmul additionally
+//! keeps a dedicated per-thread operand-packing workspace for
+//! [`NdArray::matmul_transposed`], so attention-score products pack without
+//! any pool traffic at all.
+//!
 //! # Example
 //!
 //! ```
@@ -34,8 +49,12 @@ mod autograd;
 mod error;
 mod gradcheck;
 mod scratch;
+mod workspace;
 
 pub use array::NdArray;
 pub use autograd::Tensor;
 pub use error::TensorError;
 pub use gradcheck::{check_gradients, GradCheckReport};
+pub use scratch::{
+    recycle_f32_buffer, recycle_index_buffer, take_f32_buffer, take_index_buffer, IndexVec,
+};

@@ -1,62 +1,141 @@
-//! Thread-local buffer recycling for the autograd hot path.
+//! Thread-local buffer recycling for the inference and autograd hot paths.
 //!
-//! A training step rebuilds the whole define-by-run graph, so every forward
-//! and backward pass allocates (and frees) the same set of intermediate
-//! buffers over and over. This module keeps a small per-thread free list of
-//! `Vec<f32>` backing stores: [`crate::NdArray`] returns its buffer here on
-//! drop, and the array constructors draw from the list before touching the
-//! global allocator. In steady state a forward/backward pass therefore
-//! allocates almost nothing.
+//! A training step rebuilds the whole define-by-run graph, and a steady-state
+//! serving frame lowers, stacks and segments the same-shaped buffers over and
+//! over — so both paths would otherwise hammer the global allocator with the
+//! same requests every iteration. This module keeps per-thread free lists of
+//! backing stores: [`crate::NdArray`] returns its `f32` buffer here on drop,
+//! the array constructors draw from the lists before touching the global
+//! allocator, and the index-buffer pool does the same for the `usize`
+//! staging vectors of the sparse-ViT lowering (kept-patch lists, per-pixel
+//! token maps, gather indices).
 //!
-//! The pool is bounded (count and total bytes) and thread-local, so it adds
-//! no synchronisation and cannot grow without limit.
+//! # Reuse contract
+//!
+//! * **Buckets.** Buffers are binned by power-of-two capacity class. A
+//!   request of `len` elements is served from its own class or the one
+//!   above, so lookups are O(1) instead of a free-list scan. Slack is
+//!   bounded at 4x for pool-allocated buffers (power-of-two capacities);
+//!   externally recycled odd capacities file by floor(log2) and can reach
+//!   ~8x in the worst case.
+//! * **Bounded.** Each pool is capped in buffer count and total retained
+//!   elements per thread; overflow simply frees to the global allocator.
+//!   Buffers below [`MIN_POOL_LEN`] elements bypass the pool — the
+//!   bookkeeping would cost more than the allocation.
+//! * **Thread-local.** No synchronisation, no cross-thread traffic: a buffer
+//!   recycles to the thread that dropped it. Persistent pool workers
+//!   therefore keep their own small pools warm.
+//! * **Steady state allocates nothing.** Once the working set has been seen
+//!   (a few iterations), every buffer-class request is served from the pool;
+//!   `crates/bench/tests/alloc_counter.rs` pins this with a counting global
+//!   allocator around a serving-style `forward_batch` loop.
+//!
+//! External crates reuse the pool through [`take_f32_buffer`] /
+//! [`recycle_f32_buffer`] (and the `usize` twins) for staging buffers whose
+//! lifetime does not fit an `NdArray`, or through [`IndexVec`], a pooled
+//! `Vec<usize>` that recycles itself on drop exactly like `NdArray` does.
 
 use std::cell::RefCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 
 /// Buffers smaller than this stay on the global allocator: the bookkeeping
 /// would cost more than the allocation.
 const MIN_POOL_LEN: usize = 64;
-/// Maximum number of buffers retained per thread.
-const MAX_POOL_BUFS: usize = 48;
-/// Maximum total capacity retained per thread (in elements, ~48 MiB of f32).
-const MAX_POOL_ELEMS: usize = 12 << 20;
+/// Maximum number of buffers retained per thread per pool.
+const MAX_POOL_BUFS: usize = 384;
+/// Maximum total capacity retained per thread per pool, in elements
+/// (~64 MiB of f32 / ~128 MiB of usize at the cap — the serving working set
+/// is far below either).
+const MAX_POOL_ELEMS: usize = 16 << 20;
+/// Number of power-of-two capacity classes tracked (up to 2^40 elements —
+/// effectively unbounded; larger buffers just bypass the pool).
+const CLASSES: usize = 41;
 
-#[derive(Default)]
-struct Pool {
-    bufs: Vec<Vec<f32>>,
+struct Pool<T> {
+    /// `bins[c]` holds buffers with capacity in `[2^c, 2^(c+1))`.
+    bins: Vec<Vec<Vec<T>>>,
+    bufs: usize,
     elems: usize,
 }
 
-thread_local! {
-    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+impl<T: Copy + Default> Pool<T> {
+    fn new() -> Self {
+        Pool {
+            bins: (0..CLASSES).map(|_| Vec::new()).collect(),
+            bufs: 0,
+            elems: 0,
+        }
+    }
+
+    /// Class whose buffers all satisfy a request of `len` elements.
+    fn class_for_request(len: usize) -> usize {
+        len.max(1).next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Class a buffer of capacity `cap` files under (`2^c <= cap`).
+    fn class_of_capacity(cap: usize) -> usize {
+        (usize::BITS - 1 - cap.max(1).leading_zeros()) as usize
+    }
+
+    fn take_empty(&mut self, len: usize) -> Vec<T> {
+        let class = Self::class_for_request(len);
+        // The request class, then one above: every buffer in either has
+        // capacity >= len, and the class bound keeps big buffers from being
+        // burned on small requests (4x slack for power-of-two capacities,
+        // ~8x worst case for odd recycled ones).
+        for c in class..(class + 2).min(CLASSES) {
+            if let Some(buf) = self.bins[c].pop() {
+                self.bufs -= 1;
+                self.elems -= buf.capacity();
+                return buf;
+            }
+        }
+        // The class below may hold adequate odd-capacity buffers (externally
+        // built vectors recycled via the public API file under
+        // floor(log2(cap)), which is one class below their request class
+        // unless cap is a power of two).
+        if class > 0 {
+            let bin = &mut self.bins[class - 1];
+            if let Some(i) = bin.iter().rposition(|b| b.capacity() >= len) {
+                let buf = bin.swap_remove(i);
+                self.bufs -= 1;
+                self.elems -= buf.capacity();
+                return buf;
+            }
+        }
+        // Fresh buffers get power-of-two capacity so they later file in the
+        // exact class their own request size maps to — without this, every
+        // odd-sized working-set buffer would miss its bin on the next
+        // iteration and steady state would keep allocating.
+        Vec::with_capacity(len.next_power_of_two())
+    }
+
+    fn recycle(&mut self, mut buf: Vec<T>) {
+        let cap = buf.capacity();
+        if cap < MIN_POOL_LEN || self.bufs >= MAX_POOL_BUFS || self.elems + cap > MAX_POOL_ELEMS {
+            return;
+        }
+        let class = Self::class_of_capacity(cap);
+        buf.clear();
+        self.bufs += 1;
+        self.elems += cap;
+        self.bins[class].push(buf);
+    }
 }
 
-/// Pops a recycled buffer with capacity at least `len` (cleared, length 0),
-/// or creates a fresh one. Picks the smallest adequate buffer so large
-/// buffers stay available for large requests.
-fn take_empty(len: usize) -> Vec<f32> {
+thread_local! {
+    static F32_POOL: RefCell<Pool<f32>> = RefCell::new(Pool::new());
+    static IDX_POOL: RefCell<Pool<usize>> = RefCell::new(Pool::new());
+}
+
+/// Pops a recycled `f32` buffer with capacity at least `len` (cleared,
+/// length 0), or creates a fresh one.
+pub(crate) fn take_empty(len: usize) -> Vec<f32> {
     if len < MIN_POOL_LEN {
         return Vec::with_capacity(len);
     }
-    POOL.with(|pool| {
-        let mut pool = pool.borrow_mut();
-        let mut best: Option<usize> = None;
-        for (i, buf) in pool.bufs.iter().enumerate() {
-            if buf.capacity() >= len
-                && best.is_none_or(|b| buf.capacity() < pool.bufs[b].capacity())
-            {
-                best = Some(i);
-            }
-        }
-        match best {
-            Some(i) => {
-                let buf = pool.bufs.swap_remove(i);
-                pool.elems -= buf.capacity();
-                buf
-            }
-            None => Vec::with_capacity(len),
-        }
-    })
+    F32_POOL.with(|p| p.borrow_mut().take_empty(len))
 }
 
 /// A zero-filled buffer of exactly `len` elements, recycled when possible.
@@ -77,20 +156,182 @@ pub(crate) fn take_from_iter(len: usize, it: impl Iterator<Item = f32>) -> Vec<f
 
 /// Returns a no-longer-needed backing store to the thread's pool (or lets it
 /// drop if the pool is full or the buffer too small to be worth keeping).
-pub(crate) fn recycle(mut buf: Vec<f32>) {
-    let cap = buf.capacity();
-    if cap < MIN_POOL_LEN {
+pub(crate) fn recycle(buf: Vec<f32>) {
+    if buf.capacity() < MIN_POOL_LEN {
         return;
     }
-    POOL.with(|pool| {
-        let mut pool = pool.borrow_mut();
-        if pool.bufs.len() >= MAX_POOL_BUFS || pool.elems + cap > MAX_POOL_ELEMS {
-            return;
+    F32_POOL.with(|p| p.borrow_mut().recycle(buf));
+}
+
+/// Takes an empty pooled `f32` staging buffer with capacity at least `len`.
+///
+/// The public entry point for staging buffers that outlive an expression but
+/// do not live inside an [`crate::NdArray`] (sensor readout images, stacked
+/// token data, event maps). Pair with [`recycle_f32_buffer`]; dropping the
+/// buffer instead is safe but forfeits the reuse.
+pub fn take_f32_buffer(len: usize) -> Vec<f32> {
+    take_empty(len)
+}
+
+/// Returns a buffer obtained from [`take_f32_buffer`] (or any `Vec<f32>`)
+/// to the thread's pool.
+pub fn recycle_f32_buffer(buf: Vec<f32>) {
+    recycle(buf);
+}
+
+/// Takes an empty pooled `usize` staging buffer with capacity at least
+/// `len`. Pair with [`recycle_index_buffer`].
+pub fn take_index_buffer(len: usize) -> Vec<usize> {
+    if len < MIN_POOL_LEN {
+        return Vec::with_capacity(len);
+    }
+    IDX_POOL.with(|p| p.borrow_mut().take_empty(len))
+}
+
+/// Returns a buffer obtained from [`take_index_buffer`] (or any
+/// `Vec<usize>`) to the thread's pool.
+pub fn recycle_index_buffer(buf: Vec<usize>) {
+    if buf.capacity() < MIN_POOL_LEN {
+        return;
+    }
+    IDX_POOL.with(|p| p.borrow_mut().recycle(buf));
+}
+
+/// A pooled `Vec<usize>`: drawn from the thread-local index pool and
+/// returned to it on drop, exactly like an [`crate::NdArray`]'s backing
+/// store.
+///
+/// Used for index lists that escape into results the caller holds across an
+/// iteration (e.g. the sparse ViT's per-pixel frame indices inside a
+/// segmentation prediction, or the gather indices captured by
+/// [`crate::Tensor::gather_rows`]'s backward closure): the steady-state
+/// serving loop then performs no allocator round-trips for them.
+///
+/// Dereferences to `[usize]`; compares transparently against slices and
+/// `Vec<usize>`.
+///
+/// ```
+/// use bliss_tensor::IndexVec;
+///
+/// let mut v = IndexVec::with_capacity(3);
+/// v.push(7);
+/// v.push(9);
+/// assert_eq!(v.len(), 2);
+/// assert_eq!(v, vec![7usize, 9]);
+/// assert_eq!(IndexVec::from_slice(&[1, 2]).as_slice(), &[1, 2]);
+/// ```
+#[derive(Default)]
+pub struct IndexVec {
+    data: Vec<usize>,
+}
+
+impl IndexVec {
+    /// An empty pooled vector (no buffer drawn until first growth).
+    pub fn new() -> Self {
+        IndexVec { data: Vec::new() }
+    }
+
+    /// An empty pooled vector with capacity at least `cap`.
+    pub fn with_capacity(cap: usize) -> Self {
+        IndexVec {
+            data: take_index_buffer(cap),
         }
-        buf.clear();
-        pool.elems += cap;
-        pool.bufs.push(buf);
-    });
+    }
+
+    /// A pooled copy of `slice`.
+    pub fn from_slice(slice: &[usize]) -> Self {
+        let mut data = take_index_buffer(slice.len());
+        data.extend_from_slice(slice);
+        IndexVec { data }
+    }
+
+    /// Appends a value.
+    pub fn push(&mut self, v: usize) {
+        self.data.push(v);
+    }
+
+    /// Clears the vector, keeping its pooled capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// The indices as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.data
+    }
+}
+
+impl Drop for IndexVec {
+    fn drop(&mut self) {
+        recycle_index_buffer(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for IndexVec {
+    fn clone(&self) -> Self {
+        Self::from_slice(&self.data)
+    }
+}
+
+impl Deref for IndexVec {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        &self.data
+    }
+}
+
+impl DerefMut for IndexVec {
+    fn deref_mut(&mut self) -> &mut [usize] {
+        &mut self.data
+    }
+}
+
+impl fmt::Debug for IndexVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.data.fmt(f)
+    }
+}
+
+impl PartialEq for IndexVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+impl Eq for IndexVec {}
+
+impl PartialEq<Vec<usize>> for IndexVec {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.data == *other
+    }
+}
+
+impl PartialEq<[usize]> for IndexVec {
+    fn eq(&self, other: &[usize]) -> bool {
+        self.data == other
+    }
+}
+
+impl PartialEq<IndexVec> for Vec<usize> {
+    fn eq(&self, other: &IndexVec) -> bool {
+        *self == other.data
+    }
+}
+
+impl FromIterator<usize> for IndexVec {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let it = iter.into_iter();
+        let mut data = take_index_buffer(it.size_hint().0);
+        data.extend(it);
+        IndexVec { data }
+    }
+}
+
+impl<'a> IntoIterator for &'a IndexVec {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +343,7 @@ mod tests {
         let buf = take_zeroed(1024);
         let ptr = buf.as_ptr();
         recycle(buf);
-        let again = take_zeroed(512); // smaller request reuses the store
+        let again = take_zeroed(512); // class below, served from one above
         assert_eq!(again.len(), 512);
         assert_eq!(again.as_ptr(), ptr, "expected the pooled allocation back");
         assert!(again.iter().all(|&x| x == 0.0));
@@ -131,14 +372,66 @@ mod tests {
     }
 
     #[test]
+    fn size_classes_do_not_burn_big_buffers_on_small_requests() {
+        // A 1 MiB-class buffer must not be handed to a 64-element request.
+        let big = take_zeroed(1 << 18);
+        let big_ptr = big.as_ptr();
+        recycle(big);
+        let small = take_zeroed(64);
+        assert_ne!(small.as_ptr(), big_ptr, "class slack bound violated");
+        // The big buffer is still there for a big request.
+        let big_again = take_zeroed(1 << 18);
+        assert_eq!(big_again.as_ptr(), big_ptr);
+    }
+
+    #[test]
     fn pool_is_bounded() {
         for _ in 0..(MAX_POOL_BUFS * 2) {
             recycle(vec![0.0; MIN_POOL_LEN]);
         }
-        POOL.with(|pool| {
+        F32_POOL.with(|pool| {
             let pool = pool.borrow();
-            assert!(pool.bufs.len() <= MAX_POOL_BUFS);
+            assert!(pool.bufs <= MAX_POOL_BUFS);
             assert!(pool.elems <= MAX_POOL_ELEMS);
         });
+    }
+
+    #[test]
+    fn index_pool_round_trips() {
+        let mut buf = take_index_buffer(256);
+        buf.extend(0..256);
+        let ptr = buf.as_ptr();
+        recycle_index_buffer(buf);
+        let again = take_index_buffer(200);
+        assert!(again.is_empty());
+        assert_eq!(again.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn index_vec_recycles_on_drop() {
+        let v = IndexVec::from_slice(&(0..300).collect::<Vec<_>>());
+        let ptr = v.as_slice().as_ptr();
+        drop(v);
+        let again = IndexVec::with_capacity(256);
+        assert_eq!(again.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn index_vec_behaves_like_a_vec() {
+        let mut v = IndexVec::new();
+        v.push(3);
+        v.push(1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1], 1);
+        assert_eq!(v, vec![3usize, 1]);
+        assert_eq!(v.clone(), v);
+        assert_eq!(format!("{v:?}"), "[3, 1]");
+        let collected: IndexVec = (0..4usize).collect();
+        assert_eq!(collected.iter().sum::<usize>(), 6);
+        let mut s = 0;
+        for &x in &collected {
+            s += x;
+        }
+        assert_eq!(s, 6);
     }
 }

@@ -1,0 +1,64 @@
+//! Reusable thread-local workspace for the matmul kernel's operand packing.
+//!
+//! [`crate::NdArray::matmul_transposed`] feeds the register-blocked matmul a
+//! row-major copy of its transposed right operand (the "pack": the kernel
+//! streams `b` rows, so `Q K^T`-style products need `K` laid out `[k, p]`).
+//! Before this module the pack was an intermediate `NdArray` per call —
+//! pool-recycled, but still paying a pool lookup, a shape header and a
+//! tensor construction on every attention score/gradient product. The
+//! workspace instead keeps **one** dedicated buffer per thread, taken and
+//! put back around the kernel call, so steady-state packing touches no
+//! allocator and no pool search.
+//!
+//! The buffer is *taken* out of the thread-local slot for the duration of
+//! the closure (not borrowed), so a re-entrant use — e.g. a nested kernel
+//! that also packs — falls back to a fresh allocation instead of a
+//! `RefCell` panic; only the outermost pack gets the cached buffer, which is
+//! exactly the hot case.
+
+use std::cell::Cell;
+
+thread_local! {
+    static PACK: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// Runs `f` over a zero-length-then-resized packing buffer of exactly `len`
+/// elements (contents unspecified on entry; `f` must fully overwrite what it
+/// reads), returning the buffer to the thread-local slot afterwards.
+pub(crate) fn with_pack_buf<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = PACK.with(Cell::take);
+    // `resize` over a kept allocation: no-op once the high-water mark is
+    // reached (the pack is always fully overwritten before being read).
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let out = f(&mut buf[..len]);
+    PACK.with(|cell| cell.set(buf));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_buffer_is_reused_across_calls() {
+        let first = with_pack_buf(4096, |b| {
+            b[0] = 1.0;
+            b.as_ptr()
+        });
+        let second = with_pack_buf(1024, |b| b.as_ptr());
+        assert_eq!(first, second, "workspace must reuse its buffer");
+    }
+
+    #[test]
+    fn reentrant_use_falls_back_gracefully() {
+        with_pack_buf(64, |outer| {
+            outer[0] = 2.0;
+            with_pack_buf(64, |inner| {
+                inner[0] = 3.0;
+            });
+            assert_eq!(outer[0], 2.0, "nested pack must not alias the outer");
+        });
+    }
+}

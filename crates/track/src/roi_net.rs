@@ -47,6 +47,12 @@ impl RoiNetConfig {
     }
 
     /// Miniature configuration for CPU training at the given frame size.
+    ///
+    /// The margin is deliberately small (PR 5): with the longer miniature
+    /// training schedule the predictor no longer needs a wide safety halo,
+    /// and every margin pixel inflates the readout box area — the quantity
+    /// that sets the host's per-frame attention cost and therefore the
+    /// serving saturation knee.
     pub fn miniature(frame_width: usize, frame_height: usize) -> Self {
         RoiNetConfig {
             frame_width,
@@ -54,7 +60,7 @@ impl RoiNetConfig {
             input_downsample: 4,
             channels: [6, 12, 24],
             hidden: 96,
-            margin: 6,
+            margin: 3,
             min_box: 12,
         }
     }

@@ -57,7 +57,11 @@ impl TrainConfig {
             vit: ViTConfig::miniature(frame_width, frame_height),
             roi: RoiNetConfig::miniature(frame_width, frame_height),
             sample_rate: 0.2,
-            epochs: 1,
+            // Two passes (PR 5): the second, halved-LR epoch tightens the
+            // ROI regression substantially (predicted-box area drops from
+            // ~2-3x ground truth toward ~1.5x) at a one-off training cost of
+            // seconds — directly raising the serving saturation knee.
+            epochs: 2,
             lr: 1.4e-3,
             lambda_roi: 6.0,
             gate_sharpness: 40.0,

@@ -1,6 +1,9 @@
 use bliss_nn::{Linear, Module, TransformerBlock};
 use bliss_npu::{GemmShape, WorkloadDesc};
-use bliss_tensor::{NdArray, Tensor, TensorError};
+use bliss_tensor::{
+    recycle_index_buffer, take_f32_buffer, take_index_buffer, IndexVec, NdArray, Tensor,
+    TensorError,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -148,24 +151,45 @@ impl ViTConfig {
 
 /// One frame lowered to its transformer inputs: occupied-patch tokens and
 /// per-pixel classification queries, ready for (batched) inference.
+///
+/// Every buffer is drawn from the `bliss_tensor` scratch pools and returned
+/// there when the frame is consumed ([`PreparedFrame::recycle`]) — in steady
+/// state the lowering allocates nothing.
 struct PreparedFrame {
-    /// Patch-grid indices of occupied patches.
+    /// Patch-grid indices of occupied patches (pooled).
     kept: Vec<usize>,
-    /// `(values, sample-mask)` rows for each kept patch, `[t, 2*p^2]` flat.
+    /// `(values, sample-mask)` rows for each kept patch, `[t, 2*p^2]` flat
+    /// (pooled).
     token_data: Vec<f32>,
-    /// Frame-flat index of every sampled pixel.
-    pixel_indices: Vec<usize>,
-    /// Frame-local token index owning each sampled pixel.
+    /// Frame-flat index of every sampled pixel; pooled and self-recycling,
+    /// because it escapes into the returned [`SegPrediction`].
+    pixel_indices: IndexVec,
+    /// Frame-local token index owning each sampled pixel (pooled).
     pixel_token: Vec<usize>,
-    /// `(value, 1)` feature pairs for the pixel refinement head.
+    /// `(value, 1)` feature pairs for the pixel refinement head (pooled).
     pixel_feat: Vec<f32>,
+}
+
+impl PreparedFrame {
+    /// Returns the consumed frame's staging buffers to the scratch pools
+    /// (except `pixel_indices`, which lives on inside the prediction and
+    /// recycles itself on drop).
+    fn recycle(self) -> IndexVec {
+        bliss_tensor::recycle_index_buffer(self.kept);
+        bliss_tensor::recycle_f32_buffer(self.token_data);
+        bliss_tensor::recycle_index_buffer(self.pixel_token);
+        bliss_tensor::recycle_f32_buffer(self.pixel_feat);
+        self.pixel_indices
+    }
 }
 
 /// Output of one sparse segmentation forward pass.
 #[derive(Debug)]
 pub struct SegPrediction {
     /// Frame-flat pixel index of every logits row (the sampled pixels).
-    pub pixel_indices: Vec<usize>,
+    /// Pooled: the buffer returns to the thread's index pool when the
+    /// prediction is dropped.
+    pub pixel_indices: IndexVec,
     /// Per-pixel class logits, `[S, num_classes]`.
     pub logits: Tensor,
     /// Number of occupied patch tokens the transformer processed — the
@@ -173,31 +197,63 @@ pub struct SegPrediction {
     pub tokens: usize,
 }
 
+/// First index of the row maximum (ties break low, matching
+/// [`NdArray::argmax_rows`]) — shared by every per-pixel class decode so a
+/// tie-breaking change cannot silently diverge between them.
+fn argmax_row(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (j, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = j;
+        }
+    }
+    best
+}
+
 impl SegPrediction {
     /// Per-pixel argmax classes as `(frame_index, class)` pairs.
     pub fn classes(&self) -> Vec<(usize, u8)> {
-        let arg = self
-            .logits
-            .value()
-            .argmax_rows()
-            .expect("logits are rank 2");
-        self.pixel_indices
-            .iter()
-            .zip(arg.iter())
-            .map(|(&i, &c)| (i, c as u8))
-            .collect()
+        let mut out = Vec::new();
+        self.classes_into(&mut out);
+        out
+    }
+
+    /// Writes the per-pixel argmax classes into `out` (cleared first),
+    /// computing the row argmax inline — the steady-state serving path
+    /// reuses one pair buffer per stream instead of allocating per frame.
+    pub fn classes_into(&self, out: &mut Vec<(usize, u8)>) {
+        out.clear();
+        let logits = self.logits.value();
+        assert_eq!(logits.ndim(), 2, "logits are rank 2");
+        let n = logits.shape()[1];
+        out.reserve(self.pixel_indices.len());
+        for (r, &i) in self.pixel_indices.iter().enumerate() {
+            let row = &logits.data()[r * n..(r + 1) * n];
+            out.push((i, argmax_row(row) as u8));
+        }
     }
 
     /// Expands the sparse classification into a full-frame mask
     /// (background class 0 everywhere else).
     pub fn seg_map(&self, width: usize, height: usize) -> Vec<u8> {
-        let mut map = vec![0u8; width * height];
-        for (i, c) in self.classes() {
+        let mut map = Vec::new();
+        self.seg_map_into(width, height, &mut map);
+        map
+    }
+
+    /// Writes the full-frame mask into `map` (resized and zeroed first), so
+    /// a per-stream buffer can be reused across frames.
+    pub fn seg_map_into(&self, width: usize, height: usize, map: &mut Vec<u8>) {
+        map.clear();
+        map.resize(width * height, 0u8);
+        let logits = self.logits.value();
+        let n = logits.shape()[1];
+        for (r, &i) in self.pixel_indices.iter().enumerate() {
             if i < map.len() {
-                map[i] = c;
+                let row = &logits.data()[r * n..(r + 1) * n];
+                map[i] = argmax_row(row) as u8;
             }
         }
-        map
     }
 }
 
@@ -321,8 +377,10 @@ impl SparseViT {
         let (gw, gh) = self.config.grid_dims();
         let p2 = p * p;
 
-        // Pass 1: parallel occupancy scan — one read-only task per patch.
-        let occupied = bliss_parallel::par_map_collect(gw * gh, |patch_idx| {
+        // Pass 1: parallel occupancy scan — one read-only task per patch
+        // (cost hint: a patch scans up to p^2 mask pixels, so miniature
+        // grids stay on the calling thread).
+        let occupied = bliss_parallel::par_map_collect_with_cost(gw * gh, p2, |patch_idx| {
             let (gy, gx) = (patch_idx / gw, patch_idx % gw);
             for dy in 0..p {
                 let y = gy * p + dy;
@@ -342,15 +400,18 @@ impl SparseViT {
             }
             false
         });
-        let kept: Vec<usize> = (0..gw * gh).filter(|&i| occupied[i]).collect();
+        let mut kept = take_index_buffer(gw * gh);
+        kept.extend((0..gw * gh).filter(|&i| occupied[i]));
         if kept.is_empty() {
+            recycle_index_buffer(kept);
             return Ok(None);
         }
         let t = kept.len();
 
         // Pass 2: parallel token gather — each kept patch fills its own
         // `(values, sample-mask)` slice of the batched embedding input.
-        let mut token_data = vec![0.0f32; t * 2 * p2];
+        let mut token_data = take_f32_buffer(t * 2 * p2);
+        token_data.resize(t * 2 * p2, 0.0);
         bliss_parallel::par_chunks(&mut token_data, 2 * p2, |token, chunk| {
             let patch_idx = kept[token];
             let (gy, gx) = (patch_idx / gw, patch_idx % gw);
@@ -375,9 +436,12 @@ impl SparseViT {
         // Pass 3: register sampled pixels as classification queries (serial:
         // the outputs are variable-length appends, and only kept patches are
         // visited).
-        let mut pixel_indices: Vec<usize> = Vec::new();
-        let mut pixel_token: Vec<usize> = Vec::new();
-        let mut pixel_feat: Vec<f32> = Vec::new();
+        // Capacity bound: every sampled pixel lies inside a kept patch, so
+        // t * p^2 bounds the query count — sizing up front keeps the pooled
+        // buffers from growing (and thus re-allocating) mid-loop.
+        let mut pixel_indices = IndexVec::with_capacity(t * p2);
+        let mut pixel_token = take_index_buffer(t * p2);
+        let mut pixel_feat = take_f32_buffer(2 * t * p2);
         for (token, &patch_idx) in kept.iter().enumerate() {
             let (gy, gx) = (patch_idx / gw, patch_idx % gw);
             for dy in 0..p {
@@ -446,9 +510,21 @@ impl SparseViT {
         }
 
         // Stack all frames' tokens: one embedding GEMM, block-diagonal spans
-        // for the encoder.
-        let mut token_data = Vec::new();
-        let mut kept_all = Vec::new();
+        // for the encoder. The stacking buffers come from the scratch pools:
+        // `token_data` moves into the graph (recycled when it drops) and
+        // `kept_all` is handed back as soon as the gather has copied it.
+        let total_tokens: usize = active
+            .iter()
+            .map(|&i| {
+                prepared[i]
+                    .as_ref()
+                    .expect("active frames are Some")
+                    .kept
+                    .len()
+            })
+            .sum();
+        let mut token_data = take_f32_buffer(total_tokens * 2 * p2);
+        let mut kept_all = take_index_buffer(total_tokens);
         let mut enc_spans = Vec::with_capacity(active.len());
         let mut cursor = 0usize;
         for &i in &active {
@@ -459,10 +535,9 @@ impl SparseViT {
             cursor += f.kept.len();
         }
         let tokens_in = Tensor::constant(NdArray::from_vec(token_data, &[cursor, 2 * p2])?);
-        let mut x = self
-            .patch_embed
-            .forward(&tokens_in)?
-            .add(&self.pos_embed.gather_rows(&kept_all)?)?;
+        let pos = self.pos_embed.gather_rows(&kept_all)?;
+        recycle_index_buffer(kept_all);
+        let mut x = self.patch_embed.forward(&tokens_in)?.add(&pos)?;
         for block in &self.encoder {
             x = block.forward_spans(&x, &enc_spans)?;
         }
@@ -483,15 +558,20 @@ impl SparseViT {
             d = block.forward_spans(&d, &dec_spans)?;
         }
 
-        // Pixel head: one GEMM over every frame's sampled-pixel features.
-        let mut pixel_feat_all = Vec::new();
+        // Pixel head: one GEMM over every frame's sampled-pixel features
+        // (pooled staging, moved into the graph).
         let mut pixel_counts = Vec::with_capacity(active.len());
+        let mut s_total = 0usize;
+        for &i in &active {
+            let f = prepared[i].as_ref().expect("active frames are Some");
+            pixel_counts.push(f.pixel_indices.len());
+            s_total += f.pixel_indices.len();
+        }
+        let mut pixel_feat_all = take_f32_buffer(2 * s_total);
         for &i in &active {
             let f = prepared[i].as_ref().expect("active frames are Some");
             pixel_feat_all.extend_from_slice(&f.pixel_feat);
-            pixel_counts.push(f.pixel_indices.len());
         }
-        let s_total: usize = pixel_counts.iter().sum();
         let feats = Tensor::constant(NdArray::from_vec(pixel_feat_all, &[s_total, 2])?);
         let refined_all = self.pixel_head.forward(&feats)?;
 
@@ -513,8 +593,9 @@ impl SparseViT {
                 refined_all.slice_rows(pixel_cursor, pixel_cursor + pixel_counts[slot])?;
             pixel_cursor += pixel_counts[slot];
             let logits = expanded.add(&refined)?;
+            let pixel_indices = f.recycle();
             out[i] = Some(SegPrediction {
-                pixel_indices: f.pixel_indices,
+                pixel_indices,
                 logits,
                 tokens: t,
             });
