@@ -17,6 +17,10 @@
 //! | `tab1_roi_reuse` | Tbl. I — ROI reuse window |
 //! | `tab_area` | §VI-D — area estimation |
 //!
+//! Beyond the paper artifacts, `serve_sweep` / `fleet_sweep` sweep the
+//! serving layers and `soak` runs the long-horizon durability soak (see
+//! the [`soak`] module).
+//!
 //! Accuracy binaries accept `--quick` for a fast, smaller-workload run; the
 //! default matches `ExperimentScale::standard()`.
 //!
@@ -24,6 +28,8 @@
 //! SRAM sampling, ViT forward, systolic model, renderer) live in `benches/`.
 
 use blisscam_core::experiments::ExperimentScale;
+
+pub mod soak;
 
 /// Prints a fixed-width ASCII table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {

@@ -1,0 +1,498 @@
+//! Long-horizon soak harness for the durable serving runtime.
+//!
+//! A soak run serves many **epochs** of scenario-diverse session fleets
+//! back-to-back on one [`ServeRuntime`], accumulating on the order of 10⁶
+//! served frames of virtual time at the standard profile, and watches for
+//! the three ways a long-lived deployment rots:
+//!
+//! * **allocator creep** — the steady-state hot path must stay
+//!   allocation-free, which the companion `soak_alloc` integration test
+//!   pins with a counting global allocator, and the scratch-pool retained
+//!   bytes ([`bliss_tensor::pool_stats`]) must go **flat** after the first
+//!   epochs rather than ratcheting up;
+//! * **state leak** — the first and last epochs are *sentinels* served
+//!   from the same seed; any state smuggled across epochs (RNG, pools,
+//!   caches) breaks their bit-identity;
+//! * **accuracy drift** — per-epoch mean gaze error is recorded so a slow
+//!   numeric drift shows up in the report even when each epoch looks fine
+//!   in isolation.
+//!
+//! Latency is aggregated across every epoch by a [`StreamingHistogram`]
+//! with a **fixed** bucket array: recording a sample is a pure index
+//! increment, so a million-frame soak adds zero allocator traffic and the
+//! memory cost is constant regardless of horizon. Epochs are served with a
+//! [`ServeConfig::warmup_s`] window covering the admission ramp, so the
+//! histogram sees steady-state frames only (the per-epoch all-frames stats
+//! still include the ramp).
+
+use bliss_serve::{LatencyStats, ServeConfig, ServeOutcome, ServeRuntime};
+use bliss_tensor::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// Number of fixed geometric latency buckets in a [`StreamingHistogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Lower edge of bucket 0, in seconds (1 µs).
+pub const HISTOGRAM_BASE_S: f64 = 1e-6;
+
+/// Geometric growth factor between consecutive bucket edges (√2 — at most
+/// ~41% relative quantile error, and 64 buckets then span 1 µs to ~50 min,
+/// far past any virtual-time frame latency this simulator can produce).
+pub const HISTOGRAM_GROWTH: f64 = std::f64::consts::SQRT_2;
+
+/// A fixed-footprint streaming latency histogram.
+///
+/// Buckets are geometric: bucket `i` covers
+/// `[BASE·G^i, BASE·G^(i+1))` seconds, with underflow clamped into bucket 0
+/// and overflow into the last bucket. [`StreamingHistogram::record`] is a
+/// branch-light index increment — no allocation, no sorting, no retained
+/// samples — so it can absorb an unbounded stream at constant memory. The
+/// exact maximum is tracked on the side so the tail of the report is not
+/// bucket-quantised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum_s: f64,
+    max_s: f64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+
+    /// The bucket index a latency of `seconds` files under.
+    fn bucket_of(seconds: f64) -> usize {
+        if seconds < HISTOGRAM_BASE_S {
+            return 0;
+        }
+        // log_G(x / BASE) with G = 2^(1/2) is 2·log2(x / BASE).
+        let idx = (2.0 * (seconds / HISTOGRAM_BASE_S).log2()).floor();
+        (idx as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Exclusive upper edge of bucket `i`, in seconds.
+    pub fn bucket_upper_s(i: usize) -> f64 {
+        HISTOGRAM_BASE_S * HISTOGRAM_GROWTH.powi(i as i32 + 1)
+    }
+
+    /// Records one latency sample. Allocation-free.
+    pub fn record(&mut self, seconds: f64) {
+        self.buckets[Self::bucket_of(seconds)] += 1;
+        self.count += 1;
+        self.sum_s += seconds;
+        if seconds > self.max_s {
+            self.max_s = seconds;
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of every recorded sample, in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded sample, in seconds (0 when empty).
+    pub fn max_s(&self) -> f64 {
+        self.max_s
+    }
+
+    /// The raw bucket counts (index `i` covers `[BASE·G^i, BASE·G^(i+1))`).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Nearest-rank quantile `q ∈ [0, 1]`, in seconds: the upper edge of
+    /// the bucket holding the rank (clamped to the exact maximum, so
+    /// `quantile_s(1.0) == max_s()`). Relative error is bounded by the
+    /// bucket growth factor.
+    pub fn quantile_s(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The overflow bucket has no honest upper edge; report the
+                // exact tracked maximum there (and clamp everywhere else).
+                if i == HISTOGRAM_BUCKETS - 1 {
+                    return self.max_s;
+                }
+                return Self::bucket_upper_s(i).min(self.max_s);
+            }
+        }
+        self.max_s
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        self.max_s = self.max_s.max(other.max_s);
+    }
+
+    /// The histogram's percentiles in the serve layer's
+    /// [`LatencyStats`] shape (bucket upper edges; max is exact).
+    pub fn latency_stats(&self) -> LatencyStats {
+        LatencyStats {
+            p50_ms: self.quantile_s(0.50) * 1e3,
+            p95_ms: self.quantile_s(0.95) * 1e3,
+            p99_ms: self.quantile_s(0.99) * 1e3,
+            max_ms: self.max_s * 1e3,
+        }
+    }
+}
+
+/// Shape of one soak run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoakConfig {
+    /// Concurrent sessions per epoch.
+    pub sessions: usize,
+    /// Frames each session submits per epoch.
+    pub frames_per_session: usize,
+    /// Back-to-back fleet epochs served on the one runtime.
+    pub epochs: usize,
+    /// Sentinel seed: epochs `0` and `epochs-1` serve from exactly this
+    /// seed (their outcomes must be bit-identical); middle epochs rotate a
+    /// derived seed so the soak explores many session populations.
+    pub seed: u64,
+}
+
+impl SoakConfig {
+    /// The long-horizon profile: 8 sessions × 250 frames × 500 epochs =
+    /// 10⁶ served frames (~2.3 h of 120 FPS virtual time).
+    pub fn standard() -> Self {
+        SoakConfig {
+            sessions: 8,
+            frames_per_session: 250,
+            epochs: 500,
+            seed: 0x50AC,
+        }
+    }
+
+    /// The CI smoke profile: same structure, minutes-scale horizon.
+    pub fn smoke() -> Self {
+        SoakConfig {
+            sessions: 4,
+            frames_per_session: 40,
+            epochs: 4,
+            seed: 0x50AC,
+        }
+    }
+
+    /// Total frames the soak serves across every epoch.
+    pub fn frames_total(&self) -> usize {
+        self.sessions * self.frames_per_session * self.epochs
+    }
+
+    /// The serving configuration of epoch `epoch`: sentinel epochs (first
+    /// and last) reuse [`SoakConfig::seed`] verbatim, middle epochs rotate,
+    /// and every epoch excludes its admission ramp plus two frame periods
+    /// as warmup so the soak histogram sees steady-state frames only.
+    pub fn serve_config(&self, epoch: usize) -> ServeConfig {
+        let mut cfg = ServeConfig::new(self.sessions, self.frames_per_session);
+        cfg.seed = if epoch == 0 || epoch + 1 == self.epochs {
+            self.seed
+        } else {
+            self.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
+        cfg.warmup_s = cfg.stagger_s * self.sessions as f64 + 2.0 * cfg.stagger_s;
+        cfg
+    }
+}
+
+/// Health counters of one soak epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Frames served this epoch.
+    pub frames: usize,
+    /// Mean absolute horizontal gaze error over the epoch, degrees.
+    pub mean_horizontal_error_deg: f32,
+    /// Mean absolute vertical gaze error over the epoch, degrees.
+    pub mean_vertical_error_deg: f32,
+    /// Deadline-miss rate over the epoch's steady-state frames.
+    pub steady_miss_rate: f64,
+    /// Virtual span of the epoch (first arrival to last completion), s.
+    pub span_s: f64,
+    /// Scratch-pool bytes retained on the serving thread **after** the
+    /// epoch — the curve that must go flat (see [`SoakReport`]).
+    pub pool_retained_bytes: usize,
+}
+
+/// The `BENCH_soak.json` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoakReport {
+    /// The soak shape that produced this report.
+    pub config: SoakConfig,
+    /// Frames actually served (equals [`SoakConfig::frames_total`]).
+    pub frames_total: usize,
+    /// Cumulative virtual time served, summed over epoch spans, seconds.
+    /// Epochs are independent fleets, so this is session time covered, not
+    /// one contiguous wall of virtual time.
+    pub virtual_s_total: f64,
+    /// Steady-state samples in the latency histogram.
+    pub steady_frames: u64,
+    /// Frames excluded by the per-epoch warmup windows.
+    pub warmup_excluded: usize,
+    /// Histogram percentiles over every steady-state frame of every epoch.
+    pub latency: LatencyStats,
+    /// Mean steady-state latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// The full streaming histogram (fixed 64 geometric buckets).
+    pub histogram: StreamingHistogram,
+    /// Deadline-miss rate over all steady-state frames.
+    pub steady_miss_rate: f64,
+    /// Whether the first and last (same-seed sentinel) epochs produced
+    /// bit-identical outcomes — the no-state-leak check.
+    pub sentinel_identical: bool,
+    /// Highest scratch-pool retained-bytes reading across epochs.
+    pub pool_high_water_bytes: usize,
+    /// Whether the pool high-water was already reached in the first half
+    /// of the soak — i.e. the retained-bytes curve went **flat** instead
+    /// of ratcheting up epoch over epoch.
+    pub pool_flat_after_warmup: bool,
+    /// Per-epoch health counters.
+    pub per_epoch: Vec<EpochStats>,
+}
+
+/// Mean absolute gaze errors of one outcome, weighted across sessions.
+fn mean_errors(outcome: &ServeOutcome) -> (f32, f32) {
+    let (mut eh, mut ev, mut n) = (0.0f64, 0.0f64, 0usize);
+    for trace in &outcome.traces {
+        for r in &trace.records {
+            eh += f64::from(r.horizontal_error_deg);
+            ev += f64::from(r.vertical_error_deg);
+        }
+        n += trace.records.len();
+    }
+    let n = n.max(1) as f64;
+    ((eh / n) as f32, (ev / n) as f32)
+}
+
+/// Runs a full soak on `runtime`.
+///
+/// Serve epoch after epoch, stream steady-state latencies into the fixed
+/// histogram, and record the per-epoch health counters described on
+/// [`SoakReport`]. The scratch-pool readings are taken on the calling
+/// thread, so run under `bliss_parallel::with_thread_count(1, ..)` when the
+/// flat-pool check should cover the inference workers too (the `soak` bin
+/// and the smoke tests do).
+///
+/// # Errors
+///
+/// Propagates tensor errors from inference.
+pub fn run_soak(runtime: &ServeRuntime, cfg: &SoakConfig) -> Result<SoakReport, TensorError> {
+    let mut hist = StreamingHistogram::new();
+    let mut per_epoch = Vec::with_capacity(cfg.epochs);
+    let mut frames_total = 0usize;
+    let mut virtual_s_total = 0.0f64;
+    let mut warmup_excluded = 0usize;
+    let mut steady_misses = 0u64;
+    let mut first_sentinel: Option<ServeOutcome> = None;
+    let mut sentinel_identical = true;
+
+    for epoch in 0..cfg.epochs {
+        let serve_cfg = cfg.serve_config(epoch);
+        let outcome = runtime.serve(&serve_cfg)?;
+
+        for trace in &outcome.traces {
+            for r in &trace.records {
+                if r.arrival_s >= serve_cfg.warmup_s {
+                    hist.record(r.latency_s);
+                    steady_misses += u64::from(r.deadline_missed);
+                }
+            }
+        }
+        let report = &outcome.report;
+        frames_total += report.frames_total;
+        virtual_s_total += report.span_s;
+        warmup_excluded += report.steady.excluded;
+        let (eh, ev) = mean_errors(&outcome);
+        per_epoch.push(EpochStats {
+            epoch,
+            frames: report.frames_total,
+            mean_horizontal_error_deg: eh,
+            mean_vertical_error_deg: ev,
+            steady_miss_rate: report.steady.deadline_miss_rate,
+            span_s: report.span_s,
+            pool_retained_bytes: bliss_tensor::pool_stats().retained_bytes(),
+        });
+
+        if epoch == 0 {
+            first_sentinel = Some(outcome);
+        } else if epoch + 1 == cfg.epochs {
+            // Same seed as epoch 0: any divergence means state leaked
+            // across epochs through the supposedly stateless runtime.
+            sentinel_identical = first_sentinel
+                .as_ref()
+                .is_some_and(|first| *first == outcome);
+        }
+    }
+
+    let pool_high_water_bytes = per_epoch
+        .iter()
+        .map(|e| e.pool_retained_bytes)
+        .max()
+        .unwrap_or(0);
+    // Flat means the high-water is already hit by mid-soak; a pool that is
+    // still setting records in the tail is leaking buffers epoch by epoch.
+    let pool_flat_after_warmup = per_epoch
+        .iter()
+        .take(cfg.epochs.div_ceil(2))
+        .any(|e| e.pool_retained_bytes == pool_high_water_bytes);
+
+    Ok(SoakReport {
+        config: *cfg,
+        frames_total,
+        virtual_s_total,
+        steady_frames: hist.count(),
+        warmup_excluded,
+        latency: hist.latency_stats(),
+        mean_latency_ms: hist.mean_s() * 1e3,
+        steady_miss_rate: steady_misses as f64 / hist.count().max(1) as f64,
+        sentinel_identical,
+        pool_high_water_bytes,
+        pool_flat_after_warmup,
+        histogram: hist,
+        per_epoch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bliss_track::{RoiPredictionNet, SparseViT};
+    use blisscam_core::SystemConfig;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn histogram_buckets_cover_and_order() {
+        let mut h = StreamingHistogram::new();
+        assert_eq!(h.quantile_s(0.5), 0.0);
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-5); // 10 µs .. 10 ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_s(0.50);
+        let p95 = h.quantile_s(0.95);
+        let p99 = h.quantile_s(0.99);
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max_s());
+        assert_eq!(h.max_s(), 1e-2);
+        // Bucket-edge quantile error is bounded by the growth factor.
+        assert!((5e-3 / HISTOGRAM_GROWTH..=5e-3 * HISTOGRAM_GROWTH).contains(&p50));
+        assert!((h.mean_s() - 1000.0 * 1001.0 / 2.0 * 1e-5 / 1000.0).abs() < 1e-9);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn histogram_clamps_underflow_and_overflow() {
+        let mut h = StreamingHistogram::new();
+        h.record(0.0);
+        h.record(1e-9);
+        h.record(1e9);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.quantile_s(1.0), 1e9);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_stream() {
+        let (mut a, mut b, mut all) = (
+            StreamingHistogram::new(),
+            StreamingHistogram::new(),
+            StreamingHistogram::new(),
+        );
+        for i in 0..50 {
+            let x = 1e-4 * (1.0 + i as f64);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn histogram_round_trips_through_json() {
+        let mut h = StreamingHistogram::new();
+        for i in 1..=17 {
+            h.record(i as f64 * 3.7e-4);
+        }
+        let back = StreamingHistogram::from_json(&h.to_json()).expect("round-trip parses");
+        assert_eq!(back, h);
+    }
+
+    /// A smoke-scale soak: sentinel epochs bit-identical, pools flat,
+    /// histogram fed exactly the steady frames.
+    #[test]
+    fn smoke_soak_is_healthy() {
+        let mut system = SystemConfig::miniature();
+        system.vit.dim = 12;
+        system.vit.enc_depth = 1;
+        system.vit.dec_depth = 1;
+        system.roi_net.hidden = 16;
+        let mut rng = StdRng::seed_from_u64(11);
+        let runtime = ServeRuntime::with_networks(
+            system,
+            SparseViT::new(&mut rng, system.vit),
+            RoiPredictionNet::new(&mut rng, system.roi_net),
+        );
+        let cfg = SoakConfig {
+            sessions: 3,
+            frames_per_session: 10,
+            epochs: 3,
+            seed: 9,
+        };
+        let report = bliss_parallel::with_thread_count(1, || run_soak(&runtime, &cfg))
+            .expect("soak succeeds");
+        assert_eq!(report.frames_total, cfg.frames_total());
+        assert_eq!(report.per_epoch.len(), 3);
+        assert!(
+            report.sentinel_identical,
+            "same-seed sentinel epochs diverged"
+        );
+        assert!(report.pool_flat_after_warmup, "scratch pool kept growing");
+        assert!(report.warmup_excluded > 0, "warmup window excluded nothing");
+        assert_eq!(
+            report.steady_frames as usize + report.warmup_excluded,
+            report.frames_total
+        );
+        assert!(report.latency.p50_ms <= report.latency.max_ms);
+        // Middle epochs rotate seeds away from the sentinel's.
+        assert_ne!(cfg.serve_config(1).seed, cfg.serve_config(0).seed);
+        assert_eq!(cfg.serve_config(2).seed, cfg.serve_config(0).seed);
+        let back = SoakReport::from_json(&report.to_json()).expect("report round-trips");
+        assert_eq!(back, report);
+    }
+}

@@ -46,11 +46,16 @@ use crate::energy_model::FrameCounts;
 use bliss_eye::{
     render_sequence_with, EyeModel, EyeSequence, Gaze, ImagingNoise, Scenario, SequenceConfig,
 };
-use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
+use bliss_sensor::{
+    rle, DigitalPixelSensor, EventMap, ReadoutResult, RoiBox, SensorConfig, SensorSnapshot,
+};
 use bliss_tensor::{NdArray, Tensor, TensorError};
-use bliss_track::{GazeEstimator, RoiNetConfig, RoiPredictionNet, SegPrediction, SparseViT};
+use bliss_track::{
+    EstimatorSnapshot, GazeEstimator, RoiNetConfig, RoiPredictionNet, SegPrediction, SparseViT,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// The sensor-side product of one frame, as handed to the host network:
 /// the decoded sparse image plus the occupancy/traffic counters the energy
@@ -97,6 +102,29 @@ pub struct ServedFrame {
     pub tokens: usize,
 }
 
+/// The dynamic state of a [`SparseFrontEnd`] for durable-serving snapshots.
+///
+/// Only state that evolves while streaming is captured: the sensor's analog
+/// memory and entropy, the imaging-noise RNG position, the gaze estimator's
+/// held estimate, and the fed-back segmentation map. Geometry, seeds and the
+/// staging buffers are re-derived when the front end is rebuilt (staging
+/// buffers hold no information across frames — every user overwrites them
+/// in full).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontEndSnapshot {
+    /// The sensor's serving-time state (held/current frames, SRAM RNG,
+    /// readout counter).
+    pub sensor: SensorSnapshot,
+    /// The imaging-noise RNG's xoshiro256** word state.
+    pub rng: [u64; 4],
+    /// The gaze estimator's dynamic state, if a stream has begun.
+    pub estimator: Option<EstimatorSnapshot>,
+    /// The fed-back segmentation map from the last absorbed prediction.
+    pub prev_seg: Vec<u8>,
+    /// Whether the feedback map has been adopted yet (cold-start flag).
+    pub have_seg: bool,
+}
+
 /// Per-stream state of the sparse per-frame pipeline (see the module docs
 /// for the stage contract).
 #[derive(Debug)]
@@ -115,6 +143,10 @@ pub struct SparseFrontEnd {
     events_buf: Vec<f32>,
     seg_buf: Vec<u8>,
     classes_buf: Vec<(usize, u8)>,
+    events_map: EventMap,
+    readout_buf: ReadoutResult,
+    mipi_buf: Vec<u8>,
+    decode_buf: Vec<u16>,
 }
 
 impl SparseFrontEnd {
@@ -138,7 +170,55 @@ impl SparseFrontEnd {
             events_buf: Vec::new(),
             seg_buf: Vec::new(),
             classes_buf: Vec::new(),
+            events_map: EventMap::empty(0, 0),
+            readout_buf: ReadoutResult::empty(),
+            mipi_buf: Vec::new(),
+            decode_buf: Vec::new(),
         }
+    }
+
+    /// Captures the front end's dynamic state for a durable-serving
+    /// snapshot. Staging buffers are deliberately excluded — they carry no
+    /// information across frames.
+    pub fn snapshot(&self) -> FrontEndSnapshot {
+        FrontEndSnapshot {
+            sensor: self.sensor.snapshot(),
+            rng: self.rng.state(),
+            estimator: self.estimator.as_ref().map(|e| e.snapshot()),
+            prev_seg: self.prev_seg.clone(),
+            have_seg: self.have_seg,
+        }
+    }
+
+    /// Overwrites the dynamic state from a snapshot taken on a front end
+    /// with the same geometry and seed. After [`SparseFrontEnd::begin_stream`]
+    /// has primed this front end for the same sequence, the restored stream
+    /// continues bit-identically to the uninterrupted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's geometry does not match, or if it carries an
+    /// estimator state but [`SparseFrontEnd::begin_stream`] has not yet
+    /// installed an estimator (the eye model is re-derived from the
+    /// sequence, not serialised).
+    pub fn restore(&mut self, snapshot: &FrontEndSnapshot) {
+        assert_eq!(
+            snapshot.prev_seg.len(),
+            self.width * self.height,
+            "front-end snapshot geometry mismatch"
+        );
+        self.sensor = DigitalPixelSensor::restore(*self.sensor.config(), &snapshot.sensor);
+        self.rng = StdRng::from_state(snapshot.rng);
+        match (&mut self.estimator, &snapshot.estimator) {
+            (Some(est), Some(snap)) => est.restore(snap),
+            (_, None) => self.estimator = None,
+            (None, Some(_)) => {
+                panic!("begin_stream must run before restoring an estimator snapshot")
+            }
+        }
+        self.prev_seg.clear();
+        self.prev_seg.extend_from_slice(&snapshot.prev_seg);
+        self.have_seg = snapshot.have_seg;
     }
 
     /// Whether a segmentation feedback map has been adopted yet. `false`
@@ -160,7 +240,7 @@ impl SparseFrontEnd {
         self.noise
             .apply_into(first_clean, 1.0, &mut self.rng, &mut self.noisy_buf);
         self.sensor.expose(&self.noisy_buf);
-        let _ = self.sensor.eventify();
+        self.sensor.eventify_into(&mut self.events_map);
     }
 
     /// Renders a [`Scenario`]-parameterised stream of `frames` servable
@@ -208,7 +288,8 @@ impl SparseFrontEnd {
         self.noise
             .apply_into(clean, 1.0, &mut self.rng, &mut self.noisy_buf);
         self.sensor.expose(&self.noisy_buf);
-        self.sensor.eventify().to_f32_into(out);
+        self.sensor.eventify_into(&mut self.events_map);
+        self.events_map.to_f32_into(out);
     }
 
     /// Stage 2: assembles the 2-channel in-sensor ROI-net input from the
@@ -259,15 +340,17 @@ impl SparseFrontEnd {
         sample_rate: f32,
         out: &mut SensedFrame,
     ) -> Result<(), TensorError> {
-        let readout = self.sensor.sparse_readout(roi, sample_rate);
-        let encoded = readout.encode();
-        let decoded = rle::decode(&encoded, readout.stream.len()).map_err(|e| {
-            TensorError::InvalidArgument {
+        self.sensor
+            .sparse_readout_into(roi, sample_rate, &mut self.readout_buf);
+        let readout = &self.readout_buf;
+        rle::encode_into(&readout.stream, &mut self.mipi_buf);
+        rle::decode_into(&self.mipi_buf, readout.stream.len(), &mut self.decode_buf).map_err(
+            |e| TensorError::InvalidArgument {
                 op: "rle_decode",
                 message: e.to_string(),
-            }
-        })?;
-        debug_assert_eq!(decoded, readout.stream);
+            },
+        )?;
+        debug_assert_eq!(self.decode_buf, readout.stream);
         readout.sparse_image_f32_into(
             self.width,
             self.height,
@@ -277,7 +360,7 @@ impl SparseFrontEnd {
         );
         out.sampled = readout.sampled;
         out.conversions = readout.conversions;
-        out.mipi_bytes = encoded.len() as u64;
+        out.mipi_bytes = self.mipi_buf.len() as u64;
         out.roi_pixels = readout.roi.area() as u64;
         Ok(())
     }
@@ -385,6 +468,48 @@ mod tests {
         assert!(sensed.sampled > 0 && sensed.sampled <= 80 * 50);
         assert_eq!(sensed.counts(7).tokens, 7);
         assert_eq!(sensed.counts(7).sampled, sensed.sampled as u64);
+    }
+
+    #[test]
+    fn snapshot_restores_stream_bit_identically_through_json() {
+        use serde::{Deserialize, Serialize};
+        let seq = render_sequence(&SequenceConfig {
+            width: 80,
+            height: 50,
+            frames: 6,
+            fps: 120.0,
+            seed: 31,
+        });
+        // Uninterrupted reference: sense + read every servable frame.
+        let mut reference = SparseFrontEnd::new(80, 50, 31);
+        reference.begin_stream(seq.model.clone(), &seq.frames[0].clean);
+        let mut ref_out = Vec::new();
+        for f in &seq.frames[1..] {
+            let e = reference.sense_events(&f.clean);
+            let s = reference.read_out(RoiBox::full(80, 50), 0.2).unwrap();
+            ref_out.push((e, s));
+        }
+        // Interrupted run: snapshot after 2 frames, restore into a freshly
+        // primed front end, continue.
+        let mut first = SparseFrontEnd::new(80, 50, 31);
+        first.begin_stream(seq.model.clone(), &seq.frames[0].clean);
+        let mut out = Vec::new();
+        for f in &seq.frames[1..3] {
+            let e = first.sense_events(&f.clean);
+            let s = first.read_out(RoiBox::full(80, 50), 0.2).unwrap();
+            out.push((e, s));
+        }
+        let json = first.snapshot().to_json();
+        let snap = FrontEndSnapshot::from_json(&json).unwrap();
+        let mut second = SparseFrontEnd::new(80, 50, 31);
+        second.begin_stream(seq.model.clone(), &seq.frames[0].clean);
+        second.restore(&snap);
+        for f in &seq.frames[3..] {
+            let e = second.sense_events(&f.clean);
+            let s = second.read_out(RoiBox::full(80, 50), 0.2).unwrap();
+            out.push((e, s));
+        }
+        assert_eq!(out, ref_out);
     }
 
     #[test]

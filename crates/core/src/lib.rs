@@ -43,7 +43,7 @@ pub use config::{SystemConfig, SystemVariant};
 pub use energy_model::{
     energy_breakdown, energy_breakdown_with_counts, EnergyBreakdown, FrameCounts,
 };
-pub use frontend::{SensedFrame, ServedFrame, SparseFrontEnd};
+pub use frontend::{FrontEndSnapshot, SensedFrame, ServedFrame, SparseFrontEnd};
 pub use latency_model::{
     host_batched_segmentation_time_s, host_segmentation_time_s, simulate_pipeline, stage_durations,
 };

@@ -9,10 +9,12 @@
 //! the original figure cites; they reproduce the *trend* (GPU capability
 //! outpacing algorithm demand; readout dominating sensor power).
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One mobile GPU data point for Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// Serialize-only: the `&'static str` names live in const tables compiled
+// into the binary — they are reference data, never restored from JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct GpuEntry {
     /// Device name.
     pub name: &'static str,
@@ -57,7 +59,9 @@ pub const JETSON_GPUS: &[GpuEntry] = &[
 ];
 
 /// One eye-tracking algorithm data point for Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// Serialize-only: the `&'static str` names live in const tables compiled
+// into the binary — they are reference data, never restored from JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct AlgorithmEntry {
     /// Algorithm name.
     pub name: &'static str,
@@ -114,7 +118,9 @@ pub const EYE_TRACKING_ALGORITHMS: &[AlgorithmEntry] = &[
 ];
 
 /// One sensor data point for Fig. 4.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// Serialize-only: the `&'static str` names live in const tables compiled
+// into the binary — they are reference data, never restored from JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SensorSurveyEntry {
     /// Publication venue and year label as used in the figure.
     pub venue: &'static str,

@@ -69,7 +69,9 @@
 mod placement;
 mod report;
 mod runtime;
+mod snapshot;
 
 pub use placement::PlacementPolicy;
 pub use report::{merge_timelines, FleetEvent, FleetReport, HostReport};
-pub use runtime::{FleetConfig, FleetOutcome, FleetRuntime};
+pub use runtime::{FleetConfig, FleetOutcome, FleetRuntime, FleetState};
+pub use snapshot::FleetSnapshot;

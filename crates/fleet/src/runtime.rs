@@ -1,6 +1,6 @@
 use crate::placement::PlacementPolicy;
 use crate::report::{merge_timelines, FleetEvent, FleetReport};
-use bliss_serve::{ServeConfig, ServeOutcome, ServeRuntime, SessionConfig};
+use bliss_serve::{ServeConfig, ServeOutcome, ServeRuntime, ServeState, SessionConfig};
 use bliss_tensor::TensorError;
 use bliss_track::{RoiPredictionNet, SparseViT};
 use blisscam_core::SystemConfig;
@@ -29,6 +29,35 @@ impl FleetConfig {
             placement,
             serve: ServeConfig::new(sessions, frames),
         }
+    }
+}
+
+/// Resumable state of one in-flight fleet run: every host shard's scheduler
+/// state plus the session→host assignment.
+///
+/// Produced by [`FleetRuntime::start`], advanced by [`FleetRuntime::step`]
+/// (one fused batch on every unfinished host per call — hosts are
+/// independent hardware, so the relative stepping order cannot affect any
+/// shard's results), and folded into the final [`FleetOutcome`] by
+/// [`FleetRuntime::finish`]. Between steps the fleet sits at a batch
+/// boundary on every host — the instants [`FleetRuntime::snapshot`]
+/// captures.
+#[derive(Debug)]
+pub struct FleetState {
+    pub(crate) assignment: Vec<usize>,
+    pub(crate) shard_cfgs: Vec<ServeConfig>,
+    pub(crate) shards: Vec<ServeState>,
+}
+
+impl FleetState {
+    /// Total frames served so far across every host.
+    pub fn frames_served(&self) -> usize {
+        self.shards.iter().map(|s| s.frames_served()).sum()
+    }
+
+    /// Whether every host's shard has drained.
+    pub fn is_done(&self) -> bool {
+        self.shards.iter().all(|s| s.is_done())
     }
 }
 
@@ -61,7 +90,7 @@ pub struct FleetOutcome {
 /// `(sessions, hosts, policy, seed)` on any thread pool.
 #[derive(Debug)]
 pub struct FleetRuntime {
-    runtime: ServeRuntime,
+    pub(crate) runtime: ServeRuntime,
 }
 
 impl FleetRuntime {
@@ -157,29 +186,73 @@ impl FleetRuntime {
         cfg: &FleetConfig,
         sessions: Vec<SessionConfig>,
     ) -> Result<FleetOutcome, TensorError> {
+        let mut state = self.start_sessions(cfg, sessions);
+        while self.step(&mut state)? {}
+        Ok(self.finish(cfg, state))
+    }
+
+    /// Starts a resumable fleet run over [`FleetRuntime::session_configs`].
+    pub fn start(&self, cfg: &FleetConfig) -> FleetState {
+        self.start_sessions(cfg, self.session_configs(cfg))
+    }
+
+    /// Starts a resumable run over an explicit session population: routes
+    /// every session to its host and primes each shard's scheduler.
+    ///
+    /// Each host runs its shard under the shard-sized serve config. Hosts
+    /// are independent hardware; the shared model parameters are read-only,
+    /// so shard order cannot affect results — the determinism suite pins
+    /// this.
+    pub fn start_sessions(&self, cfg: &FleetConfig, sessions: Vec<SessionConfig>) -> FleetState {
         let assignment = cfg.placement.assign(&sessions, cfg.hosts);
         let mut shards: Vec<Vec<SessionConfig>> = vec![Vec::new(); cfg.hosts];
         for (sc, &host) in sessions.iter().zip(&assignment) {
             shards[host].push(*sc);
         }
-
-        // Each host runs its shard under the shard-sized serve config.
-        // Hosts are independent hardware; the shared model parameters are
-        // read-only, so shard order cannot affect results — the determinism
-        // suite pins this.
-        let mut per_host = Vec::with_capacity(cfg.hosts);
+        let mut shard_cfgs = Vec::with_capacity(cfg.hosts);
+        let mut states = Vec::with_capacity(cfg.hosts);
         for shard in shards {
             let mut shard_cfg = cfg.serve;
             shard_cfg.sessions = shard.len();
-            per_host.push(self.runtime.serve_sessions(&shard_cfg, shard)?);
+            states.push(self.runtime.start_sessions(shard));
+            shard_cfgs.push(shard_cfg);
         }
+        FleetState {
+            assignment,
+            shard_cfgs,
+            shards: states,
+        }
+    }
 
+    /// Advances every unfinished host shard by one fused batch. Returns
+    /// `false` once the whole fleet has drained (nothing was executed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from inference.
+    pub fn step(&self, state: &mut FleetState) -> Result<bool, TensorError> {
+        let mut advanced = false;
+        for (shard_cfg, shard) in state.shard_cfgs.iter().zip(state.shards.iter_mut()) {
+            advanced |= self.runtime.step_batch(shard_cfg, shard)?;
+        }
+        Ok(advanced)
+    }
+
+    /// Folds a drained (or deliberately abandoned) fleet run into its
+    /// outcome.
+    pub fn finish(&self, cfg: &FleetConfig, state: FleetState) -> FleetOutcome {
+        let per_host: Vec<ServeOutcome> = state
+            .shard_cfgs
+            .iter()
+            .zip(state.shards)
+            .map(|(shard_cfg, shard)| self.runtime.finish(shard_cfg, shard))
+            .collect();
         let timeline = merge_timelines(&per_host);
-        let report = FleetReport::from_hosts(cfg, &assignment, &per_host, &timeline);
-        Ok(FleetOutcome {
+        let report = FleetReport::from_hosts(cfg, &state.assignment, &per_host, &timeline);
+        FleetOutcome {
             report,
             per_host,
             timeline,
-        })
+        }
     }
 }

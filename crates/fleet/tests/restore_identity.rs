@@ -1,0 +1,133 @@
+//! Fleet-level restore-vs-uninterrupted bit-identity.
+//!
+//! The serve layer proves per-shard restores are bit-identical
+//! (`bliss_serve`'s `restore_identity.rs`); this suite lifts the guarantee
+//! over the k-way shard composition: freeze **every host** of a sharded
+//! fleet at a batch boundary, push the [`FleetSnapshot`] through its JSON
+//! wire format, restore into a fresh fleet and drain it. Reports, per-host
+//! outcomes and the merged timeline must match the uninterrupted run
+//! byte-for-byte, under every placement policy.
+//!
+//! Untrained networks: restore identity is a scheduling/state property and
+//! does not depend on the weights being good, only on them being carried
+//! across bit-exactly (which the corrupt/version tests in the serve suite
+//! already police).
+
+use bliss_fleet::{FleetConfig, FleetRuntime, FleetSnapshot, PlacementPolicy};
+use bliss_serve::{SnapshotError, SNAPSHOT_VERSION};
+use bliss_track::{RoiPredictionNet, SparseViT};
+use blisscam_core::SystemConfig;
+use rand::{rngs::StdRng, SeedableRng};
+use serde::Serialize;
+
+fn runtime() -> FleetRuntime {
+    let mut system = SystemConfig::miniature();
+    system.vit.dim = 12;
+    system.vit.enc_depth = 1;
+    system.vit.dec_depth = 1;
+    system.roi_net.hidden = 16;
+    let mut rng = StdRng::seed_from_u64(0x50AC_F1EE);
+    FleetRuntime::with_networks(
+        system,
+        SparseViT::new(&mut rng, system.vit),
+        RoiPredictionNet::new(&mut rng, system.roi_net),
+    )
+}
+
+fn load(policy: PlacementPolicy) -> FleetConfig {
+    let mut cfg = FleetConfig::new(2, policy, 5, 4);
+    cfg.serve.max_batch = 4;
+    cfg
+}
+
+#[test]
+fn fleet_restore_is_bit_identical_under_every_policy() {
+    bliss_parallel::with_thread_count(1, || {
+        let fleet = runtime();
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::ScenarioAffinity,
+        ] {
+            let cfg = load(policy);
+            let uninterrupted = fleet.serve(&cfg).expect("serve succeeds");
+
+            let mut state = fleet.start(&cfg);
+            for _ in 0..2 {
+                assert!(fleet.step(&mut state).expect("step succeeds"));
+            }
+            let json = fleet.snapshot(&cfg, &state).to_json();
+            // Only the JSON crosses the interruption.
+            let snap = FleetSnapshot::parse(&json).expect("snapshot parses");
+            let (fleet2, cfg2, mut state2) =
+                FleetRuntime::restore(&snap).expect("snapshot restores");
+            assert_eq!(cfg2, cfg, "restored fleet config drifted ({policy:?})");
+            while fleet2.step(&mut state2).expect("step succeeds") {}
+            let resumed = fleet2.finish(&cfg2, state2);
+
+            assert_eq!(
+                resumed.per_host, uninterrupted.per_host,
+                "restored per-host outcomes diverged ({policy:?})"
+            );
+            assert_eq!(
+                resumed.timeline, uninterrupted.timeline,
+                "restored merged timeline diverged ({policy:?})"
+            );
+            assert_eq!(
+                resumed.report, uninterrupted.report,
+                "restored fleet report diverged ({policy:?})"
+            );
+        }
+    });
+}
+
+#[test]
+fn fleet_snapshot_round_trips_through_json() {
+    bliss_parallel::with_thread_count(1, || {
+        let fleet = runtime();
+        let cfg = load(PlacementPolicy::RoundRobin);
+        let mut state = fleet.start(&cfg);
+        assert!(fleet.step(&mut state).expect("step succeeds"));
+        let snap = fleet.snapshot(&cfg, &state);
+        let back = FleetSnapshot::parse(&snap.to_json()).expect("round-trip parses");
+        assert_eq!(back, snap, "fleet snapshot JSON round-trip is lossy");
+    });
+}
+
+#[test]
+fn stale_fleet_snapshot_version_fails_loudly() {
+    bliss_parallel::with_thread_count(1, || {
+        let fleet = runtime();
+        let cfg = load(PlacementPolicy::RoundRobin);
+        let mut state = fleet.start(&cfg);
+        assert!(fleet.step(&mut state).expect("step succeeds"));
+        let mut snap = fleet.snapshot(&cfg, &state);
+        snap.version = SNAPSHOT_VERSION + 7;
+        let err = FleetSnapshot::parse(&snap.to_json()).expect_err("stale version must fail");
+        assert_eq!(
+            err,
+            SnapshotError::Version {
+                found: SNAPSHOT_VERSION + 7,
+                supported: SNAPSHOT_VERSION,
+            }
+        );
+    });
+}
+
+#[test]
+fn empty_fleet_snapshot_is_corrupt() {
+    bliss_parallel::with_thread_count(1, || {
+        let fleet = runtime();
+        let cfg = load(PlacementPolicy::RoundRobin);
+        let mut state = fleet.start(&cfg);
+        assert!(fleet.step(&mut state).expect("step succeeds"));
+        let mut snap = fleet.snapshot(&cfg, &state);
+        snap.per_host.clear();
+        snap.assignment.clear();
+        let err = FleetRuntime::restore(&snap).expect_err("hostless snapshot must fail");
+        assert!(
+            matches!(err, SnapshotError::Corrupt(_)),
+            "expected Corrupt, got {err:?}"
+        );
+    });
+}

@@ -43,11 +43,13 @@ mod attention;
 mod init;
 mod layers;
 mod optim;
+mod snapshot;
 
 pub use attention::{MultiHeadAttention, TransformerBlock};
 pub use init::{kaiming_normal, xavier_uniform};
 pub use layers::{Conv2d, DepthwiseSeparableConv2d, LayerNormLayer, Linear, Mlp};
 pub use optim::{clip_global_norm, Adam, Sgd};
+pub use snapshot::{restore_params, snapshot_params, ParamSnapshot};
 
 use bliss_tensor::Tensor;
 

@@ -1,0 +1,96 @@
+//! Weight snapshots: serialisable copies of a [`Module`]'s parameters.
+//!
+//! A snapshot captures each parameter tensor's shape and data in the
+//! module's stable [`Module::parameters`] order — nothing else. Optimizer
+//! moments, autograd graphs and gradients are deliberately excluded: the
+//! durable-serving layer snapshots *trained* networks whose weights are
+//! frozen at inference time, so the parameter values alone reproduce every
+//! forward pass bit-for-bit.
+
+use bliss_tensor::{NdArray, TensorError};
+use serde::{Deserialize, Serialize};
+
+use crate::Module;
+
+/// One parameter tensor's shape and values, in row-major order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSnapshot {
+    /// The tensor's shape.
+    pub shape: Vec<usize>,
+    /// The tensor's values, row-major.
+    pub data: Vec<f32>,
+}
+
+/// Captures the current values of `module`'s parameters.
+///
+/// The returned vector follows [`Module::parameters`] order, which every
+/// layer documents as stable — [`restore_params`] relies on it.
+pub fn snapshot_params<M: Module + ?Sized>(module: &M) -> Vec<ParamSnapshot> {
+    module
+        .parameters()
+        .iter()
+        .map(|p| {
+            let v = p.value();
+            ParamSnapshot {
+                shape: v.shape().to_vec(),
+                data: v.data().to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// Writes snapshotted values back into `module`'s parameters.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] when the snapshot's parameter count or any
+/// tensor shape does not match the module — a restore into a module built
+/// from a different config must fail loudly, never silently truncate.
+pub fn restore_params<M: Module + ?Sized>(
+    module: &M,
+    snapshot: &[ParamSnapshot],
+) -> Result<(), TensorError> {
+    let params = module.parameters();
+    if params.len() != snapshot.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "restore_params",
+            lhs: vec![params.len()],
+            rhs: vec![snapshot.len()],
+        });
+    }
+    for (param, snap) in params.iter().zip(snapshot) {
+        param.set_value(NdArray::from_vec(snap.data.clone(), &snap.shape)?)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linear;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer = Linear::new(&mut rng, 4, 3);
+        let snap = snapshot_params(&layer);
+        let json: String = snap.to_json();
+        let parsed = Vec::<ParamSnapshot>::from_json(&json).expect("parses");
+        assert_eq!(parsed, snap);
+
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let other = Linear::new(&mut rng2, 4, 3);
+        restore_params(&other, &parsed).expect("shapes match");
+        assert_eq!(snapshot_params(&other), snap);
+    }
+
+    #[test]
+    fn shape_mismatch_fails_loudly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(&mut rng, 4, 3);
+        let narrow = Linear::new(&mut rng, 2, 3);
+        assert!(restore_params(&narrow, &snapshot_params(&layer)).is_err());
+        assert!(restore_params(&layer, &snapshot_params(&layer)[..1]).is_err());
+    }
+}

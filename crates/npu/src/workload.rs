@@ -1,4 +1,5 @@
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Work description of a single network layer as seen by a systolic array.
 ///
@@ -65,6 +66,20 @@ impl GemmShape {
     }
 }
 
+// Workload descriptors are rebuilt from scratch on every analytic timing or
+// energy evaluation — once per fused batch and twice per served frame in the
+// streaming runtime's hot path. A small thread-local freelist recycles the
+// layer storage between descriptors so steady-state serving performs no
+// buffer-class heap allocation here (the same contract the `bliss_tensor`
+// scratch pools give the data plane).
+thread_local! {
+    static GEMM_FREELIST: RefCell<Vec<Vec<GemmShape>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Recycled layer vectors retained per thread — only a handful of workload
+/// descriptors are ever alive at once.
+const GEMM_FREELIST_CAP: usize = 8;
+
 /// A whole network lowered into a sequence of GEMMs.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkloadDesc {
@@ -74,12 +89,36 @@ pub struct WorkloadDesc {
     pub gemms: Vec<GemmShape>,
 }
 
+impl Drop for WorkloadDesc {
+    fn drop(&mut self) {
+        if self.gemms.capacity() == 0 {
+            return;
+        }
+        let mut gemms = std::mem::take(&mut self.gemms);
+        gemms.clear();
+        // Defensive accessors: drops can run during thread teardown, and a
+        // recycling failure must never turn into a panic.
+        let _ = GEMM_FREELIST.try_with(|fl| {
+            if let Ok(mut fl) = fl.try_borrow_mut() {
+                if fl.len() < GEMM_FREELIST_CAP {
+                    fl.push(gemms);
+                }
+            }
+        });
+    }
+}
+
 impl WorkloadDesc {
-    /// Creates an empty workload.
+    /// Creates an empty workload, reusing recycled layer storage from this
+    /// thread's freelist when available (descriptors return their storage
+    /// on drop).
     pub fn new(name: impl Into<String>) -> Self {
+        let gemms = GEMM_FREELIST
+            .with(|fl| fl.borrow_mut().pop())
+            .unwrap_or_default();
         WorkloadDesc {
             name: name.into(),
-            gemms: Vec::new(),
+            gemms,
         }
     }
 

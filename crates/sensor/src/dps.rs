@@ -74,6 +74,18 @@ pub struct ReadoutResult {
 }
 
 impl ReadoutResult {
+    /// An empty result, for use as a reusable staging slot with
+    /// [`DigitalPixelSensor::sparse_readout_into`].
+    pub fn empty() -> Self {
+        ReadoutResult {
+            roi: RoiBox::new(0, 0, 0, 0),
+            theta: 0,
+            stream: Vec::new(),
+            conversions: 0,
+            sampled: 0,
+        }
+    }
+
     /// Run-length encodes the stream for MIPI transfer.
     pub fn encode(&self) -> Bytes {
         rle::encode(&self.stream)
@@ -168,6 +180,24 @@ impl ReadoutResult {
     }
 }
 
+/// The sensor's serving-time state, for durable-serving snapshots.
+///
+/// Everything else a [`DigitalPixelSensor`] carries — comparator offsets,
+/// SRAM cell biases, the θ-LUT, the conversion-noise seed — is a permanent
+/// property of the (simulated) die, re-derived bit-identically from the
+/// [`SensorConfig`] seed by [`DigitalPixelSensor::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorSnapshot {
+    /// Previous frame held on the auto-zero capacitors.
+    pub held: Option<Vec<f32>>,
+    /// Current latched exposure.
+    pub current: Option<Vec<f32>>,
+    /// SRAM power-up generator state.
+    pub sram_rng: [u64; 4],
+    /// Readouts performed so far (the conversion-noise counter).
+    pub readouts: u64,
+}
+
 /// Behavioural model of the BlissCam stacked DPS.
 ///
 /// See the [crate-level docs](crate) for the mode/time-multiplexing scheme.
@@ -187,6 +217,9 @@ pub struct DigitalPixelSensor {
     conv_seed: u64,
     /// Number of readouts performed (each draws fresh conversion noise).
     readouts: u64,
+    /// Reusable power-up mask staging buffer (excluded from snapshots —
+    /// fully overwritten by every sparse readout).
+    mask_scratch: Vec<bool>,
 }
 
 impl DigitalPixelSensor {
@@ -208,7 +241,47 @@ impl DigitalPixelSensor {
             lut,
             conv_seed: config.seed ^ 0xADC0,
             readouts: 0,
+            mask_scratch: Vec::new(),
         }
+    }
+
+    /// Captures the sensor's serving-time state (see [`SensorSnapshot`]).
+    pub fn snapshot(&self) -> SensorSnapshot {
+        SensorSnapshot {
+            held: self.held.clone(),
+            current: self.current.clone(),
+            sram_rng: self.sram_rng.rng_state(),
+            readouts: self.readouts,
+        }
+    }
+
+    /// Rebuilds a sensor from its configuration and a snapshot.
+    ///
+    /// Runs the normal construction path (re-deriving every die property
+    /// from the config seed, including the θ-LUT calibration), then
+    /// restores the dynamic state, so the result continues the interrupted
+    /// stream bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a snapshotted frame buffer's length does not match the
+    /// configured pixel count, or when the RNG state is all zeros — either
+    /// means the snapshot belongs to a different config or is corrupt.
+    pub fn restore(config: SensorConfig, snapshot: &SensorSnapshot) -> Self {
+        let pixels = config.pixels();
+        for buf in [&snapshot.held, &snapshot.current].into_iter().flatten() {
+            assert_eq!(
+                buf.len(),
+                pixels,
+                "sensor snapshot frame buffer does not match the configured pixel count"
+            );
+        }
+        let mut sensor = Self::new(config);
+        sensor.held = snapshot.held.clone();
+        sensor.current = snapshot.current.clone();
+        sensor.sram_rng.set_rng_state(snapshot.sram_rng);
+        sensor.readouts = snapshot.readouts;
+        sensor
     }
 
     /// The sensor configuration.
@@ -255,21 +328,35 @@ impl DigitalPixelSensor {
     ///
     /// Panics if called before [`DigitalPixelSensor::expose`].
     pub fn eventify(&mut self) -> EventMap {
+        let mut map = EventMap::empty(self.config.width, self.config.height);
+        self.eventify_into(&mut map);
+        map
+    }
+
+    /// [`eventify`](DigitalPixelSensor::eventify) into a caller-owned map
+    /// (reshaped and overwritten), so per-stream event maps can be reused
+    /// across frames without allocating. Produces the identical map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DigitalPixelSensor::expose`].
+    pub fn eventify_into(&mut self, map: &mut EventMap) {
         let current = self
             .current
             .as_ref()
             .expect("eventify requires a prior expose()");
         let w = self.config.width;
-        let map = match &self.held {
-            None => EventMap::new(w, self.config.height, vec![true; self.config.pixels()]),
+        map.reset(w, self.config.height);
+        let bits = map.bits_mut();
+        match &self.held {
+            None => bits.fill(true),
             Some(prev) => {
                 let sigma = self.config.event_threshold;
                 let offsets = &self.comparator_offset;
-                let mut bits = vec![false; self.config.pixels()];
                 // Every pixel's comparator fires independently: eventify one
                 // row per task. Row sub-slices keep the inner loop on fused
                 // iterators (no bounds checks, vectorisable).
-                bliss_parallel::par_map_rows(&mut bits, w, |y, row| {
+                bliss_parallel::par_map_rows(bits, w, |y, row| {
                     let base = y * w;
                     let cur_row = &current[base..base + row.len()];
                     let prev_row = &prev[base..base + row.len()];
@@ -283,16 +370,14 @@ impl DigitalPixelSensor {
                         *bit = diff > sigma + off || -diff > sigma - off;
                     }
                 });
-                EventMap::new(w, self.config.height, bits)
             }
-        };
+        }
         // Move the exposure into the analog hold without reallocating: both
         // buffers persist for the sensor's lifetime in steady state.
         match (&mut self.held, &self.current) {
             (Some(h), Some(c)) => h.copy_from_slice(c),
             _ => self.held = self.current.clone(),
         }
-        map
     }
 
     /// Sparse readout: activates `roi`, draws a fresh SRAM power-up sampling
@@ -303,9 +388,26 @@ impl DigitalPixelSensor {
     ///
     /// Panics if called before [`DigitalPixelSensor::expose`].
     pub fn sparse_readout(&mut self, roi: RoiBox, rate: f32) -> ReadoutResult {
+        let mut out = ReadoutResult::empty();
+        self.sparse_readout_into(roi, rate, &mut out);
+        out
+    }
+
+    /// [`sparse_readout`](DigitalPixelSensor::sparse_readout) into a
+    /// caller-owned result (fully overwritten), reusing both the result's
+    /// stream buffer and an internal power-up mask buffer — the
+    /// steady-state serving path performs no per-frame allocation here.
+    /// Produces the identical readout and RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DigitalPixelSensor::expose`].
+    pub fn sparse_readout_into(&mut self, roi: RoiBox, rate: f32, out: &mut ReadoutResult) {
         let theta = self.lut.theta_for_rate(rate);
-        let mask = self.sram_rng.sample_mask(theta);
-        self.readout_with_mask(roi, Some(&mask), theta)
+        let mut mask = std::mem::take(&mut self.mask_scratch);
+        self.sram_rng.sample_mask_into(theta, &mut mask);
+        self.readout_with_mask_into(roi, Some(&mask), theta, out);
+        self.mask_scratch = mask;
     }
 
     /// Dense readout of a region (rate = 1, every pixel converted). With
@@ -359,6 +461,18 @@ impl DigitalPixelSensor {
         mask: Option<&[bool]>,
         theta: u8,
     ) -> ReadoutResult {
+        let mut out = ReadoutResult::empty();
+        self.readout_with_mask_into(roi, mask, theta, &mut out);
+        out
+    }
+
+    fn readout_with_mask_into(
+        &mut self,
+        roi: RoiBox,
+        mask: Option<&[bool]>,
+        theta: u8,
+        result: &mut ReadoutResult,
+    ) {
         let call = self.readouts;
         self.readouts = self.readouts.wrapping_add(1);
         let current = self
@@ -376,10 +490,12 @@ impl DigitalPixelSensor {
         // independently — conversion noise is a counter-based function of
         // (seed, readout, pixel), not a sequential RNG stream — so columns
         // read out in parallel with bit-identical results.
-        let mut stream = vec![0u16; roi.area()];
+        let stream = &mut result.stream;
+        stream.clear();
+        stream.resize(roi.area(), 0);
         if col_len > 0 {
             // Cost hint 16: a counter-hash draw + conversion per pixel.
-            bliss_parallel::par_chunks_with_cost(&mut stream, col_len, 16, |ci, column| {
+            bliss_parallel::par_chunks_with_cost(stream, col_len, 16, |ci, column| {
                 let x = roi.x1 + ci;
                 for (dy, out) in column.iter_mut().enumerate() {
                     let idx = (roi.y1 + dy) * w + x;
@@ -395,13 +511,10 @@ impl DigitalPixelSensor {
             });
         }
         let sampled = stream.iter().filter(|&&code| code != 0).count();
-        ReadoutResult {
-            roi,
-            theta,
-            stream,
-            conversions: sampled as u64,
-            sampled,
-        }
+        result.roi = roi;
+        result.theta = theta;
+        result.conversions = sampled as u64;
+        result.sampled = sampled;
     }
 }
 
@@ -615,5 +728,61 @@ mod tests {
     fn expose_validates_length() {
         let mut s = sensor(4, 4);
         s.expose(&[0.5; 3]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let mut a = sensor(16, 12);
+        let mut b = sensor(16, 12);
+        let img = gradient(16, 12);
+        a.expose(&img);
+        b.expose(&img);
+        let mut map = EventMap::empty(1, 1);
+        b.eventify_into(&mut map);
+        assert_eq!(a.eventify(), map);
+        let roi = RoiBox::new(2, 1, 14, 11);
+        let mut out = ReadoutResult::empty();
+        b.sparse_readout_into(roi, 0.4, &mut out);
+        assert_eq!(a.sparse_readout(roi, 0.4), out);
+        // RNG streams stayed in lockstep: the next draws agree too.
+        a.expose(&img);
+        b.expose(&img);
+        b.sparse_readout_into(roi, 0.4, &mut out);
+        assert_eq!(a.sparse_readout(roi, 0.4), out);
+    }
+
+    #[test]
+    fn snapshot_restores_interrupted_stream_bit_identically() {
+        let mut live = sensor(16, 12);
+        let img1 = gradient(16, 12);
+        let img2: Vec<f32> = img1.iter().map(|v| (v + 0.2).min(1.0)).collect();
+        live.expose(&img1);
+        let _ = live.eventify();
+        let _ = live.sparse_readout(RoiBox::full(16, 12), 0.5);
+
+        let snap = live.snapshot();
+        let json = snap.to_json();
+        let parsed = SensorSnapshot::from_json(&json).expect("snapshot parses");
+        assert_eq!(parsed, snap);
+        let mut restored = DigitalPixelSensor::restore(SensorConfig::miniature(16, 12), &parsed);
+
+        for s in [&mut live, &mut restored] {
+            s.expose(&img2);
+        }
+        assert_eq!(live.eventify(), restored.eventify());
+        let roi = RoiBox::new(1, 1, 15, 11);
+        assert_eq!(
+            live.sparse_readout(roi, 0.3),
+            restored.sparse_readout(roi, 0.3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count")]
+    fn snapshot_restore_validates_buffer_lengths() {
+        let mut s = sensor(8, 8);
+        s.expose(&[0.5; 64]);
+        let snap = s.snapshot();
+        let _ = DigitalPixelSensor::restore(SensorConfig::miniature(4, 4), &snap);
     }
 }

@@ -38,6 +38,21 @@ impl EventMap {
         }
     }
 
+    /// Reshapes the map in place to `width x height` with every bit clear,
+    /// reusing the existing allocation when capacity allows — the in-place
+    /// counterpart of [`EventMap::empty`] for per-stream scratch maps.
+    pub fn reset(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        self.bits.clear();
+        self.bits.resize(width * height, false);
+    }
+
+    /// Mutable access to the raw row-major bits, for in-sensor writers.
+    pub(crate) fn bits_mut(&mut self) -> &mut [bool] {
+        &mut self.bits
+    }
+
     /// Map width in pixels.
     pub fn width(&self) -> usize {
         self.width

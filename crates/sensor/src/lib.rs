@@ -44,7 +44,7 @@ pub mod rle;
 mod rng;
 mod roi;
 
-pub use dps::{DigitalPixelSensor, ReadoutResult, SensorConfig};
+pub use dps::{DigitalPixelSensor, ReadoutResult, SensorConfig, SensorSnapshot};
 pub use event::EventMap;
 pub use rng::{CalibrationLut, SramRng, SramRngConfig};
 pub use roi::RoiBox;

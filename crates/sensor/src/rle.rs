@@ -15,7 +15,7 @@
 //! starting with a zero-run (possibly 0). Values are 10-bit ADC codes stored
 //! in `u16`. Runs longer than `u16::MAX` are split.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use std::error::Error;
 use std::fmt;
 
@@ -56,7 +56,16 @@ impl Error for RleError {}
 /// assert_eq!(decode(&bytes, stream.len()).unwrap(), stream);
 /// ```
 pub fn encode(pixels: &[u16]) -> Bytes {
-    let mut out = BytesMut::with_capacity(16 + pixels.len() / 4);
+    let mut out = Vec::with_capacity(16 + pixels.len() / 4);
+    encode_into(pixels, &mut out);
+    Bytes::from(out)
+}
+
+/// [`encode`] into a caller-owned byte buffer (cleared first), so the
+/// per-frame MIPI staging buffer can be reused across a stream without
+/// touching the allocator. Produces the identical wire format.
+pub fn encode_into(pixels: &[u16], out: &mut Vec<u8>) {
+    out.clear();
     let mut i = 0usize;
     while i < pixels.len() {
         // Count zero run.
@@ -75,10 +84,10 @@ pub fn encode(pixels: &[u16]) -> Bytes {
         // Emit, splitting oversized runs.
         loop {
             let z = zeros.min(u16::MAX as usize);
-            out.put_u16_le(z as u16);
+            out.extend_from_slice(&(z as u16).to_le_bytes());
             zeros -= z;
             if zeros > 0 {
-                out.put_u16_le(0); // empty literal, continue zero run
+                out.extend_from_slice(&0u16.to_le_bytes()); // empty literal, continue zero run
                 continue;
             }
             break;
@@ -86,13 +95,13 @@ pub fn encode(pixels: &[u16]) -> Bytes {
         let mut lit_pos = lit_start;
         loop {
             let l = (lit_end - lit_pos).min(u16::MAX as usize);
-            out.put_u16_le(l as u16);
+            out.extend_from_slice(&(l as u16).to_le_bytes());
             for &v in &pixels[lit_pos..lit_pos + l] {
-                out.put_u16_le(v);
+                out.extend_from_slice(&v.to_le_bytes());
             }
             lit_pos += l;
             if lit_pos < lit_end {
-                out.put_u16_le(0); // empty zero run, continue literals
+                out.extend_from_slice(&0u16.to_le_bytes()); // empty zero run, continue literals
                 continue;
             }
             break;
@@ -101,7 +110,6 @@ pub fn encode(pixels: &[u16]) -> Bytes {
         lit_end = lit_pos;
         debug_assert_eq!(lit_end, i);
     }
-    out.freeze()
 }
 
 /// Decodes a run-length stream produced by [`encode`].
@@ -116,13 +124,35 @@ pub fn encode(pixels: &[u16]) -> Bytes {
 /// [`RleError::TooLong`] if it expands past `expected_pixels`.
 pub fn decode(bytes: &Bytes, expected_pixels: usize) -> Result<Vec<u16>, RleError> {
     let mut out = Vec::with_capacity(expected_pixels);
-    let mut buf = bytes.clone();
+    decode_into(bytes, expected_pixels, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode`] into a caller-owned pixel buffer (cleared first), so the
+/// host-side decode staging buffer can be reused across frames.
+///
+/// # Errors
+///
+/// Same as [`decode`].
+pub fn decode_into(
+    bytes: &[u8],
+    expected_pixels: usize,
+    out: &mut Vec<u16>,
+) -> Result<(), RleError> {
+    out.clear();
+    let mut pos = 0usize;
     let mut expect_zero_run = true;
-    while buf.has_remaining() {
-        if buf.remaining() < 2 {
+    let next_u16 = |pos: &mut usize| -> Result<u16, RleError> {
+        let end = *pos + 2;
+        if end > bytes.len() {
             return Err(RleError::Truncated);
         }
-        let count = buf.get_u16_le() as usize;
+        let v = u16::from_le_bytes([bytes[*pos], bytes[*pos + 1]]);
+        *pos = end;
+        Ok(v)
+    };
+    while pos < bytes.len() {
+        let count = next_u16(&mut pos)? as usize;
         if expect_zero_run {
             if out.len() + count > expected_pixels {
                 return Err(RleError::TooLong {
@@ -131,7 +161,7 @@ pub fn decode(bytes: &Bytes, expected_pixels: usize) -> Result<Vec<u16>, RleErro
             }
             out.resize(out.len() + count, 0);
         } else {
-            if buf.remaining() < 2 * count {
+            if bytes.len() - pos < 2 * count {
                 return Err(RleError::Truncated);
             }
             if out.len() + count > expected_pixels {
@@ -140,14 +170,14 @@ pub fn decode(bytes: &Bytes, expected_pixels: usize) -> Result<Vec<u16>, RleErro
                 });
             }
             for _ in 0..count {
-                out.push(buf.get_u16_le());
+                out.push(next_u16(&mut pos)?);
             }
         }
         expect_zero_run = !expect_zero_run;
     }
     // Implied trailing zeros.
     out.resize(expected_pixels, 0);
-    Ok(out)
+    Ok(())
 }
 
 /// Size in bytes of the encoded form without materialising it.

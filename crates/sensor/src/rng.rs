@@ -130,8 +130,17 @@ impl SramRng {
     /// is a per-frame O(pixels x cells) scan that is not on the parallel
     /// readout's critical path, so the sequential stream stays.
     pub fn power_up(&mut self) -> Vec<u8> {
-        let cells = self.config.cells_per_pixel;
         let mut counts = Vec::with_capacity(self.pixels);
+        self.power_up_into(&mut counts);
+        counts
+    }
+
+    /// [`power_up`](SramRng::power_up) into a caller-owned buffer (cleared
+    /// first), so steady-state serving performs no per-frame allocation.
+    /// Draws the identical RNG stream as the allocating variant.
+    pub fn power_up_into(&mut self, counts: &mut Vec<u8>) {
+        counts.clear();
+        let cells = self.config.cells_per_pixel;
         for p in 0..self.pixels {
             let mut ones = 0u8;
             for c in 0..cells {
@@ -141,7 +150,22 @@ impl SramRng {
             }
             counts.push(ones);
         }
-        counts
+    }
+
+    /// The power-up generator's internal state, for snapshotting.
+    ///
+    /// The per-cell process variation (`cell_bias`) is a permanent property
+    /// of the die, fully re-derived from the construction seed, so the
+    /// sequential power-up stream is the only serving-time state this
+    /// entropy source carries.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the power-up generator captured by
+    /// [`rng_state`](SramRng::rng_state).
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
     }
 
     /// One-time offline calibration: profiles the ones-count distribution and
@@ -167,7 +191,27 @@ impl SramRng {
 
     /// Draws a fresh per-pixel sampling mask at threshold θ.
     pub fn sample_mask(&mut self, theta: u8) -> Vec<bool> {
-        self.power_up().iter().map(|&c| c >= theta).collect()
+        let mut mask = Vec::with_capacity(self.pixels);
+        self.sample_mask_into(theta, &mut mask);
+        mask
+    }
+
+    /// [`sample_mask`](SramRng::sample_mask) into a caller-owned buffer
+    /// (cleared first). Fuses the power-up scan with the θ comparison —
+    /// same cell-by-cell draw order, so the mask and the RNG stream are
+    /// bit-identical to the allocating variant.
+    pub fn sample_mask_into(&mut self, theta: u8, mask: &mut Vec<bool>) {
+        mask.clear();
+        let cells = self.config.cells_per_pixel;
+        for p in 0..self.pixels {
+            let mut ones = 0u8;
+            for c in 0..cells {
+                if self.rng.gen::<f32>() < self.cell_bias[p * cells + c] {
+                    ones += 1;
+                }
+            }
+            mask.push(ones >= theta);
+        }
     }
 }
 

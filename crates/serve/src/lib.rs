@@ -65,7 +65,9 @@
 mod report;
 mod runtime;
 mod session;
+mod snapshot;
 
-pub use report::{LatencyStats, ServeReport, SessionSummary};
-pub use runtime::{ServeConfig, ServeOutcome, ServeRuntime};
+pub use report::{LatencyStats, ServeReport, SessionSummary, SteadyStats};
+pub use runtime::{ServeConfig, ServeOutcome, ServeRuntime, ServeState};
 pub use session::{FrameRecord, SessionConfig, SessionTrace};
+pub use snapshot::{ServeSnapshot, SessionSnapshot, SnapshotError, SNAPSHOT_VERSION};

@@ -64,6 +64,27 @@ pub struct SessionSummary {
     pub mean_tokens: f64,
 }
 
+/// Post-warmup statistics: the same recorded frame latencies with the
+/// warmup window **excluded**, never recomputed.
+///
+/// Cold-start convoys dominate a run's head; the steady view answers "what
+/// does a long-lived deployment look like" without touching the all-frames
+/// statistics the load sweeps have always reported. A frame is excluded iff
+/// its exposure started before [`crate::ServeConfig::warmup_s`]; its
+/// recorded latency is otherwise used verbatim, so with `warmup_s = 0.0`
+/// these match the all-frames numbers exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteadyStats {
+    /// Frames that survived the exclusion window.
+    pub frames: usize,
+    /// Frames excluded as warmup.
+    pub excluded: usize,
+    /// Latency percentiles over the surviving frames only.
+    pub latency: LatencyStats,
+    /// Deadline-miss rate over the surviving frames only.
+    pub deadline_miss_rate: f64,
+}
+
 /// Aggregate results of one serving run — the `BENCH_serve.json` payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -92,6 +113,9 @@ pub struct ServeReport {
     /// Host NPU duty cycle over the span (`host_busy_s / span_s`); the
     /// fleet layer reports this per shard.
     pub utilisation: f64,
+    /// Post-warmup statistics (all frames when
+    /// [`crate::ServeConfig::warmup_s`] is zero).
+    pub steady: SteadyStats,
     /// Per-session breakdowns.
     pub per_session: Vec<SessionSummary>,
 }
@@ -101,6 +125,8 @@ impl ServeReport {
     /// virtual time the host NPU spent executing launches.
     pub fn from_traces(cfg: &ServeConfig, traces: &[SessionTrace], host_busy_s: f64) -> Self {
         let mut all_latencies = Vec::new();
+        let mut steady_latencies = Vec::new();
+        let mut steady_misses = 0usize;
         let mut misses = 0usize;
         let mut frames_total = 0usize;
         let mut energy_j = 0.0f64;
@@ -121,6 +147,12 @@ impl ServeReport {
             for r in &trace.records {
                 lat.push(r.latency_s);
                 miss += usize::from(r.deadline_missed);
+                // Warmup exclusion: the recorded latency is reused verbatim
+                // or dropped — never recomputed.
+                if r.arrival_s >= cfg.warmup_s {
+                    steady_latencies.push(r.latency_s);
+                    steady_misses += usize::from(r.deadline_missed);
+                }
                 eh += r.horizontal_error_deg;
                 ev += r.vertical_error_deg;
                 e_j += r.energy_j;
@@ -173,6 +205,12 @@ impl ServeReport {
             span_s: if frames_total == 0 { 0.0 } else { span_s },
             host_busy_s,
             utilisation,
+            steady: SteadyStats {
+                frames: steady_latencies.len(),
+                excluded: frames_total - steady_latencies.len(),
+                latency: LatencyStats::from_latencies_s(&steady_latencies),
+                deadline_miss_rate: steady_misses as f64 / steady_latencies.len().max(1) as f64,
+            },
             per_session,
         }
     }

@@ -39,6 +39,14 @@ pub struct ServeConfig {
     pub max_cold_per_batch: usize,
     /// Base seed; per-session seeds are derived from it.
     pub seed: u64,
+    /// Warmup exclusion window in virtual seconds: frames whose exposure
+    /// starts before this instant still serve and still count in the
+    /// all-frames statistics, but are **excluded** from the report's
+    /// steady-state percentiles ([`crate::ServeReport::steady`]). The
+    /// steady stats are the same recorded latencies filtered by arrival —
+    /// exclusion never recomputes a frame's latency. `0.0` excludes
+    /// nothing.
+    pub warmup_s: f64,
 }
 
 impl ServeConfig {
@@ -70,6 +78,7 @@ impl ServeConfig {
             stagger_s: period,
             max_cold_per_batch: 4,
             seed: 0x5EB5,
+            warmup_s: 0.0,
         }
     }
 }
@@ -84,9 +93,38 @@ pub struct ServeOutcome {
     pub traces: Vec<SessionTrace>,
 }
 
+/// Resumable scheduler state of one in-flight serving run.
+///
+/// Produced by [`ServeRuntime::start`], advanced one fused batch at a time
+/// by [`ServeRuntime::step_batch`], and folded into the final
+/// [`ServeOutcome`] by [`ServeRuntime::finish`]. Between steps the state
+/// sits at a **batch boundary** — the only instants at which
+/// [`ServeRuntime::snapshot`] captures it, so the event queue is always
+/// exactly reconstructible from the per-session progress.
+#[derive(Debug)]
+pub struct ServeState {
+    pub(crate) sessions: Vec<Session>,
+    /// Event queue: (readiness time of the session's next frame, session).
+    pub(crate) heap: BinaryHeap<Reverse<(Time, usize)>>,
+    pub(crate) host_free_s: f64,
+    pub(crate) host_busy_s: f64,
+}
+
+impl ServeState {
+    /// Total frames served so far across all sessions.
+    pub fn frames_served(&self) -> usize {
+        self.sessions.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// Whether every session has drained (no frame is waiting to serve).
+    pub fn is_done(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
 /// Virtual-time ordering key: finite f64 seconds with a total order.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
+pub(crate) struct Time(pub(crate) f64);
 
 impl Eq for Time {}
 
@@ -129,20 +167,20 @@ impl Ord for Time {
 #[derive(Debug)]
 pub struct ServeRuntime {
     /// Executable-scale configuration (networks, sensor, energy accounting).
-    system: SystemConfig,
+    pub(crate) system: SystemConfig,
     /// Timing-accounting configuration; defaults to `system`, or the paper's
     /// hardware point under [`ServeRuntime::with_paper_scale_timing`].
     timing: SystemConfig,
     /// Whether timing shapes are rescaled from executable to timing
     /// resolution (false when `timing == system`).
-    scaled_timing: bool,
+    pub(crate) scaled_timing: bool,
     /// ROI-area-fraction scale factor normalising the executable renderer's
     /// eye geometry to the timing configuration's expected ROI fraction.
     area_scale: f64,
     /// Sampled-pixel scale factor from executable to timing resolution.
     pixel_scale: f64,
-    vit: SparseViT,
-    roi_net: RoiPredictionNet,
+    pub(crate) vit: SparseViT,
+    pub(crate) roi_net: RoiPredictionNet,
     stages: StageDurations,
 }
 
@@ -300,83 +338,131 @@ impl ServeRuntime {
         cfg: &ServeConfig,
         session_cfgs: Vec<SessionConfig>,
     ) -> Result<ServeOutcome, TensorError> {
-        assert!(cfg.max_batch > 0, "max_batch must be positive");
-        let mut sessions: Vec<Session> = session_cfgs
+        let mut state = self.start_sessions(session_cfgs);
+        while self.step_batch(cfg, &mut state)? {}
+        Ok(self.finish(cfg, state))
+    }
+
+    /// Starts a resumable run over [`ServeRuntime::session_configs`] — the
+    /// stepping counterpart of [`ServeRuntime::serve`].
+    pub fn start(&self, cfg: &ServeConfig) -> ServeState {
+        self.start_sessions(self.session_configs(cfg))
+    }
+
+    /// Starts a resumable run over an explicit session set: renders every
+    /// session's trace, primes its front end and seeds the event queue.
+    pub fn start_sessions(&self, session_cfgs: Vec<SessionConfig>) -> ServeState {
+        let sessions: Vec<Session> = session_cfgs
             .iter()
             .map(|sc| Session::new(*sc, &self.system))
             .collect();
+        let mut state = ServeState {
+            sessions,
+            heap: BinaryHeap::new(),
+            host_free_s: 0.0,
+            host_busy_s: 0.0,
+        };
+        self.rebuild_heap(&mut state);
+        state
+    }
 
-        // Event queue: (readiness time of the session's next frame, session).
-        let mut heap: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
-        for (i, s) in sessions.iter().enumerate() {
+    /// Reconstructs the event queue from per-session progress — used both at
+    /// start and after a snapshot restore (the queue holds no information
+    /// beyond each session's next readiness time, which is a pure function
+    /// of its state at a batch boundary).
+    pub(crate) fn rebuild_heap(&self, state: &mut ServeState) {
+        state.heap.clear();
+        for (i, s) in state.sessions.iter().enumerate() {
             if s.has_next() {
-                heap.push(Reverse((Time(self.next_ready(s)), i)));
+                state.heap.push(Reverse((Time(self.next_ready(s)), i)));
             }
         }
+    }
 
-        let mut host_free_s = 0.0f64;
-        let mut host_busy_s = 0.0f64;
-        while let Some(Reverse((first_ready, first))) = heap.pop() {
-            // Adaptive batching: every frame that is (or becomes) ready by
-            // the time the host could start — plus the configured window —
-            // joins, up to max_batch. Selection depends only on virtual
-            // times, so the schedule is deterministic.
-            let gate = host_free_s.max(first_ready.0) + cfg.batch_window_s;
-            let mut batch: Vec<(usize, f64)> = vec![(first, first_ready.0)];
-            // Cold-start cap: the head frame is always admitted (progress),
-            // further cold-start full-frame reads join only up to the cap;
-            // the rest re-enter the heap with their readiness unchanged and
-            // land in a later batch. Deferral depends only on virtual times
-            // and per-session feedback state, so the schedule stays
-            // deterministic.
-            let mut cold = usize::from(sessions[first].is_cold());
-            let mut deferred: Vec<(Time, usize)> = Vec::new();
-            while batch.len() < cfg.max_batch {
-                match heap.peek() {
-                    Some(&Reverse((t, i))) if t.0 <= gate => {
-                        heap.pop();
-                        if sessions[i].is_cold() {
-                            if cold >= cfg.max_cold_per_batch {
-                                deferred.push((t, i));
-                                continue;
-                            }
-                            cold += 1;
+    /// Schedules and executes **one** fused batch, advancing the state to
+    /// the next batch boundary. Returns `false` once every session has
+    /// drained (nothing was executed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from inference.
+    pub fn step_batch(
+        &self,
+        cfg: &ServeConfig,
+        state: &mut ServeState,
+    ) -> Result<bool, TensorError> {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        let Some(Reverse((first_ready, first))) = state.heap.pop() else {
+            return Ok(false);
+        };
+        let sessions = &mut state.sessions;
+        let heap = &mut state.heap;
+        // Adaptive batching: every frame that is (or becomes) ready by
+        // the time the host could start — plus the configured window —
+        // joins, up to max_batch. Selection depends only on virtual
+        // times, so the schedule is deterministic.
+        let gate = state.host_free_s.max(first_ready.0) + cfg.batch_window_s;
+        let mut batch: Vec<(usize, f64)> = vec![(first, first_ready.0)];
+        // Cold-start cap: the head frame is always admitted (progress),
+        // further cold-start full-frame reads join only up to the cap;
+        // the rest re-enter the heap with their readiness unchanged and
+        // land in a later batch. Deferral depends only on virtual times
+        // and per-session feedback state, so the schedule stays
+        // deterministic.
+        let mut cold = usize::from(sessions[first].is_cold());
+        let mut deferred: Vec<(Time, usize)> = Vec::new();
+        while batch.len() < cfg.max_batch {
+            match heap.peek() {
+                Some(&Reverse((t, i))) if t.0 <= gate => {
+                    heap.pop();
+                    if sessions[i].is_cold() {
+                        if cold >= cfg.max_cold_per_batch {
+                            deferred.push((t, i));
+                            continue;
                         }
-                        batch.push((i, t.0));
+                        cold += 1;
                     }
-                    _ => break,
+                    batch.push((i, t.0));
                 }
-            }
-            for d in deferred {
-                heap.push(Reverse(d));
-            }
-            // Fixed processing order (by session id) so front-end execution
-            // order never depends on heap tie-breaking internals.
-            batch.sort_unstable_by_key(|&(i, _)| i);
-
-            // The batch launches once the host is free and every member has
-            // arrived.
-            let last_ready = batch.iter().map(|&(_, r)| r).fold(f64::MIN, f64::max);
-            let host_start = host_free_s.max(last_ready);
-            host_free_s = self.run_batch(cfg, &mut sessions, &batch, host_start)?;
-            host_busy_s += host_free_s - host_start;
-
-            for &(i, _) in &batch {
-                if sessions[i].has_next() {
-                    heap.push(Reverse((Time(self.next_ready(&sessions[i])), i)));
-                }
+                _ => break,
             }
         }
+        for d in deferred {
+            heap.push(Reverse(d));
+        }
+        // Fixed processing order (by session id) so front-end execution
+        // order never depends on heap tie-breaking internals.
+        batch.sort_unstable_by_key(|&(i, _)| i);
 
-        let traces: Vec<SessionTrace> = sessions
+        // The batch launches once the host is free and every member has
+        // arrived.
+        let last_ready = batch.iter().map(|&(_, r)| r).fold(f64::MIN, f64::max);
+        let host_start = state.host_free_s.max(last_ready);
+        state.host_free_s = self.run_batch(cfg, sessions, &batch, host_start)?;
+        state.host_busy_s += state.host_free_s - host_start;
+
+        for &(i, _) in &batch {
+            if state.sessions[i].has_next() {
+                state
+                    .heap
+                    .push(Reverse((Time(self.next_ready(&state.sessions[i])), i)));
+            }
+        }
+        Ok(true)
+    }
+
+    /// Folds a drained (or deliberately abandoned) run into its outcome.
+    pub fn finish(&self, cfg: &ServeConfig, state: ServeState) -> ServeOutcome {
+        let traces: Vec<SessionTrace> = state
+            .sessions
             .into_iter()
             .map(|s| SessionTrace {
                 config: s.config,
                 records: s.records,
             })
             .collect();
-        let report = ServeReport::from_traces(cfg, &traces, host_busy_s);
-        Ok(ServeOutcome { report, traces })
+        let report = ServeReport::from_traces(cfg, &traces, state.host_busy_s);
+        ServeOutcome { report, traces }
     }
 
     /// Virtual time at which the session's next frame reaches the host:

@@ -80,6 +80,7 @@ pub struct SessionTrace {
 /// All mutable state is owned — a fleet of sessions can advance in parallel
 /// on the `bliss_parallel` pool, and a session's outputs depend only on its
 /// own state plus the shared read-only networks.
+#[derive(Debug)]
 pub(crate) struct Session {
     pub config: SessionConfig,
     seq: EyeSequence,

@@ -1,0 +1,221 @@
+//! Durable-serving snapshots: capture a run at a batch boundary, restore it
+//! into a fresh process, continue bit-identically.
+//!
+//! A [`ServeSnapshot`] serialises only state that cannot be re-derived:
+//!
+//! * the trained network weights (as [`ParamSnapshot`]s in the stable
+//!   [`bliss_nn::Module::parameters`] order) — the architectures themselves
+//!   are rebuilt from the [`SystemConfig`];
+//! * per-session dynamic state ([`SessionSnapshot`]): the front end's sensor
+//!   memory/entropy and RNG position, scheduler progress, and the records
+//!   served so far. The rendered eye sequence is **not** serialised — it is
+//!   a pure function of `(system geometry, scenario, seed, frames)` and is
+//!   re-rendered on restore;
+//! * the scheduler clock (`host_free_s`/`host_busy_s`). The event queue is
+//!   *not* serialised: at a batch boundary every entry is exactly
+//!   `next_ready(session)`, so the restore rebuilds it.
+//!
+//! The wire format is the workspace `serde` layer's JSON; numbers round-trip
+//! bit-exactly (raw-token parsing), which is what makes
+//! restore-vs-uninterrupted **byte-identical**, not merely approximately
+//! equal. A [`SNAPSHOT_VERSION`] field is checked *before* full
+//! deserialisation so an incompatible snapshot fails loudly with
+//! [`SnapshotError::Version`] instead of a confusing field error.
+
+use crate::runtime::{ServeConfig, ServeRuntime, ServeState};
+use crate::session::{FrameRecord, Session, SessionConfig};
+use bliss_nn::{restore_params, snapshot_params, ParamSnapshot};
+use bliss_track::{RoiPredictionNet, SparseViT};
+use blisscam_core::{FrontEndSnapshot, SystemConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, JsonError, JsonValue, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The snapshot wire-format version this build writes and accepts.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors from restoring a serving snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The snapshot was written by an incompatible format version.
+    Version {
+        /// The version recorded in the snapshot.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The snapshot JSON failed to parse or deserialise.
+    Json(JsonError),
+    /// The snapshot parsed but its contents are inconsistent (e.g. weight
+    /// shapes that do not match the recorded system configuration).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Version { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build supports {supported})"
+            ),
+            SnapshotError::Json(e) => write!(f, "snapshot JSON error: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// One session's dynamic state at a batch boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The session's identity/workload (re-renders the trace on restore).
+    pub config: SessionConfig,
+    /// The sparse front end's dynamic state.
+    pub front: FrontEndSnapshot,
+    /// Next sequence frame to sense.
+    pub next_frame: usize,
+    /// Completion time of the previously served frame (feedback gate), or
+    /// `None` when the session has not served one yet. Optional because the
+    /// live sentinel is `-inf`, which JSON cannot carry.
+    pub prev_completion_s: Option<f64>,
+    /// Frames served so far, verbatim.
+    pub records: Vec<FrameRecord>,
+}
+
+/// A whole serving run frozen at a batch boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Wire-format version ([`SNAPSHOT_VERSION`] when written by this
+    /// build); checked before anything else on restore.
+    pub version: u32,
+    /// The executable-scale system configuration.
+    pub system: SystemConfig,
+    /// Whether the runtime accounted latency at the paper's hardware point.
+    pub paper_scale_timing: bool,
+    /// The run's scheduling parameters.
+    pub serve: ServeConfig,
+    /// Sparse-ViT weights in stable parameter order.
+    pub vit_params: Vec<ParamSnapshot>,
+    /// ROI-net weights in stable parameter order.
+    pub roi_params: Vec<ParamSnapshot>,
+    /// Virtual time at which the host NPU next becomes free.
+    pub host_free_s: f64,
+    /// Cumulative virtual time the host has spent executing launches.
+    pub host_busy_s: f64,
+    /// Per-session dynamic state.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+impl ServeSnapshot {
+    /// Parses a snapshot from JSON, checking the version field **before**
+    /// deserialising the rest.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Version`] on a version mismatch,
+    /// [`SnapshotError::Json`] on malformed JSON or a shape that does not
+    /// deserialise.
+    pub fn parse(json: &str) -> Result<Self, SnapshotError> {
+        let value = JsonValue::parse(json).map_err(SnapshotError::Json)?;
+        let version_field = value.field("version").map_err(SnapshotError::Json)?;
+        let version = u32::from_json_value(version_field).map_err(SnapshotError::Json)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        Self::from_json_value(&value).map_err(SnapshotError::Json)
+    }
+}
+
+impl ServeRuntime {
+    /// Captures the run at its current batch boundary.
+    ///
+    /// `cfg` must be the same scheduling configuration the run is stepping
+    /// under — it is recorded so [`ServeRuntime::restore`] can resume with
+    /// identical batching decisions.
+    pub fn snapshot(&self, cfg: &ServeConfig, state: &ServeState) -> ServeSnapshot {
+        ServeSnapshot {
+            version: SNAPSHOT_VERSION,
+            system: self.system,
+            paper_scale_timing: self.scaled_timing,
+            serve: *cfg,
+            vit_params: snapshot_params(&self.vit),
+            roi_params: snapshot_params(&self.roi_net),
+            host_free_s: state.host_free_s,
+            host_busy_s: state.host_busy_s,
+            sessions: state
+                .sessions
+                .iter()
+                .map(|s| SessionSnapshot {
+                    config: s.config,
+                    front: s.front.snapshot(),
+                    next_frame: s.next_frame,
+                    prev_completion_s: s
+                        .prev_completion_s
+                        .is_finite()
+                        .then_some(s.prev_completion_s),
+                    records: s.records.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a runtime and its in-flight state from a snapshot.
+    ///
+    /// The networks are reconstructed at the recorded [`SystemConfig`]'s
+    /// architecture and overwritten with the snapshotted weights; each
+    /// session re-renders its trace from its config (pure function of the
+    /// seeds) and then overwrites the front end's dynamic state; the event
+    /// queue is rebuilt from per-session progress. Stepping the result
+    /// produces bit-identical traces to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] if the weight shapes do not match the
+    /// recorded system configuration.
+    pub fn restore(
+        snapshot: &ServeSnapshot,
+    ) -> Result<(ServeRuntime, ServeConfig, ServeState), SnapshotError> {
+        // Architectures from config; weights from the snapshot. The seed
+        // only initialises weights that are immediately overwritten.
+        let mut rng = StdRng::seed_from_u64(snapshot.system.seed);
+        let vit = SparseViT::new(&mut rng, snapshot.system.vit);
+        let roi_net = RoiPredictionNet::new(&mut rng, snapshot.system.roi_net);
+        restore_params(&vit, &snapshot.vit_params)
+            .map_err(|e| SnapshotError::Corrupt(format!("sparse-ViT weights: {e}")))?;
+        restore_params(&roi_net, &snapshot.roi_params)
+            .map_err(|e| SnapshotError::Corrupt(format!("ROI-net weights: {e}")))?;
+        let mut runtime = ServeRuntime::with_networks(snapshot.system, vit, roi_net);
+        if snapshot.paper_scale_timing {
+            runtime = runtime.with_paper_scale_timing();
+        }
+
+        let sessions = snapshot
+            .sessions
+            .iter()
+            .map(|snap| {
+                // Re-render the trace and prime the front end exactly as the
+                // original run did, then overwrite the dynamic state.
+                let mut session = Session::new(snap.config, &runtime.system);
+                session.front.restore(&snap.front);
+                session.next_frame = snap.next_frame;
+                session.prev_completion_s = snap.prev_completion_s.unwrap_or(f64::NEG_INFINITY);
+                session.records = snap.records.clone();
+                session
+            })
+            .collect();
+        let mut state = ServeState {
+            sessions,
+            heap: std::collections::BinaryHeap::new(),
+            host_free_s: snapshot.host_free_s,
+            host_busy_s: snapshot.host_busy_s,
+        };
+        runtime.rebuild_heap(&mut state);
+        Ok((runtime, snapshot.serve, state))
+    }
+}

@@ -56,5 +56,6 @@ pub use autograd::Tensor;
 pub use error::TensorError;
 pub use gradcheck::{check_gradients, GradCheckReport};
 pub use scratch::{
-    recycle_f32_buffer, recycle_index_buffer, take_f32_buffer, take_index_buffer, IndexVec,
+    pool_stats, recycle_f32_buffer, recycle_index_buffer, take_f32_buffer, take_index_buffer,
+    IndexVec, PoolStats,
 };

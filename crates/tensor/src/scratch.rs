@@ -163,6 +163,50 @@ pub(crate) fn recycle(buf: Vec<f32>) {
     F32_POOL.with(|p| p.borrow_mut().recycle(buf));
 }
 
+/// A point-in-time view of the calling thread's buffer pools, for
+/// leak/high-water assertions in long-horizon soak tests: a steady-state
+/// serving loop must show a **flat** retained-elements curve after warmup —
+/// monotone growth across epochs means some path leaks buffers into (or
+/// past) the pool instead of reusing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Retained `f32` buffers on this thread.
+    pub f32_bufs: usize,
+    /// Total retained `f32` capacity on this thread, in elements.
+    pub f32_elems: usize,
+    /// Retained `usize` buffers on this thread.
+    pub index_bufs: usize,
+    /// Total retained `usize` capacity on this thread, in elements.
+    pub index_elems: usize,
+}
+
+impl PoolStats {
+    /// Total retained bytes across both pools.
+    pub fn retained_bytes(&self) -> usize {
+        self.f32_elems * std::mem::size_of::<f32>()
+            + self.index_elems * std::mem::size_of::<usize>()
+    }
+}
+
+/// Snapshots the calling thread's pool occupancy (cheap: four counter
+/// reads).
+pub fn pool_stats() -> PoolStats {
+    let (f32_bufs, f32_elems) = F32_POOL.with(|p| {
+        let p = p.borrow();
+        (p.bufs, p.elems)
+    });
+    let (index_bufs, index_elems) = IDX_POOL.with(|p| {
+        let p = p.borrow();
+        (p.bufs, p.elems)
+    });
+    PoolStats {
+        f32_bufs,
+        f32_elems,
+        index_bufs,
+        index_elems,
+    }
+}
+
 /// Takes an empty pooled `f32` staging buffer with capacity at least `len`.
 ///
 /// The public entry point for staging buffers that outlive an expression but

@@ -1,4 +1,18 @@
 use bliss_eye::{EyeClass, EyeModel, Gaze};
+use serde::{Deserialize, Serialize};
+
+/// The dynamic state of a [`GazeEstimator`] for durable-serving snapshots.
+///
+/// The eye model and the pixel-count floor are configuration re-derived when
+/// the estimator is rebuilt; only the held estimate and the running evidence
+/// norm evolve while serving, so they are all a snapshot carries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorSnapshot {
+    /// The last produced gaze estimate (held through blinks).
+    pub last: Gaze,
+    /// Exponential running mean of accepted pupil-evidence counts.
+    pub typical_count: f32,
+}
 
 /// Geometric gaze regression from predicted pupil pixels (paper §II-A: "the
 /// gaze prediction stage employs regression models based on the geometric
@@ -38,6 +52,21 @@ impl GazeEstimator {
     /// Resets the held estimate to primary gaze.
     pub fn reset(&mut self) {
         self.last = Gaze::default();
+    }
+
+    /// Captures the estimator's dynamic state.
+    pub fn snapshot(&self) -> EstimatorSnapshot {
+        EstimatorSnapshot {
+            last: self.last,
+            typical_count: self.typical_count,
+        }
+    }
+
+    /// Overwrites the dynamic state from a snapshot, leaving the model and
+    /// acceptance configuration as constructed.
+    pub fn restore(&mut self, snapshot: &EstimatorSnapshot) {
+        self.last = snapshot.last;
+        self.typical_count = snapshot.typical_count;
     }
 
     /// Estimates gaze from sparse per-pixel classifications
@@ -190,6 +219,22 @@ mod tests {
         let mut est = GazeEstimator::new(model());
         let out = est.estimate_from_map(&ds, 80, 2.0);
         assert!(out.angular_distance(&g) < 2.0, "{out:?} vs {g:?}");
+    }
+
+    #[test]
+    fn snapshot_restores_blink_hold_state() {
+        let g = Gaze::new(-3.0, 9.0);
+        let (_, mask) = render(g);
+        let pairs: Vec<(usize, u8)> = mask.iter().enumerate().map(|(i, &c)| (i, c)).collect();
+        let mut est = GazeEstimator::new(model());
+        let held = est.estimate_from_pairs(&pairs, 160);
+        let snap = est.snapshot();
+        // A fresh estimator restored from the snapshot holds through a blink
+        // exactly like the original would have.
+        let mut fresh = GazeEstimator::new(model());
+        fresh.restore(&snap);
+        assert_eq!(fresh.estimate_from_pairs(&[], 160), held);
+        assert_eq!(fresh.snapshot(), snap);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod util;
 mod vit;
 
 pub use baselines::{CnnBaseline, CnnSegConfig, EdGazeLike, RitnetLike};
-pub use gaze::GazeEstimator;
+pub use gaze::{EstimatorSnapshot, GazeEstimator};
 pub use metrics::{seg_accuracy, AngularErrorStats, EvalResult};
 pub use roi_net::{RoiNetConfig, RoiPredictionNet};
 pub use sampling::{apply_strategy, SampledFrame, SamplingStrategy};

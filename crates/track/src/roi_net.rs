@@ -1,8 +1,8 @@
-use crate::util::{block_downsample, denormalize_box, downsample_mask_max};
+use crate::util::denormalize_box;
 use bliss_nn::{Conv2d, Linear, Module};
 use bliss_npu::WorkloadDesc;
 use bliss_sensor::RoiBox;
-use bliss_tensor::{NdArray, Tensor, TensorError};
+use bliss_tensor::{take_f32_buffer, NdArray, Tensor, TensorError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -83,13 +83,48 @@ impl RoiNetConfig {
     /// needed, so per-session pipelines can run it off the network).
     pub fn make_input(&self, events: &[f32], prev_seg: &[u8]) -> NdArray {
         let (w, h) = (self.frame_width, self.frame_height);
+        assert_eq!(events.len(), w * h, "image size mismatch");
+        assert_eq!(prev_seg.len(), w * h, "mask size mismatch");
         let f = self.input_downsample;
-        let (ev, iw, ih) = block_downsample(events, w, h, f);
-        let (seg, _, _) = downsample_mask_max(prev_seg, w, h, f);
-        let mut data = Vec::with_capacity(2 * iw * ih);
-        data.extend_from_slice(&ev);
-        // Normalise class labels to [0, 1].
-        data.extend(seg.iter().map(|&c| c as f32 / 3.0));
+        let (iw, ih) = self.input_dims();
+        // Stage through the shared buffer pool: the NdArray returns the
+        // backing store on drop, so steady-state serving builds ROI inputs
+        // without touching the global allocator at any geometry.
+        let mut data = take_f32_buffer(2 * iw * ih);
+        // Channel 0: block-average of the event map (row-major).
+        for oy in 0..ih {
+            for ox in 0..iw {
+                let mut sum = 0.0f32;
+                let mut count = 0u32;
+                for dy in 0..f {
+                    let y = oy * f + dy;
+                    if y >= h {
+                        break;
+                    }
+                    for dx in 0..f {
+                        let x = ox * f + dx;
+                        if x >= w {
+                            break;
+                        }
+                        sum += events[y * w + x];
+                        count += 1;
+                    }
+                }
+                data.push(sum / count.max(1) as f32);
+            }
+        }
+        // Channel 1: max-downsampled segmentation labels normalised to
+        // [0, 1] (max commutes with the monotone /3.0 scaling).
+        data.resize(2 * iw * ih, 0.0);
+        for (i, &c) in prev_seg.iter().enumerate() {
+            let x = i % w;
+            let y = i / w;
+            let o = iw * ih + (y / f) * iw + x / f;
+            let v = c as f32 / 3.0;
+            if v > data[o] {
+                data[o] = v;
+            }
+        }
         NdArray::from_vec(data, &[2, ih, iw]).expect("roi input shape")
     }
 

@@ -1,0 +1,184 @@
+//! The shim's real [`Deserialize`] trait: JSON → value, the mirror of the
+//! hand-rolled [`Serialize`](crate::Serialize) writer.
+//!
+//! Decoding rules (inverses of the encoding rules in the crate docs):
+//!
+//! * integers re-parse the raw number token with the target type's own
+//!   `FromStr`, so `u64` seeds above 2^53 survive unchanged;
+//! * floats re-parse the shortest-roundtrip token (bit-exact for finite
+//!   values); `null` decodes as NaN, because the writer folds every
+//!   non-finite float to `null` (infinity signs are not recoverable);
+//! * `Option<T>` decodes `null` as `None` — consequently `Some(None)` /
+//!   `Some(NaN)` cannot round-trip, a known JSON-null ambiguity shared
+//!   with real serde's default encoding;
+//! * fixed-arity shapes (tuples, tuple structs, `[T; N]`) require exact
+//!   array lengths; objects require every struct field and ignore unknown
+//!   keys.
+
+use crate::json::{JsonError, JsonValue};
+
+/// JSON deserialisation, standing in for `serde::Deserialize<'de>`.
+///
+/// The `'de` lifetime is vestigial — this shim always parses owned data —
+/// but keeps call sites (`for<'de> Deserialize<'de>` bounds) source
+/// compatible with real serde.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from a parsed JSON node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first shape, field, tag,
+    /// length or numeric-range mismatch encountered.
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError>;
+
+    /// Parses a JSON document and builds `Self` from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON (including trailing
+    /// garbage) or on any decode mismatch.
+    fn from_json(input: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&JsonValue::parse(input)?)
+    }
+}
+
+fn number_token<'v>(value: &'v JsonValue, target: &'static str) -> Result<&'v str, JsonError> {
+    match value {
+        JsonValue::Number(token) => Ok(token),
+        other => Err(JsonError::Type {
+            expected: target,
+            found: other.kind(),
+        }),
+    }
+}
+
+macro_rules! impl_int_deserialize {
+    ($($t:ty),+) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+                let token = number_token(value, stringify!($t))?;
+                token.parse().map_err(|_| JsonError::InvalidNumber {
+                    token: token.to_string(),
+                    target: stringify!($t),
+                })
+            }
+        })+
+    };
+}
+
+impl_int_deserialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float_deserialize {
+    ($($t:ty),+) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+                if matches!(value, JsonValue::Null) {
+                    // The writer encodes every non-finite float as `null`.
+                    return Ok(<$t>::NAN);
+                }
+                let token = number_token(value, stringify!($t))?;
+                token.parse().map_err(|_| JsonError::InvalidNumber {
+                    token: token.to_string(),
+                    target: stringify!($t),
+                })
+            }
+        })+
+    };
+}
+
+impl_float_deserialize!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        match value {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(JsonError::Type {
+                expected: "bool",
+                found: other.kind(),
+            }),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        match value {
+            JsonValue::String(s) => Ok(s.clone()),
+            other => Err(JsonError::Type {
+                expected: "string",
+                found: other.kind(),
+            }),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let s = String::from_json_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(JsonError::Type {
+                expected: "single-character string",
+                found: "string",
+            }),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        match value {
+            JsonValue::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        value
+            .expect_array()?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let items = value.expect_tuple(N)?;
+        let decoded: Vec<T> = items
+            .iter()
+            .map(T::from_json_value)
+            .collect::<Result<_, _>>()?;
+        match decoded.try_into() {
+            Ok(arr) => Ok(arr),
+            Err(_) => unreachable!("expect_tuple pinned the length"),
+        }
+    }
+}
+
+macro_rules! impl_tuple_deserialize {
+    ($(($n:expr; $($idx:tt $t:ident),+)),+) => {
+        $(impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+                let items = value.expect_tuple($n)?;
+                Ok(($($t::from_json_value(&items[$idx])?,)+))
+            }
+        })+
+    };
+}
+
+impl_tuple_deserialize!(
+    (1; 0 A),
+    (2; 0 A, 1 B),
+    (3; 0 A, 1 B, 2 C),
+    (4; 0 A, 1 B, 2 C, 3 D)
+);

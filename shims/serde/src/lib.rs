@@ -17,9 +17,14 @@
 //! * non-finite floats → `null` (JSON has no NaN/infinity);
 //! * `Option::None` → `null`; strings are escaped per RFC 8259.
 //!
-//! [`Deserialize`] remains a blanket marker trait: nothing in the workspace
-//! parses JSON, and keeping it marker-only means every type stays
-//! deserialisable-in-name without code generation.
+//! [`Deserialize`] is now the real mirror: a strict RFC 8259 parser
+//! ([`JsonValue::parse`]) plus `#[derive(Deserialize)]` implementations for
+//! every shape the workspace derives, decoding exactly the encoding above.
+//! Round-trip fidelity is pinned by proptests (`tests/roundtrip.rs`):
+//! integers re-parse their raw tokens (u64 seeds above 2^53 survive), floats
+//! re-parse Rust's shortest-roundtrip form bit-exactly, and malformed input
+//! (truncation, unknown enum tags, trailing garbage) fails with a typed
+//! [`JsonError`] instead of misparsing.
 
 // Lets the derive-generated `::serde::Serialize` paths resolve inside this
 // crate's own test types.
@@ -27,6 +32,11 @@ extern crate self as serde;
 
 use std::fmt::Write as _;
 
+mod de;
+pub mod json;
+
+pub use de::Deserialize;
+pub use json::{JsonError, JsonValue};
 pub use serde_derive::{Deserialize, Serialize};
 
 /// JSON serialisation, standing in for `serde::Serialize`.
@@ -41,10 +51,6 @@ pub trait Serialize {
         out
     }
 }
-
-/// Marker trait standing in for `serde::Deserialize<'de>`.
-pub trait Deserialize<'de> {}
-impl<'de, T: ?Sized> Deserialize<'de> for T {}
 
 /// Escapes `s` into `out` as a quoted JSON string (RFC 8259 §7).
 pub fn escape_str(s: &str, out: &mut String) {
@@ -191,7 +197,7 @@ mod tests {
         b: Vec<f32>,
     }
 
-    #[derive(Serialize, Deserialize)]
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
     enum WithVariants {
         A,
         B(u8),
@@ -199,10 +205,10 @@ mod tests {
         D(u8, bool),
     }
 
-    #[derive(Serialize)]
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
     struct TupleStruct(u8, f32);
 
-    #[derive(Serialize)]
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
     struct Nested {
         name: String,
         inner: Plain,
@@ -213,10 +219,71 @@ mod tests {
     fn assert_bounds<T: Serialize + for<'de> Deserialize<'de>>() {}
 
     #[test]
-    fn derives_compile_and_deserialize_is_blanket() {
+    fn derives_satisfy_both_bounds() {
         assert_bounds::<Plain>();
         assert_bounds::<WithVariants>();
         assert_bounds::<String>();
+    }
+
+    #[test]
+    fn derived_structs_round_trip() {
+        let p = Plain {
+            a: 1,
+            b: vec![0.5, 2.0],
+        };
+        assert_eq!(Plain::from_json(&p.to_json()), Ok(p));
+        let t = TupleStruct(9, -1.25);
+        assert_eq!(TupleStruct::from_json(&t.to_json()), Ok(t));
+        let n = Nested {
+            name: "a \"b\"\n".into(),
+            inner: Plain { a: 2, b: vec![] },
+            opt: None,
+            arr: [1.0, -3.5],
+        };
+        assert_eq!(Nested::from_json(&n.to_json()), Ok(n));
+    }
+
+    #[test]
+    fn derived_enums_round_trip() {
+        for v in [
+            WithVariants::A,
+            WithVariants::B(7),
+            WithVariants::C { x: 1.5 },
+            WithVariants::D(3, true),
+        ] {
+            assert_eq!(WithVariants::from_json(&v.to_json()), Ok(v));
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_typed_errors() {
+        use crate::JsonError;
+        assert!(matches!(
+            Plain::from_json(r#"{"a":1,"b":[0.5]"#),
+            Err(JsonError::Syntax { .. })
+        ));
+        assert!(matches!(
+            Plain::from_json(r#"{"a":1,"b":[0.5]} extra"#),
+            Err(JsonError::Syntax { .. })
+        ));
+        assert!(matches!(
+            Plain::from_json(r#"{"a":1}"#),
+            Err(JsonError::MissingField("b"))
+        ));
+        assert_eq!(
+            WithVariants::from_json(r#""Nope""#),
+            Err(JsonError::UnknownVariant("Nope".into()))
+        );
+        assert!(matches!(
+            Plain::from_json(r#"{"a":-1,"b":[]}"#),
+            Err(JsonError::InvalidNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn u64_seeds_above_2_pow_53_round_trip() {
+        let seed = u64::MAX - 12345;
+        assert_eq!(u64::from_json(&seed.to_json()), Ok(seed));
     }
 
     #[test]

@@ -10,27 +10,44 @@
 //! `pub`/`pub(crate)` fields, attributes and doc comments. Generic items are
 //! rejected with a compile error rather than silently mis-handled.
 //!
-//! `#[derive(Deserialize)]` stays a no-op: the `serde` shim keeps
-//! `Deserialize` as a blanket marker trait (nothing in the tree parses JSON).
+//! `#[derive(Deserialize)]` generates the mirror implementation of the
+//! shim's JSON-parsing `Deserialize` trait from the same token-stream
+//! parse: named structs decode from objects (every field required, unknown
+//! keys ignored), tuple structs from exact-length arrays, unit structs from
+//! `null`, and enums from serde's externally-tagged form. Unknown variant
+//! tags and shape mismatches surface as the shim's typed `JsonError`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op `#[derive(Deserialize)]`.
+/// Derives the `serde` shim's JSON-parsing `Deserialize` trait.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens, Impl::Deserialize) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
 }
 
 /// Derives the `serde` shim's JSON [`Serialize`] trait.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    match generate(&tokens) {
+    match generate(&tokens, Impl::Serialize) {
         Ok(code) => code.parse().expect("generated impl parses"),
         Err(msg) => format!("compile_error!({msg:?});")
             .parse()
             .expect("error parses"),
     }
+}
+
+/// Which of the two mirrored trait impls to generate.
+#[derive(Clone, Copy, PartialEq)]
+enum Impl {
+    Serialize,
+    Deserialize,
 }
 
 /// One parsed field: its name (named structs / struct variants) or index.
@@ -40,7 +57,7 @@ enum Fields {
     Tuple(usize),
 }
 
-fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+fn generate(tokens: &[TokenTree], which: Impl) -> Result<String, String> {
     let mut i = 0;
     skip_attrs_and_vis(tokens, &mut i);
     let kind = match ident_at(tokens, i) {
@@ -54,13 +71,16 @@ fn generate(tokens: &[TokenTree]) -> Result<String, String> {
     if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
         return Err(format!(
             "serde shim derive: generic type `{name}` is not supported; \
-             implement `serde::Serialize` by hand"
+             implement the serde traits by hand"
         ));
     }
 
     let body = if kind == "struct" {
         let fields = parse_fields(tokens.get(i));
-        struct_body(&fields)
+        match which {
+            Impl::Serialize => struct_body(&fields),
+            Impl::Deserialize => de_struct_body(&name, &fields),
+        }
     } else {
         let variants = match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
@@ -68,16 +88,30 @@ fn generate(tokens: &[TokenTree]) -> Result<String, String> {
             }
             _ => return Err("serde shim derive: malformed enum body".into()),
         };
-        enum_body(&name, &variants)
+        match which {
+            Impl::Serialize => enum_body(&name, &variants),
+            Impl::Deserialize => de_enum_body(&name, &variants),
+        }
     };
 
-    Ok(format!(
-        "impl ::serde::Serialize for {name} {{\n\
-             fn write_json(&self, out: &mut ::std::string::String) {{\n\
-                 {body}\n\
-             }}\n\
-         }}"
-    ))
+    Ok(match which {
+        Impl::Serialize => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn write_json(&self, out: &mut ::std::string::String) {{\n\
+                     {body}\n\
+                 }}\n\
+             }}"
+        ),
+        Impl::Deserialize => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_json_value(\n\
+                     value: &::serde::JsonValue,\n\
+                 ) -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                     {body}\n\
+                 }}\n\
+             }}"
+        ),
+    })
 }
 
 fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
@@ -298,5 +332,120 @@ fn enum_body(name: &str, variants: &[(String, Fields)]) -> String {
         }
     }
     b.push('}');
+    b
+}
+
+/// `from_json_value` body for a struct.
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("value.expect_null()?;\n::std::result::Result::Ok({name})"),
+        Fields::Named(names) => {
+            let mut b = format!("::std::result::Result::Ok({name} {{\n");
+            for f in names {
+                // The JSON key drops any r# raw-identifier prefix; the
+                // struct-literal field keeps it.
+                let key = f.trim_start_matches("r#");
+                b.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value(value.field(\"{key}\")?)?,\n"
+                ));
+            }
+            b.push_str("})");
+            b
+        }
+        Fields::Tuple(n) => {
+            let mut b = format!("let items = value.expect_tuple({n})?;\n");
+            b.push_str(&format!("::std::result::Result::Ok({name}(\n"));
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "::serde::Deserialize::from_json_value(&items[{i}])?,\n"
+                ));
+            }
+            b.push_str("))");
+            b
+        }
+    }
+}
+
+/// `from_json_value` body for an enum: dispatch on serde's externally-tagged
+/// form — a bare string for unit variants, a single-key object for
+/// data-carrying ones.
+fn de_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let has_data = variants.iter().any(|(_, f)| !matches!(f, Fields::Unit));
+    let payload_bind = if has_data { "payload" } else { "_payload" };
+
+    let mut b = String::from("match value {\n");
+
+    // Unit variants: `"Variant"`.
+    b.push_str("::serde::JsonValue::String(tag) => match tag.as_str() {\n");
+    for (v, fields) in variants {
+        if matches!(fields, Fields::Unit) {
+            b.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+            ));
+        }
+    }
+    b.push_str(
+        "other => ::std::result::Result::Err(\
+             ::serde::JsonError::UnknownVariant(other.to_string())),\n\
+         },\n",
+    );
+
+    // Data variants: `{\"Variant\": payload}`.
+    b.push_str(&format!(
+        "::serde::JsonValue::Object(entries) if entries.len() == 1 => {{\n\
+             let (tag, {payload_bind}) = &entries[0];\n\
+             match tag.as_str() {{\n"
+    ));
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => {}
+            Fields::Tuple(1) => {
+                b.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_json_value(payload)?)),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                b.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                         let items = payload.expect_tuple({n})?;\n\
+                         ::std::result::Result::Ok({name}::{v}(\n"
+                ));
+                for i in 0..*n {
+                    b.push_str(&format!(
+                        "::serde::Deserialize::from_json_value(&items[{i}])?,\n"
+                    ));
+                }
+                b.push_str("))\n}\n");
+            }
+            Fields::Named(fs) => {
+                b.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{\n"
+                ));
+                for f in fs {
+                    let key = f.trim_start_matches("r#");
+                    b.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_json_value(\
+                             payload.field(\"{key}\")?)?,\n"
+                    ));
+                }
+                b.push_str("}),\n");
+            }
+        }
+    }
+    b.push_str(
+        "other => ::std::result::Result::Err(\
+             ::serde::JsonError::UnknownVariant(other.to_string())),\n\
+         }\n\
+         }\n",
+    );
+
+    b.push_str(
+        "other => ::std::result::Result::Err(::serde::JsonError::Type {\n\
+             expected: \"externally-tagged enum\",\n\
+             found: other.kind(),\n\
+         }),\n\
+         }",
+    );
     b
 }
