@@ -1,9 +1,15 @@
 //! Criterion micro-benchmarks of the hot kernels in the BlissCam pipeline:
 //! dense linear algebra (matmul, multi-head attention), sensor
-//! eventification and readout, run-length coding, and the procedural
-//! renderer. The `*_1thread` / `*_4threads` variants pin the
+//! eventification and readout, run-length coding, the procedural renderer,
+//! and the `plan_vs_tape` group — compiled-plan vs autograd-tape batched
+//! inference, with per-iteration heap-allocation counts recorded alongside
+//! the timings. The `*_1thread` / `*_4threads` variants pin the
 //! `bliss_parallel` pool width so thread scaling is recorded alongside the
 //! default-configuration numbers.
+
+// The counting allocator behind the `plan_vs_tape` allocation tallies needs
+// `unsafe` (GlobalAlloc).
+#![allow(unsafe_code)]
 
 use bliss_eye::{
     render_sequence, EyeModel, EyeModelConfig, Gaze, GazeState, MovementPhase, SequenceConfig,
@@ -12,9 +18,56 @@ use bliss_nn::MultiHeadAttention;
 use bliss_parallel::{with_min_parallel_work, with_thread_count};
 use bliss_sensor::{rle, DigitalPixelSensor, RoiBox, SensorConfig};
 use bliss_tensor::{NdArray, Tensor};
+use bliss_track::{PlannedBatch, SparseViT, ViTConfig};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Pass-through allocator that tallies allocations (on any thread) while
+/// armed; backs the `plan_vs_tape_*_allocs_per_iter` rows in the report.
+struct CountingAllocator;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counters are
+// lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: same contract as the caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same contract as the caller's.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: same contract as the caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Counts heap allocations performed (process-wide) while `f` runs.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(512);
@@ -172,6 +225,62 @@ fn bench_pool_overhead(c: &mut Criterion) {
     });
 }
 
+/// Compiled-plan vs autograd-tape batched inference on the same
+/// serving-shaped two-frame sparse batch (the alloc-counter test's load):
+/// per-iteration wall time for both dispatch paths, then per-iteration heap
+/// allocation counts for both, recorded as `*_allocs_per_iter` value rows.
+/// Steady state must show 0 planned allocations against the tape's
+/// several-hundred node headers.
+fn bench_plan_vs_tape(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x5CA7C4);
+    let vit = SparseViT::new(&mut rng, ViTConfig::miniature(160, 100));
+    let synth = |seed: u64, rate: f32| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut image = vec![0.0f32; 16_000];
+        let mut mask = vec![0.0f32; 16_000];
+        for i in 0..16_000 {
+            if rng.gen::<f32>() < rate {
+                mask[i] = 1.0;
+                image[i] = rng.gen::<f32>();
+            }
+        }
+        (image, mask)
+    };
+    let a = synth(1, 0.06);
+    let b = synth(2, 0.02);
+    let batch: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1), (&b.0, &b.1)];
+
+    // Warm-up: compile the plan, populate the scratch pools on both paths.
+    let mut out = PlannedBatch::new();
+    for _ in 0..2 {
+        vit.forward_batch_into(&batch, &mut out).unwrap();
+        std::hint::black_box(&vit.forward_batch(&batch).unwrap());
+    }
+
+    c.bench_function("plan_vs_tape_planned_forward_batch", |bch| {
+        bch.iter(|| {
+            vit.forward_batch_into(&batch, &mut out).unwrap();
+            std::hint::black_box(&out);
+        })
+    });
+    c.bench_function("plan_vs_tape_tape_forward_batch", |bch| {
+        bch.iter(|| std::hint::black_box(vit.forward_batch(&batch).unwrap()))
+    });
+
+    let planned_allocs = count_allocs(|| {
+        vit.forward_batch_into(&batch, &mut out).unwrap();
+        std::hint::black_box(&out);
+    });
+    let tape_allocs = count_allocs(|| {
+        std::hint::black_box(&vit.forward_batch(&batch).unwrap());
+    });
+    c.report_value(
+        "plan_vs_tape_planned_allocs_per_iter",
+        planned_allocs as f64,
+    );
+    c.report_value("plan_vs_tape_tape_allocs_per_iter", tape_allocs as f64);
+}
+
 // Renderer and eventify run first: on some virtualised hosts the hashed
 // readout loops leave the CPU in a state that slows unrelated FP code (see
 // the ROADMAP "host-specific FP pathology" note), which would poison the
@@ -180,6 +289,6 @@ criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
     targets = bench_renderer, bench_eventify, bench_matmul, bench_attention, bench_sparse_readout,
-        bench_rle, bench_pool_overhead
+        bench_rle, bench_pool_overhead, bench_plan_vs_tape
 }
 criterion_main!(kernels);

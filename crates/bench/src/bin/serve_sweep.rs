@@ -45,6 +45,15 @@ struct SweepReport {
     /// First swept session count whose batched deadline-miss rate reaches
     /// 50% (0 = never): the serving saturation knee.
     knee_sessions: usize,
+    /// Wall-clock of one representative batched load point served through
+    /// the compiled execution plans (the default).
+    planned_wall_ms: f64,
+    /// The same load point forced back onto the autograd tape.
+    tape_wall_ms: f64,
+    /// `tape_wall_ms / planned_wall_ms`: the per-frame dispatch win of
+    /// planned execution (identical outputs, pinned bit-for-bit before the
+    /// ratio is reported).
+    planned_dispatch_speedup: f64,
     points: Vec<SweepPoint>,
 }
 
@@ -158,12 +167,38 @@ fn main() {
         .find(|p| p.batched.deadline_miss_rate >= 0.5)
         .map_or(0, |p| p.sessions);
     println!("roi box/gt area ratio {roi_ratio:.2}, saturation knee at N={knee_sessions}");
+
+    // Dispatch win: one mid-sweep batched load point served through the
+    // compiled execution plans (the default), then forced back onto the
+    // autograd tape. Outputs must agree bit-for-bit; only wall time moves.
+    let mut probe_cfg = ServeConfig::new(if quick { 4 } else { 8 }, frames);
+    probe_cfg.max_batch = max_batch;
+    let t = Instant::now();
+    let planned_outcome = runtime.serve(&probe_cfg).expect("serve succeeds");
+    let planned_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let tape_runtime = runtime.without_planned_inference();
+    let t = Instant::now();
+    let tape_outcome = tape_runtime.serve(&probe_cfg).expect("serve succeeds");
+    let tape_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        planned_outcome.report, tape_outcome.report,
+        "planned and tape serving must agree bit-for-bit"
+    );
+    let planned_dispatch_speedup = tape_wall_ms / planned_wall_ms.max(1e-9);
+    println!(
+        "planned dispatch {planned_wall_ms:.1} ms vs tape {tape_wall_ms:.1} ms \
+         ({planned_dispatch_speedup:.2}x)"
+    );
+
     let report = SweepReport {
         mode: if quick { "quick" } else { "standard" }.to_string(),
         frames_per_session: frames,
         max_batch,
         roi_box_to_gt_area_ratio: roi_ratio,
         knee_sessions,
+        planned_wall_ms,
+        tape_wall_ms,
+        planned_dispatch_speedup,
         points,
     };
     let path = bliss_bench::report_path("BENCH_serve.json");

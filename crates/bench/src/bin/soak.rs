@@ -3,10 +3,11 @@
 //! Trains one BlissCam model, then serves epoch after epoch of
 //! scenario-diverse session fleets on it — 10⁶ frames of session time at
 //! the standard profile — streaming every steady-state frame latency into
-//! a fixed-bucket histogram and watching the three rot modes the
-//! [`bliss_bench::soak`] module documents: allocator/pool creep, cross-run
-//! state leaks (same-seed sentinel epochs must stay bit-identical) and
-//! accuracy drift.
+//! a fixed-bucket histogram and watching the rot modes the
+//! [`bliss_bench::soak`] module documents: allocator/pool creep,
+//! plan-cache/arena growth on the compiled inference path, cross-run state
+//! leaks (same-seed sentinel epochs must stay bit-identical) and accuracy
+//! drift.
 //!
 //! The whole soak runs on a single-thread pool so the scratch-pool
 //! readings on the main thread cover the inference work too. Results go
@@ -82,7 +83,8 @@ fn main() {
     );
     println!(
         "{} steady frames over {:.1} virtual s: p50/p95/p99/max {:.2}/{:.2}/{:.2}/{:.2} ms, \
-         {:.2}% misses, pool high-water {:.0} KiB ({}), sentinels {}, wall {:.1} s",
+         {:.2}% misses, pool high-water {:.0} KiB ({}), {} plans / {} arena elems ({}), \
+         sentinels {}, wall {:.1} s",
         report.steady_frames,
         report.virtual_s_total,
         report.latency.p50_ms,
@@ -92,6 +94,13 @@ fn main() {
         report.steady_miss_rate * 100.0,
         report.pool_high_water_bytes as f64 / 1024.0,
         if report.pool_flat_after_warmup {
+            "flat"
+        } else {
+            "GROWING"
+        },
+        report.plan_high_water,
+        report.arena_high_water_elems,
+        if report.plans_flat_after_warmup {
             "flat"
         } else {
             "GROWING"
@@ -117,6 +126,10 @@ fn main() {
     }
     if !report.pool_flat_after_warmup {
         eprintln!("FAIL: scratch-pool retained bytes kept growing past mid-soak");
+        failed = true;
+    }
+    if !report.plans_flat_after_warmup {
+        eprintln!("FAIL: the repeat-seed sentinel epoch compiled new plans — plan-cache leak");
         failed = true;
     }
     let first = report

@@ -10,6 +10,11 @@
 //!   pins with a counting global allocator, and the scratch-pool retained
 //!   bytes ([`bliss_tensor::pool_stats`]) must go **flat** after the first
 //!   epochs rather than ratcheting up;
+//! * **plan-state leak** — serving runs through compiled execution plans
+//!   by default, and the batch span layouts a load can produce are finite:
+//!   the cached-plan count and total arena footprint
+//!   ([`ServeRuntime::vit_plan_stats`]) must plateau by mid-soak rather
+//!   than accrete a plan (or regrow an arena) every epoch;
 //! * **state leak** — the first and last epochs are *sentinels* served
 //!   from the same seed; any state smuggled across epochs (RNG, pools,
 //!   caches) breaks their bit-identity;
@@ -245,6 +250,14 @@ pub struct EpochStats {
     /// Scratch-pool bytes retained on the serving thread **after** the
     /// epoch — the curve that must go flat (see [`SoakReport`]).
     pub pool_retained_bytes: usize,
+    /// Compiled ViT execution plans cached after the epoch (0 when the
+    /// runtime is forced onto the tape path). Span layouts are finite, so
+    /// this count must plateau — a cache still growing late in the soak is
+    /// a plan-state leak.
+    pub vit_plans: usize,
+    /// Total arena footprint across those plans, in `f32` elements — the
+    /// plan-memory curve that must go flat alongside the pools.
+    pub vit_arena_elems: usize,
 }
 
 /// The `BENCH_soak.json` payload.
@@ -279,6 +292,18 @@ pub struct SoakReport {
     /// of the soak — i.e. the retained-bytes curve went **flat** instead
     /// of ratcheting up epoch over epoch.
     pub pool_flat_after_warmup: bool,
+    /// Highest cached ViT plan count across epochs.
+    pub plan_high_water: usize,
+    /// Highest total plan-arena footprint across epochs, in elements.
+    pub arena_high_water_elems: usize,
+    /// Whether the final (same-seed sentinel) epoch compiled **zero** new
+    /// plans: seed-rotating middle epochs legitimately keep introducing
+    /// novel span layouts (the bounded cache absorbs them), so the leak
+    /// check is that *repeat* load compiles nothing — a plan cache keyed
+    /// on anything run-specific, or one that forgot its warm layouts,
+    /// would grow here. (The arena sum is reported but not gated: bounded
+    /// FIFO eviction may rotate which plans are resident.)
+    pub plans_flat_after_warmup: bool,
     /// Per-epoch health counters.
     pub per_epoch: Vec<EpochStats>,
 }
@@ -336,6 +361,7 @@ pub fn run_soak(runtime: &ServeRuntime, cfg: &SoakConfig) -> Result<SoakReport, 
         virtual_s_total += report.span_s;
         warmup_excluded += report.steady.excluded;
         let (eh, ev) = mean_errors(&outcome);
+        let plan_stats = runtime.vit_plan_stats();
         per_epoch.push(EpochStats {
             epoch,
             frames: report.frames_total,
@@ -344,6 +370,8 @@ pub fn run_soak(runtime: &ServeRuntime, cfg: &SoakConfig) -> Result<SoakReport, 
             steady_miss_rate: report.steady.deadline_miss_rate,
             span_s: report.span_s,
             pool_retained_bytes: bliss_tensor::pool_stats().retained_bytes(),
+            vit_plans: plan_stats.plans,
+            vit_arena_elems: plan_stats.arena_elems,
         });
 
         if epoch == 0 {
@@ -368,6 +396,23 @@ pub fn run_soak(runtime: &ServeRuntime, cfg: &SoakConfig) -> Result<SoakReport, 
         .iter()
         .take(cfg.epochs.div_ceil(2))
         .any(|e| e.pool_retained_bytes == pool_high_water_bytes);
+    let plan_high_water = per_epoch.iter().map(|e| e.vit_plans).max().unwrap_or(0);
+    let arena_high_water_elems = per_epoch
+        .iter()
+        .map(|e| e.vit_arena_elems)
+        .max()
+        .unwrap_or(0);
+    // The plan-cache leak check: rotated middle epochs are *allowed* to
+    // keep compiling (novel layouts, bounded by the cache), but the final
+    // epoch replays the first epoch's seed, so every one of its layouts
+    // was compiled before — it must not add a single plan. Judged on the
+    // occupancy count alone: bounded FIFO eviction can rotate which plans
+    // are resident (and hence the arena sum) without the population
+    // growing.
+    let plans_flat_after_warmup = match per_epoch.as_slice() {
+        [.., prev, last] => last.vit_plans == prev.vit_plans,
+        _ => true, // a 1-epoch soak has no repeat load to judge
+    };
 
     Ok(SoakReport {
         config: *cfg,
@@ -381,6 +426,9 @@ pub fn run_soak(runtime: &ServeRuntime, cfg: &SoakConfig) -> Result<SoakReport, 
         sentinel_identical,
         pool_high_water_bytes,
         pool_flat_after_warmup,
+        plan_high_water,
+        arena_high_water_elems,
+        plans_flat_after_warmup,
         histogram: hist,
         per_epoch,
     })
@@ -483,6 +531,11 @@ mod tests {
             "same-seed sentinel epochs diverged"
         );
         assert!(report.pool_flat_after_warmup, "scratch pool kept growing");
+        // The planned path ran and its plan state went flat: every span
+        // layout this load produces was compiled by mid-soak.
+        assert!(report.plan_high_water > 0, "planned path never compiled");
+        assert!(report.arena_high_water_elems > 0);
+        assert!(report.plans_flat_after_warmup, "plan cache kept growing");
         assert!(report.warmup_excluded > 0, "warmup window excluded nothing");
         assert_eq!(
             report.steady_frames as usize + report.warmup_excluded,

@@ -1,18 +1,20 @@
 //! Steady-state allocation counting for the batched inference hot path.
 //!
 //! A counting global allocator wraps the system allocator and tallies every
-//! allocation (plus, separately, every **buffer-class** allocation of 1 KiB
-//! or more). After a short warm-up that populates the `bliss_tensor` scratch
-//! pools, a serving-style [`SparseViT::forward_batch`] iteration must:
+//! allocation made by the counting thread (plus, separately, every
+//! **buffer-class** allocation of 1 KiB or more). After a short warm-up that
+//! populates the `bliss_tensor` scratch pools and the plan cache:
 //!
-//! 1. perform **zero buffer-class allocations** — every token-staging,
-//!    activation, gather-index and prediction buffer is served from the
-//!    pools (the tentpole claim of this PR), and
-//! 2. perform a **flat** number of small allocations on every iteration
-//!    (up to a few counts of process-global noise from the test harness) —
-//!    the residue is the autograd tape's node headers and sub-1-KiB
-//!    bookkeeping, bounded and non-growing, so the runtime cannot leak or
-//!    drift under sustained load.
+//! 1. a **planned** steady-state iteration
+//!    ([`SparseViT::forward_batch_into`] under a compiled execution plan)
+//!    must perform **zero heap allocations of any size** — the tentpole
+//!    claim of this PR: the arena, the retained [`PlannedBatch`] scratch and
+//!    the thread pools serve the entire working set;
+//! 2. the **tape** path ([`SparseViT::forward_batch`] outside inference
+//!    mode) stays the regression baseline: zero buffer-class allocations
+//!    and a flat small-alloc count per iteration — the residue is the
+//!    autograd tape's node headers and sub-1-KiB bookkeeping, bounded and
+//!    non-growing.
 //!
 //! The loop is pinned to one thread (`with_thread_count(1)`) because the
 //! scratch pools are thread-local: with workers, buffers would recycle into
@@ -24,27 +26,41 @@
 #![allow(unsafe_code)]
 
 use bliss_parallel::with_thread_count;
-use bliss_track::{SparseViT, ViTConfig};
+use bliss_track::{PlannedBatch, SparseViT, ViTConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Allocations at or above this size count as "buffer-class".
 const BIG: usize = 1024;
 
 struct CountingAllocator;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    /// Counting is armed per-thread so a strict zero-total assertion cannot
+    /// be polluted by allocations on harness or sibling-test threads. The
+    /// const initialiser keeps the TLS access itself allocation-free.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
 static TOTAL: AtomicU64 = AtomicU64::new(0);
 static BIG_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BIG_SIZES: [AtomicU64; 64] = [const { AtomicU64::new(0) }; 64];
 
+fn counting() -> bool {
+    // `try_with`: the allocator can be re-entered during TLS teardown.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 // SAFETY: delegates every operation verbatim to `System`; the counters are
-// lock-free atomics and never allocate.
+// lock-free atomics, the armed flag is a const-initialised TLS cell, and
+// neither allocates.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ENABLED.load(Ordering::Relaxed) {
+        if counting() {
             TOTAL.fetch_add(1, Ordering::Relaxed);
             if layout.size() >= BIG {
                 let i = BIG_ALLOCS.fetch_add(1, Ordering::Relaxed) as usize;
@@ -63,7 +79,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ENABLED.load(Ordering::Relaxed) {
+        if counting() {
             TOTAL.fetch_add(1, Ordering::Relaxed);
             if new_size >= BIG {
                 BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -77,14 +93,18 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Runs `f` with counting enabled and returns `(total, buffer_class)`
-/// allocation counts.
+/// Serialises counting windows: both tests share the global tallies.
+static COUNT_WINDOW: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with counting armed on this thread and returns
+/// `(total, buffer_class)` allocation counts for `f` alone.
 fn count_allocs(f: impl FnOnce()) -> (u64, u64) {
+    let _window = COUNT_WINDOW.lock().expect("no poisoned counting window");
     TOTAL.store(0, Ordering::SeqCst);
     BIG_ALLOCS.store(0, Ordering::SeqCst);
-    ENABLED.store(true, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
     f();
-    ENABLED.store(false, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(false));
     (
         TOTAL.load(Ordering::SeqCst),
         BIG_ALLOCS.load(Ordering::SeqCst),
@@ -144,9 +164,9 @@ fn steady_state_forward_batch_is_buffer_allocation_free() {
             );
             per_iter.push(total);
         }
-        // Flat small-alloc count: the counter is process-global, so allow a
-        // few counts of ambient noise from the test-harness thread; a leak
-        // or pool miss would add dozens per iteration.
+        // Flat small-alloc count: the tape rebuilds the same node headers
+        // every iteration, so the count must not drift; a leak or pool miss
+        // would add dozens per iteration.
         let lo = *per_iter.iter().min().expect("non-empty");
         let hi = *per_iter.iter().max().expect("non-empty");
         assert!(
@@ -154,5 +174,51 @@ fn steady_state_forward_batch_is_buffer_allocation_free() {
             "per-iteration allocation counts must be flat in steady state, \
              got {per_iter:?}"
         );
+    });
+}
+
+#[test]
+fn steady_state_planned_forward_batch_allocates_nothing_at_all() {
+    let mut rng = StdRng::seed_from_u64(0x5CA7C4);
+    let vit = SparseViT::new(&mut rng, ViTConfig::miniature(160, 100));
+    // The same serving-shaped batch as the tape baseline above.
+    let a = synth_frame(1, 160 * 100, 0.06);
+    let b = synth_frame(2, 160 * 100, 0.02);
+    let batch: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1), (&b.0, &b.1)];
+
+    with_thread_count(1, || {
+        let mut out = PlannedBatch::new();
+        // Warm-up: compile the execution plan for this batch's span layout
+        // and populate the thread's scratch pools with the working set.
+        for _ in 0..4 {
+            vit.forward_batch_into(&batch, &mut out)
+                .expect("forward succeeds");
+            assert!(out.frame(0).is_some() && out.frame(1).is_some());
+        }
+        // Steady state: the compiled plan runs entirely in its arena and the
+        // retained batch scratch — zero heap traffic of any size.
+        for iter in 0..4 {
+            let (total, big) = count_allocs(|| {
+                vit.forward_batch_into(&batch, &mut out)
+                    .expect("forward succeeds");
+                std::hint::black_box(&out);
+            });
+            if big > 0 {
+                let sizes: Vec<u64> = BIG_SIZES
+                    .iter()
+                    .map(|a| a.load(Ordering::SeqCst))
+                    .filter(|&x| x > 0)
+                    .collect();
+                eprintln!("buffer-class allocation sizes: {sizes:?}");
+            }
+            assert_eq!(
+                total, 0,
+                "steady-state planned forward_batch_into performed {total} \
+                 heap allocations on iteration {iter} ({big} buffer-class); \
+                 the plan arena and retained scratch must serve everything"
+            );
+        }
+        assert!(out.frame(0).is_some() && out.frame(1).is_some());
+        assert_eq!(vit.plan_stats().plans, 1, "one span layout, one plan");
     });
 }

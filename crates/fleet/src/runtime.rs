@@ -88,6 +88,13 @@ pub struct FleetOutcome {
 /// accuracy/volume/energy outputs are bit-identical to a solo run, and the
 /// whole [`FleetOutcome`] is bit-identical for a fixed
 /// `(sessions, hosts, policy, seed)` on any thread pool.
+///
+/// Compiled inference plans are **shared across hosts**: every shard serves
+/// through the same model replica, whose plan cache is keyed only by batch
+/// span layout — so a plan compiled while serving host 0's shard is a pure
+/// cache hit when host 5 sees the same layout, and fleet-wide compilation
+/// cost stays that of a single host (see
+/// [`ServeRuntime::vit_plan_stats`]).
 #[derive(Debug)]
 pub struct FleetRuntime {
     pub(crate) runtime: ServeRuntime,
@@ -150,6 +157,15 @@ impl FleetRuntime {
     /// `ServeRuntime::with_paper_scale_timing`.
     pub fn with_paper_scale_timing(mut self) -> Self {
         self.runtime = self.runtime.with_paper_scale_timing();
+        self
+    }
+
+    /// Forces every host's inference back onto the autograd tape path,
+    /// bypassing the compiled execution plans (see
+    /// [`ServeRuntime::without_planned_inference`]); results are
+    /// bit-identical either way.
+    pub fn without_planned_inference(mut self) -> Self {
+        self.runtime = self.runtime.without_planned_inference();
         self
     }
 

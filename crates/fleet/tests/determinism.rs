@@ -196,6 +196,53 @@ fn report_is_sane_and_serialises() {
 }
 
 #[test]
+fn compiled_plans_are_shared_across_hosts_and_match_the_tape_path() {
+    // All host shards serve through one model replica, so a plan compiled
+    // for host 0's batch layout is a cache hit when any other host sees the
+    // same layout — fleet-wide compilation cost stays that of a single
+    // host. Untrained miniature networks keep this standalone test fast
+    // (plan reuse and bit-identity do not depend on trained weights).
+    use bliss_track::{RoiPredictionNet, SparseViT};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let mut system = SystemConfig::miniature();
+    system.vit.dim = 12;
+    system.vit.enc_depth = 1;
+    system.vit.dec_depth = 1;
+    system.roi_net.hidden = 16;
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let vit = SparseViT::new(&mut rng, system.vit);
+        let roi = RoiPredictionNet::new(&mut rng, system.roi_net);
+        FleetRuntime::with_networks(system, vit, roi)
+    };
+    let cfg = FleetConfig::new(3, PlacementPolicy::RoundRobin, 6, 3);
+
+    let planned_fleet = build();
+    let planned = planned_fleet.serve(&cfg).unwrap();
+    let vit_stats = planned_fleet.serve_runtime().vit_plan_stats();
+    let roi_stats = planned_fleet.serve_runtime().roi_plan_stats();
+    // The planned path actually ran, and recurring batch layouts across the
+    // 3 hosts were served from the shared cache rather than recompiled.
+    assert!(vit_stats.misses > 0, "no ViT plan was ever compiled");
+    assert!(
+        vit_stats.hits > 0,
+        "no cross-batch plan reuse: {vit_stats:?}"
+    );
+    assert_eq!(vit_stats.plans as u64, vit_stats.misses);
+    // The ROI net has a single input shape class: one plan, hit thereafter.
+    assert_eq!(roi_stats.plans, 1, "{roi_stats:?}");
+    assert!(roi_stats.hits >= 6 * 3 - 1, "{roi_stats:?}");
+
+    let tape = build().without_planned_inference().serve(&cfg).unwrap();
+    assert_eq!(planned.report, tape.report);
+    assert_eq!(planned.timeline, tape.timeline);
+    for (p, t) in planned.per_host.iter().zip(&tape.per_host) {
+        assert_eq!(p.traces, t.traces);
+    }
+}
+
+#[test]
 fn multi_host_throughput_scales_past_the_single_host_knee() {
     // Paper-scale timing, 12 sessions: a single millisecond-class host is
     // deep into saturation (the PR-3 knee sits at N≈2–4), so sharding onto

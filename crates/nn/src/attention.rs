@@ -1,7 +1,7 @@
 use crate::layers::{LayerNormLayer, Linear, Mlp};
 use crate::Module;
 use bliss_parallel::par_map_collect;
-use bliss_tensor::{NdArray, Tensor, TensorError};
+use bliss_tensor::{GraphBuilder, NdArray, NodeId, Tensor, TensorError};
 use rand::Rng;
 
 /// Saved forward activations of one attention head, reused by the fused
@@ -340,6 +340,76 @@ impl MultiHeadAttention {
         self.proj.forward(&fused)
     }
 
+    /// Records block-diagonal self-attention into a planned-inference graph,
+    /// mirroring [`MultiHeadAttention::forward_spans`] exactly: the same
+    /// fused `[dim, 3*dim]` QKV GEMM (column layout
+    /// `[q_0..q_H | k_0..k_H | v_0..v_H]`), the same per-head, per-span
+    /// `scores -> softmax -> AV` chain and the same concatenation order, so
+    /// the compiled plan is bit-identical to the tape. The forward runs the
+    /// heads through the thread pool; the recorded graph lists them in the
+    /// same fixed head order, and since the heads are data-independent the
+    /// results match bit-for-bit at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input's channel dimension is not `dim`,
+    /// or [`TensorError::InvalidArgument`] for a malformed `spans` (see
+    /// [`MultiHeadAttention::forward_spans`]).
+    pub fn record_spans(
+        &self,
+        g: &mut GraphBuilder,
+        x: NodeId,
+        spans: &[(usize, usize)],
+    ) -> Result<NodeId, TensorError> {
+        let rows = g.shape(x)[0];
+        validate_spans(spans, rows, "mha_record_spans")?;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let heads = self.heads();
+        let head_dim = self.head_dim;
+        let dim = self.dim;
+
+        // Fused QKV weights/biases in the same [q_0..q_H | k_0..k_H |
+        // v_0..v_H] column layout as the forward's concat.
+        let mut wcols = Vec::with_capacity(3 * heads);
+        let mut bparts = Vec::with_capacity(3 * heads);
+        for proj in 0..3 {
+            for h in 0..heads {
+                let lin = match proj {
+                    0 => &self.query[h],
+                    1 => &self.key[h],
+                    _ => &self.value[h],
+                };
+                let params = lin.parameters();
+                wcols.push(g.param(&params[0]));
+                bparts.push(g.param(&params[1]));
+            }
+        }
+        let wqkv = g.concat_cols(&wcols)?;
+        let bqkv = g.concat_flat(&bparts)?;
+        let mm = g.matmul(x, wqkv)?;
+        let qkv = g.add_row(mm, bqkv)?;
+
+        let mut head_outs = Vec::with_capacity(heads);
+        for h in 0..heads {
+            let q = g.slice_cols(qkv, h * head_dim, (h + 1) * head_dim)?;
+            let k = g.slice_cols(qkv, dim + h * head_dim, dim + (h + 1) * head_dim)?;
+            let v = g.slice_cols(qkv, 2 * dim + h * head_dim, 2 * dim + (h + 1) * head_dim)?;
+            let mut outs = Vec::with_capacity(spans.len());
+            for &(s, e) in spans {
+                let qs = g.slice_rows(q, s, e)?;
+                let ks = g.slice_rows(k, s, e)?;
+                let vs = g.slice_rows(v, s, e)?;
+                let scores = g.matmul_transposed(qs, ks)?;
+                let scaled = g.scale(scores, scale);
+                let attn = g.softmax_rows(scaled)?;
+                outs.push(g.matmul(attn, vs)?);
+            }
+            head_outs.push(g.concat_rows(&outs)?);
+        }
+        let fused = g.concat_cols(&head_outs)?;
+        self.proj.record(g, fused)
+    }
+
     /// Multiply-accumulate operations for `tokens` input rows.
     ///
     /// Counts QKV projections, the two attention GEMMs (`QK^T`, `AV`) and the
@@ -440,6 +510,28 @@ impl TransformerBlock {
         let x = x.add(&attn_out)?;
         let mlp_out = self.mlp.forward(&self.norm2.forward(&x)?)?;
         x.add(&mlp_out)
+    }
+
+    /// Records the block into a planned-inference graph, mirroring
+    /// [`TransformerBlock::forward_spans`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the channel dimension differs, or an
+    /// invalid-argument error for a malformed `spans` (see
+    /// [`MultiHeadAttention::forward_spans`]).
+    pub fn record_spans(
+        &self,
+        g: &mut GraphBuilder,
+        x: NodeId,
+        spans: &[(usize, usize)],
+    ) -> Result<NodeId, TensorError> {
+        let n1 = self.norm1.record(g, x)?;
+        let attn_out = self.attn.record_spans(g, n1, spans)?;
+        let x1 = g.add(x, attn_out)?;
+        let n2 = self.norm2.record(g, x1)?;
+        let mlp_out = self.mlp.record(g, n2)?;
+        g.add(x1, mlp_out)
     }
 
     /// Multiply-accumulate operations for `tokens` input rows.
@@ -660,5 +752,53 @@ mod tests {
         // 3 heads * 3 projections * (12*4 + 4) + proj (12*12 + 12)
         let expected = 3 * 3 * (12 * 4 + 4) + 12 * 12 + 12;
         assert_eq!(mha.num_parameters(), expected);
+    }
+
+    #[test]
+    fn recorded_mha_spans_match_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mha = MultiHeadAttention::new(&mut rng, 12, 3);
+        let x = NdArray::randn(&mut rng, &[9, 12], 1.0);
+        let spans = [(0, 4), (4, 9)];
+        let taped = mha
+            .forward_spans(&Tensor::constant(x.clone()), &spans)
+            .unwrap();
+
+        let mut g = GraphBuilder::default();
+        let xin = g.input(&[9, 12]);
+        let out = mha.record_spans(&mut g, xin, &spans).unwrap();
+        g.mark_output(out);
+        let plan = bliss_tensor::ExecPlan::compile(g).unwrap();
+        plan.execute(&[x.data()], &[]).unwrap();
+        plan.with_output(0, |data| assert_eq!(data, taped.value().data()));
+    }
+
+    #[test]
+    fn recorded_transformer_block_matches_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let block = TransformerBlock::new(&mut rng, 8, 2);
+        let x = NdArray::randn(&mut rng, &[10, 8], 1.0);
+        let spans = [(0, 7), (7, 10)];
+        let taped = block
+            .forward_spans(&Tensor::constant(x.clone()), &spans)
+            .unwrap();
+
+        let mut g = GraphBuilder::default();
+        let xin = g.input(&[10, 8]);
+        let out = block.record_spans(&mut g, xin, &spans).unwrap();
+        g.mark_output(out);
+        let plan = bliss_tensor::ExecPlan::compile(g).unwrap();
+        plan.execute(&[x.data()], &[]).unwrap();
+        plan.with_output(0, |data| assert_eq!(data, taped.value().data()));
+    }
+
+    #[test]
+    fn recorded_mha_rejects_malformed_spans() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let mut g = GraphBuilder::default();
+        let xin = g.input(&[6, 8]);
+        assert!(mha.record_spans(&mut g, xin, &[(0, 3)]).is_err());
+        assert!(mha.record_spans(&mut g, xin, &[(0, 4), (3, 6)]).is_err());
     }
 }

@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod attention;
 mod init;
 mod layers;

@@ -182,6 +182,11 @@ pub struct ServeRuntime {
     pub(crate) vit: SparseViT,
     pub(crate) roi_net: RoiPredictionNet,
     stages: StageDurations,
+    /// Whether steady-state inference runs through the compiled planned
+    /// path (graph-IR plans executing in a preallocated arena) instead of
+    /// the autograd tape. On by default; results are bit-identical either
+    /// way, so this is a measurement/regression knob, not a behaviour one.
+    planned: bool,
 }
 
 impl ServeRuntime {
@@ -218,6 +223,42 @@ impl ServeRuntime {
             vit,
             roi_net,
             stages,
+            planned: true,
+        }
+    }
+
+    /// Forces every inference launch back onto the autograd tape path,
+    /// bypassing the compiled execution plans. The determinism suite uses
+    /// this to pin planned-vs-tape bit-identity; it is also the escape
+    /// hatch if a plan-level issue ever needs ruling out in production.
+    pub fn without_planned_inference(mut self) -> Self {
+        self.planned = false;
+        self
+    }
+
+    /// Whether inference runs through the compiled planned path.
+    pub fn planned_inference(&self) -> bool {
+        self.planned
+    }
+
+    /// Plan-cache counters of the shared sparse-ViT planned state (one
+    /// compiled plan per batch span layout).
+    pub fn vit_plan_stats(&self) -> bliss_tensor::PlanCacheStats {
+        self.vit.plan_stats()
+    }
+
+    /// Plan-cache counters of the ROI net's planned state (a single
+    /// fixed-shape plan).
+    pub fn roi_plan_stats(&self) -> bliss_tensor::PlanCacheStats {
+        self.roi_net.plan_stats()
+    }
+
+    /// Runs `f` in planned-inference mode when enabled, else on the tape.
+    fn infer<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.planned {
+            bliss_tensor::inference_mode(f)
+        } else {
+            f()
         }
     }
 
@@ -507,7 +548,7 @@ impl ServeRuntime {
         // shared autograd parameters, so it stays off the pool.
         let mut boxes = Vec::with_capacity(refs.len());
         for (s, input) in refs.iter().zip(&inputs) {
-            let roi_out = self.roi_net.forward(input)?;
+            let roi_out = self.infer(|| self.roi_net.forward(input))?;
             boxes.push(s.front.select_box(&self.roi_net, &roi_out));
         }
 
@@ -525,7 +566,7 @@ impl ServeRuntime {
             .iter()
             .map(|s| (&s.sensed.image[..], &s.sensed.mask[..]))
             .collect();
-        let predictions = self.vit.forward_batch(&frames)?;
+        let predictions = self.infer(|| self.vit.forward_batch(&frames))?;
 
         // Host timing: the batch launch costs one block-diagonal pass —
         // fused weight GEMMs over the summed tokens (each paying its

@@ -259,16 +259,7 @@ impl NdArray {
         }
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = scratch::take_zeroed(m * n);
-        if m > 0 {
-            let src = &self.data;
-            // Each output row j gathers input column j; rows are disjoint, so
-            // the transpose parallelises over output rows.
-            bliss_parallel::par_map_rows(&mut out, m, |j, row| {
-                for (i, v) in row.iter_mut().enumerate() {
-                    *v = src[i * n + j];
-                }
-            });
-        }
+        transpose_into(&self.data, m, n, &mut out);
         Ok(NdArray {
             shape: vec![n, m],
             data: out,
@@ -400,11 +391,8 @@ impl NdArray {
                 rhs: row.shape.clone(),
             });
         }
-        let n = self.shape[1];
         let mut out = self.clone();
-        for (i, v) in out.data.iter_mut().enumerate() {
-            *v += row.data[i % n];
-        }
+        add_row_assign(&mut out.data, &row.data);
         Ok(out)
     }
 
@@ -488,20 +476,7 @@ impl NdArray {
         }
         let (m, k, p) = (self.shape[0], self.shape[1], other.shape[0]);
         let mut out = scratch::take_zeroed(m * p);
-        crate::workspace::with_pack_buf(k * p, |bt| {
-            // Pack other^T: bt[j, i] = other[i, j]. Same gather loop as
-            // `transpose`, writing into the reused workspace instead of a
-            // fresh array.
-            if k > 0 {
-                let b = &other.data;
-                bliss_parallel::par_map_rows(bt, p, |j, row| {
-                    for (i, v) in row.iter_mut().enumerate() {
-                        *v = b[i * k + j];
-                    }
-                });
-            }
-            matmul_into(&self.data, bt, k, p, &mut out);
-        });
+        matmul_transposed_into(&self.data, &other.data, k, p, &mut out);
         Ok(NdArray {
             shape: vec![m, p],
             data: out,
@@ -620,23 +595,7 @@ impl NdArray {
         }
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = scratch::take_zeroed(m * n);
-        if n > 0 {
-            let src = &self.data;
-            // Cost hint 8: exp + normalisation per element.
-            bliss_parallel::par_map_rows_with_cost(&mut out, n, 8, |i, out_row| {
-                let row = &src[i * n..(i + 1) * n];
-                let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut denom = 0.0;
-                for (o, &v) in out_row.iter_mut().zip(row.iter()) {
-                    let e = (v - mx).exp();
-                    *o = e;
-                    denom += e;
-                }
-                for v in out_row.iter_mut() {
-                    *v /= denom;
-                }
-            });
-        }
+        softmax_rows_into(&self.data, n, &mut out);
         Ok(NdArray {
             shape: vec![m, n],
             data: out,
@@ -854,29 +813,7 @@ impl NdArray {
         let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
         let (oh, ow) = conv_out_dims(h, w, kh, kw, stride, pad)?;
         let mut out = scratch::take_zeroed(c * kh * kw * oh * ow);
-        let ow_total = oh * ow;
-        if ow_total > 0 {
-            let src = &self.data;
-            // One output row per (channel, kernel offset): rows are disjoint,
-            // so the lowering parallelises over them.
-            bliss_parallel::par_map_rows(&mut out, ow_total, |row, out_row| {
-                let kj = row % kw;
-                let ki = (row / kw) % kh;
-                let ci = row / (kh * kw);
-                for oi in 0..oh {
-                    let ii = (oi * stride + ki) as isize - pad as isize;
-                    for oj in 0..ow {
-                        let jj = (oj * stride + kj) as isize - pad as isize;
-                        let v = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
-                            src[(ci * h + ii as usize) * w + jj as usize]
-                        } else {
-                            0.0
-                        };
-                        out_row[oi * ow + oj] = v;
-                    }
-                }
-            });
-        }
+        im2col_into(&self.data, h, w, kh, kw, stride, pad, oh, ow, &mut out);
         Ok(NdArray {
             shape: vec![c * kh * kw, oh * ow],
             data: out,
@@ -1047,8 +984,9 @@ impl NdArray {
     }
 }
 
-/// Computes `out = a x b` for row-major `a: [m, k]`, `b: [k, n]` into the
-/// zeroed `out: [m, n]` (with `m` implied by `out.len() / n`).
+/// Computes `out = a x b` for row-major `a: [m, k]`, `b: [k, n]` into
+/// `out: [m, n]` (with `m` implied by `out.len() / n`). Every output element
+/// is stored exactly once, so `out`'s prior contents never leak through.
 ///
 /// The cache-blocked kernel runs parallel over row blocks with a per-element
 /// cost hint of `k`, so tiny products (historically `m*k*n < 32^3`) stay on
@@ -1058,8 +996,15 @@ impl NdArray {
 /// probed for sparsity: sparse-sampled patch tensors are mostly zeros and
 /// earn a skip-test in the inner loop; dense operands run the branch-free
 /// kernel. The choice depends only on the data, never on the thread count.
-fn matmul_into(a: &[f32], b: &[f32], k: usize, n: usize, out: &mut [f32]) {
-    if out.is_empty() || k == 0 {
+pub fn matmul_into(a: &[f32], b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    if out.is_empty() {
+        return;
+    }
+    if k == 0 {
+        // An empty inner dimension produces an all-zero product. The tape
+        // path starts from a zeroed pool buffer, but planned execution reuses
+        // arena bytes, so the fill must be explicit.
+        out.fill(0.0);
         return;
     }
     let probe = &a[..a.len().min(4096)];
@@ -1197,6 +1142,170 @@ fn matmul_block(
         }
         r += 1;
     }
+}
+
+/// Computes `out = a x b^T` for row-major `a: [m, k]`, `b: [p, k]` into
+/// `out: [m, p]`, packing `b` transposed into the per-thread matmul workspace
+/// exactly as [`NdArray::matmul_transposed`] does. Shared by the tape method
+/// and the planned executor so both produce bit-identical scores.
+pub(crate) fn matmul_transposed_into(a: &[f32], b: &[f32], k: usize, p: usize, out: &mut [f32]) {
+    if k == 0 {
+        // Same all-zero-product convention as `matmul_into`.
+        out.fill(0.0);
+        return;
+    }
+    crate::workspace::with_pack_buf(k * p, |bt| {
+        // Pack b^T: bt[j, i] = b[i, j]. Same gather loop as `transpose`,
+        // writing into the reused workspace instead of a fresh array.
+        bliss_parallel::par_map_rows(bt, p, |j, row| {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = b[i * k + j];
+            }
+        });
+        matmul_into(a, bt, k, p, out);
+    });
+}
+
+/// Transposes row-major `src: [m, n]` into `out: [n, m]`. Every output
+/// element is stored, so `out` need not be zeroed beforehand.
+pub(crate) fn transpose_into(src: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    if m > 0 {
+        // Each output row j gathers input column j; rows are disjoint, so
+        // the transpose parallelises over output rows.
+        bliss_parallel::par_map_rows(out, m, |j, row| {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = src[i * n + j];
+            }
+        });
+    }
+}
+
+/// Row-wise numerically-stabilised softmax of `src` (rows of length `n`)
+/// into the same-size `out`. `src` and `out` must not alias.
+pub(crate) fn softmax_rows_into(src: &[f32], n: usize, out: &mut [f32]) {
+    if n > 0 {
+        // Cost hint 8: exp + normalisation per element.
+        bliss_parallel::par_map_rows_with_cost(out, n, 8, |i, out_row| {
+            let row = &src[i * n..(i + 1) * n];
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (o, &v) in out_row.iter_mut().zip(row.iter()) {
+                let e = (v - mx).exp();
+                *o = e;
+                denom += e;
+            }
+            for v in out_row.iter_mut() {
+                *v /= denom;
+            }
+        });
+    }
+}
+
+/// Adds the length-`n` `row` to every `n`-wide row of `out` in place — the
+/// broadcast at the heart of [`NdArray::add_row`].
+pub fn add_row_assign(out: &mut [f32], row: &[f32]) {
+    let n = row.len();
+    for (i, v) in out.iter_mut().enumerate() {
+        *v += row[i % n];
+    }
+}
+
+/// Rearranges a `[C, H, W]` image (`src`, with `C` implied by `src.len()`)
+/// into convolution columns `[C*kh*kw, oh*ow]`; the geometry must satisfy
+/// [`conv_out_dims`]. Every output element is stored (zeros in the padding
+/// halo), so `out` need not be zeroed beforehand.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn im2col_into(
+    src: &[f32],
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let ow_total = oh * ow;
+    if ow_total > 0 {
+        // One output row per (channel, kernel offset): rows are disjoint,
+        // so the lowering parallelises over them.
+        bliss_parallel::par_map_rows(out, ow_total, |row, out_row| {
+            let kj = row % kw;
+            let ki = (row / kw) % kh;
+            let ci = row / (kh * kw);
+            for oi in 0..oh {
+                let ii = (oi * stride + ki) as isize - pad as isize;
+                for oj in 0..ow {
+                    let jj = (oj * stride + kj) as isize - pad as isize;
+                    let v = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
+                        src[(ci * h + ii as usize) * w + jj as usize]
+                    } else {
+                        0.0
+                    };
+                    out_row[oi * ow + oj] = v;
+                }
+            }
+        });
+    }
+}
+
+/// Copies `indices`-selected rows of the row-major `src: [m, n]` into `out`
+/// in order, with the same bounds check (and error) as
+/// [`NdArray::gather_rows`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] if any index exceeds `m`.
+pub fn gather_rows_into(
+    src: &[f32],
+    m: usize,
+    n: usize,
+    indices: &[usize],
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    debug_assert_eq!(out.len(), indices.len() * n);
+    for (r, &i) in indices.iter().enumerate() {
+        if i >= m {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "gather_rows",
+                index: i,
+                bound: m,
+            });
+        }
+        out[r * n..(r + 1) * n].copy_from_slice(&src[i * n..(i + 1) * n]);
+    }
+    Ok(())
+}
+
+/// `sqrt(2/pi)` of the tanh GELU approximation — shared by the tape forward/
+/// backward and the planned executor so their expression trees agree bit for
+/// bit.
+pub(crate) const GELU_A: f32 = 0.797_884_6;
+/// Cubic coefficient of the tanh GELU approximation.
+pub(crate) const GELU_B: f32 = 0.044_715;
+
+/// The tanh-approximated GELU, elementwise.
+pub(crate) fn gelu_scalar(v: f32) -> f32 {
+    let u = GELU_A * (v + GELU_B * v * v * v);
+    0.5 * v * (1.0 + u.tanh())
+}
+
+/// The logistic sigmoid, elementwise.
+pub(crate) fn sigmoid_scalar(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Mean and inverse standard deviation of one layer-norm row, in exactly the
+/// accumulation order the tape's `layer_norm` uses — extracting the helper
+/// (instead of re-deriving the stats in the executor) is what pins the
+/// planned path to the tape bit for bit.
+pub(crate) fn layer_norm_row_stats(row: &[f32], eps: f32) -> (f32, f32) {
+    let n = row.len();
+    let mu: f32 = row.iter().sum::<f32>() / n as f32;
+    let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / n as f32;
+    (mu, 1.0 / (var + eps).sqrt())
 }
 
 /// Output spatial dimensions of a convolution.

@@ -465,7 +465,7 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let value = self.value().map(crate::array::sigmoid_scalar);
         let y = value.clone();
         Tensor::from_op(
             value,
@@ -493,13 +493,9 @@ impl Tensor {
 
     /// Gaussian error linear unit (tanh approximation), as used in ViT MLPs.
     pub fn gelu(&self) -> Tensor {
-        const A: f32 = 0.797_884_6; // sqrt(2/pi)
-        const B: f32 = 0.044_715;
+        use crate::array::{GELU_A as A, GELU_B as B};
         let x = self.value().clone();
-        let value = x.map(|v| {
-            let u = A * (v + B * v * v * v);
-            0.5 * v * (1.0 + u.tanh())
-        });
+        let value = x.map(crate::array::gelu_scalar);
         Tensor::from_op(
             value,
             vec![self.clone()],
@@ -645,9 +641,7 @@ impl Tensor {
         let mut inv_std = crate::scratch::take_zeroed(m);
         for i in 0..m {
             let row = &x.data()[i * n..(i + 1) * n];
-            let mu: f32 = row.iter().sum::<f32>() / n as f32;
-            let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / n as f32;
-            let istd = 1.0 / (var + eps).sqrt();
+            let (mu, istd) = crate::array::layer_norm_row_stats(row, eps);
             inv_std[i] = istd;
             for j in 0..n {
                 let xh = (row[j] - mu) * istd;

@@ -28,6 +28,21 @@
 //! [`NdArray::matmul_transposed`], so attention-score products pack without
 //! any pool traffic at all.
 //!
+//! # Planned inference (trace → plan → execute)
+//!
+//! The tape is the right tool for training but pays per-op machinery —
+//! `Rc` node headers, parents vectors, boxed backward closures — that
+//! steady-state inference re-creates identically every frame. The
+//! [`GraphBuilder`] / [`ExecPlan`] layer removes it: record the forward
+//! pass once as a typed, shape-checked DAG; compile it into a
+//! lifetime-planned single-arena schedule; then execute the plan each frame
+//! with **zero heap allocations** and no refcount traffic, dispatching to
+//! the *same* slice-level kernels as the tape ops (which is what makes
+//! planned and taped execution bit-identical at any thread count). Plans
+//! are cached per shape class in a [`PlanCache`]; [`inference_mode`] is the
+//! thread-local switch network forwards use to choose the planned path when
+//! no gradient is required.
+//!
 //! # Example
 //!
 //! ```
@@ -44,18 +59,41 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod array;
 mod autograd;
 mod error;
+mod exec;
 mod gradcheck;
+mod graph;
+mod plan;
 mod scratch;
 mod workspace;
 
 pub use array::NdArray;
 pub use autograd::Tensor;
 pub use error::TensorError;
+pub use exec::{
+    in_inference_mode, inference_mode, ExecPlan, PlanCache, PlanCacheStats, MAX_CACHED_ARENA_ELEMS,
+    MAX_CACHED_PLANS,
+};
 pub use gradcheck::{check_gradients, GradCheckReport};
+pub use graph::{GraphBuilder, IndexSlot, NodeId};
+
+/// Slice-level kernel entry points shared by the tape ops and the planned
+/// executor.
+///
+/// These operate on caller-provided buffers with **zero allocations**, so
+/// hot paths that stage data in pooled buffers (e.g. the sparse ViT's
+/// per-pixel refinement tail, whose row count changes every frame and so
+/// cannot live inside a shape-keyed [`ExecPlan`]) can run the exact same
+/// arithmetic as the corresponding [`NdArray`] / [`Tensor`] ops —
+/// bit-identical results at any thread count.
+pub mod kernels {
+    pub use crate::array::{add_row_assign, gather_rows_into, matmul_into};
+}
 pub use scratch::{
-    pool_stats, recycle_f32_buffer, recycle_index_buffer, take_f32_buffer, take_index_buffer,
-    IndexVec, PoolStats,
+    pool_stats, recycle_f32_buffer, recycle_index_buffer, shelf_stats, take_f32_buffer,
+    take_index_buffer, IndexVec, PoolStats, ShelfStats,
 };

@@ -22,9 +22,12 @@
 //!   elements per thread; overflow simply frees to the global allocator.
 //!   Buffers below [`MIN_POOL_LEN`] elements bypass the pool — the
 //!   bookkeeping would cost more than the allocation.
-//! * **Thread-local.** No synchronisation, no cross-thread traffic: a buffer
-//!   recycles to the thread that dropped it. Persistent pool workers
-//!   therefore keep their own small pools warm.
+//! * **Thread-local first, shelf second.** A buffer recycles to the thread
+//!   that dropped it with no synchronisation. Only when the local pool is
+//!   full does the buffer overflow onto a bounded global *shelf* (one mutex
+//!   lock), and only when a local take misses does the thread probe the
+//!   shelf before touching the allocator — so a buffer recycled by worker A
+//!   is reusable from worker B, but the steady-state hot path never locks.
 //! * **Steady state allocates nothing.** Once the working set has been seen
 //!   (a few iterations), every buffer-class request is served from the pool;
 //!   `crates/bench/tests/alloc_counter.rs` pins this with a counting global
@@ -38,6 +41,7 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 
 /// Buffers smaller than this stay on the global allocator: the bookkeeping
 /// would cost more than the allocation.
@@ -51,6 +55,45 @@ const MAX_POOL_ELEMS: usize = 16 << 20;
 /// Number of power-of-two capacity classes tracked (up to 2^40 elements —
 /// effectively unbounded; larger buffers just bypass the pool).
 const CLASSES: usize = 41;
+/// Maximum number of buffers retained on the cross-thread shelf per pool.
+const MAX_SHELF_BUFS: usize = 256;
+/// Maximum total capacity retained on the shelf per pool, in elements
+/// (~32 MiB of f32 / ~64 MiB of usize at the cap).
+const MAX_SHELF_ELEMS: usize = 8 << 20;
+
+/// Class whose buffers all satisfy a request of `len` elements.
+fn class_for_request(len: usize) -> usize {
+    len.max(1).next_power_of_two().trailing_zeros() as usize
+}
+
+/// Class a buffer of capacity `cap` files under (`2^c <= cap`).
+fn class_of_capacity(cap: usize) -> usize {
+    (usize::BITS - 1 - cap.max(1).leading_zeros()) as usize
+}
+
+/// Pops a buffer with capacity >= `len` from class-binned free lists under
+/// the slack bound shared by the thread pools and the shelf: the request
+/// class, then one above (every buffer in either has capacity >= len, and
+/// the class bound keeps big buffers from being burned on small requests —
+/// 4x slack for power-of-two capacities, ~8x worst case for odd recycled
+/// ones), then an exact-fit scan of the class below (externally built
+/// vectors recycled via the public API file under floor(log2(cap)), which is
+/// one class below their request class unless cap is a power of two).
+fn pop_fitting<T>(bins: &mut [Vec<Vec<T>>], len: usize) -> Option<Vec<T>> {
+    let class = class_for_request(len);
+    for c in class..(class + 2).min(CLASSES) {
+        if let Some(buf) = bins[c].pop() {
+            return Some(buf);
+        }
+    }
+    if class > 0 {
+        let bin = &mut bins[class - 1];
+        if let Some(i) = bin.iter().rposition(|b| b.capacity() >= len) {
+            return Some(bin.swap_remove(i));
+        }
+    }
+    None
+}
 
 struct Pool<T> {
     /// `bins[c]` holds buffers with capacity in `[2^c, 2^(c+1))`.
@@ -68,60 +111,81 @@ impl<T: Copy + Default> Pool<T> {
         }
     }
 
-    /// Class whose buffers all satisfy a request of `len` elements.
-    fn class_for_request(len: usize) -> usize {
-        len.max(1).next_power_of_two().trailing_zeros() as usize
+    /// Pops a local buffer that satisfies a request of `len` elements, or
+    /// `None` on a miss (the caller then probes the shelf before
+    /// allocating).
+    fn take_local(&mut self, len: usize) -> Option<Vec<T>> {
+        let buf = pop_fitting(&mut self.bins, len)?;
+        self.bufs -= 1;
+        self.elems -= buf.capacity();
+        Some(buf)
     }
 
-    /// Class a buffer of capacity `cap` files under (`2^c <= cap`).
-    fn class_of_capacity(cap: usize) -> usize {
-        (usize::BITS - 1 - cap.max(1).leading_zeros()) as usize
-    }
-
-    fn take_empty(&mut self, len: usize) -> Vec<T> {
-        let class = Self::class_for_request(len);
-        // The request class, then one above: every buffer in either has
-        // capacity >= len, and the class bound keeps big buffers from being
-        // burned on small requests (4x slack for power-of-two capacities,
-        // ~8x worst case for odd recycled ones).
-        for c in class..(class + 2).min(CLASSES) {
-            if let Some(buf) = self.bins[c].pop() {
-                self.bufs -= 1;
-                self.elems -= buf.capacity();
-                return buf;
-            }
-        }
-        // The class below may hold adequate odd-capacity buffers (externally
-        // built vectors recycled via the public API file under
-        // floor(log2(cap)), which is one class below their request class
-        // unless cap is a power of two).
-        if class > 0 {
-            let bin = &mut self.bins[class - 1];
-            if let Some(i) = bin.iter().rposition(|b| b.capacity() >= len) {
-                let buf = bin.swap_remove(i);
-                self.bufs -= 1;
-                self.elems -= buf.capacity();
-                return buf;
-            }
-        }
-        // Fresh buffers get power-of-two capacity so they later file in the
-        // exact class their own request size maps to — without this, every
-        // odd-sized working-set buffer would miss its bin on the next
-        // iteration and steady state would keep allocating.
-        Vec::with_capacity(len.next_power_of_two())
-    }
-
-    fn recycle(&mut self, mut buf: Vec<T>) {
+    /// Files `buf` locally; hands it back when the pool is full so the
+    /// caller can shelf it for other threads.
+    fn recycle(&mut self, mut buf: Vec<T>) -> Option<Vec<T>> {
         let cap = buf.capacity();
-        if cap < MIN_POOL_LEN || self.bufs >= MAX_POOL_BUFS || self.elems + cap > MAX_POOL_ELEMS {
-            return;
+        if cap < MIN_POOL_LEN {
+            return None;
         }
-        let class = Self::class_of_capacity(cap);
+        if self.bufs >= MAX_POOL_BUFS || self.elems + cap > MAX_POOL_ELEMS {
+            return Some(buf);
+        }
+        let class = class_of_capacity(cap);
         buf.clear();
         self.bufs += 1;
         self.elems += cap;
         self.bins[class].push(buf);
+        None
     }
+}
+
+/// The cross-thread overflow shelf: a mutex-protected, class-binned store
+/// that catches buffers a full thread-local pool would otherwise free, and
+/// serves them to any thread whose local pool misses. Steady-state traffic
+/// never touches it — it is the hand-off lane between a worker that built a
+/// working set and a worker that needs one.
+struct Shelf<T> {
+    bins: [Vec<Vec<T>>; CLASSES],
+    bufs: usize,
+    elems: usize,
+}
+
+impl<T> Shelf<T> {
+    const fn new() -> Self {
+        Shelf {
+            bins: [const { Vec::new() }; CLASSES],
+            bufs: 0,
+            elems: 0,
+        }
+    }
+
+    fn take(&mut self, len: usize) -> Option<Vec<T>> {
+        let buf = pop_fitting(&mut self.bins, len)?;
+        self.bufs -= 1;
+        self.elems -= buf.capacity();
+        Some(buf)
+    }
+
+    fn shelve(&mut self, mut buf: Vec<T>) {
+        let cap = buf.capacity();
+        if self.bufs >= MAX_SHELF_BUFS || self.elems + cap > MAX_SHELF_ELEMS {
+            return;
+        }
+        buf.clear();
+        self.bufs += 1;
+        self.elems += cap;
+        self.bins[class_of_capacity(cap)].push(buf);
+    }
+}
+
+static F32_SHELF: Mutex<Shelf<f32>> = Mutex::new(Shelf::new());
+static IDX_SHELF: Mutex<Shelf<usize>> = Mutex::new(Shelf::new());
+
+/// Locks a shelf, shrugging off poisoning (the shelf holds only empty
+/// buffers, so a panicking holder cannot leave it inconsistent).
+fn lock<T>(shelf: &Mutex<Shelf<T>>) -> std::sync::MutexGuard<'_, Shelf<T>> {
+    shelf.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 thread_local! {
@@ -135,7 +199,14 @@ pub(crate) fn take_empty(len: usize) -> Vec<f32> {
     if len < MIN_POOL_LEN {
         return Vec::with_capacity(len);
     }
-    F32_POOL.with(|p| p.borrow_mut().take_empty(len))
+    F32_POOL
+        .with(|p| p.borrow_mut().take_local(len))
+        .or_else(|| lock(&F32_SHELF).take(len))
+        // Fresh buffers get power-of-two capacity so they later file in the
+        // exact class their own request size maps to — without this, every
+        // odd-sized working-set buffer would miss its bin on the next
+        // iteration and steady state would keep allocating.
+        .unwrap_or_else(|| Vec::with_capacity(len.next_power_of_two()))
 }
 
 /// A zero-filled buffer of exactly `len` elements, recycled when possible.
@@ -160,7 +231,9 @@ pub(crate) fn recycle(buf: Vec<f32>) {
     if buf.capacity() < MIN_POOL_LEN {
         return;
     }
-    F32_POOL.with(|p| p.borrow_mut().recycle(buf));
+    if let Some(overflow) = F32_POOL.with(|p| p.borrow_mut().recycle(buf)) {
+        lock(&F32_SHELF).shelve(overflow);
+    }
 }
 
 /// A point-in-time view of the calling thread's buffer pools, for
@@ -207,6 +280,41 @@ pub fn pool_stats() -> PoolStats {
     }
 }
 
+/// A point-in-time view of the global cross-thread overflow shelf, for the
+/// same leak/high-water assertions as [`PoolStats`] — but process-wide: the
+/// shelf only ever holds what full thread-local pools spilled, so a
+/// monotonically growing shelf means some thread keeps building buffers it
+/// never re-takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShelfStats {
+    /// Shelved `f32` buffers across all threads.
+    pub f32_bufs: usize,
+    /// Total shelved `f32` capacity, in elements.
+    pub f32_elems: usize,
+    /// Shelved `usize` buffers across all threads.
+    pub index_bufs: usize,
+    /// Total shelved `usize` capacity, in elements.
+    pub index_elems: usize,
+}
+
+/// Snapshots the global overflow shelf's occupancy (two mutex locks).
+pub fn shelf_stats() -> ShelfStats {
+    let (f32_bufs, f32_elems) = {
+        let s = lock(&F32_SHELF);
+        (s.bufs, s.elems)
+    };
+    let (index_bufs, index_elems) = {
+        let s = lock(&IDX_SHELF);
+        (s.bufs, s.elems)
+    };
+    ShelfStats {
+        f32_bufs,
+        f32_elems,
+        index_bufs,
+        index_elems,
+    }
+}
+
 /// Takes an empty pooled `f32` staging buffer with capacity at least `len`.
 ///
 /// The public entry point for staging buffers that outlive an expression but
@@ -229,7 +337,10 @@ pub fn take_index_buffer(len: usize) -> Vec<usize> {
     if len < MIN_POOL_LEN {
         return Vec::with_capacity(len);
     }
-    IDX_POOL.with(|p| p.borrow_mut().take_empty(len))
+    IDX_POOL
+        .with(|p| p.borrow_mut().take_local(len))
+        .or_else(|| lock(&IDX_SHELF).take(len))
+        .unwrap_or_else(|| Vec::with_capacity(len.next_power_of_two()))
 }
 
 /// Returns a buffer obtained from [`take_index_buffer`] (or any
@@ -238,7 +349,9 @@ pub fn recycle_index_buffer(buf: Vec<usize>) {
     if buf.capacity() < MIN_POOL_LEN {
         return;
     }
-    IDX_POOL.with(|p| p.borrow_mut().recycle(buf));
+    if let Some(overflow) = IDX_POOL.with(|p| p.borrow_mut().recycle(buf)) {
+        lock(&IDX_SHELF).shelve(overflow);
+    }
 }
 
 /// A pooled `Vec<usize>`: drawn from the thread-local index pool and
@@ -458,6 +571,79 @@ mod tests {
         drop(v);
         let again = IndexVec::with_capacity(256);
         assert_eq!(again.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn overflowing_f32_recycle_crosses_threads_via_the_shelf() {
+        // A capacity class no other test uses, so concurrent tests in this
+        // binary cannot race us for the shelved buffer.
+        const BIG: usize = 5 << 18;
+        let ptr = std::thread::spawn(|| {
+            let mut marked = take_f32_buffer(BIG);
+            marked.resize(BIG, 1.0);
+            let ptr = marked.as_ptr() as usize;
+            // Fill this thread's local pool to its buffer cap so the marked
+            // buffer overflows onto the cross-thread shelf.
+            for _ in 0..MAX_POOL_BUFS {
+                recycle(vec![0.0; MIN_POOL_LEN]);
+            }
+            recycle_f32_buffer(marked);
+            ptr
+        })
+        .join()
+        .unwrap();
+        // A different thread — empty local pool — must get worker A's buffer
+        // back from the shelf, cleared.
+        let got = std::thread::spawn(move || {
+            let buf = take_f32_buffer(BIG);
+            assert!(buf.is_empty(), "shelved buffers must come back cleared");
+            buf.as_ptr() as usize
+        })
+        .join()
+        .unwrap();
+        assert_eq!(got, ptr, "expected the shelved allocation on thread B");
+    }
+
+    #[test]
+    fn overflowing_index_recycle_crosses_threads_via_the_shelf() {
+        const BIG: usize = 3 << 18; // distinct class from the f32 test's data
+        let ptr = std::thread::spawn(|| {
+            let mut marked = take_index_buffer(BIG);
+            marked.resize(BIG, 7);
+            let ptr = marked.as_ptr() as usize;
+            for _ in 0..MAX_POOL_BUFS {
+                recycle_index_buffer(vec![0; MIN_POOL_LEN]);
+            }
+            recycle_index_buffer(marked);
+            ptr
+        })
+        .join()
+        .unwrap();
+        let got = std::thread::spawn(move || {
+            let buf = take_index_buffer(BIG);
+            buf.as_ptr() as usize
+        })
+        .join()
+        .unwrap();
+        assert_eq!(got, ptr, "expected the shelved allocation on thread B");
+    }
+
+    #[test]
+    fn shelf_is_bounded_and_reports_occupancy() {
+        // Overflow far more small buffers than the shelf admits; its caps
+        // must hold no matter what other tests shelve concurrently.
+        std::thread::spawn(|| {
+            for _ in 0..(MAX_POOL_BUFS + MAX_SHELF_BUFS * 2) {
+                recycle(vec![0.0; MIN_POOL_LEN]);
+            }
+        })
+        .join()
+        .unwrap();
+        let stats = shelf_stats();
+        assert!(stats.f32_bufs <= MAX_SHELF_BUFS, "{stats:?}");
+        assert!(stats.f32_elems <= MAX_SHELF_ELEMS, "{stats:?}");
+        assert!(stats.index_bufs <= MAX_SHELF_BUFS, "{stats:?}");
+        assert!(stats.index_elems <= MAX_SHELF_ELEMS, "{stats:?}");
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod baselines;
 mod gaze;
 mod metrics;
@@ -49,4 +51,4 @@ pub use metrics::{seg_accuracy, AngularErrorStats, EvalResult};
 pub use roi_net::{RoiNetConfig, RoiPredictionNet};
 pub use sampling::{apply_strategy, SampledFrame, SamplingStrategy};
 pub use train::{DenseTrainer, JointTrainer, TrainConfig};
-pub use vit::{SegPrediction, SparseViT, ViTConfig};
+pub use vit::{PlannedBatch, PlannedFrameView, SegPrediction, SparseViT, ViTConfig};

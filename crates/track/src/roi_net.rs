@@ -2,9 +2,14 @@ use crate::util::denormalize_box;
 use bliss_nn::{Conv2d, Linear, Module};
 use bliss_npu::WorkloadDesc;
 use bliss_sensor::RoiBox;
-use bliss_tensor::{take_f32_buffer, NdArray, Tensor, TensorError};
+use bliss_tensor::{
+    take_f32_buffer, ExecPlan, GraphBuilder, NdArray, PlanCache, PlanCacheStats, Tensor,
+    TensorError,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Configuration of the ROI-prediction network.
 ///
@@ -160,6 +165,9 @@ pub struct RoiPredictionNet {
     fc1: Linear,
     fc2: Linear,
     config: RoiNetConfig,
+    /// Planned-inference cache, shared by clones. The network has one fixed
+    /// input shape, so at most one plan ever lives here.
+    plans: Rc<RefCell<PlanCache>>,
 }
 
 impl RoiPredictionNet {
@@ -180,6 +188,7 @@ impl RoiPredictionNet {
             fc1: Linear::new(rng, flat, config.hidden),
             fc2: Linear::new(rng, config.hidden, 4),
             config,
+            plans: Rc::new(RefCell::new(PlanCache::new())),
         }
     }
 
@@ -202,6 +211,9 @@ impl RoiPredictionNet {
     /// Returns shape errors if `input` is not the `[2, ih, iw]` layout from
     /// [`RoiPredictionNet::make_input`].
     pub fn forward(&self, input: &NdArray) -> Result<Tensor, TensorError> {
+        if bliss_tensor::in_inference_mode() {
+            return self.forward_planned(input);
+        }
         let x = Tensor::constant(input.clone());
         let x = self.conv1.forward(&x)?.relu();
         let x = self.conv2.forward(&x)?.relu();
@@ -209,6 +221,53 @@ impl RoiPredictionNet {
         let flat = x.reshape(&[1, self.fc1.in_features()])?;
         let h = self.fc1.forward(&flat)?.relu();
         Ok(self.fc2.forward(&h)?.sigmoid())
+    }
+
+    /// Planned counterpart of [`RoiPredictionNet::forward`]: compiles the
+    /// fixed-shape conv/FC graph once, then each call executes the cached
+    /// plan (zero allocations in the plan itself; only the tiny `[1, 4]`
+    /// result tensor is materialised, from a pooled buffer). Bit-identical
+    /// to the tape forward at any thread count.
+    fn forward_planned(&self, input: &NdArray) -> Result<Tensor, TensorError> {
+        let (iw, ih) = self.config.input_dims();
+        let plan = self
+            .plans
+            .borrow_mut()
+            .get_or_build(&[2, ih, iw], || self.record_graph())?;
+        plan.execute(&[input.data()], &[])?;
+        let out = plan.with_output(0, |data| {
+            let mut buf = take_f32_buffer(data.len());
+            buf.extend_from_slice(data);
+            NdArray::from_vec(buf, &[1, 4])
+        })?;
+        Ok(Tensor::constant(out))
+    }
+
+    /// Records the network (conv x3 with ReLU, flatten, FC-ReLU, FC-sigmoid)
+    /// into a planned-inference graph, mirroring the tape forward exactly.
+    fn record_graph(&self) -> Result<ExecPlan, TensorError> {
+        let (iw, ih) = self.config.input_dims();
+        let mut g = GraphBuilder::default();
+        let x = g.input(&[2, ih, iw]);
+        let c1 = self.conv1.record(&mut g, x)?;
+        let r1 = g.relu(c1);
+        let c2 = self.conv2.record(&mut g, r1)?;
+        let r2 = g.relu(c2);
+        let c3 = self.conv3.record(&mut g, r2)?;
+        let r3 = g.relu(c3);
+        let flat = g.reshape(r3, &[1, self.fc1.in_features()])?;
+        let h = self.fc1.record(&mut g, flat)?;
+        let hr = g.relu(h);
+        let o = self.fc2.record(&mut g, hr)?;
+        let s = g.sigmoid(o);
+        g.mark_output(s);
+        ExecPlan::compile(g)
+    }
+
+    /// Plan-cache counters (the soak harness gates on the plan count
+    /// staying at one and the arena not growing).
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.borrow().stats()
     }
 
     /// Hard ROI box from a forward pass: denormalised, margin-expanded and
@@ -311,6 +370,41 @@ mod tests {
         loss.backward().unwrap();
         let with_grads = n.parameters().iter().filter(|p| p.grad().is_some()).count();
         assert_eq!(with_grads, n.parameters().len());
+    }
+
+    #[test]
+    fn planned_forward_matches_tape_bitwise() {
+        let n = net();
+        let input = n.make_input(&vec![0.7; 16_000], &vec![2u8; 16_000]);
+        let taped = n.forward(&input).unwrap();
+        let planned = bliss_tensor::inference_mode(|| n.forward(&input)).unwrap();
+        assert_eq!(taped.value().data(), planned.value().data());
+        // Repeated planned calls hit the single cached plan.
+        let again = bliss_tensor::inference_mode(|| n.forward(&input)).unwrap();
+        assert_eq!(taped.value().data(), again.value().data());
+        let stats = n.plan_stats();
+        assert_eq!((stats.plans, stats.misses, stats.hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn planned_forward_is_thread_count_invariant() {
+        let n = net();
+        let input = n.make_input(&vec![0.3; 16_000], &vec![1u8; 16_000]);
+        let run = || {
+            bliss_tensor::inference_mode(|| n.forward(&input))
+                .unwrap()
+                .value()
+                .data()
+                .to_vec()
+        };
+        let serial = bliss_parallel::with_thread_count(1, run);
+        for threads in [2, 8] {
+            assert_eq!(
+                serial,
+                bliss_parallel::with_thread_count(threads, run),
+                "t={threads}"
+            );
+        }
     }
 
     #[test]

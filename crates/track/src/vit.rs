@@ -1,11 +1,13 @@
 use bliss_nn::{Linear, Module, TransformerBlock};
 use bliss_npu::{GemmShape, WorkloadDesc};
 use bliss_tensor::{
-    recycle_index_buffer, take_f32_buffer, take_index_buffer, IndexVec, NdArray, Tensor,
-    TensorError,
+    kernels, recycle_f32_buffer, recycle_index_buffer, take_f32_buffer, take_index_buffer,
+    ExecPlan, GraphBuilder, IndexVec, NdArray, PlanCache, PlanCacheStats, Tensor, TensorError,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Configuration of the sparse ViT segmenter (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -257,6 +259,123 @@ impl SegPrediction {
     }
 }
 
+/// Cached planned-inference state shared by every clone of a [`SparseViT`]
+/// (fleet hosts clone the network, so one compiled plan serves all of them).
+struct VitPlans {
+    /// Compiled execution plans keyed by the batch's token span layout
+    /// `[t_1..t_k]` (active frames only).
+    cache: PlanCache,
+    /// Pixel-head weight/bias handles cached once so the per-frame
+    /// refinement tail reads them without re-collecting parameter vectors.
+    pixel_params: Option<(Tensor, Tensor)>,
+    /// Reusable output/staging buffers for the planned
+    /// [`SparseViT::forward_batch`] wrapper.
+    batch: Option<PlannedBatch>,
+}
+
+impl Default for VitPlans {
+    fn default() -> Self {
+        VitPlans {
+            cache: PlanCache::new(),
+            pixel_params: None,
+            batch: Some(PlannedBatch::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for VitPlans {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VitPlans")
+            .field("stats", &self.cache.stats())
+            .finish()
+    }
+}
+
+/// Reusable output and staging buffers of [`SparseViT::forward_batch_into`]
+/// — the strict zero-allocation planned inference entry point.
+///
+/// All buffers are retained between calls (or drawn from the scratch
+/// pools), so a steady-state iteration over a repeating span layout
+/// performs **zero heap allocations**. The results of the last call are
+/// read through [`PlannedBatch::frame`].
+#[derive(Default)]
+pub struct PlannedBatch {
+    /// Flat per-pixel logits of every active frame, `[sum_S, classes]`.
+    logits: Vec<f32>,
+    /// Per input frame: `None` for empty frames, else offsets into `logits`.
+    frames: Vec<Option<PlannedFrame>>,
+    /// Class count of the last run.
+    classes: usize,
+    // Scratch reused across calls (never observable between them).
+    prepared: Vec<Option<PreparedFrame>>,
+    active: Vec<usize>,
+    /// Active frames' token counts — also the plan-cache key.
+    token_counts: Vec<usize>,
+    refined: Vec<f32>,
+    pixel_feat_all: Vec<f32>,
+}
+
+/// One active frame's slice of a [`PlannedBatch`].
+struct PlannedFrame {
+    off: usize,
+    rows: usize,
+    tokens: usize,
+    pixel_indices: IndexVec,
+}
+
+/// Borrowed view of one frame's planned-inference result.
+#[derive(Debug)]
+pub struct PlannedFrameView<'a> {
+    /// Frame-flat pixel index of every logits row.
+    pub pixel_indices: &'a [usize],
+    /// Row-major `[rows, classes]` per-pixel logits.
+    pub logits: &'a [f32],
+    /// Occupied patch tokens the transformer processed for this frame.
+    pub tokens: usize,
+}
+
+impl PlannedBatch {
+    /// An empty batch holder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frames in the last completed batch (including empty ones).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the holder has no frames recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Class count of the last run's logits rows.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The `i`-th input frame's result; `None` if that frame had no sampled
+    /// pixel.
+    pub fn frame(&self, i: usize) -> Option<PlannedFrameView<'_>> {
+        self.frames[i].as_ref().map(|f| PlannedFrameView {
+            pixel_indices: &f.pixel_indices,
+            logits: &self.logits[f.off..f.off + f.rows * self.classes],
+            tokens: f.tokens,
+        })
+    }
+}
+
+impl std::fmt::Debug for PlannedBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannedBatch")
+            .field("frames", &self.frames.len())
+            .field("classes", &self.classes)
+            .field("logit_rows", &(self.logits.len() / self.classes.max(1)))
+            .finish()
+    }
+}
+
 /// The sparse-robust Vision Transformer segmenter.
 ///
 /// Architecture (paper Fig. 6, Segmenter-style):
@@ -281,6 +400,11 @@ pub struct SparseViT {
     class_embed: Tensor,
     pixel_head: Linear,
     config: ViTConfig,
+    /// Shared planned-inference state; `Rc` so clones (fleet hosts) reuse
+    /// one plan cache. Weight *values* may change under a live plan (plans
+    /// read the shared parameter tensors); weight shapes are fixed by
+    /// `config`.
+    plans: Rc<RefCell<VitPlans>>,
 }
 
 impl SparseViT {
@@ -321,6 +445,7 @@ impl SparseViT {
             )),
             pixel_head: Linear::new(rng, 2, config.num_classes),
             config,
+            plans: Rc::new(RefCell::new(VitPlans::default())),
         }
     }
 
@@ -379,10 +504,15 @@ impl SparseViT {
 
         // Pass 1: parallel occupancy scan — one read-only task per patch
         // (cost hint: a patch scans up to p^2 mask pixels, so miniature
-        // grids stay on the calling thread).
-        let occupied = bliss_parallel::par_map_collect_with_cost(gw * gh, p2, |patch_idx| {
+        // grids stay on the calling thread). The flags are staged in a
+        // pooled f32 buffer — one write per patch into its own chunk — so
+        // the steady-state lowering allocates nothing.
+        let mut occupancy = take_f32_buffer(gw * gh);
+        occupancy.resize(gw * gh, 0.0);
+        bliss_parallel::par_chunks_with_cost(&mut occupancy, 1, p2, |patch_idx, chunk| {
             let (gy, gx) = (patch_idx / gw, patch_idx % gw);
-            for dy in 0..p {
+            chunk[0] = 0.0;
+            'scan: for dy in 0..p {
                 let y = gy * p + dy;
                 if y >= h {
                     break;
@@ -394,14 +524,15 @@ impl SparseViT {
                         break;
                     }
                     if row[x] > 0.0 {
-                        return true;
+                        chunk[0] = 1.0;
+                        break 'scan;
                     }
                 }
             }
-            false
         });
         let mut kept = take_index_buffer(gw * gh);
-        kept.extend((0..gw * gh).filter(|&i| occupied[i]));
+        kept.extend((0..gw * gh).filter(|&i| occupancy[i] > 0.0));
+        recycle_f32_buffer(occupancy);
         if kept.is_empty() {
             recycle_index_buffer(kept);
             return Ok(None);
@@ -496,6 +627,9 @@ impl SparseViT {
         &self,
         frames: &[(&[f32], &[f32])],
     ) -> Result<Vec<Option<SegPrediction>>, TensorError> {
+        if bliss_tensor::in_inference_mode() {
+            return self.forward_batch_planned(frames);
+        }
         let p2 = self.config.patch * self.config.patch;
         let classes = self.config.num_classes;
         let mut prepared: Vec<Option<PreparedFrame>> = frames
@@ -601,6 +735,243 @@ impl SparseViT {
             });
         }
         Ok(out)
+    }
+
+    /// The planned counterpart of the tape `forward_batch` body: runs
+    /// [`SparseViT::forward_batch_into`] on the shared reusable batch holder
+    /// and wraps each frame's result in a [`SegPrediction`] (the only step
+    /// that allocates — pooled logits copies and the constant tensors).
+    fn forward_batch_planned(
+        &self,
+        frames: &[(&[f32], &[f32])],
+    ) -> Result<Vec<Option<SegPrediction>>, TensorError> {
+        // Take the holder out of the shared state so `forward_batch_into`
+        // can borrow the plan cache without a double RefCell borrow.
+        let mut batch = self.plans.borrow_mut().batch.take().unwrap_or_default();
+        let result = self.forward_batch_into(frames, &mut batch).and_then(|()| {
+            let classes = batch.classes;
+            let mut out: Vec<Option<SegPrediction>> = Vec::with_capacity(frames.len());
+            for fr in batch.frames.drain(..) {
+                let Some(pf) = fr else {
+                    out.push(None);
+                    continue;
+                };
+                let mut buf = take_f32_buffer(pf.rows * classes);
+                buf.extend_from_slice(&batch.logits[pf.off..pf.off + pf.rows * classes]);
+                let logits = Tensor::constant(NdArray::from_vec(buf, &[pf.rows, classes])?);
+                out.push(Some(SegPrediction {
+                    pixel_indices: pf.pixel_indices,
+                    logits,
+                    tokens: pf.tokens,
+                }));
+            }
+            Ok(out)
+        });
+        self.plans.borrow_mut().batch = Some(batch);
+        result
+    }
+
+    /// Records the cross-frame batched token pass — patch embedding +
+    /// position gather, block-diagonal encoder, per-frame class-embedding
+    /// append, decoder, per-frame scaled patch-x-class logits — for one
+    /// span layout, mirroring the tape `forward_batch` body op for op, and
+    /// compiles it into an [`ExecPlan`]. One output per active frame.
+    ///
+    /// The per-pixel refinement tail is *not* recorded: its row count
+    /// changes every frame, which would defeat the shape-keyed plan cache,
+    /// so it runs as direct kernel calls on pooled buffers instead (see
+    /// [`SparseViT::forward_batch_into`]).
+    fn record_batch_graph(&self, token_counts: &[usize]) -> Result<ExecPlan, TensorError> {
+        let p2 = self.config.patch * self.config.patch;
+        let classes = self.config.num_classes;
+        let total: usize = token_counts.iter().sum();
+        let mut g = GraphBuilder::default();
+        let tokens_in = g.input(&[total, 2 * p2]);
+        let kept_slot = g.index_input(total);
+        let pos_param = g.param(&self.pos_embed);
+        let pos = g.gather_rows(pos_param, kept_slot)?;
+        let emb = self.patch_embed.record(&mut g, tokens_in)?;
+        let mut x = g.add(emb, pos)?;
+
+        let mut enc_spans = Vec::with_capacity(token_counts.len());
+        let mut cursor = 0usize;
+        for &t in token_counts {
+            enc_spans.push((cursor, cursor + t));
+            cursor += t;
+        }
+        for block in &self.encoder {
+            x = block.record_spans(&mut g, x, &enc_spans)?;
+        }
+
+        let cls_param = g.param(&self.class_embed);
+        let mut dec_parts = Vec::with_capacity(2 * token_counts.len());
+        let mut dec_spans = Vec::with_capacity(token_counts.len());
+        let mut dec_cursor = 0usize;
+        for &(s, e) in &enc_spans {
+            dec_parts.push(g.slice_rows(x, s, e)?);
+            dec_parts.push(cls_param);
+            dec_spans.push((dec_cursor, dec_cursor + (e - s) + classes));
+            dec_cursor += (e - s) + classes;
+        }
+        let mut d = g.concat_rows(&dec_parts)?;
+        for block in &self.decoder {
+            d = block.record_spans(&mut g, d, &dec_spans)?;
+        }
+
+        let inv = 1.0 / (self.config.dim as f32).sqrt();
+        for (slot, &(ds, de)) in dec_spans.iter().enumerate() {
+            let t = token_counts[slot];
+            let patch = g.slice_rows(d, ds, ds + t)?;
+            let cls = g.slice_rows(d, ds + t, de)?;
+            let tr = g.transpose(cls)?;
+            let mm = g.matmul(patch, tr)?;
+            let logits = g.scale(mm, inv);
+            g.mark_output(logits);
+        }
+        ExecPlan::compile(g)
+    }
+
+    /// Segments a batch of sparse frames through the **compiled planned
+    /// path**, writing every result into the reusable `out` holder.
+    ///
+    /// The token pass executes a cached [`ExecPlan`] keyed by the batch's
+    /// span layout `[t_1..t_k]` (compiled on first sight of a layout); the
+    /// variable-row pixel refinement tail runs as direct
+    /// [`bliss_tensor::kernels`] calls on pooled buffers. In steady state —
+    /// warm scratch pools, previously seen span layout — one call performs
+    /// **zero heap allocations**, and every frame's logits are
+    /// bit-identical to the tape [`SparseViT::forward_batch`] at any thread
+    /// count (the plan dispatches to the same slice-level kernels).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if any buffer does not match the configured
+    /// frame.
+    pub fn forward_batch_into(
+        &self,
+        frames: &[(&[f32], &[f32])],
+        out: &mut PlannedBatch,
+    ) -> Result<(), TensorError> {
+        let p2 = self.config.patch * self.config.patch;
+        let classes = self.config.num_classes;
+        out.classes = classes;
+        out.logits.clear();
+        out.frames.clear();
+        out.prepared.clear();
+        out.active.clear();
+        out.token_counts.clear();
+        for (image, sampled) in frames {
+            out.prepared.push(self.prepare(image, sampled)?);
+        }
+        for (i, p) in out.prepared.iter().enumerate() {
+            if p.is_some() {
+                out.active.push(i);
+            }
+        }
+        if out.active.is_empty() {
+            out.frames.extend(frames.iter().map(|_| None));
+            return Ok(());
+        }
+
+        // Stack active frames' tokens and look up (or compile) the plan for
+        // this span layout.
+        let mut total = 0usize;
+        for &i in &out.active {
+            let t = out.prepared[i].as_ref().expect("active").kept.len();
+            out.token_counts.push(t);
+            total += t;
+        }
+        let mut token_data = take_f32_buffer(total * 2 * p2);
+        let mut kept_all = take_index_buffer(total);
+        for &i in &out.active {
+            let f = out.prepared[i].as_ref().expect("active");
+            token_data.extend_from_slice(&f.token_data);
+            kept_all.extend_from_slice(&f.kept);
+        }
+        let plan = {
+            let mut plans = self.plans.borrow_mut();
+            let counts = &out.token_counts;
+            plans
+                .cache
+                .get_or_build(counts, || self.record_batch_graph(counts))?
+        };
+        plan.execute(&[&token_data], &[&kept_all])?;
+        recycle_f32_buffer(token_data);
+        recycle_index_buffer(kept_all);
+
+        // Pixel refinement head: one GEMM over every frame's sampled-pixel
+        // features, staged in retained buffers.
+        let mut s_total = 0usize;
+        for &i in &out.active {
+            s_total += out.prepared[i]
+                .as_ref()
+                .expect("active")
+                .pixel_indices
+                .len();
+        }
+        out.pixel_feat_all.clear();
+        out.pixel_feat_all.reserve(2 * s_total);
+        for &i in &out.active {
+            let f = out.prepared[i].as_ref().expect("active");
+            out.pixel_feat_all.extend_from_slice(&f.pixel_feat);
+        }
+        let (pw, pb) = {
+            let mut plans = self.plans.borrow_mut();
+            if plans.pixel_params.is_none() {
+                let p = self.pixel_head.parameters();
+                plans.pixel_params = Some((p[0].clone(), p[1].clone()));
+            }
+            plans.pixel_params.clone().expect("just initialised")
+        };
+        out.refined.clear();
+        out.refined.resize(s_total * classes, 0.0);
+        kernels::matmul_into(
+            &out.pixel_feat_all,
+            pw.value().data(),
+            2,
+            classes,
+            &mut out.refined,
+        );
+        kernels::add_row_assign(&mut out.refined, pb.value().data());
+
+        // Per-frame decode: expand each frame's patch logits (a plan
+        // output) to its pixel queries and add the refinement rows.
+        out.logits.resize(s_total * classes, 0.0);
+        let mut pixel_cursor = 0usize;
+        let mut slot = 0usize;
+        for i in 0..frames.len() {
+            if out.prepared[i].is_none() {
+                out.frames.push(None);
+                continue;
+            }
+            let f = out.prepared[i].take().expect("active");
+            let t = f.kept.len();
+            let rows = f.pixel_indices.len();
+            let off = pixel_cursor * classes;
+            let dst = &mut out.logits[off..off + rows * classes];
+            plan.with_output(slot, |data| {
+                kernels::gather_rows_into(data, t, classes, &f.pixel_token, dst)
+            })?;
+            for (l, &r) in dst.iter_mut().zip(&out.refined[off..off + rows * classes]) {
+                *l += r;
+            }
+            let pixel_indices = f.recycle();
+            out.frames.push(Some(PlannedFrame {
+                off,
+                rows,
+                tokens: t,
+                pixel_indices,
+            }));
+            pixel_cursor += rows;
+            slot += 1;
+        }
+        Ok(())
+    }
+
+    /// Plan-cache traffic/occupancy counters of the shared planned state
+    /// (soak harnesses gate on `plans`/`arena_elems` staying bounded).
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.borrow().cache.stats()
     }
 
     /// Lowered workload for `tokens` occupied patches and `pixels`
@@ -853,5 +1224,119 @@ mod tests {
         assert_eq!(cfg.num_patches(), 1000);
         assert_eq!(cfg.enc_depth, 12);
         assert_eq!(cfg.dec_depth, 2);
+    }
+
+    #[test]
+    fn planned_forward_batch_matches_tape_bitwise() {
+        let vit = tiny();
+        let dense = synth_frame(1, 1.0);
+        let sparse = synth_frame(2, 0.05);
+        let empty = (vec![0.0f32; 1200], vec![0.0f32; 1200]);
+        let frames = [&dense, &sparse, &empty];
+        let batch: Vec<(&[f32], &[f32])> = frames.iter().map(|f| (&f.0[..], &f.1[..])).collect();
+        let taped = vit.forward_batch(&batch).unwrap();
+        let planned = bliss_tensor::inference_mode(|| vit.forward_batch(&batch)).unwrap();
+        for (i, (t, p)) in taped.iter().zip(&planned).enumerate() {
+            match (t, p) {
+                (Some(t), Some(p)) => {
+                    assert_eq!(t.pixel_indices, p.pixel_indices, "frame {i}");
+                    assert_eq!(t.tokens, p.tokens, "frame {i}");
+                    assert_eq!(
+                        t.logits.value().data(),
+                        p.logits.value().data(),
+                        "frame {i} logits must be bit-identical"
+                    );
+                }
+                (None, None) => {}
+                _ => panic!("frame {i}: planned/tape presence disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn planned_forward_batch_is_thread_count_invariant() {
+        let vit = tiny();
+        let a = synth_frame(5, 0.1);
+        let b = synth_frame(6, 0.3);
+        let batch: Vec<(&[f32], &[f32])> = [&a, &b].iter().map(|f| (&f.0[..], &f.1[..])).collect();
+        let run = || {
+            bliss_tensor::inference_mode(|| vit.forward_batch(&batch))
+                .unwrap()
+                .into_iter()
+                .map(|p| p.unwrap().logits.value().data().to_vec())
+                .collect::<Vec<_>>()
+        };
+        let serial = bliss_parallel::with_thread_count(1, run);
+        for threads in [2, 8] {
+            assert_eq!(
+                serial,
+                bliss_parallel::with_thread_count(threads, run),
+                "t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_batch_into_matches_forward_batch() {
+        let vit = tiny();
+        let a = synth_frame(7, 0.2);
+        let empty = (vec![0.0f32; 1200], vec![0.0f32; 1200]);
+        let b = synth_frame(8, 0.6);
+        let frames = [&a, &empty, &b];
+        let batch: Vec<(&[f32], &[f32])> = frames.iter().map(|f| (&f.0[..], &f.1[..])).collect();
+        let taped = vit.forward_batch(&batch).unwrap();
+        let mut out = PlannedBatch::new();
+        vit.forward_batch_into(&batch, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.frame(1).is_none());
+        for (i, t) in taped.iter().enumerate() {
+            match (t, out.frame(i)) {
+                (Some(t), Some(p)) => {
+                    assert_eq!(&t.pixel_indices[..], p.pixel_indices, "frame {i}");
+                    assert_eq!(t.tokens, p.tokens, "frame {i}");
+                    assert_eq!(t.logits.value().data(), p.logits, "frame {i}");
+                }
+                (None, None) => {}
+                _ => panic!("frame {i}: presence disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_replans_per_span_layout_and_reuses_across_clones() {
+        let vit = tiny();
+        let a = synth_frame(9, 0.3);
+        let b = synth_frame(10, 0.7);
+        let mut out = PlannedBatch::new();
+        let solo_a: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1)];
+        let pair: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1), (&b.0, &b.1)];
+        vit.forward_batch_into(&solo_a, &mut out).unwrap();
+        let s1 = vit.plan_stats();
+        assert_eq!((s1.plans, s1.misses, s1.hits), (1, 1, 0));
+        // Same layout again: pure cache hit.
+        vit.forward_batch_into(&solo_a, &mut out).unwrap();
+        let s2 = vit.plan_stats();
+        assert_eq!((s2.plans, s2.misses, s2.hits), (1, 1, 1));
+        // A new span layout compiles a second plan; the old one survives.
+        vit.forward_batch_into(&pair, &mut out).unwrap();
+        let s3 = vit.plan_stats();
+        assert_eq!((s3.plans, s3.misses), (2, 2));
+        // Clones share the cache (fleet hosts reuse one compiled plan).
+        let clone = vit.clone();
+        clone.forward_batch_into(&solo_a, &mut out).unwrap();
+        let s4 = clone.plan_stats();
+        assert_eq!((s4.plans, s4.hits), (2, s3.hits + 1));
+        assert_eq!(vit.plan_stats().hits, s4.hits);
+    }
+
+    #[test]
+    fn planned_solo_forward_matches_tape() {
+        let vit = tiny();
+        let (image, mask) = synth_frame(11, 0.4);
+        let taped = vit.forward(&image, &mask).unwrap().unwrap();
+        let planned = bliss_tensor::inference_mode(|| vit.forward(&image, &mask))
+            .unwrap()
+            .unwrap();
+        assert_eq!(taped.logits.value().data(), planned.logits.value().data());
     }
 }

@@ -250,6 +250,24 @@ impl Criterion {
         self
     }
 
+    /// Records an already-measured scalar (an allocation count, a cache-hit
+    /// tally) as a result row so it lands in the group's JSON report next to
+    /// the timings. Not part of real criterion's API — the value is stored
+    /// verbatim in the `median_ns`/`mean_ns` fields with zero spread.
+    pub fn report_value(&mut self, name: &str, value: f64) -> &mut Self {
+        println!("{name:<40} value: {value}");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: value,
+            mean_ns: value,
+            mad_ns: 0.0,
+            samples_kept: 1,
+            outliers_rejected: 0,
+            iters_per_sample: 1,
+        });
+        self
+    }
+
     /// The results accumulated so far (one entry per finished benchmark).
     pub fn results(&self) -> &[BenchResult] {
         &self.results
@@ -381,6 +399,15 @@ mod tests {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
         assert_eq!(c.results()[0].iters_per_sample, 1);
+    }
+
+    #[test]
+    fn report_value_lands_in_the_json() {
+        let mut c = Criterion::default();
+        c.report_value("allocs_per_iter", 583.0);
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].median_ns, 583.0);
+        assert!(c.to_json().contains("\"name\": \"allocs_per_iter\""));
     }
 
     #[test]
