@@ -281,6 +281,94 @@ fn bench_plan_vs_tape(c: &mut Criterion) {
     c.report_value("plan_vs_tape_tape_allocs_per_iter", tape_allocs as f64);
 }
 
+/// Telemetry overhead on the instrumented hot path: the planned batched
+/// forward (whose plan-cache and scratch-pool counters fire every call)
+/// plus the serve layer's per-frame span record pattern, timed with
+/// telemetry OFF and ON in interleaved rounds (min-of-rounds on both arms
+/// so scheduler noise cancels). The closure is identical in both arms —
+/// exactly the production shape, where the disabled path is one branch per
+/// record site. Reported as `telemetry_overhead_pct`; with
+/// `BLISS_TELEMETRY_GATE=1` the bench *fails* if the overhead exceeds 3%.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use bliss_telemetry::{metrics, record_span, SpanRecord, Stage};
+
+    let mut rng = StdRng::seed_from_u64(0x5CA7C4);
+    let vit = SparseViT::new(&mut rng, ViTConfig::miniature(160, 100));
+    let synth = |seed: u64, rate: f32| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut image = vec![0.0f32; 16_000];
+        let mut mask = vec![0.0f32; 16_000];
+        for i in 0..16_000 {
+            if rng.gen::<f32>() < rate {
+                mask[i] = 1.0;
+                image[i] = rng.gen::<f32>();
+            }
+        }
+        (image, mask)
+    };
+    let a = synth(1, 0.06);
+    let b = synth(2, 0.02);
+    let batch: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1), (&b.0, &b.1)];
+
+    let mut out = PlannedBatch::new();
+    for _ in 0..3 {
+        vit.forward_batch_into(&batch, &mut out).unwrap();
+    }
+
+    // Pre-size the ring once; rounds clear it so the ON arm never measures
+    // the drop-on-full path.
+    bliss_telemetry::init_spans(1 << 14);
+
+    let mut frame = 0u32;
+    let mut iteration = |out: &mut PlannedBatch| {
+        vit.forward_batch_into(&batch, out).unwrap();
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            record_span(SpanRecord {
+                stage: *stage,
+                frame,
+                virt_start_s: f64::from(frame) * 8.3e-3 + i as f64 * 1e-3,
+                virt_dur_s: 1e-3,
+                ..SpanRecord::ZERO
+            });
+        }
+        metrics::FRAMES_SERVED.add(1);
+        metrics::FRAME_LATENCY_S.record(1e-3);
+        frame = frame.wrapping_add(1);
+        std::hint::black_box(&out);
+    };
+
+    const ROUNDS: usize = 12;
+    const ITERS: usize = 25;
+    let (mut best_off_s, mut best_on_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        bliss_telemetry::set_enabled(false);
+        let t = std::time::Instant::now();
+        for _ in 0..ITERS {
+            iteration(&mut out);
+        }
+        best_off_s = best_off_s.min(t.elapsed().as_secs_f64());
+
+        bliss_telemetry::set_enabled(true);
+        let t = std::time::Instant::now();
+        for _ in 0..ITERS {
+            iteration(&mut out);
+        }
+        best_on_s = best_on_s.min(t.elapsed().as_secs_f64());
+        bliss_telemetry::set_enabled(false);
+        bliss_telemetry::clear_spans();
+    }
+
+    let overhead_pct = (best_on_s - best_off_s) / best_off_s * 100.0;
+    c.report_value("telemetry_overhead_pct", overhead_pct);
+    if std::env::var_os("BLISS_TELEMETRY_GATE").is_some_and(|v| v == "1") {
+        assert!(
+            overhead_pct <= 3.0,
+            "telemetry overhead {overhead_pct:.2}% exceeds the 3% budget \
+             on the planned batched-inference hot path"
+        );
+    }
+}
+
 // Renderer and eventify run first: on some virtualised hosts the hashed
 // readout loops leave the CPU in a state that slows unrelated FP code (see
 // the ROADMAP "host-specific FP pathology" note), which would poison the
@@ -289,6 +377,6 @@ criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
     targets = bench_renderer, bench_eventify, bench_matmul, bench_attention, bench_sparse_readout,
-        bench_rle, bench_pool_overhead, bench_plan_vs_tape
+        bench_rle, bench_pool_overhead, bench_plan_vs_tape, bench_telemetry_overhead
 }
 criterion_main!(kernels);

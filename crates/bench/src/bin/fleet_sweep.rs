@@ -10,9 +10,18 @@
 //! `BLISS_BENCH_OUT`), next to `BENCH_serve.json`; the `fleet-smoke` CI job
 //! uploads it on every push. `--quick` (or `BLISS_BENCH_FAST=1`) runs a
 //! reduced sweep for CI.
+//!
+//! The whole sweep runs with `bliss_telemetry` tracing **on** (after an
+//! off/on bit-identity probe): the report gains a per-stage breakdown and
+//! a metrics snapshot (including per-host utilisation gauges), and the
+//! spans — `pid` = host, `tid` = session — are exported as
+//! Perfetto-loadable Chrome trace JSON to `TRACE_fleet.json`.
 
 use bliss_fleet::{FleetConfig, FleetReport, FleetRuntime, PlacementPolicy};
+use bliss_telemetry::export::{chrome_trace_json, stage_breakdown, StageSummary};
+use bliss_telemetry::MetricsSnapshot;
 use blisscam_core::SystemConfig;
+use serde::json::JsonValue;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -30,6 +39,13 @@ struct SweepPoint {
 struct SweepReport {
     mode: String,
     frames_per_session: usize,
+    /// Per-stage span aggregates over the whole traced sweep.
+    stages: Vec<StageSummary>,
+    /// The telemetry metrics registry frozen at the end of the sweep
+    /// (per-host utilisation gauges reflect the last load point).
+    metrics: MetricsSnapshot,
+    /// Spans the fixed ring dropped (0 = the trace is complete).
+    spans_dropped: u64,
     points: Vec<SweepPoint>,
 }
 
@@ -52,6 +68,21 @@ fn main() {
     let fleet = FleetRuntime::new(system)
         .expect("training succeeds")
         .with_paper_scale_timing();
+
+    // Telemetry neutrality probe at fleet scale: off vs on must be
+    // bit-identical before tracing is left on for the recorded sweep.
+    bliss_telemetry::init_spans(1 << 17);
+    let probe_cfg = FleetConfig::new(2, PlacementPolicy::RoundRobin, 4, frames.min(4));
+    let outcome_off = fleet.serve(&probe_cfg).expect("probe serves");
+    bliss_telemetry::set_enabled(true);
+    let outcome_on = fleet.serve(&probe_cfg).expect("probe serves");
+    assert_eq!(
+        outcome_off, outcome_on,
+        "tracing on/off must not change fleet results bit-for-bit"
+    );
+    println!("telemetry neutrality probe: on/off outcomes bit-identical");
+    bliss_telemetry::clear_spans();
+    bliss_telemetry::reset_metrics();
 
     let mut points = Vec::new();
     let mut rows = Vec::new();
@@ -93,9 +124,38 @@ fn main() {
         &rows,
     );
 
+    // Drain the span ring: validate the Chrome trace JSON by re-parsing,
+    // then write it next to the bench report.
+    bliss_telemetry::set_enabled(false);
+    let spans_dropped = bliss_telemetry::spans_dropped();
+    let spans = bliss_telemetry::take_spans();
+    let stages = stage_breakdown(&spans);
+    let metrics = bliss_telemetry::metrics_snapshot();
+    let trace_json = chrome_trace_json(&spans);
+    let trace_value = JsonValue::parse(&trace_json).expect("trace JSON must parse");
+    let event_count = trace_value
+        .field("traceEvents")
+        .and_then(|v| v.expect_array())
+        .expect("traceEvents array")
+        .len();
+    println!(
+        "traced {} spans ({} dropped) into {} Chrome trace events",
+        spans.len(),
+        spans_dropped,
+        event_count
+    );
+    let trace_path = bliss_bench::report_path("TRACE_fleet.json");
+    match std::fs::write(&trace_path, &trace_json) {
+        Ok(()) => println!("wrote Perfetto trace to {}", trace_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", trace_path.display()),
+    }
+
     let report = SweepReport {
         mode: if quick { "quick" } else { "standard" }.to_string(),
         frames_per_session: frames,
+        stages,
+        metrics,
+        spans_dropped,
         points,
     };
     let path = bliss_bench::report_path("BENCH_fleet.json");

@@ -11,9 +11,18 @@
 //! `BLISS_BENCH_OUT`), next to `BENCH_kernels.json`; the `serve-smoke` CI
 //! job uploads it on every push. `--quick` (or `BLISS_BENCH_FAST=1`) runs a
 //! reduced sweep for CI.
+//!
+//! The whole sweep runs with `bliss_telemetry` tracing **on** (after an
+//! off/on bit-identity probe): the report gains a per-stage breakdown and
+//! a metrics-registry snapshot, and the recorded spans are exported as
+//! Perfetto-loadable Chrome trace JSON to `TRACE_serve.json` (validated by
+//! re-parsing before it is written).
 
 use bliss_serve::{ServeConfig, ServeReport, ServeRuntime};
+use bliss_telemetry::export::{chrome_trace_json, stage_breakdown, StageSummary};
+use bliss_telemetry::MetricsSnapshot;
 use blisscam_core::{SparseFrontEnd, SystemConfig};
+use serde::json::JsonValue;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -54,6 +63,13 @@ struct SweepReport {
     /// planned execution (identical outputs, pinned bit-for-bit before the
     /// ratio is reported).
     planned_dispatch_speedup: f64,
+    /// Per-stage span aggregates over the whole traced sweep (virtual and
+    /// wall time), in pipeline order.
+    stages: Vec<StageSummary>,
+    /// The telemetry metrics registry frozen at the end of the sweep.
+    metrics: MetricsSnapshot,
+    /// Spans the fixed ring dropped (0 = the trace is complete).
+    spans_dropped: u64,
     points: Vec<SweepPoint>,
 }
 
@@ -102,6 +118,23 @@ fn main() {
     let runtime = ServeRuntime::new(system)
         .expect("training succeeds")
         .with_paper_scale_timing();
+
+    // Telemetry neutrality probe: the same load point served with tracing
+    // off and on must produce bit-identical outcomes (telemetry is
+    // write-only — nothing it records feeds back into scheduling or
+    // numerics). Only then is tracing left on for the recorded sweep.
+    bliss_telemetry::init_spans(1 << 17);
+    let neutrality_cfg = ServeConfig::new(2, frames.min(8));
+    let outcome_off = runtime.serve(&neutrality_cfg).expect("probe serves");
+    bliss_telemetry::set_enabled(true);
+    let outcome_on = runtime.serve(&neutrality_cfg).expect("probe serves");
+    assert_eq!(
+        outcome_off, outcome_on,
+        "tracing on/off must not change serving results bit-for-bit"
+    );
+    println!("telemetry neutrality probe: on/off outcomes bit-identical");
+    bliss_telemetry::clear_spans();
+    bliss_telemetry::reset_metrics();
 
     let max_batch = 16;
     let mut points = Vec::new();
@@ -190,6 +223,33 @@ fn main() {
          ({planned_dispatch_speedup:.2}x)"
     );
 
+    // Drain the span ring into the Perfetto-loadable Chrome trace and the
+    // per-stage breakdown; validate the trace JSON by re-parsing it with
+    // the same parser CI uses before writing it next to the bench report.
+    bliss_telemetry::set_enabled(false);
+    let spans_dropped = bliss_telemetry::spans_dropped();
+    let spans = bliss_telemetry::take_spans();
+    let stages = stage_breakdown(&spans);
+    let metrics = bliss_telemetry::metrics_snapshot();
+    let trace_json = chrome_trace_json(&spans);
+    let trace_value = JsonValue::parse(&trace_json).expect("trace JSON must parse");
+    let event_count = trace_value
+        .field("traceEvents")
+        .and_then(|v| v.expect_array())
+        .expect("traceEvents array")
+        .len();
+    println!(
+        "traced {} spans ({} dropped) into {} Chrome trace events",
+        spans.len(),
+        spans_dropped,
+        event_count
+    );
+    let trace_path = bliss_bench::report_path("TRACE_serve.json");
+    match std::fs::write(&trace_path, &trace_json) {
+        Ok(()) => println!("wrote Perfetto trace to {}", trace_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", trace_path.display()),
+    }
+
     let report = SweepReport {
         mode: if quick { "quick" } else { "standard" }.to_string(),
         frames_per_session: frames,
@@ -199,6 +259,9 @@ fn main() {
         planned_wall_ms,
         tape_wall_ms,
         planned_dispatch_speedup,
+        stages,
+        metrics,
+        spans_dropped,
         points,
     };
     let path = bliss_bench::report_path("BENCH_serve.json");

@@ -51,11 +51,17 @@ fn main() {
         cfg.frames_total()
     );
     let t0 = Instant::now();
+    // Metrics-only telemetry for the whole soak: the span ring is never
+    // initialised (recording a span is then a no-op), so the million-frame
+    // horizon adds no trace memory — only the static registry counters.
+    bliss_telemetry::set_enabled(true);
     // Single-thread pool: the scratch-pool high-water readings are
     // per-thread, so this makes the main-thread curve cover inference too.
     let report =
         bliss_parallel::with_thread_count(1, || run_soak(&runtime, &cfg)).expect("soak succeeds");
+    bliss_telemetry::set_enabled(false);
     let wall_s = t0.elapsed().as_secs_f64();
+    let metrics = bliss_telemetry::metrics_snapshot();
 
     let mut rows = Vec::new();
     // Print head/tail epochs only; the JSON has them all.
@@ -113,10 +119,27 @@ fn main() {
         wall_s,
     );
 
+    println!(
+        "telemetry: plan cache {} hits / {} misses / {} evictions, \
+         {} frames in {} batches, {} cold-start reads, {} deadline misses",
+        metrics.counter("plan_cache_hits"),
+        metrics.counter("plan_cache_misses"),
+        metrics.counter("plan_cache_evictions"),
+        metrics.counter("frames_served"),
+        metrics.counter("batches_launched"),
+        metrics.counter("cold_start_frames"),
+        metrics.counter("deadline_misses"),
+    );
+
     let path = bliss_bench::report_path("BENCH_soak.json");
     match std::fs::write(&path, report.to_json()) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    let mpath = bliss_bench::report_path("BENCH_soak_metrics.json");
+    match std::fs::write(&mpath, metrics.to_json()) {
+        Ok(()) => println!("wrote {}", mpath.display()),
+        Err(e) => eprintln!("could not write {}: {e}", mpath.display()),
     }
 
     let mut failed = false;

@@ -34,145 +34,12 @@ use bliss_serve::{LatencyStats, ServeConfig, ServeOutcome, ServeRuntime};
 use bliss_tensor::TensorError;
 use serde::{Deserialize, Serialize};
 
-/// Number of fixed geometric latency buckets in a [`StreamingHistogram`].
-pub const HISTOGRAM_BUCKETS: usize = 64;
-
-/// Lower edge of bucket 0, in seconds (1 µs).
-pub const HISTOGRAM_BASE_S: f64 = 1e-6;
-
-/// Geometric growth factor between consecutive bucket edges (√2 — at most
-/// ~41% relative quantile error, and 64 buckets then span 1 µs to ~50 min,
-/// far past any virtual-time frame latency this simulator can produce).
-pub const HISTOGRAM_GROWTH: f64 = std::f64::consts::SQRT_2;
-
-/// A fixed-footprint streaming latency histogram.
-///
-/// Buckets are geometric: bucket `i` covers
-/// `[BASE·G^i, BASE·G^(i+1))` seconds, with underflow clamped into bucket 0
-/// and overflow into the last bucket. [`StreamingHistogram::record`] is a
-/// branch-light index increment — no allocation, no sorting, no retained
-/// samples — so it can absorb an unbounded stream at constant memory. The
-/// exact maximum is tracked on the side so the tail of the report is not
-/// bucket-quantised.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct StreamingHistogram {
-    buckets: [u64; HISTOGRAM_BUCKETS],
-    count: u64,
-    sum_s: f64,
-    max_s: f64,
-}
-
-impl Default for StreamingHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl StreamingHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        StreamingHistogram {
-            buckets: [0; HISTOGRAM_BUCKETS],
-            count: 0,
-            sum_s: 0.0,
-            max_s: 0.0,
-        }
-    }
-
-    /// The bucket index a latency of `seconds` files under.
-    fn bucket_of(seconds: f64) -> usize {
-        if seconds < HISTOGRAM_BASE_S {
-            return 0;
-        }
-        // log_G(x / BASE) with G = 2^(1/2) is 2·log2(x / BASE).
-        let idx = (2.0 * (seconds / HISTOGRAM_BASE_S).log2()).floor();
-        (idx as usize).min(HISTOGRAM_BUCKETS - 1)
-    }
-
-    /// Exclusive upper edge of bucket `i`, in seconds.
-    pub fn bucket_upper_s(i: usize) -> f64 {
-        HISTOGRAM_BASE_S * HISTOGRAM_GROWTH.powi(i as i32 + 1)
-    }
-
-    /// Records one latency sample. Allocation-free.
-    pub fn record(&mut self, seconds: f64) {
-        self.buckets[Self::bucket_of(seconds)] += 1;
-        self.count += 1;
-        self.sum_s += seconds;
-        if seconds > self.max_s {
-            self.max_s = seconds;
-        }
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of every recorded sample, in seconds (0 when empty).
-    pub fn mean_s(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_s / self.count as f64
-        }
-    }
-
-    /// Exact maximum recorded sample, in seconds (0 when empty).
-    pub fn max_s(&self) -> f64 {
-        self.max_s
-    }
-
-    /// The raw bucket counts (index `i` covers `[BASE·G^i, BASE·G^(i+1))`).
-    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
-        &self.buckets
-    }
-
-    /// Nearest-rank quantile `q ∈ [0, 1]`, in seconds: the upper edge of
-    /// the bucket holding the rank (clamped to the exact maximum, so
-    /// `quantile_s(1.0) == max_s()`). Relative error is bounded by the
-    /// bucket growth factor.
-    pub fn quantile_s(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // The overflow bucket has no honest upper edge; report the
-                // exact tracked maximum there (and clamp everywhere else).
-                if i == HISTOGRAM_BUCKETS - 1 {
-                    return self.max_s;
-                }
-                return Self::bucket_upper_s(i).min(self.max_s);
-            }
-        }
-        self.max_s
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &StreamingHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_s += other.sum_s;
-        self.max_s = self.max_s.max(other.max_s);
-    }
-
-    /// The histogram's percentiles in the serve layer's
-    /// [`LatencyStats`] shape (bucket upper edges; max is exact).
-    pub fn latency_stats(&self) -> LatencyStats {
-        LatencyStats {
-            p50_ms: self.quantile_s(0.50) * 1e3,
-            p95_ms: self.quantile_s(0.95) * 1e3,
-            p99_ms: self.quantile_s(0.99) * 1e3,
-            max_ms: self.max_s * 1e3,
-        }
-    }
-}
+// The histogram was born here and later promoted into `bliss_telemetry` so
+// the metrics registry could share it; re-exported so soak call sites (and
+// the serde round-trip suite) are unchanged.
+pub use bliss_telemetry::{
+    StreamingHistogram, HISTOGRAM_BASE_S, HISTOGRAM_BUCKETS, HISTOGRAM_GROWTH,
+};
 
 /// Shape of one soak run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -258,6 +125,12 @@ pub struct EpochStats {
     /// Total arena footprint across those plans, in `f32` elements — the
     /// plan-memory curve that must go flat alongside the pools.
     pub vit_arena_elems: usize,
+    /// **Cumulative** plan-cache misses (compilations) since the runtime
+    /// was created, read after the epoch. The per-epoch delta is this
+    /// minus the previous epoch's reading; the final (repeat-seed
+    /// sentinel) epoch's delta must be **zero** — every span layout it
+    /// produces was compiled when epoch 0 served the same seed.
+    pub vit_plan_misses: u64,
 }
 
 /// The `BENCH_soak.json` payload.
@@ -372,6 +245,7 @@ pub fn run_soak(runtime: &ServeRuntime, cfg: &SoakConfig) -> Result<SoakReport, 
             pool_retained_bytes: bliss_tensor::pool_stats().retained_bytes(),
             vit_plans: plan_stats.plans,
             vit_arena_elems: plan_stats.arena_elems,
+            vit_plan_misses: plan_stats.misses,
         });
 
         if epoch == 0 {
@@ -420,7 +294,7 @@ pub fn run_soak(runtime: &ServeRuntime, cfg: &SoakConfig) -> Result<SoakReport, 
         virtual_s_total,
         steady_frames: hist.count(),
         warmup_excluded,
-        latency: hist.latency_stats(),
+        latency: LatencyStats::from_histogram(&hist),
         mean_latency_ms: hist.mean_s() * 1e3,
         steady_miss_rate: steady_misses as f64 / hist.count().max(1) as f64,
         sentinel_identical,
@@ -536,6 +410,16 @@ mod tests {
         assert!(report.plan_high_water > 0, "planned path never compiled");
         assert!(report.arena_high_water_elems > 0);
         assert!(report.plans_flat_after_warmup, "plan cache kept growing");
+        // Repeat-seed sentinel: the last epoch replays epoch 0's layouts,
+        // so it must not record a single plan-cache miss.
+        let [.., prev, last] = report.per_epoch.as_slice() else {
+            panic!("smoke soak has at least two epochs");
+        };
+        assert_eq!(
+            last.vit_plan_misses, prev.vit_plan_misses,
+            "repeat-seed sentinel epoch recorded plan-cache misses"
+        );
+        assert!(prev.vit_plan_misses > 0, "planned path never missed at all");
         assert!(report.warmup_excluded > 0, "warmup window excluded nothing");
         assert_eq!(
             report.steady_frames as usize + report.warmup_excluded,

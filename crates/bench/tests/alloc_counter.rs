@@ -222,3 +222,62 @@ fn steady_state_planned_forward_batch_allocates_nothing_at_all() {
         assert_eq!(vit.plan_stats().plans, 1, "one span layout, one plan");
     });
 }
+
+#[test]
+fn steady_state_planned_forward_with_tracing_on_allocates_nothing() {
+    use bliss_telemetry::{metrics, record_span, SpanRecord, Stage};
+
+    let mut rng = StdRng::seed_from_u64(0x5CA7C4);
+    let vit = SparseViT::new(&mut rng, ViTConfig::miniature(160, 100));
+    let a = synth_frame(1, 160 * 100, 0.06);
+    let b = synth_frame(2, 160 * 100, 0.02);
+    let batch: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1), (&b.0, &b.1)];
+
+    // The ring is the *only* allocation telemetry ever makes — pre-sized
+    // here, before counting is armed. The registry is all statics.
+    bliss_telemetry::init_spans(4096);
+    bliss_telemetry::set_enabled(true);
+    with_thread_count(1, || {
+        let mut out = PlannedBatch::new();
+        for _ in 0..4 {
+            vit.forward_batch_into(&batch, &mut out)
+                .expect("forward succeeds");
+        }
+        // Steady state with tracing ON: the planned path's own zero-alloc
+        // contract must survive live instrumentation — counter bumps in
+        // the plan cache and scratch pools, plus the serve layer's span
+        // record pattern (six stages per frame) and histogram samples.
+        for iter in 0..4u32 {
+            let (total, big) = count_allocs(|| {
+                vit.forward_batch_into(&batch, &mut out)
+                    .expect("forward succeeds");
+                for (i, stage) in Stage::ALL.iter().enumerate() {
+                    record_span(SpanRecord {
+                        stage: *stage,
+                        frame: iter,
+                        virt_start_s: f64::from(iter) * 8.3e-3 + i as f64 * 1e-3,
+                        virt_dur_s: 1e-3,
+                        ..SpanRecord::ZERO
+                    });
+                }
+                metrics::FRAMES_SERVED.add(1);
+                metrics::FRAME_LATENCY_S.record(1e-3);
+                metrics::BATCH_OCCUPANCY.record(2.0);
+                std::hint::black_box(&out);
+            });
+            assert_eq!(
+                total, 0,
+                "planned forward with tracing ON performed {total} heap \
+                 allocations on iteration {iter} ({big} buffer-class); \
+                 span recording must be writes into the pre-sized ring"
+            );
+        }
+    });
+    bliss_telemetry::set_enabled(false);
+    assert!(
+        bliss_telemetry::spans_recorded() >= 24,
+        "the ring must have accepted the recorded spans"
+    );
+    assert_eq!(bliss_telemetry::spans_dropped(), 0);
+    bliss_telemetry::clear_spans();
+}

@@ -13,7 +13,10 @@
 //! Documented exceptions — `Serialize`-only by design, checked separately
 //! below: the three const-table entry types in `bliss_energy::trends`
 //! (`GpuEntry`, `AlgorithmEntry`, `SensorSurveyEntry`) hold `&'static str`
-//! names and exist only to be dumped into figure JSON.
+//! names and exist only to be dumped into figure JSON, and the three
+//! Chrome-trace export types in `bliss_telemetry::export` (`TraceEvent`,
+//! `TraceArgs`, `ChromeTrace`) likewise hold `&'static str` stage labels
+//! and target the Perfetto loader, not our own reader.
 
 use bliss_bench::soak::{run_soak, SoakConfig, StreamingHistogram};
 use bliss_eye::{
@@ -482,6 +485,66 @@ fn experiment_row_values_round_trip() {
         ),
         pixels: 64 * 48,
     });
+}
+
+#[test]
+fn telemetry_values_round_trip() {
+    for s in bliss_telemetry::Stage::ALL {
+        rt(&s);
+    }
+    let span = bliss_telemetry::SpanRecord {
+        stage: bliss_telemetry::Stage::Inference,
+        planned: true,
+        scenario: 3,
+        host: 2,
+        session: 17,
+        frame: 401,
+        batch: 4,
+        virt_start_s: 1.25,
+        virt_dur_s: 0.0009765625,
+        wall_start_ns: 123_456_789,
+        wall_dur_ns: 42_000,
+    };
+    rt(&span);
+    for s in bliss_telemetry::export::stage_breakdown(&[span, bliss_telemetry::SpanRecord::ZERO]) {
+        rt(&s);
+    }
+    // A live registry snapshot (read-only: no enable-flag toggles, so this
+    // cannot race the other suites in this binary).
+    let snap = bliss_telemetry::metrics_snapshot();
+    rt(&snap);
+    for c in &snap.counters {
+        rt(c);
+    }
+    for g in &snap.gauges {
+        rt(g);
+    }
+    for h in &snap.histograms {
+        rt(h);
+    }
+}
+
+#[test]
+fn trace_export_types_are_serialize_only_by_design() {
+    // `TraceEvent`/`TraceArgs`/`ChromeTrace` carry `&'static str` stage
+    // labels and exist to feed Perfetto, which owns the reader side; pin
+    // that the export still emits valid JSON with the exact envelope the
+    // trace-event format wants.
+    let spans = [
+        bliss_telemetry::SpanRecord::ZERO,
+        bliss_telemetry::SpanRecord {
+            stage: bliss_telemetry::Stage::Feedback,
+            frame: 7,
+            ..bliss_telemetry::SpanRecord::ZERO
+        },
+    ];
+    let json = bliss_telemetry::export::chrome_trace_json(&spans);
+    let value = serde::JsonValue::parse(&json).expect("Chrome trace serialises to valid JSON");
+    let events = value
+        .field("traceEvents")
+        .and_then(|v| v.expect_array())
+        .expect("trace envelope has a traceEvents array");
+    assert_eq!(events.len(), spans.len());
 }
 
 #[test]

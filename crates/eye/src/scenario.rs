@@ -56,6 +56,16 @@ impl Scenario {
         Self::ALL[i % Self::ALL.len()]
     }
 
+    /// Position of this scenario in [`Scenario::ALL`] (the inverse of
+    /// [`Scenario::for_index`] within one round; stable, so per-scenario
+    /// metrics can be indexed without carrying the enum).
+    pub fn index(&self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("ALL enumerates every scenario")
+    }
+
     /// The trajectory parameterisation of this scenario at `fps`.
     pub fn trajectory_config(&self, fps: f32) -> TrajectoryConfig {
         let base = TrajectoryConfig {

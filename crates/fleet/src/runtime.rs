@@ -248,9 +248,19 @@ impl FleetRuntime {
     /// Propagates tensor errors from inference.
     pub fn step(&self, state: &mut FleetState) -> Result<bool, TensorError> {
         let mut advanced = false;
-        for (shard_cfg, shard) in state.shard_cfgs.iter().zip(state.shards.iter_mut()) {
+        for (host, (shard_cfg, shard)) in state
+            .shard_cfgs
+            .iter()
+            .zip(state.shards.iter_mut())
+            .enumerate()
+        {
+            // Shards step serially on this thread, so the ambient host id
+            // tags every span the shard's batch emits. Telemetry-only: the
+            // scheduler never reads it back.
+            bliss_telemetry::set_current_host(host as u32);
             advanced |= self.runtime.step_batch(shard_cfg, shard)?;
         }
+        bliss_telemetry::set_current_host(0);
         Ok(advanced)
     }
 
@@ -265,6 +275,13 @@ impl FleetRuntime {
             .collect();
         let timeline = merge_timelines(&per_host);
         let report = FleetReport::from_hosts(cfg, &state.assignment, &per_host, &timeline);
+        if bliss_telemetry::enabled() {
+            use bliss_telemetry::metrics as m;
+            m::FLEET_HOSTS.set(cfg.hosts as f64);
+            for (host, outcome) in per_host.iter().enumerate().take(m::MAX_HOSTS) {
+                m::HOST_UTILISATION[host].set(outcome.report.utilisation);
+            }
+        }
         FleetOutcome {
             report,
             per_host,

@@ -39,6 +39,19 @@ impl LatencyStats {
             max_ms: sorted[sorted.len() - 1] * 1e3,
         }
     }
+
+    /// Percentiles of a telemetry streaming histogram in this shape
+    /// (bucket upper edges, so quantised by the bucket growth factor; max
+    /// is exact). Lives here rather than on the histogram so
+    /// `bliss_telemetry` stays below `bliss_serve` in the crate DAG.
+    pub fn from_histogram(h: &bliss_telemetry::StreamingHistogram) -> Self {
+        LatencyStats {
+            p50_ms: h.quantile_s(0.50) * 1e3,
+            p95_ms: h.quantile_s(0.95) * 1e3,
+            p99_ms: h.quantile_s(0.99) * 1e3,
+            max_ms: h.max_s() * 1e3,
+        }
+    }
 }
 
 /// Aggregate statistics of one session's trace.
@@ -64,25 +77,34 @@ pub struct SessionSummary {
     pub mean_tokens: f64,
 }
 
-/// Post-warmup statistics: the same recorded frame latencies with the
-/// warmup window **excluded**, never recomputed.
+/// Warm/cold split statistics: the same recorded frame latencies with the
+/// warmup windows **excluded** from the steady side, never recomputed.
 ///
 /// Cold-start convoys dominate a run's head; the steady view answers "what
 /// does a long-lived deployment look like" without touching the all-frames
-/// statistics the load sweeps have always reported. A frame is excluded iff
-/// its exposure started before [`crate::ServeConfig::warmup_s`]; its
-/// recorded latency is otherwise used verbatim, so with `warmup_s = 0.0`
-/// these match the all-frames numbers exactly.
+/// statistics the load sweeps have always reported. A frame is **warm**
+/// (steady) iff its exposure started at or after
+/// [`crate::ServeConfig::warmup_s`] *and* its index within its session is
+/// at least [`crate::ServeConfig::warmup_frames`]; every other frame is
+/// the **cold** side, reported separately rather than discarded. Recorded
+/// latencies are used verbatim on both sides, so with both windows zero
+/// the warm numbers match the all-frames numbers exactly and the cold side
+/// is empty.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SteadyStats {
-    /// Frames that survived the exclusion window.
+    /// Frames that survived the exclusion windows (the warm side).
     pub frames: usize,
-    /// Frames excluded as warmup.
+    /// Frames excluded as warmup (the cold side).
     pub excluded: usize,
-    /// Latency percentiles over the surviving frames only.
+    /// Latency percentiles over the warm frames only.
     pub latency: LatencyStats,
-    /// Deadline-miss rate over the surviving frames only.
+    /// Deadline-miss rate over the warm frames only.
     pub deadline_miss_rate: f64,
+    /// Latency percentiles over the excluded (cold) frames — zeros when
+    /// nothing was excluded.
+    pub cold_latency: LatencyStats,
+    /// Deadline-miss rate over the excluded (cold) frames.
+    pub cold_deadline_miss_rate: f64,
 }
 
 /// Aggregate results of one serving run — the `BENCH_serve.json` payload.
@@ -127,6 +149,8 @@ impl ServeReport {
         let mut all_latencies = Vec::new();
         let mut steady_latencies = Vec::new();
         let mut steady_misses = 0usize;
+        let mut cold_latencies = Vec::new();
+        let mut cold_misses = 0usize;
         let mut misses = 0usize;
         let mut frames_total = 0usize;
         let mut energy_j = 0.0f64;
@@ -148,10 +172,15 @@ impl ServeReport {
                 lat.push(r.latency_s);
                 miss += usize::from(r.deadline_missed);
                 // Warmup exclusion: the recorded latency is reused verbatim
-                // or dropped — never recomputed.
-                if r.arrival_s >= cfg.warmup_s {
+                // on whichever side it lands — never recomputed. Warm means
+                // past the fleet-wide virtual-time window AND past the
+                // session's own cold-start frame prefix.
+                if r.arrival_s >= cfg.warmup_s && r.index >= cfg.warmup_frames {
                     steady_latencies.push(r.latency_s);
                     steady_misses += usize::from(r.deadline_missed);
+                } else {
+                    cold_latencies.push(r.latency_s);
+                    cold_misses += usize::from(r.deadline_missed);
                 }
                 eh += r.horizontal_error_deg;
                 ev += r.vertical_error_deg;
@@ -207,9 +236,11 @@ impl ServeReport {
             utilisation,
             steady: SteadyStats {
                 frames: steady_latencies.len(),
-                excluded: frames_total - steady_latencies.len(),
+                excluded: cold_latencies.len(),
                 latency: LatencyStats::from_latencies_s(&steady_latencies),
                 deadline_miss_rate: steady_misses as f64 / steady_latencies.len().max(1) as f64,
+                cold_latency: LatencyStats::from_latencies_s(&cold_latencies),
+                cold_deadline_miss_rate: cold_misses as f64 / cold_latencies.len().max(1) as f64,
             },
             per_session,
         }
@@ -234,5 +265,76 @@ mod tests {
         let s = LatencyStats::from_latencies_s(&[]);
         assert_eq!(s.max_ms, 0.0);
         assert_eq!(s.p99_ms, 0.0);
+    }
+
+    /// A synthetic one-session trace: frame `i` arrives at `i` seconds with
+    /// latency `(i+1)` ms, every frame missing its deadline.
+    fn synthetic_trace(frames: usize) -> SessionTrace {
+        use bliss_eye::{Gaze, Scenario};
+        let records = (0..frames)
+            .map(|i| crate::FrameRecord {
+                index: i,
+                arrival_s: i as f64,
+                completion_s: i as f64 + (i + 1) as f64 * 1e-3,
+                latency_s: (i + 1) as f64 * 1e-3,
+                deadline_missed: true,
+                batch_size: 1,
+                gaze_prediction: Gaze::default(),
+                gaze_truth: Gaze::default(),
+                horizontal_error_deg: 0.0,
+                vertical_error_deg: 0.0,
+                sampled_pixels: 0,
+                roi_pixels: 0,
+                tokens: 0,
+                mipi_bytes: 0,
+                energy_j: 0.0,
+            })
+            .collect();
+        SessionTrace {
+            config: crate::SessionConfig {
+                id: 0,
+                scenario: Scenario::SmoothPursuit,
+                seed: 1,
+                frames,
+                start_offset_s: 0.0,
+            },
+            records,
+        }
+    }
+
+    #[test]
+    fn warmup_frames_split_warm_and_cold_sides() {
+        let trace = synthetic_trace(10);
+        let mut cfg = ServeConfig::new(1, 10);
+        cfg.warmup_frames = 3;
+        let report = ServeReport::from_traces(&cfg, std::slice::from_ref(&trace), 1.0);
+        // Frames 0..3 are cold, 3..10 warm; recorded latencies reused
+        // verbatim on both sides.
+        assert_eq!(report.steady.frames, 7);
+        assert_eq!(report.steady.excluded, 3);
+        assert_eq!(report.steady.latency.max_ms, 10.0);
+        assert_eq!(report.steady.cold_latency.max_ms, 3.0);
+        assert_eq!(report.steady.deadline_miss_rate, 1.0);
+        assert_eq!(report.steady.cold_deadline_miss_rate, 1.0);
+        // All-frames stats are untouched by the split.
+        assert_eq!(report.frames_total, 10);
+        assert_eq!(report.latency.max_ms, 10.0);
+
+        // Both windows must clear: a virtual-time warmup horizon composes
+        // with the per-session frame prefix.
+        cfg.warmup_s = 5.5; // excludes frames 0..=5 by arrival
+        let report = ServeReport::from_traces(&cfg, std::slice::from_ref(&trace), 1.0);
+        assert_eq!(report.steady.frames, 4);
+        assert_eq!(report.steady.excluded, 6);
+        assert_eq!(report.steady.cold_latency.max_ms, 6.0);
+
+        // Zero windows: warm side equals all frames, cold side is empty.
+        cfg.warmup_s = 0.0;
+        cfg.warmup_frames = 0;
+        let report = ServeReport::from_traces(&cfg, std::slice::from_ref(&trace), 1.0);
+        assert_eq!(report.steady.frames, 10);
+        assert_eq!(report.steady.excluded, 0);
+        assert_eq!(report.steady.latency, report.latency);
+        assert_eq!(report.steady.cold_latency.max_ms, 0.0);
     }
 }

@@ -47,6 +47,14 @@ pub struct ServeConfig {
     /// exclusion never recomputes a frame's latency. `0.0` excludes
     /// nothing.
     pub warmup_s: f64,
+    /// Per-session cold-start prefix, in frames: each session's first
+    /// `warmup_frames` frames are classed as warmup regardless of when
+    /// they arrive — a late-connecting session's cold-start convoy lands
+    /// past any fixed `warmup_s` horizon, but its first frames are still
+    /// bootstrap reads, not steady state. A frame is steady iff it clears
+    /// **both** windows; excluded frames are reported separately as the
+    /// cold side of [`crate::SteadyStats`]. `0` excludes nothing.
+    pub warmup_frames: usize,
 }
 
 impl ServeConfig {
@@ -79,6 +87,7 @@ impl ServeConfig {
             max_cold_per_batch: 4,
             seed: 0x5EB5,
             warmup_s: 0.0,
+            warmup_frames: 0,
         }
     }
 }
@@ -537,11 +546,25 @@ impl ServeRuntime {
         let indices: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
         let mut refs = disjoint_muts(sessions, &indices);
         let roi_cfg = *self.roi_net.config();
+        // Telemetry is write-only and never feeds back into scheduling, so
+        // one flag read up front keeps the disabled path to a handful of
+        // branches per batch.
+        let tel = bliss_telemetry::enabled();
+        let w0 = if tel {
+            bliss_telemetry::wall_now_ns()
+        } else {
+            0
+        };
 
         // Stage A (parallel across sessions): front-end stages 1+2 — noise
         // -> exposure -> analog eventification -> ROI-net input assembly.
         // Pure per-session state, staged in each session's reused buffers.
         let inputs = bliss_parallel::par_map_mut(&mut refs, |_, s| s.prepare_roi_input(&roi_cfg));
+        let w1 = if tel {
+            bliss_telemetry::wall_now_ns()
+        } else {
+            0
+        };
 
         // Stage B (serial, tiny): in-sensor ROI prediction per session, with
         // the front-end's cold-start full-frame fallback. The network holds
@@ -551,6 +574,11 @@ impl ServeRuntime {
             let roi_out = self.infer(|| self.roi_net.forward(input))?;
             boxes.push(s.front.select_box(&self.roi_net, &roi_out));
         }
+        let w2 = if tel {
+            bliss_telemetry::wall_now_ns()
+        } else {
+            0
+        };
 
         // Stage C (parallel): front-end stage 4 — SRAM-sampled readout, RLE
         // encode/decode and sparse-image reconstruction, each into the
@@ -559,6 +587,11 @@ impl ServeRuntime {
         bliss_parallel::par_map_mut(&mut refs, |i, s| s.read_out(boxes[i], sample_rate))
             .into_iter()
             .collect::<Result<(), _>>()?;
+        let w3 = if tel {
+            bliss_telemetry::wall_now_ns()
+        } else {
+            0
+        };
 
         // Stage D: ONE cross-session batched inference launch over the
         // sessions' staged frames.
@@ -567,6 +600,11 @@ impl ServeRuntime {
             .map(|s| (&s.sensed.image[..], &s.sensed.mask[..]))
             .collect();
         let predictions = self.infer(|| self.vit.forward_batch(&frames))?;
+        let w4 = if tel {
+            bliss_telemetry::wall_now_ns()
+        } else {
+            0
+        };
 
         // Host timing: the batch launch costs one block-diagonal pass —
         // fused weight GEMMs over the summed tokens (each paying its
@@ -614,7 +652,114 @@ impl ServeRuntime {
             s.prev_completion_s = completion;
             s.next_frame = t + 1;
         }
+
+        if tel {
+            self.record_batch_telemetry(
+                &refs,
+                batch,
+                st,
+                host_start,
+                seg_time,
+                [w0, w1, w2, w3, w4],
+            );
+        }
         Ok(host_start + seg_time + st.gaze_s * batch.len() as f64)
+    }
+
+    /// Emits per-frame, per-stage spans and batch metrics for one executed
+    /// batch. Pure reconstruction from the scheduler's own accounting —
+    /// each member's virtual stage timeline is recovered from its recorded
+    /// frame and its readiness time in `batch` — so telemetry reads state
+    /// the results path already produced and writes nothing back.
+    fn record_batch_telemetry(
+        &self,
+        refs: &[&mut Session],
+        batch: &[(usize, f64)],
+        st: &StageDurations,
+        host_start: f64,
+        seg_time: f64,
+        walls: [u64; 5],
+    ) {
+        use bliss_telemetry::metrics as m;
+        use bliss_telemetry::{record_span, SpanRecord, Stage};
+
+        let [w0, w1, w2, w3, w4] = walls;
+        let w5 = bliss_telemetry::wall_now_ns();
+        let host = bliss_telemetry::current_host();
+        m::BATCHES_LAUNCHED.add(1);
+        m::BATCH_OCCUPANCY.record(batch.len() as f64);
+        m::SCRATCH_RETAINED_BYTES.set(bliss_tensor::pool_stats().retained_bytes() as f64);
+        m::SHELF_RETAINED_BYTES.set(bliss_tensor::shelf_stats().retained_bytes() as f64);
+        // Sensor-side readiness decomposition (see `next_ready`): a frame's
+        // readiness is roi_start + roi_pred + sampling + readout + mipi, so
+        // the ROI stage start — including any stall waiting for the
+        // previous frame's feedback — falls straight out of the readiness
+        // time the batch already carries.
+        let tail = st.roi_pred_s + st.sampling_s + st.readout_s + st.mipi_s;
+        for (pos, (s, &(_, ready))) in refs.iter().zip(batch).enumerate() {
+            let rec = s.records.last().expect("batch member was just recorded");
+            let scenario = (s.config.scenario.index()).min(m::MAX_SCENARIOS - 1);
+            m::FRAMES_SERVED.add(1);
+            m::SCENARIO_FRAMES[scenario].add(1);
+            m::FRAME_LATENCY_S.record(rec.latency_s);
+            if rec.deadline_missed {
+                m::DEADLINE_MISSES.add(1);
+                m::SCENARIO_DEADLINE_MISSES[scenario].add(1);
+            }
+            let base = SpanRecord {
+                stage: Stage::Expose,
+                planned: self.planned,
+                scenario: scenario as u8,
+                host,
+                session: s.config.id as u32,
+                frame: rec.index as u32,
+                batch: batch.len() as u32,
+                virt_start_s: rec.arrival_s,
+                virt_dur_s: st.exposure_s,
+                wall_start_ns: w0,
+                wall_dur_ns: w1 - w0,
+            };
+            record_span(base);
+            record_span(SpanRecord {
+                stage: Stage::Eventify,
+                virt_start_s: rec.arrival_s + st.exposure_s,
+                virt_dur_s: st.eventify_s,
+                ..base
+            });
+            let roi_start = ready - tail;
+            record_span(SpanRecord {
+                stage: Stage::RoiPredict,
+                virt_start_s: roi_start,
+                virt_dur_s: st.roi_pred_s,
+                wall_start_ns: w1,
+                wall_dur_ns: w2 - w1,
+                ..base
+            });
+            record_span(SpanRecord {
+                stage: Stage::Readout,
+                virt_start_s: roi_start + st.roi_pred_s,
+                virt_dur_s: st.sampling_s + st.readout_s + st.mipi_s,
+                wall_start_ns: w2,
+                wall_dur_ns: w3 - w2,
+                ..base
+            });
+            record_span(SpanRecord {
+                stage: Stage::Inference,
+                virt_start_s: host_start,
+                virt_dur_s: seg_time,
+                wall_start_ns: w3,
+                wall_dur_ns: w4 - w3,
+                ..base
+            });
+            record_span(SpanRecord {
+                stage: Stage::Feedback,
+                virt_start_s: host_start + seg_time + st.gaze_s * pos as f64,
+                virt_dur_s: st.gaze_s,
+                wall_start_ns: w4,
+                wall_dur_ns: w5 - w4,
+                ..base
+            });
+        }
     }
 }
 

@@ -34,7 +34,11 @@ use std::error::Error;
 use std::fmt;
 
 /// The snapshot wire-format version this build writes and accepts.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history: `1` — the original durable-serving format; `2` —
+/// [`crate::ServeConfig`] (embedded in every snapshot) gained
+/// `warmup_frames`, changing the wire shape of the `serve` field.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Errors from restoring a serving snapshot.
 #[derive(Debug, Clone, PartialEq)]

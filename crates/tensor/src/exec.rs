@@ -485,6 +485,8 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that compiled a new plan.
     pub misses: u64,
+    /// Plans evicted by the FIFO bound since the cache was created.
+    pub evictions: u64,
     /// Plans currently cached.
     pub plans: usize,
     /// Total arena elements retained across cached plans — the soak gauge
@@ -523,6 +525,7 @@ pub struct PlanCache {
     order: std::collections::VecDeque<Vec<usize>>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -552,9 +555,11 @@ impl PlanCache {
     ) -> Result<Rc<ExecPlan>, TensorError> {
         if let Some(plan) = self.plans.get(key) {
             self.hits += 1;
+            bliss_telemetry::metrics::PLAN_CACHE_HITS.add(1);
             return Ok(plan.clone());
         }
         self.misses += 1;
+        bliss_telemetry::metrics::PLAN_CACHE_MISSES.add(1);
         let plan = Rc::new(build()?);
         // Bound the cache before admitting the new plan: FIFO over the
         // insertion order, so eviction is deterministic and independent of
@@ -568,9 +573,13 @@ impl PlanCache {
             let oldest = self.order.pop_front().expect("order mirrors plans");
             let evicted = self.plans.remove(&oldest).expect("order mirrors plans");
             arena_total -= evicted.arena_len();
+            self.evictions += 1;
+            bliss_telemetry::metrics::PLAN_CACHE_EVICTIONS.add(1);
         }
         self.order.push_back(key.to_vec());
         self.plans.insert(key.to_vec(), plan.clone());
+        bliss_telemetry::metrics::PLAN_CACHE_PLANS.set(self.plans.len() as f64);
+        bliss_telemetry::metrics::PLAN_ARENA_ELEMS.set(arena_total as f64);
         Ok(plan)
     }
 
@@ -596,6 +605,7 @@ impl PlanCache {
         PlanCacheStats {
             hits: self.hits,
             misses: self.misses,
+            evictions: self.evictions,
             plans: self.plans.len(),
             arena_elems: self.plans.values().map(|p| p.arena_len()).sum(),
         }
@@ -835,6 +845,7 @@ mod tests {
         let _p3 = cache.get_or_build(&[3], build).unwrap();
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.plans), (1, 2, 2));
+        assert_eq!(stats.evictions, 0, "under-cap cache must never evict");
         assert_eq!(stats.arena_elems, p1.arena_len() + _p3.arena_len());
         cache.clear();
         assert!(cache.is_empty());
@@ -858,6 +869,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.plans, MAX_CACHED_PLANS, "cache exceeded its bound");
         assert_eq!(stats.misses, (MAX_CACHED_PLANS + 8) as u64);
+        assert_eq!(stats.evictions, 8, "one eviction per plan past the cap");
         // The eight oldest keys were evicted in insertion order ...
         for evicted in 0..8 {
             let before = cache.stats().misses;

@@ -639,6 +639,7 @@ pub(crate) fn plan_graph(b: &GraphBuilder) -> Result<Plan, TensorError> {
         })
         .collect();
 
+    bliss_telemetry::metrics::PLANS_COMPILED.add(1);
     Ok(Plan {
         steps,
         arena_len: alloc.high,

@@ -206,7 +206,10 @@ pub(crate) fn take_empty(len: usize) -> Vec<f32> {
         // exact class their own request size maps to — without this, every
         // odd-sized working-set buffer would miss its bin on the next
         // iteration and steady state would keep allocating.
-        .unwrap_or_else(|| Vec::with_capacity(len.next_power_of_two()))
+        .unwrap_or_else(|| {
+            bliss_telemetry::metrics::SCRATCH_F32_MISSES.add(1);
+            Vec::with_capacity(len.next_power_of_two())
+        })
 }
 
 /// A zero-filled buffer of exactly `len` elements, recycled when possible.
@@ -297,6 +300,14 @@ pub struct ShelfStats {
     pub index_elems: usize,
 }
 
+impl ShelfStats {
+    /// Total shelved bytes across both element types.
+    pub fn retained_bytes(&self) -> usize {
+        self.f32_elems * std::mem::size_of::<f32>()
+            + self.index_elems * std::mem::size_of::<usize>()
+    }
+}
+
 /// Snapshots the global overflow shelf's occupancy (two mutex locks).
 pub fn shelf_stats() -> ShelfStats {
     let (f32_bufs, f32_elems) = {
@@ -340,7 +351,10 @@ pub fn take_index_buffer(len: usize) -> Vec<usize> {
     IDX_POOL
         .with(|p| p.borrow_mut().take_local(len))
         .or_else(|| lock(&IDX_SHELF).take(len))
-        .unwrap_or_else(|| Vec::with_capacity(len.next_power_of_two()))
+        .unwrap_or_else(|| {
+            bliss_telemetry::metrics::SCRATCH_INDEX_MISSES.add(1);
+            Vec::with_capacity(len.next_power_of_two())
+        })
 }
 
 /// Returns a buffer obtained from [`take_index_buffer`] (or any
