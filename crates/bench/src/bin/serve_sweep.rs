@@ -18,13 +18,18 @@
 //! Perfetto-loadable Chrome trace JSON to `TRACE_serve.json` (validated by
 //! re-parsing before it is written).
 
-use bliss_serve::{ServeConfig, ServeReport, ServeRuntime};
+use bliss_serve::{Precision, ServeConfig, ServeOutcome, ServeReport, ServeRuntime};
 use bliss_telemetry::export::{chrome_trace_json, stage_breakdown, StageSummary};
 use bliss_telemetry::MetricsSnapshot;
 use blisscam_core::{SparseFrontEnd, SystemConfig};
 use serde::json::JsonValue;
 use serde::Serialize;
 use std::time::Instant;
+
+/// Per-scenario ceiling on `mean_gaze_error(int8) - mean_gaze_error(f32)`
+/// enforced under `BLISS_QUANT_GATE=1` — the same bound the serve crate's
+/// `quant_identity` differential suite pins.
+const GAZE_TOLERANCE_DEG: f64 = 0.15;
 
 /// One load point: the same fleet served batched and sequentially.
 #[derive(Serialize)]
@@ -40,9 +45,35 @@ struct SweepPoint {
     virtual_p95_ratio: f64,
 }
 
+/// One precision's corner of the accuracy/energy/throughput Pareto front,
+/// measured over the same scenario-diverse load point.
+#[derive(Serialize)]
+struct PrecisionPareto {
+    precision: String,
+    /// Mean angular gaze error across every served frame, degrees.
+    mean_gaze_error_deg: f64,
+    /// Mean modelled energy per frame, joules.
+    energy_per_frame_j: f64,
+    throughput_fps: f64,
+    wall_ms: f64,
+}
+
+/// The f32↔int8 accuracy differential for one scenario.
+#[derive(Serialize)]
+struct ScenarioAccuracy {
+    scenario: String,
+    f32_gaze_error_deg: f64,
+    int8_gaze_error_deg: f64,
+    /// `int8 - f32`; gated at [`GAZE_TOLERANCE_DEG`] under
+    /// `BLISS_QUANT_GATE=1`.
+    delta_deg: f64,
+}
+
 #[derive(Serialize)]
 struct SweepReport {
     mode: String,
+    /// Precision the load sweep's points were served at.
+    precision: String,
     frames_per_session: usize,
     max_batch: usize,
     /// Mean steady-state readout-box area over the renderer's ground-truth
@@ -70,7 +101,72 @@ struct SweepReport {
     metrics: MetricsSnapshot,
     /// Spans the fixed ring dropped (0 = the trace is complete).
     spans_dropped: u64,
+    /// Quantised matmul sites in the shared ViT's int8 spec (0 when the
+    /// int8 path never ran).
+    int8_sites: usize,
+    /// Whether `BLISS_QUANT_GATE=1` gated this run (a written report means
+    /// the gate passed).
+    quant_gate: bool,
+    /// Accuracy/energy/throughput corner per precision (empty under
+    /// `--precision f32`).
+    pareto: Vec<PrecisionPareto>,
+    /// Per-scenario f32↔int8 gaze-error differential (empty under
+    /// `--precision f32`).
+    pareto_scenarios: Vec<ScenarioAccuracy>,
     points: Vec<SweepPoint>,
+}
+
+/// Parses `--precision <f32|int8|both>` (or `BLISS_BENCH_PRECISION`);
+/// defaults to `both`.
+fn precision_mode() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    let mut value = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--precision=") {
+            value = Some(v.to_string());
+        } else if a == "--precision" {
+            value = args.get(i + 1).cloned();
+        }
+    }
+    let mode = value
+        .or_else(|| std::env::var("BLISS_BENCH_PRECISION").ok())
+        .unwrap_or_else(|| "both".to_string());
+    assert!(
+        matches!(mode.as_str(), "f32" | "int8" | "both"),
+        "--precision must be f32, int8 or both (got {mode:?})"
+    );
+    mode
+}
+
+/// Mean per-frame angular gaze error over an outcome's traces, optionally
+/// restricted to one scenario label.
+fn mean_gaze_error_deg(outcome: &ServeOutcome, scenario: Option<&str>) -> f64 {
+    let mut sum = 0f64;
+    let mut n = 0usize;
+    for t in &outcome.traces {
+        if scenario.is_some_and(|s| t.config.scenario.label() != s) {
+            continue;
+        }
+        for r in &t.records {
+            let (h, v) = (r.horizontal_error_deg as f64, r.vertical_error_deg as f64);
+            sum += (h * h + v * v).sqrt();
+            n += 1;
+        }
+    }
+    sum / n.max(1) as f64
+}
+
+/// Mean modelled energy per frame over an outcome's traces, joules.
+fn mean_energy_j(outcome: &ServeOutcome) -> f64 {
+    let mut sum = 0f64;
+    let mut n = 0usize;
+    for t in &outcome.traces {
+        for r in &t.records {
+            sum += r.energy_j;
+            n += 1;
+        }
+    }
+    sum / n.max(1) as f64
 }
 
 /// Serves one session solo and compares its steady-state readout-box areas
@@ -97,6 +193,17 @@ fn roi_tightness(runtime: &ServeRuntime, frames: usize) -> f64 {
 
 fn main() {
     let quick = bliss_bench::fast_mode();
+    let precision_mode = precision_mode();
+    let quant_gate = std::env::var("BLISS_QUANT_GATE").is_ok_and(|v| !v.is_empty() && v != "0");
+    assert!(
+        !(quant_gate && precision_mode == "f32"),
+        "BLISS_QUANT_GATE=1 needs the int8 path; drop --precision f32"
+    );
+    let sweep_precision = if precision_mode == "int8" {
+        Precision::Int8
+    } else {
+        Precision::F32
+    };
     let (session_counts, frames): (&[usize], usize) = if quick {
         (&[1, 4, 16], 6)
     } else {
@@ -105,7 +212,11 @@ fn main() {
 
     let mut system = SystemConfig::miniature();
     if quick {
-        system.train_frames = 30;
+        // The gate compares f32 and int8 tracking accuracy, so even the
+        // quick profile needs a converged model: an undertrained tracker
+        // turns quantisation noise into chaotic trajectory divergence far
+        // above the tolerance (see the serve crate's quant_identity suite).
+        system.train_frames = if quant_gate { 140 } else { 30 };
         system.vit.dim = 24;
         system.vit.enc_depth = 1;
         system.roi_net.hidden = 32;
@@ -140,7 +251,7 @@ fn main() {
     let mut points = Vec::new();
     let mut rows = Vec::new();
     for &n in session_counts {
-        let mut batched_cfg = ServeConfig::new(n, frames);
+        let mut batched_cfg = ServeConfig::new(n, frames).at_precision(sweep_precision);
         batched_cfg.max_batch = max_batch;
         let mut sequential_cfg = batched_cfg;
         sequential_cfg.max_batch = 1;
@@ -201,6 +312,110 @@ fn main() {
         .map_or(0, |p| p.sessions);
     println!("roi box/gt area ratio {roi_ratio:.2}, saturation knee at N={knee_sessions}");
 
+    // Precision Pareto: the same scenario-diverse load point served at f32
+    // and int8, charting accuracy against modelled energy and throughput.
+    // Under BLISS_QUANT_GATE=1 this block is a hard CI gate: per scenario,
+    // int8 may cost at most GAZE_TOLERANCE_DEG of gaze error over f32, and
+    // must win on energy per frame — a violation panics before any report
+    // is written.
+    let mut pareto = Vec::new();
+    let mut pareto_scenarios = Vec::new();
+    if precision_mode != "f32" {
+        // Two long sessions per scenario once the gate is on, so each
+        // per-scenario mean averages enough frames that trajectory
+        // divergence noise sits well below the tolerance.
+        let (p_sessions, p_frames) = if quick && !quant_gate {
+            (5, 24)
+        } else {
+            (10, 150)
+        };
+        let mut f32_cfg = ServeConfig::new(p_sessions, p_frames);
+        f32_cfg.max_batch = max_batch;
+        let int8_cfg = f32_cfg.at_precision(Precision::Int8);
+
+        let t = Instant::now();
+        let f32_outcome = runtime.serve(&f32_cfg).expect("f32 pareto serve succeeds");
+        let f32_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let int8_outcome = runtime
+            .serve(&int8_cfg)
+            .expect("int8 pareto serve succeeds");
+        let int8_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_ne!(
+            f32_outcome.traces, int8_outcome.traces,
+            "int8 serving produced f32-identical traces: the quantised path never ran"
+        );
+
+        let mut scenarios: Vec<&str> = f32_outcome
+            .traces
+            .iter()
+            .map(|t| t.config.scenario.label())
+            .collect();
+        scenarios.sort_unstable();
+        scenarios.dedup();
+        let mut srows = Vec::new();
+        for s in scenarios {
+            let f = mean_gaze_error_deg(&f32_outcome, Some(s));
+            let q = mean_gaze_error_deg(&int8_outcome, Some(s));
+            srows.push(vec![
+                s.to_string(),
+                format!("{f:.4}"),
+                format!("{q:.4}"),
+                format!("{:+.4}", q - f),
+            ]);
+            pareto_scenarios.push(ScenarioAccuracy {
+                scenario: s.to_string(),
+                f32_gaze_error_deg: f,
+                int8_gaze_error_deg: q,
+                delta_deg: q - f,
+            });
+        }
+        bliss_bench::print_table(
+            "precision differential (mean gaze error per scenario, degrees)",
+            &["scenario", "f32", "int8", "delta"],
+            &srows,
+        );
+        for (precision, outcome, wall_ms) in [
+            ("f32", &f32_outcome, f32_wall_ms),
+            ("int8", &int8_outcome, int8_wall_ms),
+        ] {
+            pareto.push(PrecisionPareto {
+                precision: precision.to_string(),
+                mean_gaze_error_deg: mean_gaze_error_deg(outcome, None),
+                energy_per_frame_j: mean_energy_j(outcome),
+                throughput_fps: outcome.report.throughput_fps,
+                wall_ms,
+            });
+        }
+        let (f32_energy, int8_energy) = (mean_energy_j(&f32_outcome), mean_energy_j(&int8_outcome));
+        println!(
+            "energy/frame f32 {f32_energy:.3e} J vs int8 {int8_energy:.3e} J ({:.1}% saved)",
+            (1.0 - int8_energy / f32_energy) * 100.0
+        );
+        if quant_gate {
+            let worst = pareto_scenarios
+                .iter()
+                .map(|s| s.delta_deg)
+                .fold(f64::MIN, f64::max);
+            assert!(
+                worst <= GAZE_TOLERANCE_DEG,
+                "QUANT GATE: int8 gaze error exceeds f32 by {worst:.4} deg \
+                 (tolerance {GAZE_TOLERANCE_DEG}); see the table above"
+            );
+            assert!(
+                int8_energy < f32_energy,
+                "QUANT GATE: int8 energy/frame {int8_energy:.3e} J is not strictly \
+                 below f32 {f32_energy:.3e} J"
+            );
+            println!(
+                "quant gate passed: worst delta {worst:+.4} deg <= {GAZE_TOLERANCE_DEG} deg, \
+                 energy win {:.1}%",
+                (1.0 - int8_energy / f32_energy) * 100.0
+            );
+        }
+    }
+    let int8_sites = runtime.int8_sites();
+
     // Dispatch win: one mid-sweep batched load point served through the
     // compiled execution plans (the default), then forced back onto the
     // autograd tape. Outputs must agree bit-for-bit; only wall time moves.
@@ -252,6 +467,11 @@ fn main() {
 
     let report = SweepReport {
         mode: if quick { "quick" } else { "standard" }.to_string(),
+        precision: match sweep_precision {
+            Precision::Int8 => "int8",
+            Precision::F32 => "f32",
+        }
+        .to_string(),
         frames_per_session: frames,
         max_batch,
         roi_box_to_gt_area_ratio: roi_ratio,
@@ -262,6 +482,10 @@ fn main() {
         stages,
         metrics,
         spans_dropped,
+        int8_sites,
+        quant_gate,
+        pareto,
+        pareto_scenarios,
         points,
     };
     let path = bliss_bench::report_path("BENCH_serve.json");

@@ -14,7 +14,11 @@
 //!    mode) stays the regression baseline: zero buffer-class allocations
 //!    and a flat small-alloc count per iteration — the residue is the
 //!    autograd tape's node headers and sub-1-KiB bookkeeping, bounded and
-//!    non-growing.
+//!    non-growing;
+//! 3. the **int8** planned path inherits the planned contract verbatim:
+//!    after calibration and one plan compile, a steady-state quantised
+//!    iteration performs zero heap allocations — its f32/i8/i32 arenas all
+//!    come from the recycled scratch pools.
 //!
 //! The loop is pinned to one thread (`with_thread_count(1)`) because the
 //! scratch pools are thread-local: with workers, buffers would recycle into
@@ -220,6 +224,67 @@ fn steady_state_planned_forward_batch_allocates_nothing_at_all() {
         }
         assert!(out.frame(0).is_some() && out.frame(1).is_some());
         assert_eq!(vit.plan_stats().plans, 1, "one span layout, one plan");
+    });
+}
+
+#[test]
+fn steady_state_int8_forward_batch_allocates_nothing_at_all() {
+    let mut rng = StdRng::seed_from_u64(0x5CA7C4);
+    let vit = SparseViT::new(&mut rng, ViTConfig::miniature(160, 100));
+    let a = synth_frame(1, 160 * 100, 0.06);
+    let b = synth_frame(2, 160 * 100, 0.02);
+    let batch: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1), (&b.0, &b.1)];
+
+    with_thread_count(1, || {
+        // Calibration and the quantised-plan compile happen before counting
+        // is armed — they are one-time costs, exactly like f32 plan
+        // compilation in the planned baseline above.
+        vit.begin_int8_calibration();
+        vit.observe_int8_calibration(&batch)
+            .expect("calibration observes");
+        let sites = vit.finish_int8_calibration().expect("calibration finishes");
+        assert!(sites > 0, "calibration found no quantisable sites");
+        vit.set_int8(true).expect("int8 enables");
+
+        let mut out = PlannedBatch::new();
+        // Warm-up: compile the int8 plan for this span layout and populate
+        // the thread's scratch pools (f32, i8 and i32 arenas included).
+        for _ in 0..4 {
+            vit.forward_batch_into(&batch, &mut out)
+                .expect("forward succeeds");
+            assert!(out.frame(0).is_some() && out.frame(1).is_some());
+        }
+        // Steady state: the quantised plan's three arenas and the retained
+        // batch scratch serve everything — zero heap traffic of any size,
+        // the same contract as the f32 planned path.
+        for iter in 0..4 {
+            let (total, big) = count_allocs(|| {
+                vit.forward_batch_into(&batch, &mut out)
+                    .expect("forward succeeds");
+                std::hint::black_box(&out);
+            });
+            if big > 0 {
+                let sizes: Vec<u64> = BIG_SIZES
+                    .iter()
+                    .map(|a| a.load(Ordering::SeqCst))
+                    .filter(|&x| x > 0)
+                    .collect();
+                eprintln!("buffer-class allocation sizes: {sizes:?}");
+            }
+            assert_eq!(
+                total, 0,
+                "steady-state int8 forward_batch_into performed {total} heap \
+                 allocations on iteration {iter} ({big} buffer-class); the \
+                 quantised plan's arenas and retained scratch must serve \
+                 everything"
+            );
+        }
+        assert!(out.frame(0).is_some() && out.frame(1).is_some());
+        assert_eq!(
+            vit.quant_plan_stats().plans,
+            1,
+            "one span layout, one quantised plan"
+        );
     });
 }
 

@@ -1,5 +1,5 @@
 use crate::config::{SystemConfig, SystemVariant};
-use bliss_npu::SystolicArray;
+use bliss_npu::{Precision, SystolicArray};
 use bliss_track::CnnSegConfig;
 use serde::{Deserialize, Serialize};
 
@@ -158,6 +158,22 @@ pub fn energy_breakdown_with_counts(
     variant: SystemVariant,
     counts: &FrameCounts,
 ) -> EnergyBreakdown {
+    energy_breakdown_with_counts_at(cfg, variant, counts, Precision::F32)
+}
+
+/// [`energy_breakdown_with_counts`] with the host **segmentation** network
+/// executed at an explicit precision (the serving stack's f32/int8 switch).
+///
+/// Precision applies to the segmentation GEMMs only: the ROI-prediction net
+/// and every sensor-side analog/digital component are precision-independent
+/// in this model, and `Precision::F32` reproduces the default breakdown
+/// bit-exactly.
+pub fn energy_breakdown_with_counts_at(
+    cfg: &SystemConfig,
+    variant: SystemVariant,
+    counts: &FrameCounts,
+    precision: Precision,
+) -> EnergyBreakdown {
     let p = &cfg.energy;
     let pixels = cfg.pixels() as u64;
     let period = cfg.frame_period_s();
@@ -173,7 +189,7 @@ pub fn energy_breakdown_with_counts(
         SystemVariant::NpuFull => {
             e.analog_readout_j = p.readout.adc_energy_j(pixels, cfg.analog_node);
             e.mipi_j = p.mipi.transfer_energy_j(full_frame_bytes);
-            let seg = host.run(&cfg.cnn.workload(false), p, true);
+            let seg = host.run_at(&cfg.cnn.workload(false), p, true, precision);
             e.host_compute_j = seg.mac_energy_j + seg.sram_energy_j;
             // Frame staged through DRAM on its way into the NPU buffer.
             e.dram_j = seg.dram_energy_j + p.dram.traffic_energy_j(2 * full_frame_bytes);
@@ -182,10 +198,11 @@ pub fn energy_breakdown_with_counts(
             e.analog_readout_j = p.readout.adc_energy_j(pixels, cfg.analog_node);
             e.mipi_j = p.mipi.transfer_energy_j(full_frame_bytes);
             let roi_pred = host.run(&cfg.roi_net.workload(), p, true);
-            let seg = host.run(
+            let seg = host.run_at(
                 &cnn_on_roi(&cfg.cnn, cfg.roi_fraction).workload(false),
                 p,
                 true,
+                precision,
             );
             e.host_compute_j = roi_pred.mac_energy_j
                 + roi_pred.sram_energy_j
@@ -218,7 +235,12 @@ pub fn energy_breakdown_with_counts(
             e.rle_j = p.rle_energy_j(sparse_bytes, cfg.sensor_logic_node);
             e.mipi_j = p.mipi.transfer_energy_j(sparse_bytes);
             e.feedback_j = p.mipi.transfer_energy_j(feedback_bytes);
-            let seg = host.run(&cfg.vit.workload(counts.tokens, sampled as usize), p, true);
+            let seg = host.run_at(
+                &cfg.vit.workload(counts.tokens, sampled as usize),
+                p,
+                true,
+                precision,
+            );
             e.host_compute_j = seg.mac_energy_j + seg.sram_energy_j;
             e.dram_j = seg.dram_energy_j;
             e.rld_j = p.rld_energy_j(sparse_bytes, cfg.host_node);
@@ -312,6 +334,39 @@ mod tests {
                 e.total_j()
             );
         }
+    }
+
+    #[test]
+    fn f32_precision_variant_is_bit_exact() {
+        let cfg = SystemConfig::paper();
+        let counts = FrameCounts::expected(&cfg);
+        for v in SystemVariant::ALL {
+            assert_eq!(
+                energy_breakdown_with_counts(&cfg, v, &counts),
+                energy_breakdown_with_counts_at(&cfg, v, &counts, Precision::F32),
+                "{}",
+                v.label()
+            );
+        }
+    }
+
+    #[test]
+    fn int8_strictly_cuts_blisscam_frame_energy() {
+        let cfg = SystemConfig::paper();
+        let counts = FrameCounts::expected(&cfg);
+        let f32 = energy_breakdown_with_counts(&cfg, SystemVariant::BlissCam, &counts);
+        let i8 = energy_breakdown_with_counts_at(
+            &cfg,
+            SystemVariant::BlissCam,
+            &counts,
+            Precision::Int8,
+        );
+        assert!(i8.host_compute_j < f32.host_compute_j);
+        assert!(i8.total_j() < f32.total_j());
+        // Only the host segmentation arm moves; the sensor side is
+        // precision-independent.
+        assert_eq!(i8.sensor_j(), f32.sensor_j());
+        assert_eq!(i8.communication_j(), f32.communication_j());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::config::{SystemConfig, SystemVariant};
 use crate::energy_model::RLE_BYTES_PER_SAMPLE;
-use bliss_npu::SystolicArray;
+use bliss_npu::{Precision, SystolicArray};
 use bliss_timing::{PipelineConfig, PipelineReport, StageDurations};
 
 /// Per-pixel single-slope ramp time: a 10-bit conversion shared by all
@@ -127,9 +127,25 @@ pub fn host_segmentation_time_s(cfg: &SystemConfig, tokens: usize, pixels: usize
 /// frames costs less than K solo launches but never pays a `(K*t)^2`
 /// attention.
 pub fn host_batched_segmentation_time_s(cfg: &SystemConfig, frames: &[(usize, usize)]) -> f64 {
+    host_batched_segmentation_time_s_at(cfg, frames, Precision::F32)
+}
+
+/// [`host_batched_segmentation_time_s`] with the launch executed at an
+/// explicit precision: int8 streams the reduction dimension in half the
+/// cycles (`Precision::F32` reproduces the f32 time bit-exactly).
+pub fn host_batched_segmentation_time_s_at(
+    cfg: &SystemConfig,
+    frames: &[(usize, usize)],
+    precision: Precision,
+) -> f64 {
     let host = SystolicArray::host().at_node(cfg.host_node);
-    host.run(&cfg.vit.batched_workload(frames), &cfg.energy, true)
-        .time_s
+    host.run_at(
+        &cfg.vit.batched_workload(frames),
+        &cfg.energy,
+        true,
+        precision,
+    )
+    .time_s
 }
 
 /// Runs the Fig. 8 pipeline scheduler for `variant` over `frames` frames.
@@ -258,6 +274,17 @@ mod tests {
             c16 < 0.97 * c1,
             "per-frame cost only fell {c1:.6} -> {c16:.6}"
         );
+    }
+
+    #[test]
+    fn int8_batched_segmentation_is_faster_and_f32_is_exact() {
+        let cfg = SystemConfig::paper();
+        let frames: Vec<(usize, usize)> = (0..4).map(|_| (108usize, 6851usize)).collect();
+        let default = host_batched_segmentation_time_s(&cfg, &frames);
+        let f32 = host_batched_segmentation_time_s_at(&cfg, &frames, Precision::F32);
+        let i8 = host_batched_segmentation_time_s_at(&cfg, &frames, Precision::Int8);
+        assert_eq!(default.to_bits(), f32.to_bits());
+        assert!(i8 < f32, "int8 {i8} must beat f32 {f32}");
     }
 
     #[test]

@@ -220,6 +220,10 @@ impl FleetRuntime {
     /// so shard order cannot affect results — the determinism suite pins
     /// this.
     pub fn start_sessions(&self, cfg: &FleetConfig, sessions: Vec<SessionConfig>) -> FleetState {
+        // One shared model serves every shard, so the precision state (and
+        // any int8 calibration it needs) is established once fleet-wide; an
+        // int8 precision error surfaces at the first step instead of here.
+        let _ = self.runtime.apply_precision(&cfg.serve);
         let assignment = cfg.placement.assign(&sessions, cfg.hosts);
         let mut shards: Vec<Vec<SessionConfig>> = vec![Vec::new(); cfg.hosts];
         for (sc, &host) in sessions.iter().zip(&assignment) {

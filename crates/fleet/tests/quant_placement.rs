@@ -1,0 +1,75 @@
+//! The fleet leg of the int8 bit-identity guarantee (the serve-level legs —
+//! thread counts, snapshot/restore, f32 tolerance — live in
+//! `crates/serve/tests/quant_identity.rs`; fleet depends on serve, so the
+//! placement differential has to live up here).
+//!
+//! Placement redistributes sessions across hosts, and every host serves
+//! through the *same* quantised model replica (one shared plan cache, one
+//! calibration spec established fleet-wide by `start_sessions`). A
+//! session's records depend only on its own state plus those shared
+//! read-only networks, so every placement policy must produce identical
+//! per-session records — in int8 exactly as in f32.
+
+use bliss_fleet::{FleetConfig, FleetRuntime, PlacementPolicy};
+use bliss_serve::Precision;
+use blisscam_core::SystemConfig;
+
+#[test]
+fn int8_serving_is_bit_identical_across_placement_policies() {
+    let mut system = SystemConfig::miniature();
+    system.train_frames = 30;
+    system.vit.dim = 24;
+    system.vit.enc_depth = 1;
+    system.roi_net.hidden = 32;
+    let train_seq = bliss_eye::render_sequence(&bliss_eye::SequenceConfig {
+        width: system.width,
+        height: system.height,
+        frames: system.train_frames,
+        fps: system.fps as f32,
+        seed: system.seed,
+    });
+    let mut trainer =
+        bliss_track::JointTrainer::new(system.train_config()).expect("trainer builds");
+    trainer.train_on(&train_seq).expect("training succeeds");
+
+    bliss_parallel::with_thread_count(2, || {
+        let mut by_policy = Vec::new();
+        for policy in PlacementPolicy::ALL {
+            // A fresh fleet per policy: calibration must re-derive the same
+            // spec each time, so nothing carries over between policies.
+            let fleet = FleetRuntime::with_networks(
+                system,
+                trainer.vit().clone(),
+                trainer.roi_net().clone(),
+            );
+            let mut cfg = FleetConfig::new(2, policy, 5, 6);
+            cfg.serve = cfg.serve.at_precision(Precision::Int8);
+            cfg.serve.max_batch = 4;
+            let outcome = fleet.serve(&cfg).expect("fleet int8 serve succeeds");
+            assert!(
+                fleet.serve_runtime().int8_sites() > 0,
+                "int8 path never calibrated under {policy:?}"
+            );
+            let mut traces = outcome
+                .per_host
+                .iter()
+                .flat_map(|h| &h.traces)
+                .collect::<Vec<_>>();
+            traces.sort_by_key(|t| t.config.id);
+            by_policy.push((
+                policy,
+                traces
+                    .into_iter()
+                    .map(|t| (t.config.id, t.records.clone()))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        let (first_policy, first) = &by_policy[0];
+        for (policy, records) in &by_policy[1..] {
+            assert_eq!(
+                first, records,
+                "int8 session records diverged between {first_policy:?} and {policy:?}"
+            );
+        }
+    });
+}

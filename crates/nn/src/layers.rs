@@ -482,6 +482,63 @@ mod tests {
     }
 
     #[test]
+    fn quantized_mlp_tracks_f32_and_is_bit_identical_across_threads() {
+        use bliss_tensor::{ExecPlan, QuantCalibration};
+
+        let mut rng = StdRng::seed_from_u64(35);
+        let mlp = Mlp::new(&mut rng, 6, 24);
+        let x = NdArray::randn(&mut rng, &[3, 6], 1.0);
+
+        let build = || {
+            let mut g = GraphBuilder::default();
+            let xin = g.input(&[3, 6]);
+            let out = mlp.record(&mut g, xin).unwrap();
+            g.mark_output(out);
+            g
+        };
+
+        // f32 reference through the planned path.
+        let fplan = ExecPlan::compile(build()).unwrap();
+        fplan.execute(&[x.data()], &[]).unwrap();
+        let reference = fplan.with_output(0, |d| d.to_vec());
+
+        // Calibrate over the same input distribution, quantise, re-run.
+        let mut cal = QuantCalibration::new();
+        let mut gi = build();
+        let taps = QuantCalibration::instrument(&mut gi);
+        let iplan = ExecPlan::compile(gi).unwrap();
+        iplan.execute(&[x.data()], &[]).unwrap();
+        cal.observe_plan(&iplan, &[x.data()], &taps);
+        assert_eq!(cal.observed_sites(), 2, "fc1 and fc2 must both calibrate");
+        let spec = cal.finish(&build());
+        assert_eq!(spec.len(), 2);
+
+        let qplan = ExecPlan::compile_quantized(build(), &spec).unwrap();
+        assert_eq!(qplan.num_quantized_matmuls(), 2);
+        qplan.execute(&[x.data()], &[]).unwrap();
+        let quantised = qplan.with_output(0, |d| d.to_vec());
+
+        // Accuracy: int8 must track f32 within a small absolute budget at
+        // this scale (unit-variance activations, Xavier weights).
+        for (r, q) in reference.iter().zip(&quantised) {
+            assert!((r - q).abs() < 0.05, "f32 {r} vs int8 {q}");
+        }
+        let differs = reference.iter().zip(&quantised).any(|(r, q)| r != q);
+        assert!(differs, "quantisation must actually change values");
+
+        // Determinism: the int8 plan is bit-identical at every thread count.
+        for threads in [1usize, 2, 8] {
+            let rerun = bliss_parallel::with_thread_count(threads, || {
+                bliss_parallel::with_min_parallel_work(0, || {
+                    qplan.execute(&[x.data()], &[]).unwrap();
+                    qplan.with_output(0, |d| d.to_vec())
+                })
+            });
+            assert_eq!(rerun, quantised, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn recorded_conv_rejects_wrong_channels() {
         let mut rng = StdRng::seed_from_u64(34);
         let c = Conv2d::new(&mut rng, 2, 4, 3, 1, 1);

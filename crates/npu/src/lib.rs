@@ -26,5 +26,5 @@
 mod systolic;
 mod workload;
 
-pub use systolic::{RunReport, SystolicArray, DEFAULT_DISPATCH_CYCLES};
+pub use systolic::{Precision, RunReport, SystolicArray, DEFAULT_DISPATCH_CYCLES};
 pub use workload::{GemmShape, WorkloadDesc};

@@ -13,6 +13,43 @@ use serde::{Deserialize, Serialize};
 /// it K times.
 pub const DEFAULT_DISPATCH_CYCLES: u64 = 1000;
 
+/// Arithmetic precision a workload executes at on the array.
+///
+/// The array's MAC lanes are f32-wide; in int8 mode each lane packs **two**
+/// i8 multiply-accumulates along the reduction dimension per cycle (the
+/// standard DOTP-style pairing), so the reduction streams in half the
+/// cycles and the effective peak doubles. An int8 MAC also costs roughly a
+/// quarter of an f32 MAC's switching energy (scaling with operand width
+/// squared, 8²/32² rounded up for accumulator overhead). Operand bytes are
+/// modelled unchanged: the serving stack quantises activations on the fly,
+/// and keeping the traffic model conservative isolates the compute-side
+/// win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floating point (the default everywhere).
+    F32,
+    /// Signed 8-bit integer operands with i32 accumulation.
+    Int8,
+}
+
+impl Precision {
+    /// i8 MACs issued per f32-wide lane per cycle.
+    fn macs_per_lane(self) -> u64 {
+        match self {
+            Precision::F32 => 1,
+            Precision::Int8 => 2,
+        }
+    }
+
+    /// Per-MAC energy relative to an f32 MAC.
+    fn mac_energy_factor(self) -> f64 {
+        match self {
+            Precision::F32 => 1.0,
+            Precision::Int8 => 0.25,
+        }
+    }
+}
+
 /// An output-stationary systolic MAC array with a scratchpad hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SystolicArray {
@@ -86,10 +123,18 @@ impl SystolicArray {
     /// an array fill/drain bubble, and the launch itself pays the fixed
     /// [`SystolicArray::dispatch_cycles`] dispatch/DMA setup once.
     pub fn gemm_cycles(&self, g: &GemmShape) -> u64 {
+        self.gemm_cycles_at(g, Precision::F32)
+    }
+
+    /// [`SystolicArray::gemm_cycles`] at an explicit precision: int8 packs
+    /// two MACs per lane along the reduction dimension, so `k` streams in
+    /// `ceil(k / 2)` cycles. `Precision::F32` is exactly `gemm_cycles`.
+    pub fn gemm_cycles_at(&self, g: &GemmShape, precision: Precision) -> u64 {
         let tiles_m = g.m.div_ceil(self.rows) as u64;
         let tiles_n = g.n.div_ceil(self.cols) as u64;
         let fill_drain = (self.rows + self.cols) as u64;
-        self.dispatch_cycles + tiles_m * tiles_n * (g.k as u64 + fill_drain)
+        let k_cycles = (g.k as u64).div_ceil(precision.macs_per_lane());
+        self.dispatch_cycles + tiles_m * tiles_n * (k_cycles + fill_drain)
     }
 
     /// Runs a whole lowered network and accounts time, energy and traffic.
@@ -103,9 +148,26 @@ impl SystolicArray {
         params: &EnergyParams,
         weights_resident: bool,
     ) -> RunReport {
+        self.run_at(w, params, weights_resident, Precision::F32)
+    }
+
+    /// [`SystolicArray::run`] at an explicit precision.
+    ///
+    /// `Precision::F32` reproduces `run` **bit-exactly** (every factor is
+    /// the identity). `Precision::Int8` halves reduction cycles, charges a
+    /// quarter of the f32 per-MAC energy and doubles the utilisation
+    /// denominator's peak; SRAM/DRAM byte counts are left unchanged
+    /// (conservative — see [`Precision`]).
+    pub fn run_at(
+        &self,
+        w: &WorkloadDesc,
+        params: &EnergyParams,
+        weights_resident: bool,
+        precision: Precision,
+    ) -> RunReport {
         let mut report = RunReport::new(w.name.clone());
         for g in &w.gemms {
-            let cycles = self.gemm_cycles(g);
+            let cycles = self.gemm_cycles_at(g, precision);
             let macs = g.macs();
             let tiles_m = g.m.div_ceil(self.rows) as u64;
             let tiles_n = g.n.div_ceil(self.cols) as u64;
@@ -136,15 +198,17 @@ impl SystolicArray {
             report.macs += macs;
             report.sram_bytes += sram_reads + sram_writes;
             report.dram_bytes += dram_bytes;
-            report.mac_energy_j += macs as f64 * params.mac_energy_j(self.node);
+            report.mac_energy_j +=
+                macs as f64 * params.mac_energy_j(self.node) * precision.mac_energy_factor();
             report.sram_energy_j += sram_energy;
             report.dram_energy_j += params.dram.traffic_energy_j(dram_bytes);
         }
         report.time_s = report.cycles as f64 / self.frequency_hz;
+        let peak = self.peak_macs_per_cycle() * precision.macs_per_lane();
         report.utilization = if report.cycles == 0 {
             0.0
         } else {
-            report.macs as f64 / (report.cycles as f64 * self.peak_macs_per_cycle() as f64)
+            report.macs as f64 / (report.cycles as f64 * peak as f64)
         };
         report
     }
@@ -333,6 +397,50 @@ mod tests {
         // engines are programmed.
         assert_eq!(with.total_energy_j(), without.total_energy_j());
         assert!(with.utilization < without.utilization);
+    }
+
+    #[test]
+    fn f32_precision_reproduces_default_run_bitwise() {
+        let w = linear_workload(96, 192, 384);
+        let p = EnergyParams::default();
+        let host = SystolicArray::host();
+        let default = host.run(&w, &p, true);
+        let explicit = host.run_at(&w, &p, true, Precision::F32);
+        assert_eq!(default, explicit, "F32 run_at must be bit-exact vs run");
+        assert_eq!(
+            host.gemm_cycles(&GemmShape::new(17, 33, 65)),
+            host.gemm_cycles_at(&GemmShape::new(17, 33, 65), Precision::F32)
+        );
+    }
+
+    #[test]
+    fn int8_is_faster_and_cheaper_with_same_traffic() {
+        let w = linear_workload(256, 384, 384);
+        let p = EnergyParams::default();
+        let host = SystolicArray::host();
+        let f32 = host.run_at(&w, &p, true, Precision::F32);
+        let i8 = host.run_at(&w, &p, true, Precision::Int8);
+        assert!(i8.cycles < f32.cycles, "int8 must save reduction cycles");
+        assert!(i8.mac_energy_j < f32.mac_energy_j);
+        assert_eq!(i8.mac_energy_j, 0.25 * f32.mac_energy_j);
+        // Conservative traffic model: byte counts identical.
+        assert_eq!(i8.sram_bytes, f32.sram_bytes);
+        assert_eq!(i8.dram_bytes, f32.dram_bytes);
+        assert_eq!(i8.sram_energy_j, f32.sram_energy_j);
+        assert!(i8.total_energy_j() < f32.total_energy_j());
+        assert!(i8.utilization > 0.0 && i8.utilization <= 1.0);
+    }
+
+    #[test]
+    fn int8_halves_reduction_cycles_exactly() {
+        let host = SystolicArray::host().with_dispatch_cycles(0);
+        // Even k: the packed reduction is exactly half.
+        let even = GemmShape::new(32, 128, 32);
+        let fill_drain = (host.rows + host.cols) as u64;
+        assert_eq!(host.gemm_cycles_at(&even, Precision::Int8), 64 + fill_drain);
+        // Odd k rounds up: ceil(7 / 2) = 4.
+        let odd = GemmShape::new(32, 7, 32);
+        assert_eq!(host.gemm_cycles_at(&odd, Precision::Int8), 4 + fill_drain);
     }
 
     #[test]

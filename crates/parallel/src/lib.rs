@@ -85,8 +85,10 @@ use std::cell::Cell;
 use std::sync::OnceLock;
 use std::thread;
 
+pub mod gemm;
 pub mod pool;
 
+pub use gemm::matmul_i8t_into;
 pub use pool::pool_thread_count;
 
 /// Upper bound on the pool width; protects against absurd `BLISS_THREADS`

@@ -67,6 +67,7 @@ mod runtime;
 mod session;
 mod snapshot;
 
+pub use blisscam_core::Precision;
 pub use report::{LatencyStats, ServeReport, SessionSummary, SteadyStats};
 pub use runtime::{ServeConfig, ServeOutcome, ServeRuntime, ServeState};
 pub use session::{FrameRecord, SessionConfig, SessionTrace};

@@ -5,8 +5,8 @@ use bliss_tensor::TensorError;
 use bliss_timing::StageDurations;
 use bliss_track::{JointTrainer, RoiPredictionNet, SparseViT};
 use blisscam_core::{
-    energy_breakdown_with_counts, host_batched_segmentation_time_s, stage_durations, SystemConfig,
-    SystemVariant,
+    energy_breakdown_with_counts_at, host_batched_segmentation_time_s_at, stage_durations,
+    Precision, SystemConfig, SystemVariant,
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -47,6 +47,16 @@ pub struct ServeConfig {
     /// exclusion never recomputes a frame's latency. `0.0` excludes
     /// nothing.
     pub warmup_s: f64,
+    /// Arithmetic precision the host segmentation network serves at.
+    ///
+    /// `F32` (the default) is the reference path. `Int8` runs the
+    /// quantised planned path: the shared ViT is post-training calibrated
+    /// once over the scenario library (deterministic — depends only on the
+    /// trained weights and the system seed), inference executes the
+    /// i8×i8→i32 plans, and latency/energy accounting switches to the
+    /// NPU's int8 mode. Requires planned inference (the autograd tape has
+    /// no int8 path).
+    pub precision: Precision,
     /// Per-session cold-start prefix, in frames: each session's first
     /// `warmup_frames` frames are classed as warmup regardless of when
     /// they arrive — a late-connecting session's cold-start convoy lands
@@ -85,10 +95,18 @@ impl ServeConfig {
             deadline_s: 2.0 * period,
             stagger_s: period,
             max_cold_per_batch: 4,
+            precision: Precision::F32,
             seed: 0x5EB5,
             warmup_s: 0.0,
             warmup_frames: 0,
         }
+    }
+
+    /// The same load point served at `precision` (builder-style convenience
+    /// for sweeps: `ServeConfig::new(8, 24).at_precision(Precision::Int8)`).
+    pub fn at_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 }
 
@@ -166,7 +184,7 @@ impl Ord for Time {
 ///   segmentation feedback (the paper's Fig. 8 cross-frame dependency),
 ///   which couples a session's pacing to host congestion;
 /// * the host NPU is the shared resource: a batch launches when it is free,
-///   costs [`host_batched_segmentation_time_s`] of the members' token
+///   costs [`host_batched_segmentation_time_s_at`] of the members' token
 ///   counts (fused weight GEMMs amortise row tiles, attention stays
 ///   per-frame), and serialises the per-frame gaze regressions after it.
 ///
@@ -269,6 +287,111 @@ impl ServeRuntime {
         } else {
             f()
         }
+    }
+
+    /// Puts the shared ViT in the precision `cfg` asks for, calibrating the
+    /// int8 spec on first need.
+    ///
+    /// Every serve entry point ([`ServeRuntime::serve`],
+    /// [`ServeRuntime::serve_sessions`], [`ServeRuntime::start`],
+    /// [`ServeRuntime::restore`]) calls this; it is public so tests driving
+    /// [`ServeRuntime::start_sessions`]/[`ServeRuntime::step_batch`]
+    /// directly can too. Calibration is **deterministic**: the frames come
+    /// from `ServeRuntime::calibration_sessions` — a fixed scenario-library
+    /// sweep seeded only by the system seed — so two runtimes holding
+    /// bit-identical weights (e.g. either side of a snapshot restore) derive
+    /// bit-identical quantisation specs without the spec ever being
+    /// serialised.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` when int8 is requested on a tape-path runtime
+    /// ([`ServeRuntime::without_planned_inference`]), plus any tensor error
+    /// from the calibration forwards.
+    pub fn apply_precision(&self, cfg: &ServeConfig) -> Result<(), TensorError> {
+        match cfg.precision {
+            Precision::F32 => self.vit.set_int8(false),
+            Precision::Int8 => {
+                if !self.planned {
+                    return Err(TensorError::InvalidArgument {
+                        op: "apply_precision",
+                        message: "int8 serving requires planned inference (the autograd \
+                                  tape has no quantised path)"
+                            .to_string(),
+                    });
+                }
+                if self.vit.int8_sites() == 0 {
+                    self.calibrate_int8()?;
+                }
+                self.vit.set_int8(true)
+            }
+        }
+    }
+
+    /// The fixed post-training calibration fleet: one short session per
+    /// scenario in [`Scenario::ALL`], seeded from the system seed alone (so
+    /// the set is independent of any particular [`ServeConfig`] load point).
+    fn calibration_sessions(&self) -> Vec<SessionConfig> {
+        /// Frames each calibration session contributes (frame 0 primes the
+        /// sensor; the rest alternate one cold full-frame read and warm
+        /// feedback-driven sparse reads, covering both activation regimes).
+        const CALIBRATION_FRAMES: usize = 4;
+        Scenario::ALL
+            .iter()
+            .enumerate()
+            .map(|(id, &scenario)| SessionConfig {
+                id,
+                scenario,
+                seed: self
+                    .system
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0xCA11_B000 + id as u64),
+                frames: CALIBRATION_FRAMES,
+                start_offset_s: 0.0,
+            })
+            .collect()
+    }
+
+    /// Records activation absmax ranges over the scenario library and
+    /// freezes them into the shared ViT's int8 spec.
+    ///
+    /// Each calibration session replays its trace through the real serving
+    /// front end — ROI prediction, sampled readout, f32 segmentation,
+    /// feedback absorption — so the observed ranges cover cold full-frame
+    /// and warm sparse activations alike. Runs on the f32 path regardless
+    /// of any previous precision state.
+    fn calibrate_int8(&self) -> Result<usize, TensorError> {
+        self.vit.begin_int8_calibration();
+        let roi_cfg = *self.roi_net.config();
+        let sample_rate = self.system.sample_rate;
+        for sc in self.calibration_sessions() {
+            let mut session = Session::new(sc, &self.system);
+            while session.has_next() {
+                let input = session.prepare_roi_input(&roi_cfg);
+                let roi_out = self.infer(|| self.roi_net.forward(&input))?;
+                let roi_box = session.front.select_box(&self.roi_net, &roi_out);
+                session.read_out(roi_box, sample_rate)?;
+                let frame = (&session.sensed.image[..], &session.sensed.mask[..]);
+                self.vit.observe_int8_calibration(&[frame])?;
+                // Close the feedback loop with the f32 prediction so later
+                // frames calibrate the warm sparse regime, not just
+                // cold-start full reads.
+                let prediction = self
+                    .infer(|| self.vit.forward_batch(&[frame]))?
+                    .pop()
+                    .expect("single-frame batch");
+                session.front.absorb(prediction);
+                session.next_frame += 1;
+            }
+        }
+        self.vit.finish_int8_calibration()
+    }
+
+    /// Number of quantised matmul sites in the shared ViT's int8 spec
+    /// (0 before any int8 serve).
+    pub fn int8_sites(&self) -> usize {
+        self.vit.int8_sites()
     }
 
     /// Switches latency accounting to the paper's hardware point (640x400 @
@@ -388,14 +511,19 @@ impl ServeRuntime {
         cfg: &ServeConfig,
         session_cfgs: Vec<SessionConfig>,
     ) -> Result<ServeOutcome, TensorError> {
+        self.apply_precision(cfg)?;
         let mut state = self.start_sessions(session_cfgs);
         while self.step_batch(cfg, &mut state)? {}
         Ok(self.finish(cfg, state))
     }
 
     /// Starts a resumable run over [`ServeRuntime::session_configs`] — the
-    /// stepping counterpart of [`ServeRuntime::serve`].
+    /// stepping counterpart of [`ServeRuntime::serve`]. Applies the
+    /// configured precision first (calibrating int8 on first need); an int8
+    /// precision error surfaces at the first [`ServeRuntime::step_batch`]
+    /// instead of here.
     pub fn start(&self, cfg: &ServeConfig) -> ServeState {
+        let _ = self.apply_precision(cfg);
         self.start_sessions(self.session_configs(cfg))
     }
 
@@ -543,6 +671,19 @@ impl ServeRuntime {
         host_start: f64,
     ) -> Result<f64, TensorError> {
         let st = &self.stages;
+        // The precision contract: when the config says int8, the shared ViT
+        // must actually be serving int8 plans — otherwise the energy/latency
+        // accounting below would claim a precision the compute never ran.
+        // `apply_precision` (called by every entry point) establishes this;
+        // the check catches direct `step_batch` drivers that skipped it.
+        if cfg.precision == Precision::Int8 && !self.vit.int8_enabled() {
+            return Err(TensorError::InvalidArgument {
+                op: "run_batch",
+                message: "int8 precision configured but the ViT is not serving int8 \
+                          plans; call apply_precision before stepping"
+                    .to_string(),
+            });
+        }
         let indices: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
         let mut refs = disjoint_muts(sessions, &indices);
         let roi_cfg = *self.roi_net.config();
@@ -618,7 +759,8 @@ impl ServeRuntime {
                 self.timing_shape(tokens, s.sensed.sampled, s.sensed.roi_pixels)
             })
             .collect();
-        let seg_time = host_batched_segmentation_time_s(&self.timing, &frame_shapes);
+        let seg_time =
+            host_batched_segmentation_time_s_at(&self.timing, &frame_shapes, cfg.precision);
 
         // Stage E (serial): front-end stage 6 — close the feedback loop and
         // regress gaze — then record the frame.
@@ -627,8 +769,12 @@ impl ServeRuntime {
             let truth = s.next_truth();
             let (gaze, tokens) = s.front.absorb(prediction);
             let counts = s.sensed.counts(tokens);
-            let energy =
-                energy_breakdown_with_counts(&self.system, SystemVariant::BlissCam, &counts);
+            let energy = energy_breakdown_with_counts_at(
+                &self.system,
+                SystemVariant::BlissCam,
+                &counts,
+                cfg.precision,
+            );
             let arrival = self.arrival_s(s);
             let completion = host_start + seg_time + st.gaze_s * (pos + 1) as f64;
             let latency = completion - arrival;

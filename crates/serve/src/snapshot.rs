@@ -37,8 +37,13 @@ use std::fmt;
 ///
 /// Version history: `1` — the original durable-serving format; `2` —
 /// [`crate::ServeConfig`] (embedded in every snapshot) gained
-/// `warmup_frames`, changing the wire shape of the `serve` field.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// `warmup_frames`, changing the wire shape of the `serve` field; `3` —
+/// `ServeConfig` gained `precision` (f32/int8). The int8 quantisation spec
+/// itself is **never** serialised: restore re-derives it deterministically
+/// from the restored weights and the fixed scenario-library calibration
+/// set, which keeps the snapshot format independent of the quantiser's
+/// internals.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Errors from restoring a serving snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,6 +203,13 @@ impl ServeRuntime {
         if snapshot.paper_scale_timing {
             runtime = runtime.with_paper_scale_timing();
         }
+        // Re-derive the precision state (including the int8 calibration
+        // spec, when configured) from the restored weights — deterministic,
+        // so the restored runtime's plans are bit-identical to the
+        // interrupted one's.
+        runtime
+            .apply_precision(&snapshot.serve)
+            .map_err(|e| SnapshotError::Corrupt(format!("precision restore: {e}")))?;
 
         let sessions = snapshot
             .sessions

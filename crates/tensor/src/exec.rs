@@ -39,6 +39,7 @@ use crate::array::{
 };
 use crate::graph::GraphBuilder;
 use crate::plan::{plan_graph, Operand, Plan, SrcLoc, StepOp};
+use crate::quant::{quantize_graph, quantize_sym_into, QuantSpec, QuantizedWeights};
 use crate::{Tensor, TensorError};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -55,7 +56,23 @@ use std::rc::Rc;
 pub struct ExecPlan {
     plan: Plan,
     params: Vec<Tensor>,
+    /// Pre-quantised weight blocks for `MatMulI8` steps (empty for pure-f32
+    /// plans).
+    qweights: Vec<Rc<QuantizedWeights>>,
     arena: RefCell<Vec<f32>>,
+    /// Quantised activation arena, drawn from the i8 scratch pool at
+    /// compile time and recycled on drop (empty for pure-f32 plans).
+    arena_i8: RefCell<Vec<i8>>,
+    /// Integer accumulator arena, drawn from the i32 scratch pool at
+    /// compile time and recycled on drop (empty for pure-f32 plans).
+    arena_i32: RefCell<Vec<i32>>,
+}
+
+impl Drop for ExecPlan {
+    fn drop(&mut self) {
+        crate::scratch::recycle_i8_buffer(std::mem::take(self.arena_i8.get_mut()));
+        crate::scratch::recycle_i32_buffer(std::mem::take(self.arena_i32.get_mut()));
+    }
 }
 
 impl std::fmt::Debug for ExecPlan {
@@ -81,17 +98,62 @@ impl ExecPlan {
     pub fn compile(graph: GraphBuilder) -> Result<ExecPlan, TensorError> {
         let plan = plan_graph(&graph)?;
         let arena = RefCell::new(vec![0.0; plan.arena_len]);
+        let mut i8_buf = crate::scratch::take_i8_buffer(plan.arena_i8_len);
+        i8_buf.resize(plan.arena_i8_len, 0);
+        let mut i32_buf = crate::scratch::take_i32_buffer(plan.arena_i32_len);
+        i32_buf.resize(plan.arena_i32_len, 0);
         Ok(ExecPlan {
             plan,
             params: graph.params,
+            qweights: graph.qweights,
             arena,
+            arena_i8: RefCell::new(i8_buf),
+            arena_i32: RefCell::new(i32_buf),
         })
+    }
+
+    /// Rewrites the graph under a calibrated [`QuantSpec`] (see
+    /// [`crate::quant`]) and compiles the quantised result: every calibrated
+    /// weight GEMM runs as `quantize_sym → i8×i8→i32 → dequantize_cols`,
+    /// everything else — and the training tape — is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rewrite and planner errors.
+    pub fn compile_quantized(
+        graph: GraphBuilder,
+        spec: &QuantSpec,
+    ) -> Result<ExecPlan, TensorError> {
+        let rewritten = quantize_graph(&graph, spec)?;
+        Self::compile(rewritten)
     }
 
     /// Arena size in `f32` elements — the plan's entire per-execution
     /// working set (soak tests gate on this staying constant).
     pub fn arena_len(&self) -> usize {
         self.plan.arena_len
+    }
+
+    /// Quantised `i8` activation arena size in elements (0 for pure-f32
+    /// plans).
+    pub fn arena_i8_len(&self) -> usize {
+        self.plan.arena_i8_len
+    }
+
+    /// `i32` accumulator arena size in elements (0 for pure-f32 plans).
+    pub fn arena_i32_len(&self) -> usize {
+        self.plan.arena_i32_len
+    }
+
+    /// Number of quantised weight GEMM steps in the plan (0 for pure-f32
+    /// plans) — the differential harness uses this to prove the int8 path
+    /// actually runs quantised.
+    pub fn num_quantized_matmuls(&self) -> usize {
+        self.plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s.op, StepOp::MatMulI8 { .. }))
+            .count()
     }
 
     /// Number of execution steps (aliases compile away and do not count).
@@ -231,8 +293,51 @@ impl ExecPlan {
         let mut arena_ref = self.arena.borrow_mut();
         let arena = &mut **arena_ref;
         let base = arena.as_mut_ptr();
+        let mut arena_i8_ref = self.arena_i8.borrow_mut();
+        let arena_i8 = &mut **arena_i8_ref;
+        let mut arena_i32_ref = self.arena_i32.borrow_mut();
+        let arena_i32 = &mut **arena_i32_ref;
 
         for step in &self.plan.steps {
+            // Quantised steps first: they read and write *different* arenas
+            // (f32 → i8 → i32 → f32), so every access is a plain safe slice
+            // of a distinct Vec.
+            match &step.op {
+                StepOp::QuantizeSym { a, inv_scale } => {
+                    let out = &mut arena_i8[step.out_off..step.out_off + step.out_len];
+                    self.with_src(a, inputs, base, |av| quantize_sym_into(av, *inv_scale, out));
+                    continue;
+                }
+                StepOp::MatMulI8 { a, w, k, p } => {
+                    let out = &mut arena_i32[step.out_off..step.out_off + step.out_len];
+                    let av = match a.loc {
+                        SrcLoc::Arena(off) => &arena_i8[off..off + a.len],
+                        _ => unreachable!("i8 operands always live in the i8 arena"),
+                    };
+                    bliss_parallel::matmul_i8t_into(av, self.qweights[*w].data(), *k, *p, out);
+                    continue;
+                }
+                StepOp::DequantizeCols { a, scales, cols } => {
+                    let av = match a.loc {
+                        SrcLoc::Arena(off) => &arena_i32[off..off + a.len],
+                        _ => unreachable!("i32 operands always live in the i32 arena"),
+                    };
+                    // SAFETY: the output interval lies within the f32 arena
+                    // (planner layout) and the read slice is in a different
+                    // arena entirely.
+                    let out = unsafe {
+                        std::slice::from_raw_parts_mut(base.add(step.out_off), step.out_len)
+                    };
+                    for (r, orow) in out.chunks_mut(*cols).enumerate() {
+                        let irow = &av[r * cols..r * cols + orow.len()];
+                        for (j, (o, &acc)) in orow.iter_mut().zip(irow).enumerate() {
+                            *o = acc as f32 * scales[j];
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
             // SAFETY: the output interval lies within the arena (planner
             // layout); all read slices derived below are build-time-proved
             // disjoint from it, and `arena` itself is not touched while
@@ -421,6 +526,11 @@ impl ExecPlan {
                     self.with_src(a, inputs, base, |av| {
                         gather_rows_into(av, *a_rows, *cols, index_inputs[*slot], out)
                     })?;
+                }
+                StepOp::QuantizeSym { .. }
+                | StepOp::MatMulI8 { .. }
+                | StepOp::DequantizeCols { .. } => {
+                    unreachable!("quantised steps are dispatched before the f32 match")
                 }
             }
         }

@@ -28,8 +28,27 @@
 //! lifetimes into one arena, and produces a reusable execution plan.
 #![warn(missing_docs)]
 
+use crate::quant::QuantizedWeights;
 use crate::{Tensor, TensorError};
 use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Element type of a graph node's value.
+///
+/// The tape and almost every graph op are `f32`; the `I8`/`I32` types exist
+/// only on the short quantise → integer-matmul → dequantise chains the
+/// quantisation compile pass splices in (see the `quant` module). Non-`F32`
+/// nodes live in their own arenas, may not be aliased, and may not be marked
+/// as plan outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DType {
+    /// 32-bit float (the default for every public builder op).
+    F32,
+    /// Quantised 8-bit activations.
+    I8,
+    /// 32-bit integer GEMM accumulators.
+    I32,
+}
 
 /// Handle to a node in a [`GraphBuilder`] DAG.
 ///
@@ -107,6 +126,17 @@ pub(crate) enum Op {
     },
     /// Row gather from `a: [m, n]` by a runtime index input.
     GatherRows { a: NodeId, indices: IndexSlot },
+    /// Symmetric quantisation of an `f32` matrix to `i8` under a fixed
+    /// (calibration-time) activation scale: `q = clamp(round(x / scale))`.
+    /// Produces a [`DType::I8`] node.
+    QuantizeSym { a: NodeId, inv_scale: f32 },
+    /// `i8 x i8 -> i32` matrix product of a quantised activation against a
+    /// pre-quantised, pre-transposed weight slot (see
+    /// [`GraphBuilder::add_qweight`]). Produces a [`DType::I32`] node.
+    MatMulI8 { a: NodeId, w: usize },
+    /// Dequantisation of an `i32` accumulator matrix back to `f32` with one
+    /// combined scale per output column (`act_scale * weight_scale[col]`).
+    DequantizeCols { a: NodeId, scales: Rc<Vec<f32>> },
 }
 
 /// A node: its operation plus its (build-time validated) output shape.
@@ -114,6 +144,7 @@ pub(crate) enum Op {
 pub(crate) struct Node {
     pub(crate) op: Op,
     pub(crate) shape: Vec<usize>,
+    pub(crate) dtype: DType,
 }
 
 impl Node {
@@ -134,11 +165,13 @@ pub struct GraphBuilder {
     pub(crate) nodes: Vec<Node>,
     /// Parameter tensors, deduplicated by tensor identity.
     pub(crate) params: Vec<Tensor>,
-    param_slots: HashMap<u64, usize>,
-    param_nodes: HashMap<u64, NodeId>,
+    pub(crate) param_slots: HashMap<u64, usize>,
+    pub(crate) param_nodes: HashMap<u64, NodeId>,
     pub(crate) input_shapes: Vec<Vec<usize>>,
     pub(crate) index_input_lens: Vec<usize>,
     pub(crate) outputs: Vec<NodeId>,
+    /// Pre-quantised weight blocks referenced by [`Op::MatMulI8`] nodes.
+    pub(crate) qweights: Vec<Rc<QuantizedWeights>>,
 }
 
 impl GraphBuilder {
@@ -162,9 +195,19 @@ impl GraphBuilder {
         &self.nodes[id.0].shape
     }
 
+    /// The element type of a node ([`DType::F32`] for everything except the
+    /// quantised chains).
+    pub fn dtype(&self, id: NodeId) -> DType {
+        self.nodes[id.0].dtype
+    }
+
     fn push(&mut self, op: Op, shape: Vec<usize>) -> NodeId {
+        self.push_typed(op, shape, DType::F32)
+    }
+
+    pub(crate) fn push_typed(&mut self, op: Op, shape: Vec<usize>, dtype: DType) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { op, shape });
+        self.nodes.push(Node { op, shape, dtype });
         id
     }
 
@@ -631,6 +674,116 @@ impl GraphBuilder {
         let (_m, n) = self.require_matrix(a, "gather_rows")?;
         let rows = self.index_input_lens[indices.0];
         Ok(self.push(Op::GatherRows { a, indices }, vec![rows, n]))
+    }
+
+    // ------------------------------------------------------------------
+    // Quantised chains
+    // ------------------------------------------------------------------
+
+    /// Registers a pre-quantised weight block for [`GraphBuilder::quant_matmul`]
+    /// and returns its slot index. Blocks are shared (`Rc`), so registering a
+    /// [`crate::quant::QuantSpec`] entry is cheap.
+    pub fn add_qweight(&mut self, w: Rc<QuantizedWeights>) -> usize {
+        self.qweights.push(w);
+        self.qweights.len() - 1
+    }
+
+    /// Symmetric quantisation of an `f32` matrix node to `i8` under a fixed
+    /// activation scale. The resulting node has [`DType::I8`].
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] for non-matrix operands,
+    /// [`TensorError::InvalidArgument`] for a non-`F32` operand or a
+    /// non-finite/non-positive scale.
+    pub fn quantize_sym(&mut self, a: NodeId, scale: f32) -> Result<NodeId, TensorError> {
+        let (m, n) = self.require_matrix(a, "quantize_sym")?;
+        if self.dtype(a) != DType::F32 {
+            return Err(TensorError::InvalidArgument {
+                op: "quantize_sym",
+                message: "operand must be f32".to_string(),
+            });
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(TensorError::InvalidArgument {
+                op: "quantize_sym",
+                message: format!("scale must be finite and positive, got {scale}"),
+            });
+        }
+        Ok(self.push_typed(
+            Op::QuantizeSym {
+                a,
+                inv_scale: 1.0 / scale,
+            },
+            vec![m, n],
+            DType::I8,
+        ))
+    }
+
+    /// `i8 x i8 -> i32` matrix product of a quantised `[m, k]` activation
+    /// against weight slot `w` (shape `[k, out_features]` logically; stored
+    /// transposed). The resulting node has [`DType::I32`].
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::InvalidArgument`] for a non-`I8` operand or an unknown
+    /// weight slot, [`TensorError::ShapeMismatch`] if the reduction
+    /// dimensions disagree.
+    pub fn quant_matmul(&mut self, a: NodeId, w: usize) -> Result<NodeId, TensorError> {
+        let (m, k) = self.require_matrix(a, "quant_matmul")?;
+        if self.dtype(a) != DType::I8 {
+            return Err(TensorError::InvalidArgument {
+                op: "quant_matmul",
+                message: "operand must be i8 (quantize_sym it first)".to_string(),
+            });
+        }
+        let qw = self
+            .qweights
+            .get(w)
+            .ok_or_else(|| TensorError::InvalidArgument {
+                op: "quant_matmul",
+                message: format!("unknown weight slot {w}"),
+            })?;
+        if qw.in_features() != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "quant_matmul",
+                lhs: vec![m, k],
+                rhs: vec![qw.in_features(), qw.out_features()],
+            });
+        }
+        let n = qw.out_features();
+        Ok(self.push_typed(Op::MatMulI8 { a, w }, vec![m, n], DType::I32))
+    }
+
+    /// Dequantises an `i32` accumulator matrix back to `f32`, multiplying
+    /// column `j` by `scales[j]` (the combined activation × per-channel
+    /// weight scale).
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::InvalidArgument`] for a non-`I32` operand,
+    /// [`TensorError::ShapeMismatch`] if `scales` does not match the column
+    /// count.
+    pub fn dequantize_cols(
+        &mut self,
+        a: NodeId,
+        scales: Rc<Vec<f32>>,
+    ) -> Result<NodeId, TensorError> {
+        let (m, n) = self.require_matrix(a, "dequantize_cols")?;
+        if self.dtype(a) != DType::I32 {
+            return Err(TensorError::InvalidArgument {
+                op: "dequantize_cols",
+                message: "operand must be i32 (a quant_matmul accumulator)".to_string(),
+            });
+        }
+        if scales.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "dequantize_cols",
+                lhs: vec![m, n],
+                rhs: vec![scales.len()],
+            });
+        }
+        Ok(self.push_typed(Op::DequantizeCols { a, scales }, vec![m, n], DType::F32))
     }
 
     // ------------------------------------------------------------------

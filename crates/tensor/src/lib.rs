@@ -68,6 +68,7 @@ mod exec;
 mod gradcheck;
 mod graph;
 mod plan;
+pub mod quant;
 mod scratch;
 mod workspace;
 
@@ -79,7 +80,8 @@ pub use exec::{
     MAX_CACHED_PLANS,
 };
 pub use gradcheck::{check_gradients, GradCheckReport};
-pub use graph::{GraphBuilder, IndexSlot, NodeId};
+pub use graph::{DType, GraphBuilder, IndexSlot, NodeId};
+pub use quant::{CalTap, QuantCalibration, QuantEntry, QuantSpec, QuantizedWeights};
 
 /// Slice-level kernel entry points shared by the tape ops and the planned
 /// executor.
@@ -94,6 +96,7 @@ pub mod kernels {
     pub use crate::array::{add_row_assign, gather_rows_into, matmul_into};
 }
 pub use scratch::{
-    pool_stats, recycle_f32_buffer, recycle_index_buffer, shelf_stats, take_f32_buffer,
-    take_index_buffer, IndexVec, PoolStats, ShelfStats,
+    pool_stats, recycle_f32_buffer, recycle_i32_buffer, recycle_i8_buffer, recycle_index_buffer,
+    shelf_stats, take_f32_buffer, take_i32_buffer, take_i8_buffer, take_index_buffer, IndexVec,
+    PoolStats, ShelfStats,
 };

@@ -29,8 +29,9 @@
 //! slice derivation leans on exactly this invariant.
 #![warn(missing_docs)]
 
-use crate::graph::{GraphBuilder, Op};
+use crate::graph::{DType, GraphBuilder, Op};
 use crate::TensorError;
+use std::rc::Rc;
 
 /// Where a step operand's data lives.
 #[derive(Debug, Clone, Copy)]
@@ -160,6 +161,25 @@ pub(crate) enum StepOp {
         cols: usize,
         slot: usize,
     },
+    /// f32 arena/input → i8 arena; cross-arena, so never in place and never
+    /// part of the disjointness proof (distinct arenas cannot alias).
+    QuantizeSym {
+        a: Operand,
+        inv_scale: f32,
+    },
+    /// i8 arena → i32 arena against pre-quantised weight slot `w`.
+    MatMulI8 {
+        a: Operand,
+        w: usize,
+        k: usize,
+        p: usize,
+    },
+    /// i32 arena → f32 arena with per-column combined scales.
+    DequantizeCols {
+        a: Operand,
+        scales: Rc<Vec<f32>>,
+        cols: usize,
+    },
 }
 
 /// A step: the op plus its output interval in the arena.
@@ -186,6 +206,11 @@ pub(crate) struct PlanOutput {
 pub(crate) struct Plan {
     pub(crate) steps: Vec<Step>,
     pub(crate) arena_len: usize,
+    /// Working set of the quantised `i8` activation arena (0 for pure-f32
+    /// plans).
+    pub(crate) arena_i8_len: usize,
+    /// Working set of the `i32` accumulator arena (0 for pure-f32 plans).
+    pub(crate) arena_i32_len: usize,
     pub(crate) input_shapes: Vec<Vec<usize>>,
     pub(crate) index_input_lens: Vec<usize>,
     pub(crate) param_lens: Vec<usize>,
@@ -278,9 +303,51 @@ fn assert_disjoint(out_off: usize, out_len: usize, o: &Operand) {
     }
 }
 
+/// The dtype-homogeneous arenas a plan lays buffers into.
+const ARENA_F32: usize = 0;
+const ARENA_I8: usize = 1;
+const ARENA_I32: usize = 2;
+
+fn arena_ix(dt: DType) -> usize {
+    match dt {
+        DType::F32 => ARENA_F32,
+        DType::I8 => ARENA_I8,
+        DType::I32 => ARENA_I32,
+    }
+}
+
 /// Compiles a finished graph into an executable [`Plan`].
 pub(crate) fn plan_graph(b: &GraphBuilder) -> Result<Plan, TensorError> {
     let n = b.nodes.len();
+
+    // Pass 0: dtype discipline. Quantised ops consume exactly the dtype the
+    // builder produced for their operand; every classic op (including the
+    // alias ops — non-f32 buffers may not be aliased) is f32-only. Graphs
+    // built through `GraphBuilder`'s methods cannot fail this; hand-spliced
+    // graphs (the quantisation rewrite) are re-checked here.
+    for node in &b.nodes {
+        let mut ok = true;
+        match &node.op {
+            Op::QuantizeSym { a, .. } => ok = b.nodes[a.0].dtype == DType::F32,
+            Op::MatMulI8 { a, .. } => ok = b.nodes[a.0].dtype == DType::I8,
+            Op::DequantizeCols { a, .. } => ok = b.nodes[a.0].dtype == DType::I32,
+            op => op.for_each_operand(|i| ok &= b.nodes[i].dtype == DType::F32),
+        }
+        if !ok {
+            return Err(TensorError::InvalidArgument {
+                op: "plan_graph",
+                message: "operand dtype does not match the op's contract".to_string(),
+            });
+        }
+    }
+    for &out in &b.outputs {
+        if b.nodes[out.0].dtype != DType::F32 {
+            return Err(TensorError::InvalidArgument {
+                op: "plan_graph",
+                message: "graph outputs must be f32 (dequantize before marking)".to_string(),
+            });
+        }
+    }
 
     // Pass 1: alias resolution. Creation order guarantees operands resolve
     // before their consumers.
@@ -348,9 +415,17 @@ pub(crate) fn plan_graph(b: &GraphBuilder) -> Result<Plan, TensorError> {
         outputs_meta.push(out);
     }
 
-    // Pass 3: allocation sweep in execution order.
-    let mut alloc = ArenaAlloc::default();
-    // Arena offset of each computed root's buffer (usize::MAX = not placed).
+    // Pass 3: allocation sweep in execution order. One allocator per dtype
+    // arena; a node's buffer lives in its dtype's arena, so cross-dtype
+    // steps (the quantised chain) read and write disjoint storage by
+    // construction.
+    let mut allocs = [
+        ArenaAlloc::default(),
+        ArenaAlloc::default(),
+        ArenaAlloc::default(),
+    ];
+    // Arena offset of each computed root's buffer (usize::MAX = not placed),
+    // relative to its dtype's arena.
     let mut arena_off = vec![usize::MAX; n];
     let mut steps = Vec::new();
 
@@ -581,6 +656,22 @@ pub(crate) fn plan_graph(b: &GraphBuilder) -> Result<Plan, TensorError> {
                 cols: node.shape[1],
                 slot: indices.0,
             }),
+            // Quantised chain: cross-arena, never in place.
+            Op::QuantizeSym { a, inv_scale } => Some(StepOp::QuantizeSym {
+                a: operand_of(&res, &arena_off, a.0),
+                inv_scale: *inv_scale,
+            }),
+            Op::MatMulI8 { a, w } => Some(StepOp::MatMulI8 {
+                a: operand_of(&res, &arena_off, a.0),
+                w: *w,
+                k: b.nodes[a.0].shape[1],
+                p: node.shape[1],
+            }),
+            Op::DequantizeCols { a, scales } => Some(StepOp::DequantizeCols {
+                a: operand_of(&res, &arena_off, a.0),
+                scales: Rc::clone(scales),
+                cols: node.shape[1],
+            }),
         };
 
         let Some(step_op) = step_op else {
@@ -595,7 +686,7 @@ pub(crate) fn plan_graph(b: &GraphBuilder) -> Result<Plan, TensorError> {
                 uses[root] = 0;
                 arena_off[root]
             }
-            None => alloc.alloc(out_len),
+            None => allocs[arena_ix(node.dtype)].alloc(out_len),
         };
         arena_off[idx] = out_off;
 
@@ -617,7 +708,7 @@ pub(crate) fn plan_graph(b: &GraphBuilder) -> Result<Plan, TensorError> {
                 }
                 uses[r] -= 1;
                 if uses[r] == 0 && !pinned[r] {
-                    alloc.free(arena_off[r], res[r].len);
+                    allocs[arena_ix(b.nodes[r].dtype)].free(arena_off[r], res[r].len);
                 }
             }
         });
@@ -642,7 +733,9 @@ pub(crate) fn plan_graph(b: &GraphBuilder) -> Result<Plan, TensorError> {
     bliss_telemetry::metrics::PLANS_COMPILED.add(1);
     Ok(Plan {
         steps,
-        arena_len: alloc.high,
+        arena_len: allocs[ARENA_F32].high,
+        arena_i8_len: allocs[ARENA_I8].high,
+        arena_i32_len: allocs[ARENA_I32].high,
         input_shapes: b.input_shapes.clone(),
         index_input_lens: b.index_input_lens.clone(),
         param_lens: b.params.iter().map(|p| p.value().data().len()).collect(),
@@ -652,7 +745,7 @@ pub(crate) fn plan_graph(b: &GraphBuilder) -> Result<Plan, TensorError> {
 
 impl Op {
     /// Visits every operand node index (aliases included, in tape order).
-    fn for_each_operand(&self, mut f: impl FnMut(usize)) {
+    pub(crate) fn for_each_operand(&self, mut f: impl FnMut(usize)) {
         match self {
             Op::Input { .. } | Op::Param { .. } => {}
             Op::MatMul { a, b } | Op::MatMulT { a, b } | Op::Add { a, b } => {
@@ -677,7 +770,10 @@ impl Op {
             | Op::SliceRows { a, .. }
             | Op::SliceCols { a, .. }
             | Op::Im2Col { a, .. }
-            | Op::GatherRows { a, .. } => f(a.0),
+            | Op::GatherRows { a, .. }
+            | Op::QuantizeSym { a, .. }
+            | Op::MatMulI8 { a, .. }
+            | Op::DequantizeCols { a, .. } => f(a.0),
             Op::LayerNorm { a, gamma, beta, .. } => {
                 f(a.0);
                 f(gamma.0);
@@ -722,6 +818,12 @@ impl StepOp {
             | StepOp::Im2Col { a, .. }
             | StepOp::GatherRows { a, .. } => f(a),
             StepOp::ScaleIp { .. } | StepOp::ReluIp | StepOp::SigmoidIp | StepOp::GeluIp => {}
+            // Quantised steps read and write *different* arenas; their
+            // offsets are not comparable with the output interval, so the
+            // disjointness proof skips them (disjoint by construction).
+            StepOp::QuantizeSym { .. }
+            | StepOp::MatMulI8 { .. }
+            | StepOp::DequantizeCols { .. } => {}
             StepOp::LayerNorm { a, gamma, beta, .. } => {
                 f(a);
                 f(gamma);

@@ -1,0 +1,769 @@
+//! Post-training static symmetric int8 quantisation as a graph compile pass.
+//!
+//! The pipeline has three phases, all operating on the same [`GraphBuilder`]
+//! IR the f32 planner consumes (the tape/training path is untouched):
+//!
+//! 1. **Calibration** ([`QuantCalibration`]): [`QuantCalibration::instrument`]
+//!    marks the activation input of every quantisable matmul as an extra plan
+//!    output; the caller executes the instrumented plan over a representative
+//!    batch set and feeds each tap back through
+//!    [`QuantCalibration::observe_plan`], which folds running absolute maxima
+//!    per weight site.
+//! 2. **Spec build** ([`QuantCalibration::finish`]): per-output-channel
+//!    symmetric weight scales (`absmax / 127`, degenerate all-zero channels
+//!    fall back to scale 1.0 so nothing divides by zero) and a per-tensor
+//!    static activation scale per site, packaged as a [`QuantSpec`].
+//! 3. **Graph rewrite** ([`quantize_graph`], exposed through
+//!    `ExecPlan::compile_quantized`): every matmul whose right operand is a
+//!    parameter (or a column-concatenation of parameters, the fused-QKV
+//!    layout) and whose site is in the spec is replaced by
+//!    `quantize_sym → quant_matmul → dequantize_cols`; the now-dead f32
+//!    weight nodes are pruned by a liveness pass so the planner never
+//!    materialises them.
+//!
+//! Only weight GEMMs quantise. Attention score/value products (activation ×
+//! activation), softmax, layer norm and GELU stay f32 — that is the standard
+//! post-training-quantisation split and keeps the error budget in the parts
+//! the differential harness can actually bound.
+//!
+//! Determinism: quantisation, the integer GEMM and dequantisation are exact
+//! or scalar-sequenced, so a quantised plan is bit-identical across thread
+//! counts (see `bliss_parallel::matmul_i8t_into`) and across
+//! snapshot/restore as long as the spec is re-derived from the same weights
+//! and calibration stream — which is exactly how the serving layer uses it.
+#![warn(missing_docs)]
+
+use crate::exec::ExecPlan;
+use crate::graph::{GraphBuilder, NodeId, Op};
+use crate::TensorError;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Largest representable magnitude of the symmetric i8 grid. `-128` is
+/// deliberately unused so the grid is symmetric and negation is exact.
+pub const QMAX: f32 = 127.0;
+
+/// Symmetric scale for a value range with absolute maximum `absmax`.
+///
+/// Degenerate ranges (all-zero channels, non-finite maxima) map to `1.0`
+/// so downstream `1/scale` never divides by zero.
+pub fn symmetric_scale(absmax: f32) -> f32 {
+    if absmax.is_finite() && absmax > 0.0 {
+        absmax / QMAX
+    } else {
+        1.0
+    }
+}
+
+/// Quantises one value: round-to-nearest on the `1/scale` grid, saturating
+/// at `±127`.
+#[inline]
+pub fn quantize_one(x: f32, inv_scale: f32) -> i8 {
+    (x * inv_scale).round().clamp(-QMAX, QMAX) as i8
+}
+
+/// Symmetric quantisation of a slice under a fixed scale (as `inv_scale =
+/// 1/scale`). Scalar and sequential — the op is memory-bound and keeping it
+/// serial makes bit-identity trivial.
+pub fn quantize_sym_into(src: &[f32], inv_scale: f32, out: &mut [i8]) {
+    assert_eq!(src.len(), out.len(), "quantize_sym_into length mismatch");
+    for (o, &x) in out.iter_mut().zip(src) {
+        *o = quantize_one(x, inv_scale);
+    }
+}
+
+/// A weight matrix quantised per output channel and stored transposed
+/// (`[out_features, in_features]` row-major) so the integer GEMM streams
+/// both operands contiguously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedWeights {
+    data: Vec<i8>,
+    in_features: usize,
+    out_features: usize,
+    scales: Vec<f32>,
+}
+
+impl QuantizedWeights {
+    /// Quantises a `[k, n]` row-major f32 weight matrix (the `matmul` right
+    /// operand layout) with one symmetric scale per output channel (column).
+    pub fn from_cols(w: &[f32], k: usize, n: usize) -> Self {
+        Self::from_col_blocks(k, &[(w, n)])
+    }
+
+    /// Quantises a horizontal concatenation of `[k, n_i]` blocks (the fused
+    /// QKV layout: per-head weight columns stacked left to right) without
+    /// materialising the concatenated f32 matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block's data length is not `k * n_i`.
+    pub fn from_col_blocks(k: usize, blocks: &[(&[f32], usize)]) -> Self {
+        let out_features: usize = blocks.iter().map(|&(_, n)| n).sum();
+        let mut data = vec![0i8; out_features * k];
+        let mut scales = Vec::with_capacity(out_features);
+        let mut row = 0;
+        for &(w, n) in blocks {
+            assert_eq!(w.len(), k * n, "weight block length must be k * n");
+            for oc in 0..n {
+                let mut absmax = 0f32;
+                for i in 0..k {
+                    absmax = absmax.max(w[i * n + oc].abs());
+                }
+                let scale = symmetric_scale(absmax);
+                let inv = 1.0 / scale;
+                for i in 0..k {
+                    data[row * k + i] = quantize_one(w[i * n + oc], inv);
+                }
+                scales.push(scale);
+                row += 1;
+            }
+        }
+        Self {
+            data,
+            in_features: k,
+            out_features,
+            scales,
+        }
+    }
+
+    /// The quantised weights, transposed row-major
+    /// (`[out_features, in_features]`) — the `bt` operand of
+    /// `bliss_parallel::matmul_i8t_into`.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Reduction dimension (`k`).
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output channels (`n`).
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Per-output-channel symmetric scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the f32 weight matrix in `[k, n]` layout — test support
+    /// for round-trip error bounds.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let (k, n) = (self.in_features, self.out_features);
+        let mut out = vec![0f32; k * n];
+        for oc in 0..n {
+            let s = self.scales[oc];
+            for i in 0..k {
+                out[i * n + oc] = self.data[oc * k + i] as f32 * s;
+            }
+        }
+        out
+    }
+}
+
+/// One quantised weight site: the quantised block, the static activation
+/// scale calibrated for its input, and the pre-multiplied per-column
+/// dequantisation scales.
+#[derive(Debug, Clone)]
+pub struct QuantEntry {
+    pub(crate) weights: Rc<QuantizedWeights>,
+    pub(crate) act_scale: f32,
+    pub(crate) dequant_scales: Rc<Vec<f32>>,
+}
+
+impl QuantEntry {
+    /// The static activation scale for this site.
+    pub fn act_scale(&self) -> f32 {
+        self.act_scale
+    }
+
+    /// The quantised weight block.
+    pub fn weights(&self) -> &QuantizedWeights {
+        &self.weights
+    }
+}
+
+/// Calibrated quantisation parameters for a network, keyed by the identity
+/// (`Tensor::id`) of each site's first weight tensor. Because keys are
+/// weight identities, one spec built from any batch layout applies to every
+/// plan recorded from the same live parameters.
+#[derive(Debug, Clone, Default)]
+pub struct QuantSpec {
+    entries: HashMap<u64, QuantEntry>,
+}
+
+impl QuantSpec {
+    /// Number of quantised weight sites.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the spec quantises nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for a weight-site key, if calibrated.
+    pub fn get(&self, key: u64) -> Option<&QuantEntry> {
+        self.entries.get(&key)
+    }
+
+    pub(crate) fn insert(&mut self, key: u64, entry: QuantEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Drops a weight site from the spec, returning whether it was present.
+    /// Matmuls against that weight then stay in f32 — the standard escape
+    /// hatch for precision-critical layers (e.g. a network's input
+    /// embedding, whose activation range is dominated by rare bright frames
+    /// while its typical inputs are dim).
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+}
+
+/// Where a calibration tap reads its activation from after executing the
+/// instrumented plan.
+#[derive(Debug, Clone, Copy)]
+enum TapSource {
+    /// Extra plan output at this index (activation is a computed node).
+    Output(usize),
+    /// The raw input slot (activation is a graph input, which cannot be
+    /// marked as an output; its absolute maximum is read from the bound
+    /// input slice directly).
+    Input(usize),
+}
+
+/// A single instrumented activation: which weight site it calibrates and
+/// where to read it.
+#[derive(Debug, Clone, Copy)]
+pub struct CalTap {
+    key: u64,
+    source: TapSource,
+}
+
+/// A quantisable matmul site discovered in a graph.
+struct QuantSite {
+    /// Node index of the `MatMul`.
+    matmul: usize,
+    /// Spec key: identity of the first weight tensor.
+    key: u64,
+    /// The activation operand.
+    a: NodeId,
+}
+
+/// Finds every matmul whose right operand is a parameter matrix or a
+/// column-concatenation of parameter matrices (fused QKV).
+fn find_sites(g: &GraphBuilder) -> Vec<QuantSite> {
+    let mut sites = Vec::new();
+    for (idx, node) in g.nodes.iter().enumerate() {
+        let Op::MatMul { a, b } = node.op else {
+            continue;
+        };
+        let Some(key) = site_key(g, b) else { continue };
+        sites.push(QuantSite {
+            matmul: idx,
+            key,
+            a,
+        });
+    }
+    sites
+}
+
+/// The spec key for a matmul right operand, if it is quantisable: the
+/// identity of its (first) parameter tensor.
+fn site_key(g: &GraphBuilder, b: NodeId) -> Option<u64> {
+    let param_id = |id: NodeId| -> Option<u64> {
+        if let Op::Param { slot } = g.nodes[id.0].op {
+            if g.nodes[id.0].shape.len() == 2 {
+                return Some(g.params[slot].id());
+            }
+        }
+        None
+    };
+    match &g.nodes[b.0].op {
+        Op::Param { .. } => param_id(b),
+        Op::ConcatCols { parts } => {
+            if parts.iter().all(|&p| param_id(p).is_some()) {
+                param_id(parts[0])
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Resolves a node through alias ops (`Reshape`, `SliceRows`) to its
+/// computed/source root.
+fn alias_root(g: &GraphBuilder, mut id: NodeId) -> NodeId {
+    loop {
+        match g.nodes[id.0].op {
+            Op::Reshape { a } | Op::SliceRows { a, .. } => id = a,
+            _ => return id,
+        }
+    }
+}
+
+/// Running per-site activation ranges, folded over calibration batches.
+#[derive(Debug, Clone, Default)]
+pub struct QuantCalibration {
+    ranges: HashMap<u64, f32>,
+}
+
+impl QuantCalibration {
+    /// An empty calibration (no sites observed yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the activation of every quantisable matmul in `g` as an extra
+    /// plan output and returns the taps to read back after execution.
+    /// Activations that *are* graph inputs are tapped from the bound input
+    /// slice instead (inputs cannot be plan outputs).
+    ///
+    /// Call once per batch layout, compile the instrumented builder, execute
+    /// it over representative data, then feed each execution through
+    /// [`QuantCalibration::observe_plan`].
+    pub fn instrument(g: &mut GraphBuilder) -> Vec<CalTap> {
+        let mut taps = Vec::new();
+        for site in find_sites(g) {
+            let root = alias_root(g, site.a);
+            let source = match g.nodes[root.0].op {
+                Op::Input { slot } => TapSource::Input(slot),
+                // A parameter activation cannot occur in a real forward pass;
+                // skip rather than pin a weight as an output.
+                Op::Param { .. } => continue,
+                _ => {
+                    let idx = g.outputs.len();
+                    g.mark_output(site.a);
+                    TapSource::Output(idx)
+                }
+            };
+            taps.push(CalTap {
+                key: site.key,
+                source,
+            });
+        }
+        taps
+    }
+
+    /// Folds one value slice into the running range for a site key.
+    pub fn observe(&mut self, key: u64, data: &[f32]) {
+        let absmax = data.iter().fold(0f32, |m, &x| m.max(x.abs()));
+        let entry = self.ranges.entry(key).or_insert(0.0);
+        *entry = entry.max(absmax);
+    }
+
+    /// Reads every tap of one executed instrumented plan (with the inputs it
+    /// was executed on) into the running ranges.
+    pub fn observe_plan(&mut self, plan: &ExecPlan, inputs: &[&[f32]], taps: &[CalTap]) {
+        for tap in taps {
+            match tap.source {
+                TapSource::Output(i) => {
+                    let key = tap.key;
+                    plan.with_output(i, |data| self.observe(key, data));
+                }
+                TapSource::Input(slot) => self.observe(tap.key, inputs[slot]),
+            }
+        }
+    }
+
+    /// Number of distinct sites observed so far.
+    pub fn observed_sites(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Builds the quantisation spec for a graph from the folded ranges:
+    /// per-output-channel weight scales from the live parameter values,
+    /// activation scale per site from the observed absolute maximum. Sites
+    /// never observed (no calibration data reached them) are left
+    /// unquantised.
+    pub fn finish(&self, g: &GraphBuilder) -> QuantSpec {
+        let mut spec = QuantSpec::default();
+        for site in find_sites(g) {
+            if spec.get(site.key).is_some() {
+                continue;
+            }
+            let Some(&absmax) = self.ranges.get(&site.key) else {
+                continue;
+            };
+            let Op::MatMul { b, .. } = g.nodes[site.matmul].op else {
+                unreachable!("find_sites only returns matmuls");
+            };
+            let weights = match &g.nodes[b.0].op {
+                Op::Param { slot } => {
+                    let shape = &g.nodes[b.0].shape;
+                    let (k, n) = (shape[0], shape[1]);
+                    let v = g.params[*slot].value();
+                    Rc::new(QuantizedWeights::from_cols(v.data(), k, n))
+                }
+                Op::ConcatCols { parts } => {
+                    let k = g.nodes[parts[0].0].shape[0];
+                    let values: Vec<_> = parts
+                        .iter()
+                        .map(|&p| {
+                            let Op::Param { slot } = g.nodes[p.0].op else {
+                                unreachable!("site_key verified all parts are params");
+                            };
+                            (g.params[slot].value(), g.nodes[p.0].shape[1])
+                        })
+                        .collect();
+                    let blocks: Vec<(&[f32], usize)> =
+                        values.iter().map(|(v, n)| (v.data(), *n)).collect();
+                    Rc::new(QuantizedWeights::from_col_blocks(k, &blocks))
+                }
+                _ => unreachable!("site_key only accepts Param/ConcatCols"),
+            };
+            let act_scale = symmetric_scale(absmax);
+            let dequant_scales = Rc::new(weights.scales().iter().map(|&s| s * act_scale).collect());
+            spec.insert(
+                site.key,
+                QuantEntry {
+                    weights,
+                    act_scale,
+                    dequant_scales,
+                },
+            );
+        }
+        spec
+    }
+}
+
+/// Clones `op` with every operand id remapped through `map`.
+fn remap_op(op: &Op, map: &[Option<NodeId>]) -> Op {
+    let m = |id: NodeId| map[id.0].expect("operand of a live node must be live");
+    match op {
+        Op::Input { slot } => Op::Input { slot: *slot },
+        Op::Param { slot } => Op::Param { slot: *slot },
+        Op::MatMul { a, b } => Op::MatMul { a: m(*a), b: m(*b) },
+        Op::MatMulT { a, b } => Op::MatMulT { a: m(*a), b: m(*b) },
+        Op::Add { a, b } => Op::Add { a: m(*a), b: m(*b) },
+        Op::AddRow { a, row } => Op::AddRow {
+            a: m(*a),
+            row: m(*row),
+        },
+        Op::AddColBias { a, bias } => Op::AddColBias {
+            a: m(*a),
+            bias: m(*bias),
+        },
+        Op::Scale { a, factor } => Op::Scale {
+            a: m(*a),
+            factor: *factor,
+        },
+        Op::Relu { a } => Op::Relu { a: m(*a) },
+        Op::Sigmoid { a } => Op::Sigmoid { a: m(*a) },
+        Op::Gelu { a } => Op::Gelu { a: m(*a) },
+        Op::SoftmaxRows { a } => Op::SoftmaxRows { a: m(*a) },
+        Op::LayerNorm {
+            a,
+            gamma,
+            beta,
+            eps,
+        } => Op::LayerNorm {
+            a: m(*a),
+            gamma: m(*gamma),
+            beta: m(*beta),
+            eps: *eps,
+        },
+        Op::Transpose { a } => Op::Transpose { a: m(*a) },
+        Op::Reshape { a } => Op::Reshape { a: m(*a) },
+        Op::SliceRows { a, start } => Op::SliceRows {
+            a: m(*a),
+            start: *start,
+        },
+        Op::SliceCols { a, start, end } => Op::SliceCols {
+            a: m(*a),
+            start: *start,
+            end: *end,
+        },
+        Op::ConcatRows { parts } => Op::ConcatRows {
+            parts: parts.iter().map(|&p| m(p)).collect(),
+        },
+        Op::ConcatCols { parts } => Op::ConcatCols {
+            parts: parts.iter().map(|&p| m(p)).collect(),
+        },
+        Op::ConcatFlat { parts } => Op::ConcatFlat {
+            parts: parts.iter().map(|&p| m(p)).collect(),
+        },
+        Op::Im2Col {
+            a,
+            kh,
+            kw,
+            stride,
+            pad,
+        } => Op::Im2Col {
+            a: m(*a),
+            kh: *kh,
+            kw: *kw,
+            stride: *stride,
+            pad: *pad,
+        },
+        Op::GatherRows { a, indices } => Op::GatherRows {
+            a: m(*a),
+            indices: *indices,
+        },
+        Op::QuantizeSym { a, inv_scale } => Op::QuantizeSym {
+            a: m(*a),
+            inv_scale: *inv_scale,
+        },
+        Op::MatMulI8 { a, w } => Op::MatMulI8 { a: m(*a), w: *w },
+        Op::DequantizeCols { a, scales } => Op::DequantizeCols {
+            a: m(*a),
+            scales: Rc::clone(scales),
+        },
+    }
+}
+
+/// Rewrites a graph under a [`QuantSpec`]: every calibrated weight-GEMM is
+/// replaced by a `quantize_sym → quant_matmul → dequantize_cols` chain and
+/// the dead f32 weight nodes are pruned so the planner never lays them out.
+/// Input/index slots, parameter slots and output order are preserved, so a
+/// rewritten plan executes on exactly the same bound data as the original.
+///
+/// # Errors
+///
+/// Shape/validity errors from the quantised builder ops (a spec built by
+/// [`QuantCalibration::finish`] against the same graph cannot trigger them).
+pub fn quantize_graph(g: &GraphBuilder, spec: &QuantSpec) -> Result<GraphBuilder, TensorError> {
+    // Sites that will actually be rewritten (calibrated + shape-consistent).
+    let mut rewrites: HashMap<usize, &QuantEntry> = HashMap::new();
+    for site in find_sites(g) {
+        if let Some(entry) = spec.get(site.key) {
+            let k = g.nodes[site.a.0].shape[1];
+            if entry.weights.in_features() == k {
+                rewrites.insert(site.matmul, entry);
+            }
+        }
+    }
+
+    // Liveness: outputs are live; live nodes keep their operands live,
+    // except a rewritten matmul no longer reads its f32 weight operand.
+    // Input nodes always survive so input slot numbering is stable.
+    let n = g.nodes.len();
+    let mut live = vec![false; n];
+    for &o in &g.outputs {
+        live[o.0] = true;
+    }
+    for idx in (0..n).rev() {
+        if matches!(g.nodes[idx].op, Op::Input { .. }) {
+            live[idx] = true;
+        }
+        if !live[idx] {
+            continue;
+        }
+        match (&g.nodes[idx].op, rewrites.contains_key(&idx)) {
+            (Op::MatMul { a, .. }, true) => live[a.0] = true,
+            (op, _) => op.for_each_operand(|i| live[i] = true),
+        }
+    }
+
+    // Rebuild: copy live nodes in order, splicing quantised chains in place
+    // of rewritten matmuls.
+    let mut ng = GraphBuilder::new();
+    ng.params = g.params.clone();
+    ng.param_slots = g.param_slots.clone();
+    ng.input_shapes = g.input_shapes.clone();
+    ng.index_input_lens = g.index_input_lens.clone();
+    let mut map: Vec<Option<NodeId>> = vec![None; n];
+    for idx in 0..n {
+        if !live[idx] {
+            continue;
+        }
+        if let Some(entry) = rewrites.get(&idx) {
+            let Op::MatMul { a, .. } = g.nodes[idx].op else {
+                unreachable!("rewrites only hold matmuls");
+            };
+            let a_new = map[a.0].expect("matmul activation must be live");
+            let qx = ng.quantize_sym(a_new, entry.act_scale)?;
+            let w = ng.add_qweight(Rc::clone(&entry.weights));
+            let acc = ng.quant_matmul(qx, w)?;
+            let dq = ng.dequantize_cols(acc, Rc::clone(&entry.dequant_scales))?;
+            map[idx] = Some(dq);
+        } else {
+            let node = &g.nodes[idx];
+            map[idx] =
+                Some(ng.push_typed(remap_op(&node.op, &map), node.shape.clone(), node.dtype));
+        }
+    }
+    ng.outputs = g
+        .outputs
+        .iter()
+        .map(|&o| map[o.0].expect("graph outputs are live by construction"))
+        .collect();
+    // param_nodes (dedup cache for future `param` calls) is left empty: the
+    // rewritten graph is sealed and handed straight to the planner.
+    Ok(ng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NdArray, Tensor};
+
+    fn param(shape: &[usize], data: Vec<f32>) -> Tensor {
+        Tensor::parameter(NdArray::from_vec(data, shape).unwrap())
+    }
+
+    fn absmax(v: &[f32]) -> f32 {
+        v.iter().fold(0f32, |m, &x| m.max(x.abs()))
+    }
+
+    #[test]
+    fn weight_round_trip_error_bounded_by_half_scale() {
+        let (k, n) = (13, 5);
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i as f32 * 0.731).sin()) * (1.0 + i as f32 * 0.01))
+            .collect();
+        let q = QuantizedWeights::from_cols(&w, k, n);
+        let back = q.dequantize();
+        for oc in 0..n {
+            let bound = q.scales()[oc] / 2.0 + 1e-6;
+            for i in 0..k {
+                let err = (w[i * n + oc] - back[i * n + oc]).abs();
+                assert!(err <= bound, "channel {oc} err {err} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero_and_degenerate_channels_do_not_divide_by_zero() {
+        // Channel 1 is all zeros: scale falls back to 1.0, values stay 0.
+        let w = [0.5f32, 0.0, -0.25, 0.0, 1.0, 0.0];
+        let q = QuantizedWeights::from_cols(&w, 3, 2);
+        assert_eq!(q.scales()[1], 1.0);
+        for i in 0..3 {
+            assert_eq!(q.data()[q.in_features() + i], 0);
+        }
+        assert_eq!(quantize_one(0.0, 123.0), 0);
+    }
+
+    #[test]
+    fn saturation_clamps_to_i8_extremes() {
+        assert_eq!(quantize_one(1e30, 1.0), 127);
+        assert_eq!(quantize_one(-1e30, 1.0), -127);
+        let s = symmetric_scale(2.0);
+        assert_eq!(quantize_one(2.0, 1.0 / s), 127);
+        assert_eq!(quantize_one(-2.0, 1.0 / s), -127);
+    }
+
+    #[test]
+    fn calibration_and_rewrite_match_f32_within_quant_error() {
+        // x [4,6] -> matmul param w [6,3] -> add_row bias -> relu
+        let w: Vec<f32> = (0..18).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect();
+        let bias = [0.05f32, -0.1, 0.2];
+        let wt = param(&[6, 3], w.clone());
+        let bt = param(&[3], bias.to_vec());
+        let x: Vec<f32> = (0..24).map(|i| ((i * 5 % 17) as f32 - 8.0) / 4.0).collect();
+
+        let build = |mark: bool| {
+            let mut g = GraphBuilder::new();
+            let xi = g.input(&[4, 6]);
+            let wp = g.param(&wt);
+            let bp = g.param(&bt);
+            let mm = g.matmul(xi, wp).unwrap();
+            let ad = g.add_row(mm, bp).unwrap();
+            let out = g.relu(ad);
+            if mark {
+                g.mark_output(out);
+            }
+            g
+        };
+
+        // f32 reference.
+        let plan = ExecPlan::compile(build(true)).unwrap();
+        plan.execute(&[&x], &[]).unwrap();
+        let reference = plan.with_output(0, |d| d.to_vec());
+
+        // Calibrate (input-slot tap: the activation is the graph input).
+        let mut cal = QuantCalibration::new();
+        let mut gi = build(true);
+        let taps = QuantCalibration::instrument(&mut gi);
+        assert_eq!(taps.len(), 1);
+        let iplan = ExecPlan::compile(gi).unwrap();
+        iplan.execute(&[&x], &[]).unwrap();
+        cal.observe_plan(&iplan, &[&x], &taps);
+        assert_eq!(cal.observed_sites(), 1);
+
+        let gq = build(true);
+        let spec = cal.finish(&gq);
+        assert_eq!(spec.len(), 1);
+        let qplan = ExecPlan::compile_quantized(build(true), &spec).unwrap();
+        qplan.execute(&[&x], &[]).unwrap();
+        let quantised = qplan.with_output(0, |d| d.to_vec());
+
+        // Error bound: k * (act_err * |w| + w_err * |x|) per element, loose.
+        let entry = spec.get(wt.id()).unwrap();
+        let bound = 6.0
+            * (entry.act_scale() / 2.0 * absmax(&w)
+                + entry
+                    .weights()
+                    .scales()
+                    .iter()
+                    .cloned()
+                    .fold(0f32, f32::max)
+                    / 2.0
+                    * absmax(&x))
+            + 1e-4;
+        assert_eq!(reference.len(), quantised.len());
+        for (r, q) in reference.iter().zip(&quantised) {
+            assert!((r - q).abs() <= bound, "f32 {r} vs int8 {q}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn rewrite_prunes_dead_weight_nodes_and_handles_fused_qkv() {
+        // Fused layout: matmul(x, concat_cols(w0, w1)) like the attention
+        // QKV assembly. After rewrite the Param/ConcatCols weight nodes must
+        // be gone and the plan must still match f32 closely.
+        let w0 = param(&[4, 2], (0..8).map(|i| i as f32 / 8.0 - 0.4).collect());
+        let w1 = param(&[4, 3], (0..12).map(|i| 0.3 - i as f32 / 11.0).collect());
+        let x: Vec<f32> = (0..12).map(|i| (i as f32 - 5.0) / 3.0).collect();
+
+        let build = || {
+            let mut g = GraphBuilder::new();
+            let xi = g.input(&[3, 4]);
+            let p0 = g.param(&w0);
+            let p1 = g.param(&w1);
+            let wc = g.concat_cols(&[p0, p1]).unwrap();
+            let mm = g.matmul(xi, wc).unwrap();
+            g.mark_output(mm);
+            g
+        };
+
+        let plan = ExecPlan::compile(build()).unwrap();
+        plan.execute(&[&x], &[]).unwrap();
+        let reference = plan.with_output(0, |d| d.to_vec());
+
+        let mut cal = QuantCalibration::new();
+        cal.observe(w0.id(), &x);
+        let spec = cal.finish(&build());
+        assert_eq!(spec.len(), 1);
+
+        let g = build();
+        let before = g.nodes.len();
+        let ng = quantize_graph(&g, &spec).unwrap();
+        // Original: input, p0, p1, concat, matmul = 5 nodes. Rewritten:
+        // input, quantize, matmul_i8, dequantize = 4, weights pruned.
+        assert_eq!(before, 5);
+        assert_eq!(ng.nodes.len(), 4);
+        assert_eq!(ng.qweights.len(), 1);
+
+        let qplan = ExecPlan::compile(ng).unwrap();
+        qplan.execute(&[&x], &[]).unwrap();
+        let quantised = qplan.with_output(0, |d| d.to_vec());
+        let entry = spec.get(w0.id()).unwrap();
+        let wmax = entry
+            .weights()
+            .scales()
+            .iter()
+            .cloned()
+            .fold(0f32, f32::max);
+        let bound = 4.0 * (entry.act_scale() / 2.0 * 0.5 + wmax / 2.0 * absmax(&x)) + 1e-4;
+        for (r, q) in reference.iter().zip(&quantised) {
+            assert!((r - q).abs() <= bound, "f32 {r} vs int8 {q}, bound {bound}");
+        }
+    }
+}

@@ -181,6 +181,8 @@ impl<T> Shelf<T> {
 
 static F32_SHELF: Mutex<Shelf<f32>> = Mutex::new(Shelf::new());
 static IDX_SHELF: Mutex<Shelf<usize>> = Mutex::new(Shelf::new());
+static I8_SHELF: Mutex<Shelf<i8>> = Mutex::new(Shelf::new());
+static I32_SHELF: Mutex<Shelf<i32>> = Mutex::new(Shelf::new());
 
 /// Locks a shelf, shrugging off poisoning (the shelf holds only empty
 /// buffers, so a panicking holder cannot leave it inconsistent).
@@ -191,6 +193,8 @@ fn lock<T>(shelf: &Mutex<Shelf<T>>) -> std::sync::MutexGuard<'_, Shelf<T>> {
 thread_local! {
     static F32_POOL: RefCell<Pool<f32>> = RefCell::new(Pool::new());
     static IDX_POOL: RefCell<Pool<usize>> = RefCell::new(Pool::new());
+    static I8_POOL: RefCell<Pool<i8>> = RefCell::new(Pool::new());
+    static I32_POOL: RefCell<Pool<i32>> = RefCell::new(Pool::new());
 }
 
 /// Pops a recycled `f32` buffer with capacity at least `len` (cleared,
@@ -365,6 +369,60 @@ pub fn recycle_index_buffer(buf: Vec<usize>) {
     }
     if let Some(overflow) = IDX_POOL.with(|p| p.borrow_mut().recycle(buf)) {
         lock(&IDX_SHELF).shelve(overflow);
+    }
+}
+
+/// Takes an empty pooled `i8` buffer with capacity at least `len`.
+///
+/// Serves the quantised inference path: `ExecPlan` draws its `i8`
+/// activation arena here at compile time and recycles it on drop, so plan
+/// churn (cache eviction, shape-class rotation) reuses quant working sets
+/// instead of round-tripping the global allocator. Steady-state execution
+/// never touches the pool — the arena is owned by the plan. Pair with
+/// [`recycle_i8_buffer`]. (These pools are not included in [`PoolStats`];
+/// quant arenas live exactly as long as their plans, so the f32 gauges
+/// remain the soak-test leak signal.)
+pub fn take_i8_buffer(len: usize) -> Vec<i8> {
+    if len < MIN_POOL_LEN {
+        return Vec::with_capacity(len);
+    }
+    I8_POOL
+        .with(|p| p.borrow_mut().take_local(len))
+        .or_else(|| lock(&I8_SHELF).take(len))
+        .unwrap_or_else(|| Vec::with_capacity(len.next_power_of_two()))
+}
+
+/// Returns a buffer obtained from [`take_i8_buffer`] (or any `Vec<i8>`) to
+/// the thread's pool.
+pub fn recycle_i8_buffer(buf: Vec<i8>) {
+    if buf.capacity() < MIN_POOL_LEN {
+        return;
+    }
+    if let Some(overflow) = I8_POOL.with(|p| p.borrow_mut().recycle(buf)) {
+        lock(&I8_SHELF).shelve(overflow);
+    }
+}
+
+/// Takes an empty pooled `i32` buffer with capacity at least `len` — the
+/// accumulator twin of [`take_i8_buffer`]. Pair with [`recycle_i32_buffer`].
+pub fn take_i32_buffer(len: usize) -> Vec<i32> {
+    if len < MIN_POOL_LEN {
+        return Vec::with_capacity(len);
+    }
+    I32_POOL
+        .with(|p| p.borrow_mut().take_local(len))
+        .or_else(|| lock(&I32_SHELF).take(len))
+        .unwrap_or_else(|| Vec::with_capacity(len.next_power_of_two()))
+}
+
+/// Returns a buffer obtained from [`take_i32_buffer`] (or any `Vec<i32>`)
+/// to the thread's pool.
+pub fn recycle_i32_buffer(buf: Vec<i32>) {
+    if buf.capacity() < MIN_POOL_LEN {
+        return;
+    }
+    if let Some(overflow) = I32_POOL.with(|p| p.borrow_mut().recycle(buf)) {
+        lock(&I32_SHELF).shelve(overflow);
     }
 }
 
@@ -658,6 +716,24 @@ mod tests {
         assert!(stats.f32_elems <= MAX_SHELF_ELEMS, "{stats:?}");
         assert!(stats.index_bufs <= MAX_SHELF_BUFS, "{stats:?}");
         assert!(stats.index_elems <= MAX_SHELF_ELEMS, "{stats:?}");
+    }
+
+    #[test]
+    fn quant_pools_round_trip() {
+        let mut b8 = take_i8_buffer(512);
+        b8.resize(512, 3);
+        let p8 = b8.as_ptr();
+        recycle_i8_buffer(b8);
+        let again8 = take_i8_buffer(512);
+        assert!(again8.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(again8.as_ptr(), p8);
+
+        let mut b32 = take_i32_buffer(512);
+        b32.resize(512, -9);
+        let p32 = b32.as_ptr();
+        recycle_i32_buffer(b32);
+        let again32 = take_i32_buffer(512);
+        assert_eq!(again32.as_ptr(), p32);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property-based tests of the int8 quantisation primitives: round-trip
+//! error bounds, saturation, exact zeros and degenerate-channel safety on
+//! randomly shaped/valued inputs.
+//!
+//! These pin the *contracts* the differential serving harness builds on:
+//! symmetric round-to-nearest quantisation can never be off by more than
+//! half a step, never widens past the i8 grid, and never divides by zero —
+//! for any weights any calibration could produce.
+
+use bliss_tensor::quant::{
+    quantize_one, quantize_sym_into, symmetric_scale, QuantizedWeights, QMAX,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weight_round_trip_error_is_at_most_half_a_step(
+        k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+    ) {
+        // Per-output-channel scales are derived from each column's absmax,
+        // so every entry lies on the column's grid and round-to-nearest is
+        // within scale/2 of the original.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = bliss_tensor::NdArray::randn(&mut rng, &[k, n], 1.0);
+        let q = QuantizedWeights::from_cols(w.data(), k, n);
+        let dq = q.dequantize();
+        for oc in 0..n {
+            let half_step = q.scales()[oc] * 0.5;
+            for i in 0..k {
+                let (orig, back) = (w.data()[i * n + oc], dq[i * n + oc]);
+                prop_assert!(
+                    (orig - back).abs() <= half_step + f32::EPSILON * orig.abs(),
+                    "({i},{oc}): {orig} -> {back}, half step {half_step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantisation_saturates_at_the_i8_extremes(x in -1e6f32..1e6, scale in 0.001f32..10.0) {
+        let q = quantize_one(x, 1.0 / scale);
+        prop_assert!((-127i8..=127).contains(&q), "{x} at scale {scale} gave {q}");
+        if x >= scale * QMAX {
+            prop_assert_eq!(q, 127);
+        }
+        if x <= -scale * QMAX {
+            prop_assert_eq!(q, -127);
+        }
+    }
+
+    #[test]
+    fn zero_quantises_to_zero_exactly(scale in 0.001f32..10.0, len in 1usize..40) {
+        // Symmetric quantisation has no zero-point: 0.0 must survive the
+        // round trip bit-exactly at any scale, alone or inside a slice.
+        prop_assert_eq!(quantize_one(0.0, 1.0 / scale), 0i8);
+        let src = vec![0.0f32; len];
+        let mut out = vec![1i8; len];
+        quantize_sym_into(&src, 1.0 / scale, &mut out);
+        prop_assert!(out.iter().all(|&q| q == 0));
+        prop_assert!(out.iter().all(|&q| f32::from(q) * scale == 0.0));
+    }
+
+    #[test]
+    fn quantisation_is_odd_symmetric(x in -500.0f32..500.0, scale in 0.001f32..10.0) {
+        // The grid omits -128, so negation is exact on the quantised side.
+        prop_assert_eq!(quantize_one(-x, 1.0 / scale), -quantize_one(x, 1.0 / scale));
+    }
+
+    #[test]
+    fn all_equal_channels_never_divide_by_zero(c in -100.0f32..100.0, k in 1usize..16) {
+        // A constant column (including all-zero) is the degenerate case for
+        // absmax calibration: the scale must stay finite and positive, and
+        // the round trip must still be within half a step.
+        let w = vec![c; k];
+        let q = QuantizedWeights::from_cols(&w, k, 1);
+        let scale = q.scales()[0];
+        prop_assert!(scale.is_finite() && scale > 0.0, "scale {scale}");
+        let dq = q.dequantize();
+        for (&orig, &back) in w.iter().zip(&dq) {
+            prop_assert!(back.is_finite());
+            prop_assert!(
+                (orig - back).abs() <= scale * 0.5 + f32::EPSILON * orig.abs(),
+                "{orig} -> {back} at scale {scale}"
+            );
+        }
+        if c == 0.0 {
+            prop_assert_eq!(symmetric_scale(0.0), 1.0);
+            prop_assert!(dq.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn activation_round_trip_error_is_at_most_half_a_step(v in small_vec(32)) {
+        // The static activation scale is calibrated as the absmax over the
+        // scenario library; inputs at or below that absmax round-trip
+        // within scale/2, exactly like weights.
+        let absmax = v.iter().fold(0f32, |m, x| m.max(x.abs()));
+        let scale = symmetric_scale(absmax);
+        let mut q = vec![0i8; v.len()];
+        quantize_sym_into(&v, 1.0 / scale, &mut q);
+        for (&orig, &qi) in v.iter().zip(&q) {
+            let back = f32::from(qi) * scale;
+            prop_assert!(
+                (orig - back).abs() <= scale * 0.5 + f32::EPSILON * orig.abs(),
+                "{orig} -> {back} at scale {scale}"
+            );
+        }
+    }
+}

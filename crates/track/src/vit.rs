@@ -2,7 +2,8 @@ use bliss_nn::{Linear, Module, TransformerBlock};
 use bliss_npu::{GemmShape, WorkloadDesc};
 use bliss_tensor::{
     kernels, recycle_f32_buffer, recycle_index_buffer, take_f32_buffer, take_index_buffer,
-    ExecPlan, GraphBuilder, IndexVec, NdArray, PlanCache, PlanCacheStats, Tensor, TensorError,
+    ExecPlan, GraphBuilder, IndexVec, NdArray, PlanCache, PlanCacheStats, QuantCalibration,
+    QuantSpec, Tensor, TensorError,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -265,6 +266,16 @@ struct VitPlans {
     /// Compiled execution plans keyed by the batch's token span layout
     /// `[t_1..t_k]` (active frames only).
     cache: PlanCache,
+    /// Quantised (int8) plans, same key space as `cache`. Kept separate so
+    /// switching precision never mixes plan kinds for one layout.
+    qcache: PlanCache,
+    /// Calibrated int8 quantisation parameters (weight-site keyed), present
+    /// after [`SparseViT::finish_int8_calibration`].
+    quant: Option<Rc<QuantSpec>>,
+    /// In-progress activation-range calibration.
+    calib: Option<QuantCalibration>,
+    /// Whether planned inference routes through the quantised plans.
+    use_int8: bool,
     /// Pixel-head weight/bias handles cached once so the per-frame
     /// refinement tail reads them without re-collecting parameter vectors.
     pixel_params: Option<(Tensor, Tensor)>,
@@ -277,6 +288,10 @@ impl Default for VitPlans {
     fn default() -> Self {
         VitPlans {
             cache: PlanCache::new(),
+            qcache: PlanCache::new(),
+            quant: None,
+            calib: None,
+            use_int8: false,
             pixel_params: None,
             batch: Some(PlannedBatch::new()),
         }
@@ -781,7 +796,12 @@ impl SparseViT {
     /// changes every frame, which would defeat the shape-keyed plan cache,
     /// so it runs as direct kernel calls on pooled buffers instead (see
     /// [`SparseViT::forward_batch_into`]).
-    fn record_batch_graph(&self, token_counts: &[usize]) -> Result<ExecPlan, TensorError> {
+    ///
+    /// Returns the *builder*, not a compiled plan: the caller decides
+    /// whether to compile it straight ([`ExecPlan::compile`]), instrument
+    /// it for int8 calibration, or rewrite it through
+    /// [`ExecPlan::compile_quantized`].
+    fn record_batch_builder(&self, token_counts: &[usize]) -> Result<GraphBuilder, TensorError> {
         let p2 = self.config.patch * self.config.patch;
         let classes = self.config.num_classes;
         let total: usize = token_counts.iter().sum();
@@ -828,7 +848,7 @@ impl SparseViT {
             let logits = g.scale(mm, inv);
             g.mark_output(logits);
         }
-        ExecPlan::compile(g)
+        Ok(g)
     }
 
     /// Segments a batch of sparse frames through the **compiled planned
@@ -891,9 +911,20 @@ impl SparseViT {
         let plan = {
             let mut plans = self.plans.borrow_mut();
             let counts = &out.token_counts;
-            plans
-                .cache
-                .get_or_build(counts, || self.record_batch_graph(counts))?
+            if plans.use_int8 {
+                let spec = plans
+                    .quant
+                    .clone()
+                    .expect("use_int8 implies a finished calibration spec");
+                plans.qcache.get_or_build(counts, || {
+                    let g = self.record_batch_builder(counts)?;
+                    ExecPlan::compile_quantized(g, &spec)
+                })?
+            } else {
+                plans.cache.get_or_build(counts, || {
+                    ExecPlan::compile(self.record_batch_builder(counts)?)
+                })?
+            }
         };
         plan.execute(&[&token_data], &[&kept_all])?;
         recycle_f32_buffer(token_data);
@@ -972,6 +1003,148 @@ impl SparseViT {
     /// (soak harnesses gate on `plans`/`arena_elems` staying bounded).
     pub fn plan_stats(&self) -> PlanCacheStats {
         self.plans.borrow().cache.stats()
+    }
+
+    /// Plan-cache counters for the **quantised** (int8) plan cache.
+    pub fn quant_plan_stats(&self) -> PlanCacheStats {
+        self.plans.borrow().qcache.stats()
+    }
+
+    /// Starts (or restarts) post-training int8 calibration: clears any
+    /// previous activation ranges, quantisation spec and quantised plans,
+    /// and drops back to f32 inference until
+    /// [`Self::finish_int8_calibration`] runs.
+    pub fn begin_int8_calibration(&self) {
+        let mut plans = self.plans.borrow_mut();
+        plans.calib = Some(QuantCalibration::new());
+        plans.quant = None;
+        plans.use_int8 = false;
+        plans.qcache.clear();
+    }
+
+    /// Feeds one batch of frames through an **instrumented** f32 plan and
+    /// folds each quantisable matmul's activation absmax into the running
+    /// calibration. Frames use the same `(image, sampled)` convention as
+    /// [`Self::forward_batch`]; all-static frames contribute nothing.
+    ///
+    /// This is an offline pass: the instrumented plan pins every tapped
+    /// activation as an extra output and is compiled per call, not cached.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if a buffer does not match the configured
+    /// frame, or plan compile/execute errors.
+    pub fn observe_int8_calibration(&self, frames: &[(&[f32], &[f32])]) -> Result<(), TensorError> {
+        let p2 = self.config.patch * self.config.patch;
+        let mut prepared = Vec::with_capacity(frames.len());
+        for (image, sampled) in frames {
+            if let Some(f) = self.prepare(image, sampled)? {
+                prepared.push(f);
+            }
+        }
+        if prepared.is_empty() {
+            return Ok(());
+        }
+        let token_counts: Vec<usize> = prepared.iter().map(|f| f.kept.len()).collect();
+        let total: usize = token_counts.iter().sum();
+        let mut token_data = take_f32_buffer(total * 2 * p2);
+        let mut kept_all = take_index_buffer(total);
+        for f in &prepared {
+            token_data.extend_from_slice(&f.token_data);
+            kept_all.extend_from_slice(&f.kept);
+        }
+        let mut g = self.record_batch_builder(&token_counts)?;
+        let taps = QuantCalibration::instrument(&mut g);
+        let plan = ExecPlan::compile(g)?;
+        plan.execute(&[&token_data], &[&kept_all])?;
+        {
+            let mut plans = self.plans.borrow_mut();
+            let calib = plans.calib.get_or_insert_with(QuantCalibration::new);
+            calib.observe_plan(&plan, &[&token_data], &taps);
+        }
+        recycle_f32_buffer(token_data);
+        recycle_index_buffer(kept_all);
+        for f in prepared {
+            drop(f.recycle());
+        }
+        Ok(())
+    }
+
+    /// Freezes the observed activation ranges into per-channel symmetric
+    /// int8 weight scales + per-site activation scales, stores the spec,
+    /// and returns the number of quantised matmul sites. Does **not** flip
+    /// inference to int8 — call [`Self::set_int8`] for that.
+    ///
+    /// Deterministic: the spec depends only on the live weight values and
+    /// the observed ranges, so re-running calibration over the same frames
+    /// after a snapshot restore reproduces it bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidArgument` if no calibration is in progress or no
+    /// batch was observed.
+    pub fn finish_int8_calibration(&self) -> Result<usize, TensorError> {
+        let g = self.record_batch_builder(&[1])?;
+        let mut plans = self.plans.borrow_mut();
+        let calib = plans
+            .calib
+            .take()
+            .ok_or_else(|| TensorError::InvalidArgument {
+                op: "finish_int8_calibration",
+                message: "no calibration in progress (call begin_int8_calibration \
+                      and observe at least one batch first)"
+                    .to_string(),
+            })?;
+        if calib.observed_sites() == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "finish_int8_calibration",
+                message: "no activation ranges observed (every calibration batch \
+                          was empty or all-static)"
+                    .to_string(),
+            });
+        }
+        let mut spec = calib.finish(&g);
+        // The patch embedding stays f32: its activation range is set by
+        // cold-start full-frame reads, so the dim sparse frames that
+        // dominate steady-state tracking would quantise coarsely at the
+        // very first layer (classic first-layer exclusion). Its share of
+        // the model's MACs is small, so the energy win is untouched.
+        spec.remove(self.patch_embed.parameters()[0].id());
+        let sites = spec.len();
+        plans.quant = Some(Rc::new(spec));
+        plans.qcache.clear();
+        Ok(sites)
+    }
+
+    /// Routes planned inference through the quantised int8 plans (`true`)
+    /// or the f32 plans (`false`). The tape path (training) always stays
+    /// f32. The flag lives on the shared planned state, so it applies to
+    /// every clone of this model.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidArgument` when enabling without a finished
+    /// calibration spec.
+    pub fn set_int8(&self, enable: bool) -> Result<(), TensorError> {
+        let mut plans = self.plans.borrow_mut();
+        if enable && plans.quant.is_none() {
+            return Err(TensorError::InvalidArgument {
+                op: "set_int8",
+                message: "no int8 quantisation spec: run calibration first".to_string(),
+            });
+        }
+        plans.use_int8 = enable;
+        Ok(())
+    }
+
+    /// Whether planned inference currently runs the int8 path.
+    pub fn int8_enabled(&self) -> bool {
+        self.plans.borrow().use_int8
+    }
+
+    /// Number of calibrated quantisation sites (0 before calibration).
+    pub fn int8_sites(&self) -> usize {
+        self.plans.borrow().quant.as_ref().map_or(0, |s| s.len())
     }
 
     /// Lowered workload for `tokens` occupied patches and `pixels`
@@ -1327,6 +1500,123 @@ mod tests {
         let s4 = clone.plan_stats();
         assert_eq!((s4.plans, s4.hits), (2, s3.hits + 1));
         assert_eq!(vit.plan_stats().hits, s4.hits);
+    }
+
+    /// Calibrates `vit` over a small deterministic scenario set and flips
+    /// it to int8.
+    fn calibrate_int8(vit: &SparseViT) -> usize {
+        vit.begin_int8_calibration();
+        for seed in 0..4u64 {
+            let f = synth_frame(20 + seed, 0.2 + 0.2 * seed as f32);
+            vit.observe_int8_calibration(&[(&f.0, &f.1)]).unwrap();
+        }
+        let sites = vit.finish_int8_calibration().unwrap();
+        vit.set_int8(true).unwrap();
+        sites
+    }
+
+    #[test]
+    fn int8_forward_tracks_f32_and_differs() {
+        let vit = tiny();
+        let a = synth_frame(30, 0.3);
+        let b = synth_frame(31, 0.6);
+        let batch: Vec<(&[f32], &[f32])> = [&a, &b].iter().map(|f| (&f.0[..], &f.1[..])).collect();
+        let mut f32_out = PlannedBatch::new();
+        vit.forward_batch_into(&batch, &mut f32_out).unwrap();
+        let f32_logits = f32_out.logits.clone();
+
+        let sites = calibrate_int8(&vit);
+        // qkv + proj + fc1 + fc2 per block (1 enc + 1 dec); the patch
+        // embedding is excluded by the first-layer f32 rule.
+        assert_eq!(sites, 8, "quantised matmul sites");
+        assert!(vit.int8_enabled());
+        assert_eq!(vit.int8_sites(), sites);
+
+        let mut q_out = PlannedBatch::new();
+        vit.forward_batch_into(&batch, &mut q_out).unwrap();
+        assert_eq!(q_out.logits.len(), f32_logits.len());
+        let maxabs = f32_logits.iter().fold(0f32, |m, v| m.max(v.abs()));
+        let mut max_diff = 0f32;
+        let mut any_diff = false;
+        for (q, r) in q_out.logits.iter().zip(&f32_logits) {
+            let d = (q - r).abs();
+            max_diff = max_diff.max(d);
+            any_diff |= q.to_bits() != r.to_bits();
+        }
+        assert!(any_diff, "int8 path must actually quantise");
+        assert!(
+            max_diff <= 0.15 * maxabs.max(1.0),
+            "int8 drifted too far from f32: max_diff={max_diff} maxabs={maxabs}"
+        );
+        // The quantised plan cache compiled exactly one plan for this
+        // layout; the f32 cache was untouched by the int8 pass.
+        let qs = vit.quant_plan_stats();
+        assert_eq!((qs.plans, qs.misses), (1, 1));
+    }
+
+    #[test]
+    fn int8_forward_is_bit_identical_across_thread_counts() {
+        let vit = tiny();
+        calibrate_int8(&vit);
+        let a = synth_frame(40, 0.15);
+        let b = synth_frame(41, 0.5);
+        let batch: Vec<(&[f32], &[f32])> = [&a, &b].iter().map(|f| (&f.0[..], &f.1[..])).collect();
+        let run = |threads: usize| {
+            bliss_parallel::with_thread_count(threads, || {
+                bliss_parallel::with_min_parallel_work(0, || {
+                    let mut out = PlannedBatch::new();
+                    vit.forward_batch_into(&batch, &mut out).unwrap();
+                    out.logits.clone()
+                })
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(serial.len(), par.len());
+            assert!(
+                serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "int8 logits must be bit-identical at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_recalibration_is_deterministic() {
+        let vit = tiny();
+        let a = synth_frame(50, 0.4);
+        let batch: Vec<(&[f32], &[f32])> = vec![(&a.0, &a.1)];
+        let sites1 = calibrate_int8(&vit);
+        let mut out1 = PlannedBatch::new();
+        vit.forward_batch_into(&batch, &mut out1).unwrap();
+        // Re-running the same calibration set reproduces the spec exactly:
+        // same sites, bit-identical logits.
+        let sites2 = calibrate_int8(&vit);
+        assert_eq!(sites1, sites2);
+        let mut out2 = PlannedBatch::new();
+        vit.forward_batch_into(&batch, &mut out2).unwrap();
+        assert!(out1
+            .logits
+            .iter()
+            .zip(&out2.logits)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn set_int8_requires_calibration() {
+        let vit = tiny();
+        assert!(vit.set_int8(true).is_err());
+        assert!(!vit.int8_enabled());
+        vit.begin_int8_calibration();
+        assert!(
+            vit.finish_int8_calibration().is_err(),
+            "finishing with no observed batches must fail"
+        );
+        // Disabling is always allowed.
+        vit.set_int8(false).unwrap();
     }
 
     #[test]
