@@ -23,7 +23,10 @@ use bliss_eye::{
     EyeClass, EyeModelConfig, Gaze, GazeState, MovementPhase, NoiseConfig, Scenario,
     SequenceConfig, TrajectoryConfig,
 };
-use bliss_fleet::{FleetConfig, FleetRuntime, FleetSnapshot, PlacementPolicy};
+use bliss_fleet::{
+    ChaosConfig, DegradationPolicy, FaultMix, FaultPlan, FleetConfig, FleetRuntime, FleetSnapshot,
+    PlacementPolicy,
+};
 use bliss_npu::{GemmShape, RunReport, SystolicArray, WorkloadDesc};
 use bliss_sensor::{
     CalibrationLut, EventMap, ReadoutResult, RoiBox, SensorConfig, SensorSnapshot, SramRngConfig,
@@ -255,6 +258,64 @@ fn serve_and_fleet_values_round_trip() {
         assert!(fleet.step(&mut fstate).expect("fleet step succeeds"));
         let fsnap: FleetSnapshot = fleet.snapshot(&fcfg, &fstate);
         rt(&fsnap);
+    });
+}
+
+#[test]
+fn chaos_values_round_trip() {
+    // Plan/config literals with every fault variant.
+    let mix = FaultMix {
+        crashes: 2,
+        slow_hosts: 1,
+        timeouts: 3,
+        corrupt_checkpoints: 1,
+    };
+    rt(&mix);
+    let plan = FaultPlan::generate(0xC4A05, 3, 0.25, &mix);
+    rt(&plan);
+    for e in &plan.events {
+        rt(e);
+        rt(&e.kind);
+    }
+    rt(&FaultPlan::quiet());
+    let mut chaos = ChaosConfig::new(plan);
+    chaos.degradation = Some(DegradationPolicy::default());
+    rt(&chaos);
+    rt(&DegradationPolicy::default());
+
+    // A real chaos run's report, so the serialised values come from the
+    // actual engine (fault log, survival curve, recovery latencies).
+    bliss_parallel::with_thread_count(1, || {
+        let (fsystem, _) = tiny_runtime();
+        let mut rng = StdRng::seed_from_u64(0x5EDE);
+        let fleet = FleetRuntime::with_networks(
+            fsystem,
+            SparseViT::new(&mut rng, fsystem.vit),
+            RoiPredictionNet::new(&mut rng, fsystem.roi_net),
+        );
+        let fcfg = FleetConfig::new(2, PlacementPolicy::RoundRobin, 4, 3);
+        let baseline = fleet.serve(&fcfg).expect("baseline serves");
+        let horizon = baseline.timeline.last().expect("nonempty").time_s;
+        let run = fleet
+            .serve_chaos(
+                &fcfg,
+                &ChaosConfig::new(FaultPlan::generate(
+                    0xA1,
+                    fcfg.hosts,
+                    horizon,
+                    &FaultMix::default(),
+                )),
+            )
+            .expect("chaos serves");
+        rt(&run.chaos);
+        rt(&run.chaos.faults);
+        for p in &run.chaos.survival {
+            rt(p);
+        }
+        for f in &run.log {
+            rt(f);
+        }
+        rt(&run.outcome.report);
     });
 }
 
@@ -594,6 +655,7 @@ proptest! {
             tokens: ints.2,
             mipi_bytes: ints.3,
             energy_j: times.3,
+            shed: flags.0 == 0,
         };
         let back = bliss_serve::FrameRecord::from_json(&r.to_json()).unwrap();
         prop_assert_eq!(back, r);

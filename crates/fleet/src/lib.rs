@@ -66,12 +66,17 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod placement;
 mod report;
 mod runtime;
 mod snapshot;
 
+pub use chaos::{
+    ChaosConfig, ChaosOutcome, ChaosReport, DegradationPolicy, FaultEvent, FaultKind, FaultMix,
+    FaultPlan, InjectedFault, SurvivalPoint,
+};
 pub use placement::PlacementPolicy;
-pub use report::{merge_timelines, FleetEvent, FleetReport, HostReport};
+pub use report::{merge_timelines, FaultStats, FleetEvent, FleetReport, HostReport};
 pub use runtime::{FleetConfig, FleetOutcome, FleetRuntime, FleetState};
 pub use snapshot::FleetSnapshot;

@@ -17,10 +17,14 @@ pub enum PlacementPolicy {
     /// keeps heterogeneous session lengths level.
     LeastLoaded,
     /// Sessions replaying the same [`Scenario`](bliss_eye::Scenario) share a
-    /// host (scenario groups are packed onto hosts greedily by total
-    /// frames): co-locating similar oculomotor dynamics aligns frame
-    /// readiness within a shard, which feeds the cross-session batcher
-    /// larger fusable sets.
+    /// host where load allows: co-locating similar oculomotor dynamics
+    /// aligns frame readiness within a shard, which feeds the cross-session
+    /// batcher larger fusable sets. A scenario group whose total frames
+    /// exceed the fleet-mean load is **split** into affinity chunks no
+    /// larger than that mean before packing (greedily, onto the
+    /// least-loaded host) — so no shard exceeds the mean load by more than
+    /// one chunk, instead of one oversized group capsizing its host while
+    /// others idle.
     ScenarioAffinity,
 }
 
@@ -90,31 +94,51 @@ impl PlacementPolicy {
                     .collect()
             }
             PlacementPolicy::ScenarioAffinity => {
-                // Group sessions by scenario in first-appearance order, then
-                // pack whole groups onto hosts greedily by total frames.
-                let mut groups: Vec<(bliss_eye::Scenario, u64)> = Vec::new();
-                let mut group_of = Vec::with_capacity(sessions.len());
-                for s in sessions {
-                    let gi = match groups.iter().position(|&(sc, _)| sc == s.scenario) {
-                        Some(gi) => gi,
-                        None => {
-                            groups.push((s.scenario, 0));
-                            groups.len() - 1
-                        }
-                    };
-                    groups[gi].1 += s.frames.max(1) as u64;
-                    group_of.push(gi);
+                // Group sessions by scenario in first-appearance order.
+                let mut groups: Vec<(bliss_eye::Scenario, Vec<usize>)> = Vec::new();
+                for (i, s) in sessions.iter().enumerate() {
+                    match groups.iter_mut().find(|(sc, _)| *sc == s.scenario) {
+                        Some((_, members)) => members.push(i),
+                        None => groups.push((s.scenario, vec![i])),
+                    }
                 }
+                // Split any group whose frame total exceeds the fleet-mean
+                // load into chunks of at most that mean (ceil'd), cut in
+                // session order so co-location degrades gracefully: a group
+                // that fits stays whole, an oversized one becomes the
+                // fewest affinity chunks that still balance.
+                let total: u64 = sessions.iter().map(|s| s.frames.max(1) as u64).sum();
+                let target = total.div_ceil(hosts as u64).max(1);
                 let mut load = vec![0u64; hosts];
-                let host_of_group: Vec<usize> = groups
-                    .iter()
-                    .map(|&(_, frames)| {
+                let mut assignment = vec![0usize; sessions.len()];
+                for (_, members) in &groups {
+                    let mut chunk: Vec<usize> = Vec::new();
+                    let mut chunk_frames = 0u64;
+                    for &i in members {
+                        let f = sessions[i].frames.max(1) as u64;
+                        // The chunk's first member is always admitted, so a
+                        // single session longer than the mean still places.
+                        if !chunk.is_empty() && chunk_frames + f > target {
+                            let h = least_loaded(&load);
+                            load[h] += chunk_frames;
+                            for &j in &chunk {
+                                assignment[j] = h;
+                            }
+                            chunk.clear();
+                            chunk_frames = 0;
+                        }
+                        chunk.push(i);
+                        chunk_frames += f;
+                    }
+                    if !chunk.is_empty() {
                         let h = least_loaded(&load);
-                        load[h] += frames;
-                        h
-                    })
-                    .collect();
-                group_of.into_iter().map(|gi| host_of_group[gi]).collect()
+                        load[h] += chunk_frames;
+                        for &j in &chunk {
+                            assignment[j] = h;
+                        }
+                    }
+                }
+                assignment
             }
         }
     }
@@ -184,6 +208,50 @@ mod tests {
                 assert_eq!(a[i], a[i + 5], "scenario {i} split across hosts");
             }
             assert!(a.iter().all(|&h| h < hosts));
+        }
+    }
+
+    #[test]
+    fn scenario_affinity_splits_oversized_groups() {
+        // The ROADMAP-carried imbalance case: 32 sessions cycling 5
+        // scenarios on 8 hosts. Whole-group packing leaves 3 hosts idle
+        // while the busiest carries a 168-frame group; chunked packing must
+        // use every host and bound the spread by one chunk (the ceil'd
+        // fleet-mean load).
+        let s = fleet(32, 24);
+        let hosts = 8;
+        let a = PlacementPolicy::ScenarioAffinity.assign(&s, hosts);
+        let target = (32u64 * 24).div_ceil(hosts as u64);
+        let mut load = vec![0u64; hosts];
+        for (sc, &h) in s.iter().zip(&a) {
+            load[h] += sc.frames as u64;
+        }
+        assert!(load.iter().all(|&l| l > 0), "idle host: {load:?}");
+        let (min, max) = (*load.iter().min().unwrap(), *load.iter().max().unwrap());
+        assert!(
+            max - min <= target,
+            "spread {} > {target}: {load:?}",
+            max - min
+        );
+        // Affinity still holds within chunks: sessions sharing a scenario
+        // land on at most ceil(group/target) hosts, not scattered.
+        for scen in 0..5 {
+            let hosts_used: std::collections::BTreeSet<usize> = s
+                .iter()
+                .zip(&a)
+                .filter(|(sc, _)| sc.scenario == Scenario::for_index(scen))
+                .map(|(_, &h)| h)
+                .collect();
+            let group: u64 = s
+                .iter()
+                .filter(|sc| sc.scenario == Scenario::for_index(scen))
+                .map(|sc| sc.frames as u64)
+                .sum();
+            let max_chunks = group.div_ceil(target).max(1) as usize;
+            assert!(
+                hosts_used.len() <= max_chunks + 1,
+                "scenario {scen} scattered over {hosts_used:?}"
+            );
         }
     }
 

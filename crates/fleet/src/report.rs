@@ -33,6 +33,31 @@ pub struct HostReport {
     pub report: ServeReport,
 }
 
+/// Fault-injection and recovery counters of one fleet run. All-zero for a
+/// fault-free run ([`FleetRuntime::serve`](crate::FleetRuntime::serve));
+/// the chaos engine ([`crate::FleetRuntime::serve_chaos`]) fills them in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults the plan actually triggered (a fault aimed at an
+    /// already-drained host is a no-op and does not count).
+    pub faults_injected: usize,
+    /// Host crashes recovered by snapshot-based failover.
+    pub failovers: usize,
+    /// Sessions moved onto surviving hosts by failover.
+    pub sessions_recovered: usize,
+    /// Frames re-served after failover (progress lost between the dead
+    /// host's last good checkpoint and its crash).
+    pub frames_replayed: usize,
+    /// Frames shed by graceful degradation (served without host inference).
+    pub frames_shed: usize,
+    /// Batch launches that timed out and were retried with backoff.
+    pub batch_timeouts: usize,
+    /// Checkpoint reads that failed to parse during failover.
+    pub corrupt_checkpoint_reads: usize,
+    /// Periodic per-host checkpoints taken.
+    pub checkpoints_taken: usize,
+}
+
 /// Aggregate results of one fleet run — the `BENCH_fleet.json` payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -59,6 +84,8 @@ pub struct FleetReport {
     pub mean_utilisation: f64,
     /// Per-host breakdowns (empty shards included, so host indices align).
     pub per_host: Vec<HostReport>,
+    /// Fault-injection and recovery counters (all zero without chaos).
+    pub faults: FaultStats,
 }
 
 impl FleetReport {
@@ -130,6 +157,7 @@ impl FleetReport {
             mean_energy_uj: energy_j / frames_total.max(1) as f64 * 1e6,
             mean_utilisation,
             per_host,
+            faults: FaultStats::default(),
         }
     }
 }

@@ -82,7 +82,10 @@ impl FleetRuntime {
     /// # Errors
     ///
     /// [`SnapshotError::Corrupt`] on an empty host list or weight shapes
-    /// that do not match the recorded system configuration.
+    /// that do not match the recorded system configuration. Shard-level
+    /// errors are wrapped in [`SnapshotError::Host`] with the offending
+    /// host id (and, for per-session corruption, the session id inside),
+    /// so a corrupt shard is diagnosable from the message alone.
     pub fn restore(
         snapshot: &FleetSnapshot,
     ) -> Result<(FleetRuntime, FleetConfig, FleetState), SnapshotError> {
@@ -92,12 +95,14 @@ impl FleetRuntime {
         // All hosts are replicas of one model: rebuild the shared runtime
         // once from host 0, then restore each shard's scheduler state
         // against it.
-        let (runtime, _, _) = bliss_serve::ServeRuntime::restore(first)?;
+        let (runtime, _, _) =
+            bliss_serve::ServeRuntime::restore(first).map_err(|e| SnapshotError::for_host(0, e))?;
         let fleet = FleetRuntime { runtime };
         let mut shard_cfgs = Vec::with_capacity(snapshot.per_host.len());
         let mut shards = Vec::with_capacity(snapshot.per_host.len());
-        for host in &snapshot.per_host {
-            let (_, shard_cfg, shard) = bliss_serve::ServeRuntime::restore(host)?;
+        for (host_id, host) in snapshot.per_host.iter().enumerate() {
+            let (_, shard_cfg, shard) = bliss_serve::ServeRuntime::restore(host)
+                .map_err(|e| SnapshotError::for_host(host_id, e))?;
             shard_cfgs.push(shard_cfg);
             shards.push(shard);
         }

@@ -69,6 +69,8 @@ mod snapshot;
 
 pub use blisscam_core::Precision;
 pub use report::{LatencyStats, ServeReport, SessionSummary, SteadyStats};
-pub use runtime::{ServeConfig, ServeOutcome, ServeRuntime, ServeState};
+pub use runtime::{
+    ServeConfig, ServeOutcome, ServeRuntime, ServeState, SessionProgress, StepOptions, StepStats,
+};
 pub use session::{FrameRecord, SessionConfig, SessionTrace};
 pub use snapshot::{ServeSnapshot, SessionSnapshot, SnapshotError, SNAPSHOT_VERSION};

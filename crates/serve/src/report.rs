@@ -288,6 +288,7 @@ mod tests {
                 tokens: 0,
                 mipi_bytes: 0,
                 energy_j: 0.0,
+                shed: false,
             })
             .collect();
         SessionTrace {

@@ -110,6 +110,66 @@ impl ServeConfig {
     }
 }
 
+/// Per-step fault-injection overrides for [`ServeRuntime::step_batch_with`].
+///
+/// The default (`time_dilation: 1.0`, `shed_period: 0`) reproduces
+/// [`ServeRuntime::step_batch`] bit-for-bit — the chaos engine perturbs a
+/// step only by passing non-default values, so a fault-free chaos run is
+/// identical to a plain run by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOptions {
+    /// Multiplies the host-side batched segmentation time of this step's
+    /// launch (transient slow-host degradation — a cycle-budget multiplier
+    /// through the latency model). `1.0` is nominal and leaves the timing
+    /// bit-identical to an undilated step.
+    pub time_dilation: f64,
+    /// Graceful-degradation load shedding: when non-zero, a **warm** batch
+    /// member (one that already has segmentation feedback) whose
+    /// `session id + frame index` is a multiple of this period skips the
+    /// host inference launch and falls back to the feedback ROI — the
+    /// sensor still samples inside the previous ROI box, but no tokens
+    /// reach the host and the gaze output holds the previous estimate.
+    /// Cold-start frames are never shed (there is no feedback to fall back
+    /// to). `0` serves everything.
+    pub shed_period: usize,
+}
+
+impl Default for StepOptions {
+    fn default() -> Self {
+        StepOptions {
+            time_dilation: 1.0,
+            shed_period: 0,
+        }
+    }
+}
+
+/// What one [`ServeRuntime::step_batch_with`] call executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Frames served by this step's fused batch.
+    pub served: usize,
+    /// How many of them missed their deadline.
+    pub deadline_misses: usize,
+    /// How many were shed (see [`StepOptions::shed_period`]).
+    pub shed: usize,
+    /// Virtual time the batch launched at.
+    pub host_start_s: f64,
+    /// Virtual time the host becomes free again.
+    pub host_free_s: f64,
+}
+
+/// One session's scheduler progress at a batch boundary — the bookkeeping
+/// the chaos engine uses for replayed-frame accounting at failover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionProgress {
+    /// The session's id.
+    pub id: usize,
+    /// Frames recorded so far.
+    pub frames_served: usize,
+    /// Next sequence frame to sense.
+    pub next_frame: usize,
+}
+
 /// Everything a serving run produces: the aggregate report plus every
 /// session's full per-frame trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +206,18 @@ impl ServeState {
     /// Whether every session has drained (no frame is waiting to serve).
     pub fn is_done(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Per-session scheduler progress, in session-slot order.
+    pub fn progress(&self) -> Vec<SessionProgress> {
+        self.sessions
+            .iter()
+            .map(|s| SessionProgress {
+                id: s.config.id,
+                frames_served: s.records.len(),
+                next_frame: s.next_frame,
+            })
+            .collect()
     }
 }
 
@@ -569,9 +641,37 @@ impl ServeRuntime {
         cfg: &ServeConfig,
         state: &mut ServeState,
     ) -> Result<bool, TensorError> {
+        Ok(self
+            .step_batch_with(cfg, state, &StepOptions::default())?
+            .is_some())
+    }
+
+    /// [`ServeRuntime::step_batch`] with fault-injection overrides: an
+    /// optional slow-host time dilation on the launch and an optional
+    /// deterministic shed mask (see [`StepOptions`]). Returns the executed
+    /// batch's [`StepStats`], or `None` once every session has drained.
+    ///
+    /// Batch **selection** is identical to a plain step — dilation and
+    /// shedding perturb only what the selected batch costs and which
+    /// members reach the host — so a run stepped with default options is
+    /// bit-identical to one stepped with [`ServeRuntime::step_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from inference.
+    pub fn step_batch_with(
+        &self,
+        cfg: &ServeConfig,
+        state: &mut ServeState,
+        opts: &StepOptions,
+    ) -> Result<Option<StepStats>, TensorError> {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(
+            opts.time_dilation.is_finite() && opts.time_dilation >= 1.0,
+            "time_dilation must be a finite slowdown factor >= 1"
+        );
         let Some(Reverse((first_ready, first))) = state.heap.pop() else {
-            return Ok(false);
+            return Ok(None);
         };
         let sessions = &mut state.sessions;
         let heap = &mut state.heap;
@@ -616,8 +716,11 @@ impl ServeRuntime {
         // arrived.
         let last_ready = batch.iter().map(|&(_, r)| r).fold(f64::MIN, f64::max);
         let host_start = state.host_free_s.max(last_ready);
-        state.host_free_s = self.run_batch(cfg, sessions, &batch, host_start)?;
-        state.host_busy_s += state.host_free_s - host_start;
+        let (host_free, mut stats) = self.run_batch(cfg, sessions, &batch, host_start, opts)?;
+        state.host_free_s = host_free;
+        state.host_busy_s += host_free - host_start;
+        stats.host_start_s = host_start;
+        stats.host_free_s = host_free;
 
         for &(i, _) in &batch {
             if state.sessions[i].has_next() {
@@ -626,7 +729,41 @@ impl ServeRuntime {
                     .push(Reverse((Time(self.next_ready(&state.sessions[i])), i)));
             }
         }
-        Ok(true)
+        Ok(Some(stats))
+    }
+
+    /// Virtual time at which the **next** fused batch would launch: the
+    /// host-free time, or the head frame's readiness when that is later.
+    /// `None` once the state has drained. Pure observation — the chaos
+    /// engine uses it to decide, at a batch boundary, whether a scheduled
+    /// virtual-time fault has come due on this host.
+    pub fn next_launch_start_s(&self, state: &ServeState) -> Option<f64> {
+        state
+            .heap
+            .peek()
+            .map(|&Reverse((t, _))| state.host_free_s.max(t.0))
+    }
+
+    /// Stalls the host without executing anything: advances the host-free
+    /// clock to `next launch start + stall_s`, charging the stall as busy
+    /// time (the host was occupied by the timed-out launch attempt).
+    /// Returns the new host-free time, or `None` when the state has
+    /// drained (nothing to stall on).
+    ///
+    /// This is the batch-timeout primitive: the attempt occupies the host
+    /// and then fails, **no front-end state advances**, and the retry —
+    /// the next ordinary step — re-selects and executes the batch once.
+    /// Output bit-identity is preserved because execution still happens
+    /// exactly once per frame; only the timing shifts.
+    pub fn stall_host(&self, state: &mut ServeState, stall_s: f64) -> Option<f64> {
+        assert!(
+            stall_s.is_finite() && stall_s >= 0.0,
+            "stall_s must be finite and non-negative"
+        );
+        let start = self.next_launch_start_s(state)?;
+        state.host_free_s = start + stall_s;
+        state.host_busy_s += stall_s;
+        Some(state.host_free_s)
     }
 
     /// Folds a drained (or deliberately abandoned) run into its outcome.
@@ -662,14 +799,16 @@ impl ServeRuntime {
     }
 
     /// Executes one scheduled batch end-to-end, launching at `host_start`,
-    /// and returns the new host-free time.
+    /// and returns the new host-free time plus the step's counters (the
+    /// caller fills in the timing fields).
     fn run_batch(
         &self,
         cfg: &ServeConfig,
         sessions: &mut [Session],
         batch: &[(usize, f64)],
         host_start: f64,
-    ) -> Result<f64, TensorError> {
+        opts: &StepOptions,
+    ) -> Result<(f64, StepStats), TensorError> {
         let st = &self.stages;
         // The precision contract: when the config says int8, the shared ViT
         // must actually be serving int8 plans — otherwise the energy/latency
@@ -734,13 +873,46 @@ impl ServeRuntime {
             0
         };
 
-        // Stage D: ONE cross-session batched inference launch over the
-        // sessions' staged frames.
-        let frames: Vec<(&[f32], &[f32])> = refs
+        // Graceful-degradation shed mask: a deterministic function of each
+        // member's (session id, frame index) and feedback state — never of
+        // batching or placement — so the same frames are shed no matter how
+        // the scheduler grouped them. Cold-start members always serve.
+        let shed_mask: Vec<bool> = refs
             .iter()
-            .map(|s| (&s.sensed.image[..], &s.sensed.mask[..]))
+            .map(|s| {
+                opts.shed_period > 0
+                    && s.front.has_feedback()
+                    && (s.config.id + (s.next_frame - 1)) % opts.shed_period == 0
+            })
             .collect();
-        let predictions = self.infer(|| self.vit.forward_batch(&frames))?;
+
+        // Stage D: ONE cross-session batched inference launch over the
+        // staged frames of the members that were not shed. Shed members
+        // receive no prediction — their front end holds the previous gaze
+        // estimate and keeps its feedback segmentation.
+        let live_frames: Vec<(&[f32], &[f32])> = refs
+            .iter()
+            .zip(&shed_mask)
+            .filter(|&(_, &shed)| !shed)
+            .map(|(s, _)| (&s.sensed.image[..], &s.sensed.mask[..]))
+            .collect();
+        let any_live = !live_frames.is_empty();
+        let mut live_predictions = if any_live {
+            self.infer(|| self.vit.forward_batch(&live_frames))?
+        } else {
+            Vec::new()
+        };
+        let mut live_iter = live_predictions.drain(..);
+        let predictions: Vec<Option<bliss_track::SegPrediction>> = shed_mask
+            .iter()
+            .map(|&shed| {
+                if shed {
+                    None
+                } else {
+                    live_iter.next().expect("one prediction per live member")
+                }
+            })
+            .collect();
         let w4 = if tel {
             bliss_telemetry::wall_now_ns()
         } else {
@@ -750,20 +922,32 @@ impl ServeRuntime {
         // Host timing: the batch launch costs one block-diagonal pass —
         // fused weight GEMMs over the summed tokens (each paying its
         // dispatch overhead once for the whole batch), per-frame attention —
-        // at the timing scale; gaze regressions serialise afterwards.
+        // at the timing scale; gaze regressions serialise afterwards. Shed
+        // members never reach the host, so they contribute no launch shape;
+        // a fully-shed batch costs no host time at all. The slow-host
+        // dilation multiplies only the inference launch (the NPU's cycle
+        // budget), not the per-frame gaze regressions.
         let frame_shapes: Vec<(usize, usize)> = predictions
             .iter()
             .zip(refs.iter())
-            .map(|(p, s)| {
+            .zip(&shed_mask)
+            .filter(|&(_, &shed)| !shed)
+            .map(|((p, s), _)| {
                 let tokens = p.as_ref().map_or(0, |p| p.tokens);
                 self.timing_shape(tokens, s.sensed.sampled, s.sensed.roi_pixels)
             })
             .collect();
-        let seg_time =
-            host_batched_segmentation_time_s_at(&self.timing, &frame_shapes, cfg.precision);
+        let seg_time = if any_live {
+            host_batched_segmentation_time_s_at(&self.timing, &frame_shapes, cfg.precision)
+                * opts.time_dilation
+        } else {
+            0.0
+        };
 
         // Stage E (serial): front-end stage 6 — close the feedback loop and
         // regress gaze — then record the frame.
+        let mut deadline_misses = 0usize;
+        let shed_count = shed_mask.iter().filter(|&&m| m).count();
         for (pos, (s, prediction)) in refs.iter_mut().zip(predictions).enumerate() {
             let t = s.next_frame;
             let truth = s.next_truth();
@@ -778,12 +962,14 @@ impl ServeRuntime {
             let arrival = self.arrival_s(s);
             let completion = host_start + seg_time + st.gaze_s * (pos + 1) as f64;
             let latency = completion - arrival;
+            let missed = latency > cfg.deadline_s;
+            deadline_misses += usize::from(missed);
             s.records.push(FrameRecord {
                 index: t - 1,
                 arrival_s: arrival,
                 completion_s: completion,
                 latency_s: latency,
-                deadline_missed: latency > cfg.deadline_s,
+                deadline_missed: missed,
                 batch_size: batch.len(),
                 gaze_prediction: gaze,
                 gaze_truth: truth,
@@ -794,9 +980,13 @@ impl ServeRuntime {
                 tokens,
                 mipi_bytes: s.sensed.mipi_bytes,
                 energy_j: energy.total_j(),
+                shed: shed_mask[pos],
             });
             s.prev_completion_s = completion;
             s.next_frame = t + 1;
+        }
+        if tel && shed_count > 0 {
+            bliss_telemetry::metrics::FRAMES_SHED.add(shed_count as u64);
         }
 
         if tel {
@@ -809,7 +999,16 @@ impl ServeRuntime {
                 [w0, w1, w2, w3, w4],
             );
         }
-        Ok(host_start + seg_time + st.gaze_s * batch.len() as f64)
+        Ok((
+            host_start + seg_time + st.gaze_s * batch.len() as f64,
+            StepStats {
+                served: batch.len(),
+                deadline_misses,
+                shed: shed_count,
+                host_start_s: host_start,
+                host_free_s: 0.0,
+            },
+        ))
     }
 
     /// Emits per-frame, per-stage spans and batch metrics for one executed

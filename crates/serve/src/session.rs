@@ -61,6 +61,12 @@ pub struct FrameRecord {
     pub mipi_bytes: u64,
     /// Per-frame energy in joules under the BlissCam hardware model.
     pub energy_j: f64,
+    /// Whether graceful degradation shed this frame's host inference: the
+    /// sensor still sampled inside the feedback ROI, but the segmentation
+    /// launch was skipped and the gaze output held from the previous
+    /// estimate (`tokens` is 0 on a shed frame). Always `false` outside
+    /// chaos/degradation runs.
+    pub shed: bool,
 }
 
 /// A session's full trace after a run.

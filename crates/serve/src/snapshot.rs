@@ -42,8 +42,9 @@ use std::fmt;
 /// itself is **never** serialised: restore re-derives it deterministically
 /// from the restored weights and the fixed scenario-library calibration
 /// set, which keeps the snapshot format independent of the quantiser's
-/// internals.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// internals; `4` — [`crate::FrameRecord`] (embedded per session) gained
+/// `shed`, the graceful-degradation marker.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Errors from restoring a serving snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +61,25 @@ pub enum SnapshotError {
     /// The snapshot parsed but its contents are inconsistent (e.g. weight
     /// shapes that do not match the recorded system configuration).
     Corrupt(String),
+    /// The error arose restoring a specific fleet host's shard — the fleet
+    /// layer wraps the shard's underlying error with the host id so a
+    /// corrupt shard is diagnosable from the message alone.
+    Host {
+        /// The host whose shard failed to restore.
+        host: usize,
+        /// The shard-level error.
+        source: Box<SnapshotError>,
+    },
+}
+
+impl SnapshotError {
+    /// Wraps an error with the fleet host whose shard it arose in.
+    pub fn for_host(host: usize, source: SnapshotError) -> Self {
+        SnapshotError::Host {
+            host,
+            source: Box::new(source),
+        }
+    }
 }
 
 impl fmt::Display for SnapshotError {
@@ -71,6 +91,7 @@ impl fmt::Display for SnapshotError {
             ),
             SnapshotError::Json(e) => write!(f, "snapshot JSON error: {e}"),
             SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::Host { host, source } => write!(f, "host {host}: {source}"),
         }
     }
 }
@@ -211,20 +232,10 @@ impl ServeRuntime {
             .apply_precision(&snapshot.serve)
             .map_err(|e| SnapshotError::Corrupt(format!("precision restore: {e}")))?;
 
-        let sessions = snapshot
-            .sessions
-            .iter()
-            .map(|snap| {
-                // Re-render the trace and prime the front end exactly as the
-                // original run did, then overwrite the dynamic state.
-                let mut session = Session::new(snap.config, &runtime.system);
-                session.front.restore(&snap.front);
-                session.next_frame = snap.next_frame;
-                session.prev_completion_s = snap.prev_completion_s.unwrap_or(f64::NEG_INFINITY);
-                session.records = snap.records.clone();
-                session
-            })
-            .collect();
+        let mut sessions = Vec::with_capacity(snapshot.sessions.len());
+        for snap in &snapshot.sessions {
+            sessions.push(restore_session(snap, &runtime.system)?);
+        }
         let mut state = ServeState {
             sessions,
             heap: std::collections::BinaryHeap::new(),
@@ -234,4 +245,83 @@ impl ServeRuntime {
         runtime.rebuild_heap(&mut state);
         Ok((runtime, snapshot.serve, state))
     }
+
+    /// Adopts sessions frozen in another runtime's snapshot into a live
+    /// state — the failover primitive: a crashed host's sessions, restored
+    /// from its last checkpoint, resume on a surviving host.
+    ///
+    /// Each adopted session re-renders its trace, restores its front-end
+    /// state and keeps its pre-checkpoint records verbatim (so the merged
+    /// fleet timeline stays complete); its feedback gate is pushed to at
+    /// least `not_before_s` — the crash detection + restore latency — so
+    /// replayed frames cannot complete before the failover that caused
+    /// them. The event queue is rebuilt to include the newcomers.
+    ///
+    /// The caller must guarantee the snapshots came from a runtime serving
+    /// the **same system and weights** (in this workspace, every fleet host
+    /// shares one model replica); only per-session geometry is validated
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] naming the offending session when its
+    /// front-end state does not match this runtime's geometry.
+    pub fn adopt_sessions(
+        &self,
+        state: &mut ServeState,
+        snaps: &[SessionSnapshot],
+        not_before_s: f64,
+    ) -> Result<(), SnapshotError> {
+        for snap in snaps {
+            let mut session = restore_session(snap, &self.system)?;
+            session.prev_completion_s = session.prev_completion_s.max(not_before_s);
+            state.sessions.push(session);
+        }
+        self.rebuild_heap(state);
+        Ok(())
+    }
+}
+
+/// Rebuilds one live session from its snapshot: re-renders the trace,
+/// primes the front end exactly as the original run did, then overwrites
+/// the dynamic state. Validates the snapshot against the system geometry
+/// first, naming the session in any error.
+fn restore_session(
+    snap: &SessionSnapshot,
+    system: &SystemConfig,
+) -> Result<Session, SnapshotError> {
+    let pixels = system.pixels();
+    if snap.front.prev_seg.len() != pixels {
+        return Err(SnapshotError::Corrupt(format!(
+            "session {} ({:?}): feedback map holds {} pixels, system expects {}",
+            snap.config.id,
+            snap.config.scenario,
+            snap.front.prev_seg.len(),
+            pixels
+        )));
+    }
+    // The rendered sequence holds `frames + 1` entries (frame 0 primes the
+    // sensor), so a drained session sits at `next_frame == frames + 1`.
+    if snap.next_frame == 0 || snap.next_frame > snap.config.frames + 1 {
+        return Err(SnapshotError::Corrupt(format!(
+            "session {}: next_frame {} outside 1..={}",
+            snap.config.id,
+            snap.next_frame,
+            snap.config.frames + 1
+        )));
+    }
+    if snap.records.len() != snap.next_frame - 1 {
+        return Err(SnapshotError::Corrupt(format!(
+            "session {}: {} records but {} frames served",
+            snap.config.id,
+            snap.records.len(),
+            snap.next_frame - 1
+        )));
+    }
+    let mut session = Session::new(snap.config, system);
+    session.front.restore(&snap.front);
+    session.next_frame = snap.next_frame;
+    session.prev_completion_s = snap.prev_completion_s.unwrap_or(f64::NEG_INFINITY);
+    session.records = snap.records.clone();
+    Ok(session)
 }

@@ -288,6 +288,29 @@ pub static BATCHES_LAUNCHED: Counter = Counter::new();
 /// Frames that missed their scenario deadline.
 pub static DEADLINE_MISSES: Counter = Counter::new();
 
+/// Faults the chaos engine actually triggered (crashes, slow-host windows,
+/// batch timeouts and corrupt checkpoint reads alike; scheduled faults that
+/// never fired — e.g. a crash aimed at an already-drained host — are not
+/// counted).
+pub static FAULTS_INJECTED: Counter = Counter::new();
+/// Host failures recovered by snapshot-based failover.
+pub static FAILOVERS: Counter = Counter::new();
+/// Frames re-served after a failover (work lost between the dead host's
+/// last checkpoint and its crash).
+pub static FRAMES_REPLAYED: Counter = Counter::new();
+/// Frames served in degraded mode: host inference skipped, gaze held from
+/// the feedback ROI.
+pub static FRAMES_SHED: Counter = Counter::new();
+/// Batch launches that timed out and were retried with backoff.
+pub static BATCH_TIMEOUTS: Counter = Counter::new();
+/// Checkpoint reads that failed to parse during failover (the engine falls
+/// back to the previous checkpoint).
+pub static CORRUPT_CHECKPOINT_READS: Counter = Counter::new();
+/// Periodic per-host checkpoints taken by the chaos engine.
+pub static CHECKPOINTS_TAKEN: Counter = Counter::new();
+/// Sessions moved onto a surviving host by failover.
+pub static SESSIONS_RECOVERED: Counter = Counter::new();
+
 /// Per-scenario served-frame counters (index `Scenario::index`, clamped).
 pub static SCENARIO_FRAMES: [Counter; MAX_SCENARIOS] = [const { Counter::new() }; MAX_SCENARIOS];
 /// Per-scenario deadline-miss counters.
@@ -305,6 +328,10 @@ pub static BATCH_OCCUPANCY: AtomicHistogram = AtomicHistogram::new(1.0, 4.0);
 /// Distribution of per-frame virtual-time latency, seconds (canonical
 /// latency geometry: 1 µs base, √2 growth).
 pub static FRAME_LATENCY_S: AtomicHistogram = AtomicHistogram::new(1e-6, 2.0);
+/// Distribution of failover recovery latency, seconds (virtual time from a
+/// host crash to the first replayed frame's completion on its adoptive
+/// host; canonical latency geometry).
+pub static RECOVERY_LATENCY_S: AtomicHistogram = AtomicHistogram::new(1e-6, 2.0);
 
 // ---------------------------------------------------------------------------
 // Snapshots.
@@ -361,7 +388,7 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSummary>,
 }
 
-fn named_counters() -> [(&'static str, &'static Counter); 12] {
+fn named_counters() -> [(&'static str, &'static Counter); 20] {
     [
         ("plan_cache_hits", &PLAN_CACHE_HITS),
         ("plan_cache_misses", &PLAN_CACHE_MISSES),
@@ -374,6 +401,14 @@ fn named_counters() -> [(&'static str, &'static Counter); 12] {
         ("frames_served", &FRAMES_SERVED),
         ("batches_launched", &BATCHES_LAUNCHED),
         ("deadline_misses", &DEADLINE_MISSES),
+        ("faults_injected", &FAULTS_INJECTED),
+        ("failovers", &FAILOVERS),
+        ("frames_replayed", &FRAMES_REPLAYED),
+        ("frames_shed", &FRAMES_SHED),
+        ("batch_timeouts", &BATCH_TIMEOUTS),
+        ("corrupt_checkpoint_reads", &CORRUPT_CHECKPOINT_READS),
+        ("checkpoints_taken", &CHECKPOINTS_TAKEN),
+        ("sessions_recovered", &SESSIONS_RECOVERED),
         ("spans_dropped", &SPANS_DROPPED_PROXY),
     ]
 }
@@ -457,6 +492,7 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
         histograms: vec![
             BATCH_OCCUPANCY.summary("batch_occupancy"),
             FRAME_LATENCY_S.summary("frame_latency_s"),
+            RECOVERY_LATENCY_S.summary("recovery_latency_s"),
         ],
     }
 }
@@ -480,6 +516,7 @@ pub fn reset_metrics() {
     }
     BATCH_OCCUPANCY.reset();
     FRAME_LATENCY_S.reset();
+    RECOVERY_LATENCY_S.reset();
 }
 
 impl MetricsSnapshot {
